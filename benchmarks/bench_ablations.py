@@ -1,0 +1,86 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* **Level-C budgets** (footnotes 2-3): the paper-faithful configuration
+  enforces level-C execution budgets, so overload consists of A/B
+  occupancy; without budgets level-C demand itself inflates 10x and
+  recovery takes far longer.
+* **Tolerance margin**: widening tolerances beyond the analytical bound
+  delays overload detection and lengthens recovery episodes slightly,
+  but cannot create false positives (which margin 1.0 already avoids).
+* **Monitor latency**: the paper's monitor is a userspace process; we
+  sweep an injected notification latency and check dissipation degrades
+  gracefully.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tolerance import assign_tolerances
+from repro.experiments.runner import MonitorSpec, run_overload_experiment
+from repro.sim.kernel import KernelConfig
+from repro.workload.generator import GeneratorParams, generate_taskset
+from repro.workload.scenarios import SHORT
+
+SPEC = MonitorSpec("simple", 0.6)
+
+
+def bench_ablation_level_c_budgets(benchmark, tasksets):
+    ts = tasksets[0]
+
+    def run():
+        with_b = run_overload_experiment(ts, SHORT, SPEC, level_c_budgets=True)
+        without = run_overload_experiment(ts, SHORT, SPEC, level_c_budgets=False,
+                                          horizon=60.0)
+        return with_b, without
+
+    with_b, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation: level-C execution budgets (SHORT, SIMPLE s=0.6)")
+    print(f"  budgets on : dissipation = {with_b.dissipation * 1e3:8.1f} ms")
+    print(f"  budgets off: dissipation = {without.dissipation * 1e3:8.1f} ms")
+    assert without.dissipation > 2.0 * with_b.dissipation
+    benchmark.extra_info["with_budgets_ms"] = round(with_b.dissipation * 1e3, 1)
+    benchmark.extra_info["without_budgets_ms"] = round(without.dissipation * 1e3, 1)
+
+
+def bench_ablation_tolerance_margin(benchmark):
+    base = generate_taskset(2015, GeneratorParams(assign_tolerances=False))
+
+    def run():
+        out = {}
+        for margin in (1.0, 2.0, 4.0):
+            ts = assign_tolerances(base, margin=margin)
+            out[margin] = run_overload_experiment(ts, SHORT, SPEC)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation: tolerance margin (SHORT, SIMPLE s=0.6)")
+    for margin, r in results.items():
+        print(f"  margin {margin:3.1f}: dissipation = {r.dissipation * 1e3:8.1f} ms, "
+              f"misses = {r.miss_count}")
+    # Wider tolerances can only reduce the number of detected misses.
+    assert results[4.0].miss_count <= results[1.0].miss_count
+    # Recovery still happens even with the widest margin (genuine overload).
+    assert results[4.0].episodes >= 1
+
+
+def bench_ablation_monitor_latency(benchmark, tasksets):
+    ts = tasksets[0]
+
+    def run():
+        out = {}
+        for latency in (0.0, 0.001, 0.01):
+            cfg = KernelConfig(monitor_latency=latency)
+            out[latency] = run_overload_experiment(ts, SHORT, SPEC, config=cfg)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation: monitor notification latency (SHORT, SIMPLE s=0.6)")
+    for latency, r in results.items():
+        print(f"  latency {latency * 1e3:5.1f} ms: "
+              f"dissipation = {r.dissipation * 1e3:8.1f} ms")
+    # All variants still recover.
+    assert all(not r.truncated for r in results.values())
+    # A 10 ms monitor latency changes dissipation only modestly (< 50%).
+    d0, d10 = results[0.0].dissipation, results[0.01].dissipation
+    assert abs(d10 - d0) <= 0.5 * d0 + 0.05

@@ -1,0 +1,42 @@
+"""Simulator micro-benchmarks: raw event throughput and analysis cost.
+
+Not a paper figure — these track the substrate's own performance so
+regressions in the kernel/engine hot path are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import gel_response_bounds
+from repro.model.behavior import ConstantBehavior
+from repro.sim.kernel import MC2Kernel
+from repro.workload.generator import generate_taskset
+
+
+def bench_kernel_event_throughput(benchmark, tasksets):
+    """Events/second through the full MC² kernel on a paper workload."""
+    ts = tasksets[0]
+
+    def run():
+        kernel = MC2Kernel(ts, behavior=ConstantBehavior())
+        kernel.run(2.0)
+        return kernel.engine.events_processed
+
+    events = benchmark(run)
+    assert events > 1000
+    benchmark.extra_info["events"] = events
+
+
+def bench_taskset_generation(benchmark):
+    """Sec. 5 generator cost (includes the tolerance analysis)."""
+    seeds = iter(range(10_000))
+    ts = benchmark(lambda: generate_taskset(next(seeds)))
+    assert len(ts) > 10
+
+
+def bench_response_bounds(benchmark, tasksets):
+    """The GEL bound computation on a paper-scale task set."""
+    ts = tasksets[0]
+    res = benchmark(lambda: gel_response_bounds(ts))
+    assert res.is_finite

@@ -1,0 +1,71 @@
+"""Extension benchmark: analytical vs. calibrated tolerances.
+
+Tolerances gate overload *detection*: the first recovery episode starts
+when the first job misses its tolerance.  Calibrated tolerances (worst
+observed normal lateness x margin) are usually much tighter than the
+analytical bounds, so detection happens earlier in the overload window —
+at the cost of relying on a calibration run instead of a proof.
+
+Reported per variant: detection latency (first episode start, i.e. time
+from the overload's start at t = 0 until the monitor reacts) and
+dissipation time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tolerance import assign_tolerances
+from repro.experiments.calibration import calibrate_tolerances
+from repro.experiments.runner import MonitorSpec, run_overload_experiment
+from repro.util.stats import mean_ci
+from repro.workload.generator import GeneratorParams, generate_tasksets
+from repro.workload.scenarios import SHORT
+
+SPEC = MonitorSpec("simple", 0.6)
+
+#: A *milder* overload than the paper's 10x: with every CPU saturated,
+#: no level-C job completes inside the window and detection is
+#: completion-limited rather than tolerance-limited, hiding the effect
+#: this benchmark measures.  A 2x overrun degrades responses gradually,
+#: so tighter tolerances genuinely detect earlier.
+MILD = GeneratorParams(assign_tolerances=False, ratio_b=2.0, ratio_a=4.0)
+
+
+def bench_extension_calibrated_tolerances(benchmark):
+    bases = generate_tasksets(3, base_seed=2015, params=MILD)
+
+    def sweep():
+        out = {"analytical": [], "calibrated": []}
+        for base in bases:
+            variants = {
+                "analytical": assign_tolerances(base),
+                "calibrated": calibrate_tolerances(base, horizon=3.0, margin=1.5),
+            }
+            for name, ts in variants.items():
+                run = run_overload_experiment(ts, SHORT, SPEC, keep_artifacts=True)
+                first = run.monitor.episodes[0].start if run.monitor.episodes else None
+                out[name].append((first, run.result))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nTolerance assignment: analytical bound vs calibration "
+          "(mild 2x overload, SIMPLE 0.6)")
+    print(f"  {'variant':<12}{'detected':>10}{'detection (ms)':>16}")
+    detected = {}
+    for name, rows in results.items():
+        hits = [first for first, _ in rows if first is not None]
+        detected[name] = len(hits)
+        det = f"{mean_ci(hits).mean * 1e3:14.1f}" if hits else f"{'—':>14}"
+        print(f"  {name:<12}{len(hits):>7d}/{len(rows)}{det:>16}")
+
+    # The analytical bounds are loose enough to *absorb* this mild
+    # overload entirely — no miss, no recovery — while calibrated
+    # tolerances (tight around observed behaviour) flag it immediately.
+    # Neither is wrong: the analytical variant proves the degraded
+    # responses still lie within its guaranteed envelope, the calibrated
+    # variant buys sensitivity at the price of an empirical basis.
+    assert detected["calibrated"] == len(bases)
+    assert detected["analytical"] < len(bases)
+    benchmark.extra_info["detected_calibrated"] = detected["calibrated"]
+    benchmark.extra_info["detected_analytical"] = detected["analytical"]

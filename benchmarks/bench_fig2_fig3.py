@@ -1,0 +1,68 @@
+"""Benchmark + regeneration of the paper's Figs. 2 and 3 (example schedules).
+
+Regenerates all five example schedules — Fig. 2(a)/(b)/(c) and
+Fig. 3(a)/(b) plus the recovery variant — and checks the prose waypoints
+while timing the simulation of the Fig. 2(c) recovery schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.examples_fig2 import (
+    figure2_taskset,
+    figure3_taskset,
+    run_example,
+)
+from repro.model.task import CriticalityLevel as L
+
+
+def bench_fig2_recovery_schedule(benchmark):
+    """Fig. 2(c): overload at t=12, SIMPLE s=0.5, recovery by t=30."""
+    ts = figure2_taskset()
+
+    run = benchmark(lambda: run_example(ts, overloaded=True, recovery_speed=0.5,
+                                        until=72.0))
+    changes = run.trace.speed_changes
+    assert changes[0][1] == 0.5 and changes[-1][1] == 1.0
+    j26 = run.trace.job(2, 6)
+    print("\nFig. 2 regeneration (see also examples/figure2_walkthrough.py)")
+    print(f"  slowdown at t={changes[0][0]:g} (paper: 19), "
+          f"recovery at t={changes[-1][0]:g} (paper: 29)")
+    print(f"  tau2,6: released {j26.release:g}, completes {j26.completion:g}, "
+          f"R={j26.response_time:g} (paper: 41/47/6)")
+    benchmark.extra_info["slowdown_at"] = changes[0][0]
+    benchmark.extra_info["recovery_at"] = changes[-1][0]
+
+
+def bench_fig2_overload_degradation(benchmark):
+    """Fig. 2(b): permanent degradation without recovery."""
+    ts = figure2_taskset()
+    run = benchmark(lambda: run_example(ts, overloaded=True, until=72.0))
+    j26 = run.trace.job(2, 6)
+    assert j26.response_time > 7.0
+    print(f"\nFig. 2(b): tau2,6 R={j26.response_time:g} (no-overload R=7; paper: 10)")
+
+
+def bench_fig3_per_task_bottleneck(benchmark):
+    """Fig. 3(b): a single task with zero per-task slack cannot recover."""
+    ts = figure3_taskset()
+    run = benchmark(lambda: run_example(ts, overloaded=True, until=240.0))
+    tail = [j for j in run.trace.completed(L.C) if j.release > 120.0]
+    lat = [j.completion - (j.release + 5.0) for j in tail]
+    assert min(lat) > 3.0  # permanently above the normal-mode pattern
+    print(f"\nFig. 3(b): tail lateness stays in [{min(lat):g}, {max(lat):g}] "
+          "(normal pattern peaks at 3)")
+
+
+def bench_fig3_recovery(benchmark):
+    """Fig. 3 + Sec. 3 recovery: virtual time restores normal behavior."""
+    ts = figure3_taskset()
+    run = benchmark(lambda: run_example(ts, overloaded=True, recovery_speed=0.5,
+                                        until=240.0))
+    assert len(run.monitor.episodes) == 1
+    tail = [j for j in run.trace.completed(L.C) if j.release > 120.0]
+    lat = [j.completion - (j.release + 5.0) for j in tail]
+    assert max(lat) <= 3.0
+    print(f"\nFig. 3 recovery: episode {run.monitor.episodes[0]}, "
+          f"tail lateness back to <= 3")

@@ -1,0 +1,56 @@
+"""Benchmark + regeneration of Fig. 6: dissipation time for SIMPLE.
+
+Sweeps s(t) in {0.2, 0.4, 0.6, 0.8, 1.0} over SHORT/LONG/DOUBLE on the
+shared task sets, prints the figure's series, and asserts the paper's
+shape claims:
+
+* dissipation decreases as s decreases (s = 1 is the no-slowdown baseline);
+* LONG dissipation is roughly twice SHORT's;
+* DOUBLE is close to SHORT for small s but worse at s = 1;
+* s = 0.6 already halves dissipation vs. s = 1 and keeps it below about
+  twice the overload length.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import DEFAULT_SWEEP_VALUES, figure6
+from repro.workload.scenarios import standard_scenarios
+
+
+def bench_fig6_dissipation_simple(benchmark, tasksets):
+    fig = benchmark.pedantic(
+        lambda: figure6(tasksets, s_values=DEFAULT_SWEEP_VALUES,
+                        scenarios=standard_scenarios()),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(fig.render(unit_scale=1e3, unit="ms"))
+
+    # Shape claim 1: monotone in s for every scenario.
+    for label in ("SHORT", "LONG", "DOUBLE"):
+        means = [fig.point(label, s).ci.mean for s in DEFAULT_SWEEP_VALUES]
+        assert all(a <= b + 1e-9 for a, b in zip(means, means[1:])), (
+            f"{label}: dissipation should not decrease as s grows: {means}"
+        )
+
+    # Shape claim 2: LONG ~ 2x SHORT (allow 1.4x - 3x).
+    for s in DEFAULT_SWEEP_VALUES:
+        ratio = fig.point("LONG", s).ci.mean / fig.point("SHORT", s).ci.mean
+        assert 1.3 <= ratio <= 3.5, f"LONG/SHORT at s={s}: {ratio:.2f}"
+
+    # Shape claim 3: DOUBLE ~ SHORT at small s, worse at s = 1.
+    assert fig.point("DOUBLE", 0.2).ci.mean <= 1.6 * fig.point("SHORT", 0.2).ci.mean
+    assert fig.point("DOUBLE", 1.0).ci.mean > fig.point("SHORT", 1.0).ci.mean
+
+    # Shape claim 4: s=0.6 halves dissipation vs s=1 and stays under
+    # ~2x the overload length for SHORT (0.5 s overload).
+    short_06 = fig.point("SHORT", 0.6).ci.mean
+    short_10 = fig.point("SHORT", 1.0).ci.mean
+    assert short_06 <= 0.6 * short_10
+    assert short_06 <= 2.2 * 0.5
+
+    for series in fig.series:
+        for p in series.points:
+            benchmark.extra_info[f"{series.label}@{p.x:g}"] = round(p.ci.mean, 4)

@@ -1,0 +1,47 @@
+"""Benchmark + regeneration of Fig. 7: dissipation time for ADAPTIVE.
+
+Sweeps the aggressiveness a in {0.2 .. 1.0} and asserts the paper's
+shape: ADAPTIVE's dissipation depends only weakly on the overload length
+(unlike SIMPLE's), and is often smaller than SIMPLE's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    DEFAULT_SWEEP_VALUES,
+    adaptive_sweep,
+    figure6,
+    figure7,
+)
+from repro.workload.scenarios import standard_scenarios
+
+
+def bench_fig7_dissipation_adaptive(benchmark, tasksets):
+    sweep = benchmark.pedantic(
+        lambda: adaptive_sweep(tasksets, a_values=DEFAULT_SWEEP_VALUES,
+                               scenarios=standard_scenarios()),
+        rounds=1, iterations=1,
+    )
+    fig = figure7(sweep)
+    print()
+    print(fig.render(unit_scale=1e3, unit="ms"))
+
+    # Shape: weak dependence on overload length — the LONG/SHORT ratio
+    # under ADAPTIVE is clearly below SIMPLE's ~2x.
+    ratios = [
+        fig.point("LONG", a).ci.mean / max(fig.point("SHORT", a).ci.mean, 1e-9)
+        for a in DEFAULT_SWEEP_VALUES
+    ]
+    assert min(ratios) < 1.8, f"ADAPTIVE LONG/SHORT ratios: {ratios}"
+
+    # Shape: ADAPTIVE beats SIMPLE's baseline (s = 1) dissipation.
+    fig6_data = figure6(tasksets, s_values=(1.0,), scenarios=standard_scenarios())
+    for name in ("SHORT", "LONG", "DOUBLE"):
+        adaptive_best = min(fig.point(name, a).ci.mean for a in DEFAULT_SWEEP_VALUES)
+        assert adaptive_best < fig6_data.point(name, 1.0).ci.mean
+
+    for series in fig.series:
+        for p in series.points:
+            benchmark.extra_info[f"{series.label}@{p.x:g}"] = round(p.ci.mean, 4)

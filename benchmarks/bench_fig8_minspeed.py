@@ -1,0 +1,53 @@
+"""Benchmark + regeneration of Fig. 8: minimum s(t) chosen by ADAPTIVE.
+
+Asserts the paper's shape claims:
+
+* the minimum chosen speed grows with the aggressiveness a;
+* under LONG the minimum speed is about half of SHORT's (response times
+  roughly double with a doubled overload, and s = a (Y+xi)/R);
+* SHORT and DOUBLE choose nearly identical minimum speeds (recovery
+  usually completes before DOUBLE's second window, whose length equals
+  SHORT's).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    DEFAULT_SWEEP_VALUES,
+    adaptive_sweep,
+    figure8,
+)
+from repro.workload.scenarios import standard_scenarios
+
+
+def bench_fig8_min_speed_adaptive(benchmark, tasksets):
+    sweep = benchmark.pedantic(
+        lambda: adaptive_sweep(tasksets, a_values=DEFAULT_SWEEP_VALUES,
+                               scenarios=standard_scenarios()),
+        rounds=1, iterations=1,
+    )
+    fig = figure8(sweep)
+    print()
+    print(fig.render(unit_scale=1.0, unit="speed"))
+
+    # Shape: monotone in a for every scenario.
+    for label in ("SHORT", "LONG", "DOUBLE"):
+        means = [fig.point(label, a).ci.mean for a in DEFAULT_SWEEP_VALUES]
+        assert all(x <= y + 1e-9 for x, y in zip(means, means[1:]))
+        assert all(0.0 < v < 1.0 for v in means)
+
+    # Shape: LONG's minimum speed about half of SHORT's.
+    for a in DEFAULT_SWEEP_VALUES:
+        ratio = fig.point("LONG", a).ci.mean / fig.point("SHORT", a).ci.mean
+        assert 0.3 <= ratio <= 0.8, f"LONG/SHORT min-speed ratio at a={a}: {ratio:.2f}"
+
+    # Shape: SHORT ~ DOUBLE.
+    for a in DEFAULT_SWEEP_VALUES:
+        ratio = fig.point("DOUBLE", a).ci.mean / fig.point("SHORT", a).ci.mean
+        assert 0.6 <= ratio <= 1.4, f"DOUBLE/SHORT min-speed ratio at a={a}: {ratio:.2f}"
+
+    for series in fig.series:
+        for p in series.points:
+            benchmark.extra_info[f"{series.label}@{p.x:g}"] = round(p.ci.mean, 4)

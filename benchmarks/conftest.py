@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+The benchmarks regenerate every figure of the paper's evaluation at a
+reduced scale (fewer task sets than the paper's 20) so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes.  The
+full-scale reproduction — 20 task sets, all parameter values — is run by
+``examples/reproduce_paper.py`` and recorded in EXPERIMENTS.md.
+
+Each benchmark prints the regenerated figure's series (run pytest with
+``-s`` to see them live); the numbers also land in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.generator import generate_tasksets
+
+#: Number of generated task sets per benchmark (paper: 20).
+BENCH_TASKSETS = 3
+
+
+@pytest.fixture(scope="session")
+def tasksets():
+    """Paper-methodology task sets (m = 4), shared across benchmarks."""
+    return generate_tasksets(BENCH_TASKSETS, base_seed=2015)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Compare the SIMPLE and ADAPTIVE monitors (paper Sec. 5's trade-off).
+
+Runs every scenario under both monitors across their parameter sweeps on
+one generated task set and prints the paper's two decision metrics side
+by side: dissipation time and the minimum virtual-clock speed (how hard
+job releases were throttled).
+
+The paper's conclusion — reproduced here — is that ADAPTIVE achieves
+smaller dissipation times but only by choosing drastically lower speeds,
+so SIMPLE with s = 0.6 is the better engineering choice under these
+pessimistic scenarios (s = 0.8 if gentler throttling is preferred).
+
+Run:  python examples/adaptive_vs_simple.py [seed]
+"""
+
+import sys
+
+from repro import MonitorSpec, generate_taskset, run_overload_experiment, standard_scenarios
+
+SWEEP = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2015
+    ts = generate_taskset(seed)
+    print(f"Task set seed {seed}: {len(ts)} tasks on {ts.m} CPUs\n")
+
+    header = f"{'scenario':<8} {'monitor':<18} {'dissipation':>12} {'min speed':>10} {'misses':>8}"
+    for scenario in standard_scenarios():
+        print(header)
+        print("-" * len(header))
+        for kind, values in (("simple", SWEEP), ("adaptive", SWEEP)):
+            for v in values:
+                r = run_overload_experiment(ts, scenario, MonitorSpec(kind, v))
+                print(
+                    f"{scenario.name:<8} {r.monitor:<18} "
+                    f"{r.dissipation * 1e3:9.1f} ms {r.min_speed:10.3f} "
+                    f"{r.miss_count:8d}"
+                )
+        print()
+
+    print("Reading the table the paper's way:")
+    print(" * SIMPLE: smaller s => faster recovery, but releases throttled")
+    print("   harder; below s = 0.6 the returns diminish.")
+    print(" * ADAPTIVE: dissipation barely depends on a or on the overload")
+    print("   length, but the minimum chosen speed is far below SIMPLE's —")
+    print("   job releases get drastically less frequent during recovery.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Walk through the paper's Fig. 2 and Fig. 3 example schedules.
+
+Renders ASCII schedules for the reconstructed 2-CPU example systems
+(DESIGN.md, substitution 5) in all three variants of Fig. 2:
+
+  (a) no overload           — bounded response times;
+  (b) overload at t = 12    — responses permanently degraded (zero slack);
+  (c) overload + recovery   — SIMPLE with s = 0.5 restores normality;
+
+plus Fig. 3's single-task bottleneck, and checks the virtual-time
+arithmetic the paper states in prose (v(25) = 22, tau1's stretched
+releases).
+
+Run:  python examples/figure2_walkthrough.py [--svg DIR]
+
+With ``--svg DIR`` the five schedules are additionally written as SVG
+diagrams (repro.viz) into DIR.
+"""
+
+import argparse
+import pathlib
+
+from repro import SpeedProfile
+from repro.viz import svg_gantt
+from repro.experiments.examples_fig2 import (
+    figure2_taskset,
+    figure3_taskset,
+    run_example,
+)
+from repro.model.task import CriticalityLevel
+
+
+def show(title, run, ts, until):
+    print(f"--- {title} " + "-" * max(0, 60 - len(title)))
+    print(run.trace.render_ascii(list(ts), until, resolution=1.0))
+    if run.trace.speed_changes:
+        changes = ", ".join(f"s={s:g}@{t:g}" for t, s in run.trace.speed_changes)
+        print(f"    speed changes: {changes}")
+    print()
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--svg", metavar="DIR", default=None,
+                    help="also write the schedules as SVG diagrams into DIR")
+    args = ap.parse_args()
+    svg_dir = pathlib.Path(args.svg) if args.svg else None
+    if svg_dir:
+        svg_dir.mkdir(parents=True, exist_ok=True)
+
+    def save_svg(name, run, ts, until, title):
+        if svg_dir:
+            path = svg_dir / f"{name}.svg"
+            path.write_text(svg_gantt(run.trace, list(ts), until, title=title))
+            print(f"    wrote {path}")
+
+    print("Virtual-time arithmetic (paper Sec. 3 worked example):")
+    prof = SpeedProfile.from_segments(0.0, [(19.0, 0.5), (29.0, 1.0)])
+    print(f"  with s = 0.5 on [19, 29): v(25) = {prof.v(25.0):g}   (paper: 22)")
+    print(f"  tau1 (T=4, Y=3): v(r_1,5)=20 -> release at {prof.inverse(20.0):g} "
+          "(paper: 21)")
+    print(f"                   PP at v=23 -> actual {prof.inverse(23.0):g} (paper: 27)")
+    print(f"                   r_1,6 at v=24 -> actual {prof.inverse(24.0):g} (paper: 29)")
+    print()
+
+    ts2 = figure2_taskset()
+    until = 48.0
+    a = run_example(ts2, overloaded=False, until=until)
+    b = run_example(ts2, overloaded=True, until=until)
+    c = run_example(ts2, overloaded=True, recovery_speed=0.5, until=until)
+    show("Fig. 2(a): no overload", a, ts2, until)
+    save_svg("fig2a", a, ts2, until, "Fig. 2(a): no overload")
+    show("Fig. 2(b): overload at t=12, no recovery", b, ts2, until)
+    save_svg("fig2b", b, ts2, until, "Fig. 2(b): overload, no recovery")
+    show("Fig. 2(c): overload + SIMPLE(s=0.5) recovery", c, ts2, until)
+    save_svg("fig2c", c, ts2, until, "Fig. 2(c): overload + SIMPLE(s=0.5)")
+
+    for name, run in (("(a)", a), ("(b)", b), ("(c)", c)):
+        j = run.trace.job(2, 6)
+        print(f"  {name} tau2,6: released {j.release:5.1f}, completes "
+              f"{j.completion:5.1f}, response {j.response_time:4.1f}")
+    print("  (paper: (a) 36/43/7, (b) 36/46/10, (c) 41/47/6)")
+    print()
+
+    ts3 = figure3_taskset()
+    b3 = run_example(ts3, overloaded=True, until=60.0)
+    c3 = run_example(ts3, overloaded=True, recovery_speed=0.5, until=60.0)
+    show("Fig. 3(b): single high-utilization task, overload, no recovery",
+         b3, ts3, 60.0)
+    save_svg("fig3b", b3, ts3, 60.0, "Fig. 3(b): overload, no recovery")
+    show("Fig. 3 + recovery: virtual time creates per-task slack", c3, ts3, 60.0)
+    save_svg("fig3c", c3, ts3, 60.0, "Fig. 3 + SIMPLE(s=0.5) recovery")
+
+    def tail_lateness(run):
+        y = 5.0
+        xs = [j.completion - (j.release + y)
+              for j in run.trace.completed(CriticalityLevel.C)
+              if j.release > 36.0]
+        return max(xs) if xs else float("nan")
+
+    print(f"  Fig. 3(b) late-schedule worst lateness: {tail_lateness(b3):.1f} "
+          "(stuck above the normal pattern's 3.0)")
+    print(f"  Fig. 3(c) late-schedule worst lateness: {tail_lateness(c3):.1f} "
+          "(back to the normal pattern)")
+
+
+if __name__ == "__main__":
+    main()

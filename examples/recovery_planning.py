@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Plan the recovery speed from a dissipation requirement, then verify.
+
+A designer's workflow around Fig. 6, run end to end:
+
+1. state a requirement — "after a 500 ms provisioning-scale overload the
+   system must be back to normal within D seconds";
+2. compute the gentlest recovery speed s* whose analytical dissipation
+   bound meets D (:func:`repro.analysis.select_recovery_speed`);
+3. *verify by simulation*: run the SHORT scenario under SIMPLE(s*) and
+   confirm the measured dissipation is within the requirement (it should
+   be well within — the bound is conservative).
+
+Run:  python examples/recovery_planning.py
+"""
+
+from repro import (
+    SHORT,
+    MonitorSpec,
+    generate_taskset,
+    run_overload_experiment,
+    select_recovery_speed,
+)
+
+
+def main() -> None:
+    ts = generate_taskset(seed=2015)
+    overload = SHORT.total_overload_length
+    print(f"Workload: {len(ts)} tasks on {ts.m} CPUs; overload length "
+          f"{overload * 1e3:.0f} ms\n")
+
+    print(f"  {'target D':>10} {'chosen s*':>10} {'bound':>10} "
+          f"{'measured':>10} {'ok?':>5}")
+    for target in (4.8, 5.0, 6.0, 8.0, 12.0):
+        choice = select_recovery_speed(ts, overload, target_dissipation=target)
+        if not choice.feasible:
+            print(f"  {target:>9.1f}s {'—':>10} {'infeasible':>10}")
+            continue
+        result = run_overload_experiment(
+            ts, SHORT, MonitorSpec("simple", choice.speed)
+        )
+        ok = result.dissipation <= target
+        print(f"  {target:>9.1f}s {choice.speed:>10.3f} "
+              f"{choice.guaranteed_dissipation:>9.2f}s "
+              f"{result.dissipation:>9.2f}s {'yes' if ok else 'NO':>5}")
+
+    print()
+    print("Tighter targets force slower recovery speeds (harder release")
+    print("throttling); targets below the bound's s->0 limit are reported")
+    print("infeasible rather than silently missed.  Measured dissipation")
+    print("sits far below the guarantee — the bound charges the overload")
+    print("for the full 10x demand of every job released in the window,")
+    print("while the budget-enforced system sheds most of it.")
+
+
+if __name__ == "__main__":
+    main()

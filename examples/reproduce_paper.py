@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Full-scale reproduction of the paper's evaluation (Sec. 5).
+
+Runs every figure at the paper's scale — 20 generated task sets on a
+4-CPU platform, SIMPLE s and ADAPTIVE a swept from 0.2 to 1.0 in 0.2
+steps, scenarios SHORT/LONG/DOUBLE — and prints the series each figure
+plots, with 95 % confidence intervals.  The results recorded in
+EXPERIMENTS.md come from this script.
+
+Usage:
+    python examples/reproduce_paper.py                 # everything
+    python examples/reproduce_paper.py --figure 6      # one figure
+    python examples/reproduce_paper.py --tasksets 5    # quicker pass
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.examples_fig2 import (
+    figure2_taskset,
+    figure3_taskset,
+    run_example,
+)
+from repro.experiments.figures import (
+    DEFAULT_SWEEP_VALUES,
+    adaptive_sweep,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.experiments.overhead import measure_overheads
+from repro.model.task import CriticalityLevel as L
+from repro.workload.generator import generate_tasksets
+from repro.workload.scenarios import standard_scenarios
+
+
+def reproduce_fig2_fig3() -> None:
+    print("=" * 72)
+    print("Figs. 2-3: example schedules (reconstruction; see DESIGN.md #5)")
+    print("=" * 72)
+    ts2 = figure2_taskset()
+    runs = {
+        "(a) no overload": run_example(ts2, overloaded=False, until=72.0),
+        "(b) overload": run_example(ts2, overloaded=True, until=72.0),
+        "(c) overload+recovery s=0.5": run_example(
+            ts2, overloaded=True, recovery_speed=0.5, until=72.0
+        ),
+    }
+    for tag, run in runs.items():
+        j = run.trace.job(2, 6)
+        extra = ""
+        if run.trace.speed_changes:
+            t0, s0 = run.trace.speed_changes[0]
+            t1, _ = run.trace.speed_changes[-1]
+            extra = f"; clock: s={s0:g} at {t0:g}, normal at {t1:g}"
+        print(f"  Fig. 2{tag}: tau2,6 r={j.release:g} c={j.completion:g} "
+              f"R={j.response_time:g}{extra}")
+    print("  paper waypoints: (a) 36/43/7, (b) 36/46/10, (c) 41/47/6; "
+          "clock s=0.5 on [19,29)")
+
+    ts3 = figure3_taskset()
+    b3 = run_example(ts3, overloaded=True, until=240.0)
+    c3 = run_example(ts3, overloaded=True, recovery_speed=0.5, until=240.0)
+
+    def tail(run):
+        xs = [j.completion - (j.release + 5.0)
+              for j in run.trace.completed(L.C) if j.release > 120.0]
+        return (min(xs), max(xs))
+
+    print(f"  Fig. 3(b): tail lateness range {tail(b3)} (normal pattern <= 3: "
+          "permanently degraded)")
+    print(f"  Fig. 3(c): tail lateness range {tail(c3)} (recovered)")
+    print()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--figure", choices=["2", "3", "6", "7", "8", "9", "all"],
+                    default="all")
+    ap.add_argument("--tasksets", type=int, default=20,
+                    help="number of generated task sets (paper: 20)")
+    ap.add_argument("--seed", type=int, default=2015)
+    ap.add_argument("--json-dir", default=None,
+                    help="also archive each figure as JSON into this directory")
+    args = ap.parse_args()
+
+    t0 = time.time()
+    if args.figure in ("2", "3", "all"):
+        reproduce_fig2_fig3()
+        if args.figure in ("2", "3"):
+            return 0
+
+    print(f"Generating {args.tasksets} task sets (base seed {args.seed})...")
+    tasksets = generate_tasksets(args.tasksets, base_seed=args.seed)
+    scenarios = standard_scenarios()
+    archive = {}
+
+    if args.figure in ("6", "all"):
+        print()
+        fig = figure6(tasksets, s_values=DEFAULT_SWEEP_VALUES, scenarios=scenarios)
+        archive["fig6"] = fig
+        print(fig.render(unit_scale=1e3, unit="ms"))
+
+    if args.figure in ("7", "8", "all"):
+        print()
+        print("Running the ADAPTIVE sweep (shared by Figs. 7 and 8)...")
+        sweep = adaptive_sweep(tasksets, a_values=DEFAULT_SWEEP_VALUES,
+                               scenarios=scenarios)
+        if args.figure in ("7", "all"):
+            print()
+            fig = figure7(sweep)
+            archive["fig7"] = fig
+            print(fig.render(unit_scale=1e3, unit="ms"))
+        if args.figure in ("8", "all"):
+            print()
+            fig = figure8(sweep)
+            archive["fig8"] = fig
+            print(fig.render(unit_scale=1.0, unit="virtual speed"))
+
+    if args.figure in ("9", "all"):
+        print()
+        res = measure_overheads(tasksets[: min(5, len(tasksets))], horizon=3.0,
+                                trim_max_quantile=0.999)
+        print(res.render())
+
+    if args.json_dir and archive:
+        import pathlib
+
+        from repro.io.results_json import figure_to_json
+
+        out_dir = pathlib.Path(args.json_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, fig in archive.items():
+            (out_dir / f"{name}.json").write_text(figure_to_json(fig) + "\n")
+        print(f"archived {sorted(archive)} to {out_dir}/")
+
+    print()
+    print(f"Total wall time: {time.time() - t0:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Degradation and recovery as a timeline (the quantitative Fig. 2 view).
+
+Plots (as Unicode sparklines) the worst normalized level-C response time
+per release-time bin for a generated avionics workload under the SHORT
+overload, in three variants:
+
+* no recovery mechanism — the degradation persists;
+* SIMPLE(s = 0.6) — the spike dissipates within ~2x the overload length;
+* ADAPTIVE(a = 0.6) — faster dissipation, harder throttle.
+
+Run:  python examples/response_timeline.py
+"""
+
+from repro import (
+    SHORT,
+    MonitorSpec,
+    generate_taskset,
+    run_overload_experiment,
+)
+from repro.experiments.timeline import render_sparkline, response_timeline
+
+HORIZON = 6.0
+BIN = 0.1
+
+
+def main() -> None:
+    ts = generate_taskset(seed=2015)
+    print(f"Workload: {len(ts)} tasks on {ts.m} CPUs; SHORT overload "
+          f"(jobs released in [0, 0.5) run 10x provisioning)\n")
+    print(f"Each character = {BIN * 1e3:.0f} ms of releases; height = worst "
+          "response/period in the bin\n")
+
+    # Overload-free reference: the normal-behaviour baseline level.
+    from repro.model.behavior import ConstantBehavior
+    from repro.sim.kernel import MC2Kernel
+
+    ref_trace = MC2Kernel(ts, behavior=ConstantBehavior()).run(HORIZON)
+    ref_bins = response_timeline(ref_trace, ts, bin_width=BIN, horizon=HORIZON)
+    baseline = max(b.max_normalized for b in ref_bins)
+
+    for spec in (MonitorSpec("none"), MonitorSpec("simple", 0.6),
+                 MonitorSpec("adaptive", 0.6)):
+        out = run_overload_experiment(
+            ts, SHORT, spec, horizon=HORIZON, keep_artifacts=True
+        )
+        bins = response_timeline(out.trace, ts, bin_width=BIN, horizon=HORIZON)
+        print(f"{spec.label:<18} {render_sparkline(bins)}")
+        # First bin after the overload whose worst response is back at the
+        # normal-behaviour baseline, and stays there.
+        settle = next(
+            (b.start for i, b in enumerate(bins)
+             if b.start >= 0.5 and all(x.max_normalized <= baseline * 1.05
+                                       for x in bins[i:] if x.jobs)),
+            None,
+        )
+        r = out.result
+        extras = f"misses={r.miss_count}"
+        if spec.kind != "none":
+            extras += (f", dissipation={r.dissipation * 1e3:.0f} ms, "
+                       f"min s={r.min_speed:.2f}")
+        settle_s = f"{(settle - 0.5) * 1e3:.0f} ms after overload" if settle else "never"
+        print(f"{'':<18} back to baseline: {settle_s}; {extras}\n")
+
+    print("This workload has slack (U_C = 2.6 on effective capacity 3.6), so")
+    print("even the unmanaged system eventually drains — the paper's point is")
+    print("that it takes much longer ('could take significant time to settle")
+    print("back to normal'), and at full utilization (Fig. 2/3, see")
+    print("figure2_walkthrough.py) it never does. The mechanism cuts the")
+    print("settle time and certifies recovery via the idle normal instant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without wheel/build isolation.
+
+The project metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` (and ``python setup.py
+develop``) on offline machines whose setuptools cannot build wheels.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""Designer tool: pick the recovery speed from a dissipation target.
+
+Fig. 6's trade-off in reverse: rather than sweeping s(t) and reading off
+dissipation times, a system designer usually starts from a requirement —
+"after a provisioning-scale transient overload the system must be back
+to normal within D seconds" — and wants the *gentlest* (largest) speed
+that meets it, since larger s means less disruption to job releases
+(Sec. 3's explicit trade-off).
+
+Inverting the dissipation bound of :mod:`repro.analysis.dissipation`
+(``bound(s) = B / (M_eff - s * U_C) + settle``, decreasing in drain rate
+and hence increasing in s):
+
+.. math::
+    s^* = \\frac{M_{eff} - B / (D - settle)}{U_C}
+
+clamped into the paper's legal range ``(0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.bounds import gel_response_bounds
+from repro.analysis.dissipation import dissipation_bound
+from repro.analysis.supply import SupplyModel
+from repro.model.task import CriticalityLevel
+from repro.model.taskset import TaskSet
+
+__all__ = ["SpeedChoice", "select_recovery_speed"]
+
+
+@dataclass(frozen=True)
+class SpeedChoice:
+    """Outcome of the speed selection."""
+
+    #: The recommended recovery speed in (0, 1], or None if infeasible.
+    speed: Optional[float]
+    #: Guaranteed dissipation bound at that speed (inf if infeasible).
+    guaranteed_dissipation: float
+    #: The requested target.
+    target: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any legal speed meets the target."""
+        return self.speed is not None
+
+
+def select_recovery_speed(
+    ts: TaskSet,
+    overload_length: float,
+    target_dissipation: float,
+    overload_factor: float = 10.0,
+    supply: Optional[SupplyModel] = None,
+) -> SpeedChoice:
+    """Largest s in (0, 1] whose dissipation bound meets the target.
+
+    Parameters
+    ----------
+    ts:
+        The task set (must be level-C schedulable, i.e. finite bounds).
+    overload_length:
+        Length of the transient overload the system must survive.
+    target_dissipation:
+        Required bound on dissipation time (seconds).
+    overload_factor:
+        How far actual execution exceeds level-C provisioning during the
+        overload (the paper's scenarios: 10x).
+    supply:
+        Optional supply-model override.
+
+    Returns
+    -------
+    SpeedChoice
+        With ``speed=None`` when even the most aggressive slowdown
+        (s -> 0) cannot guarantee the target; otherwise the analytic
+        optimum, re-validated through the forward bound.
+    """
+    if target_dissipation <= 0.0:
+        raise ValueError(f"target_dissipation must be > 0, got {target_dissipation}")
+    if supply is None:
+        supply = SupplyModel.from_taskset(ts)
+    bounds = gel_response_bounds(ts, supply=supply)
+    if not bounds.is_finite:
+        raise ValueError("task set has no finite response-time bounds; "
+                         "see analysis.check_level_c")
+    # Ingredients of the forward bound (same derivation as
+    # dissipation_bound; computed once here for the inversion).
+    probe = dissipation_bound(
+        ts, overload_length, speed=1.0, overload_factor=overload_factor,
+        supply=supply, bounds=bounds,
+    )
+    settle = probe.settling
+    backlog = probe.backlog
+    u_c = ts.utilization(CriticalityLevel.C, level=CriticalityLevel.C)
+    headroom = target_dissipation - settle
+    if headroom <= 0.0:
+        return SpeedChoice(speed=None, guaranteed_dissipation=math.inf,
+                           target=target_dissipation)
+    # Required drain rate, then the speed achieving it.
+    needed_drain = backlog / headroom
+    if u_c <= 0.0:
+        s_star = 1.0 if supply.total_rate >= needed_drain else None
+    else:
+        s_star = (supply.total_rate - needed_drain) / u_c
+        if s_star <= 0.0:
+            s_star = None
+    if s_star is None:
+        return SpeedChoice(speed=None, guaranteed_dissipation=math.inf,
+                           target=target_dissipation)
+    s_star = min(1.0, s_star)
+    check = dissipation_bound(
+        ts, overload_length, speed=s_star, overload_factor=overload_factor,
+        supply=supply, bounds=bounds,
+    )
+    return SpeedChoice(speed=s_star, guaranteed_dissipation=check.bound,
+                       target=target_dissipation)

@@ -1,0 +1,110 @@
+"""Level-A/B interference modelled as restricted per-CPU supply.
+
+Sec. 2 of the paper analyzes level C by treating levels A and B "as CPU
+supply that is unavailable to level C, rather than as explicit tasks".
+This module computes that supply view from a :class:`TaskSet`:
+
+* **rate**: CPU ``p`` delivers a long-run fraction
+  ``alpha_p = 1 - U_AB^C(p)`` of its capacity to level C, where the A/B
+  utilizations are taken at their *level-C* PWCETs (normal operation: no
+  job exceeds its level-C PWCET);
+* **burst**: over a finite interval the delivered supply can fall short of
+  the rate by a bounded burst ``sigma_p``.  We use the classic periodic
+  supply/availability bound: a periodic interferer with period ``T_j``
+  and execution ``c_j`` can deny up to ``c_j`` extra over any interval
+  beyond its rate share, twice at the boundaries, giving
+  ``sigma_p = sum_j 2 * c_j * (1 - c_j / T_j)``.
+
+Both quantities feed the response-time bound of
+:mod:`repro.analysis.bounds` and the dissipation bound of
+:mod:`repro.analysis.dissipation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.model.task import CriticalityLevel
+from repro.model.taskset import TaskSet
+
+__all__ = ["SupplyModel"]
+
+
+@dataclass(frozen=True)
+class SupplyModel:
+    """Per-CPU level-C supply restriction derived from a task set.
+
+    Attributes
+    ----------
+    alphas:
+        ``alpha_p`` for each CPU: long-run fraction available to level C.
+    sigmas:
+        ``sigma_p`` for each CPU: worst-case supply burst deficit.
+    """
+
+    alphas: Tuple[float, ...]
+    sigmas: Tuple[float, ...]
+
+    @classmethod
+    def from_taskset(cls, ts: TaskSet) -> "SupplyModel":
+        """Build the normal-operation supply model of *ts*.
+
+        A/B tasks lacking a level-C PWCET contribute nothing (they cannot
+        occur in valid MC² task sets; tolerated for partial inputs).
+        """
+        alphas: List[float] = []
+        sigmas: List[float] = []
+        for p in range(ts.m):
+            u = 0.0
+            sigma = 0.0
+            for t in ts.on_cpu(p):
+                if not t.level.is_hard:
+                    continue
+                if CriticalityLevel.C not in t.pwcets:
+                    continue
+                c = t.pwcet(CriticalityLevel.C)
+                uj = c / t.period
+                u += uj
+                sigma += 2.0 * c * (1.0 - uj)
+            alphas.append(max(0.0, 1.0 - u))
+            sigmas.append(sigma)
+        return cls(alphas=tuple(alphas), sigmas=tuple(sigmas))
+
+    @classmethod
+    def unrestricted(cls, m: int) -> "SupplyModel":
+        """Full supply on *m* CPUs (no A/B interference)."""
+        return cls(alphas=(1.0,) * m, sigmas=(0.0,) * m)
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of CPUs."""
+        return len(self.alphas)
+
+    @property
+    def total_rate(self) -> float:
+        """Long-run level-C capacity ``M_eff = sum_p alpha_p``."""
+        return sum(self.alphas)
+
+    @property
+    def total_burst(self) -> float:
+        """Total burst deficit ``sum_p sigma_p``."""
+        return sum(self.sigmas)
+
+    @property
+    def max_alpha(self) -> float:
+        """Largest single-CPU availability — caps any one task's service rate.
+
+        A single level-C job executes on at most one CPU at a time, so
+        sustained per-task utilization above ``max_alpha`` is unschedulable
+        even if total capacity suffices (the phenomenon of the paper's
+        Fig. 3).
+        """
+        return max(self.alphas) if self.alphas else 0.0
+
+    def supply_lower_bound(self, delta: float) -> float:
+        """Guaranteed aggregate level-C supply over any interval of length *delta*."""
+        if delta <= 0.0:
+            return 0.0
+        return max(0.0, self.total_rate * delta - self.total_burst)

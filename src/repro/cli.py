@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro.cli`` (or ``repro-mc2``).
+
+Subcommands:
+
+* ``generate`` — emit a Sec. 5 task set as JSON;
+* ``analyze``  — schedulability test + response-time bounds for a task
+  set (from a file or freshly generated);
+* ``simulate`` — run one overload-recovery experiment and print its
+  metrics (optionally as JSON);
+* ``figures``  — regenerate one of the paper's figures.
+
+Examples::
+
+    repro-mc2 generate --seed 2015 -o ts.json
+    repro-mc2 analyze ts.json
+    repro-mc2 simulate ts.json --scenario SHORT --monitor simple:0.6
+    repro-mc2 figures --figure 6 --tasksets 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.bounds import gel_response_bounds
+from repro.analysis.schedulability import check_level_c
+from repro.experiments.figures import (
+    DEFAULT_SWEEP_VALUES,
+    adaptive_sweep,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.experiments.overhead import measure_overheads
+from repro.experiments.runner import MonitorSpec, run_overload_experiment
+from repro.io.results_json import run_result_to_dict
+from repro.io.taskset_json import taskset_from_json, taskset_to_json
+from repro.model.task import CriticalityLevel
+from repro.model.taskset import TaskSet
+from repro.workload.generator import GeneratorParams, generate_taskset, generate_tasksets
+from repro.workload.scenarios import DOUBLE, LONG, SHORT
+
+__all__ = ["main", "build_parser", "parse_monitor"]
+
+_SCENARIOS = {"SHORT": SHORT, "LONG": LONG, "DOUBLE": DOUBLE}
+
+
+def parse_monitor(text: str) -> MonitorSpec:
+    """Parse ``kind[:param[:extra]]``, e.g. ``simple:0.6`` or ``clamped:0.6:0.3``."""
+    parts = text.split(":")
+    kind = parts[0].lower()
+    param = float(parts[1]) if len(parts) > 1 else 1.0
+    extra = float(parts[2]) if len(parts) > 2 else None
+    return MonitorSpec(kind, param, extra)
+
+
+def _load_taskset(path: Optional[str], seed: int, m: int) -> TaskSet:
+    if path:
+        with open(path, "r", encoding="utf-8") as fh:
+            return taskset_from_json(fh.read())
+    return generate_taskset(seed, GeneratorParams(m=m))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    ap = argparse.ArgumentParser(
+        prog="repro-mc2",
+        description="MC² overload recovery: analysis, simulation, reproduction.",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a Sec. 5 task set as JSON")
+    g.add_argument("--seed", type=int, default=2015)
+    g.add_argument("--m", type=int, default=4, help="number of CPUs")
+    g.add_argument("-o", "--output", help="output path (default: stdout)")
+
+    a = sub.add_parser("analyze", help="schedulability + response-time bounds")
+    a.add_argument("taskset", nargs="?", help="task-set JSON file")
+    a.add_argument("--seed", type=int, default=2015)
+    a.add_argument("--m", type=int, default=4)
+
+    s = sub.add_parser("simulate", help="run one overload-recovery experiment")
+    s.add_argument("taskset", nargs="?", help="task-set JSON file")
+    s.add_argument("--seed", type=int, default=2015)
+    s.add_argument("--m", type=int, default=4)
+    s.add_argument("--scenario", choices=sorted(_SCENARIOS), default="SHORT")
+    s.add_argument("--monitor", default="simple:0.6",
+                   help="kind[:param[:extra]] (simple/adaptive/stepped/clamped/none)")
+    s.add_argument("--horizon", type=float, default=30.0)
+    s.add_argument("--no-budgets", action="store_true",
+                   help="disable level-C execution budgets (harsher overload)")
+    s.add_argument("--json", action="store_true", help="emit the result as JSON")
+
+    f = sub.add_parser("figures", help="regenerate a paper figure")
+    f.add_argument("--figure", choices=["6", "7", "8", "9"], required=True)
+    f.add_argument("--tasksets", type=int, default=5)
+    f.add_argument("--seed", type=int, default=2015)
+
+    return ap
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    ts = generate_taskset(args.seed, GeneratorParams(m=args.m))
+    text = taskset_to_json(ts)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {len(ts)} tasks (m={ts.m}) to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    ts = _load_taskset(args.taskset, args.seed, args.m)
+    print(f"{len(ts)} tasks on m={ts.m} CPUs; "
+          f"U_C={ts.utilization(CriticalityLevel.C, level=CriticalityLevel.C):.3f}")
+    res = check_level_c(ts)
+    print(res.explain())
+    if not res.schedulable:
+        return 1
+    bounds = gel_response_bounds(ts)
+    print(f"shared delay term x = {bounds.x * 1e3:.3f} ms")
+    print(f"{'task':<8}{'T (ms)':>10}{'C (ms)':>10}{'Y (ms)':>10}"
+          f"{'bound (ms)':>12}{'xi (ms)':>10}")
+    for t in ts.level(CriticalityLevel.C):
+        xi = t.tolerance * 1e3 if t.tolerance is not None else float("nan")
+        print(f"{t.label:<8}{t.period * 1e3:>10.1f}"
+              f"{t.pwcet(CriticalityLevel.C) * 1e3:>10.2f}"
+              f"{t.relative_pp * 1e3:>10.2f}"
+              f"{bounds.absolute[t.task_id] * 1e3:>12.2f}{xi:>10.2f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    ts = _load_taskset(args.taskset, args.seed, args.m)
+    spec = parse_monitor(args.monitor)
+    scenario = _SCENARIOS[args.scenario]
+    result = run_overload_experiment(
+        ts, scenario, spec, horizon=args.horizon,
+        level_c_budgets=not args.no_budgets,
+    )
+    if args.json:
+        print(json.dumps(run_result_to_dict(result), indent=2))
+    else:
+        print(result.row())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    tasksets = generate_tasksets(args.tasksets, base_seed=args.seed)
+    if args.figure == "6":
+        print(figure6(tasksets, s_values=DEFAULT_SWEEP_VALUES)
+              .render(unit_scale=1e3, unit="ms"))
+    elif args.figure in ("7", "8"):
+        sweep = adaptive_sweep(tasksets, a_values=DEFAULT_SWEEP_VALUES)
+        fig = figure7(sweep) if args.figure == "7" else figure8(sweep)
+        scale, unit = (1e3, "ms") if args.figure == "7" else (1.0, "virtual speed")
+        print(fig.render(unit_scale=scale, unit=unit))
+    else:
+        print(measure_overheads(tasksets, horizon=3.0,
+                                trim_max_quantile=0.999).render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "analyze": _cmd_analyze,
+        "simulate": _cmd_simulate,
+        "figures": _cmd_figures,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

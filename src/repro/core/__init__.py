@@ -1,0 +1,53 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.virtual_time` — the virtual clock of Algorithm 1:
+  piecewise-linear mapping between actual and virtual time, with the exact
+  kernel state ``(last_act, last_virt, speed)`` and the conversion
+  functions ``act_to_virt`` / ``virt_to_act``.
+* :mod:`repro.core.gel` — GEL / GEL-v priority points (eqs. 3 and 6) and
+  the G-FL assignment of relative PPs.
+* :mod:`repro.core.svo` — the SVO (sporadic with virtual time and
+  overload) release rule (eq. 5) and release-timer retiming.
+* :mod:`repro.core.monitor` — the userspace monitor programs: recovery
+  mode, candidate idle instants (Def. 3 / Theorem 1), SIMPLE (Algorithm 3)
+  and ADAPTIVE (Algorithm 4).
+* :mod:`repro.core.tolerance` — response-time tolerances (Def. 1) derived
+  from the analytical bounds in :mod:`repro.analysis`.
+* :mod:`repro.core.policies` — extension monitors beyond the paper:
+  gradual speed restoration and floor-clamped ADAPTIVE.
+"""
+
+from repro.core.gel import (
+    gedf_relative_pps,
+    gfl_relative_pps,
+    virtual_priority,
+)
+from repro.core.monitor import (
+    AdaptiveMonitor,
+    CompletionReport,
+    Monitor,
+    NullMonitor,
+    SimpleMonitor,
+)
+from repro.core.policies import ClampedAdaptiveMonitor, SteppedRestoreMonitor
+from repro.core.svo import ReleaseController
+from repro.core.tolerance import assign_tolerances
+from repro.core.virtual_time import SpeedChange, SpeedProfile, VirtualClock
+
+__all__ = [
+    "VirtualClock",
+    "SpeedProfile",
+    "SpeedChange",
+    "ReleaseController",
+    "Monitor",
+    "NullMonitor",
+    "SimpleMonitor",
+    "AdaptiveMonitor",
+    "ClampedAdaptiveMonitor",
+    "SteppedRestoreMonitor",
+    "CompletionReport",
+    "gfl_relative_pps",
+    "gedf_relative_pps",
+    "virtual_priority",
+    "assign_tolerances",
+]

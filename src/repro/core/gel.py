@@ -1,0 +1,88 @@
+"""GEL and GEL-v priority points.
+
+A GEL (G-EDF-like) scheduler prioritizes each job by a *priority point*
+(PP): release time plus a per-task constant ``Y_i`` (eq. 3).  G-EDF is the
+special case ``Y_i = T_i``; G-FL ("global fair lateness", Erickson,
+Anderson & Ward [9]) chooses
+
+.. math:: Y_i = T_i - \\frac{m-1}{m} C_i,
+
+which provably minimizes the maximum *lateness bound* among all GEL
+schedulers and is what the paper uses for its level-C experiments.
+
+Under GEL-v (Sec. 3), the PP is defined in virtual time (eq. 6):
+``v(y_{i,k}) = v(r_{i,k}) + Y_i``, and the job's scheduling priority *is*
+the virtual PP — the actual-time PP is generally unknowable at release
+because the clock's speed may change (Sec. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.model.job import Job
+from repro.model.task import CriticalityLevel, Task
+
+__all__ = [
+    "gfl_relative_pp",
+    "gfl_relative_pps",
+    "gedf_relative_pps",
+    "virtual_priority",
+    "PriorityKey",
+]
+
+#: Sort key for GEL-v dispatching: (virtual PP, task_id, job index).  The
+#: id components make equal-PP ties deterministic, which the paper's
+#: analysis permits (any consistent tie-break works).
+PriorityKey = Tuple[float, int, int]
+
+
+def gfl_relative_pp(period: float, pwcet_c: float, m: int) -> float:
+    """The G-FL relative PP for a single task: ``T - (m-1)/m * C``.
+
+    Clamped at zero: ``Y_i`` must be non-negative in the task model, and
+    the clamp only binds for pathological ``C > m/(m-1) * T`` inputs.
+    """
+    if m <= 0:
+        raise ValueError(f"m must be >= 1, got {m}")
+    y = period - (m - 1) / m * pwcet_c
+    return max(0.0, y)
+
+
+def gfl_relative_pps(tasks: Iterable[Task], m: int) -> Dict[int, float]:
+    """G-FL ``Y_i`` for every level-C task, keyed by ``task_id``."""
+    out: Dict[int, float] = {}
+    for t in tasks:
+        if t.level is not CriticalityLevel.C:
+            continue
+        out[t.task_id] = gfl_relative_pp(t.period, t.pwcet(CriticalityLevel.C), m)
+    return out
+
+
+def gedf_relative_pps(tasks: Iterable[Task]) -> Dict[int, float]:
+    """G-EDF ``Y_i = T_i`` for every level-C task (implicit deadlines)."""
+    return {
+        t.task_id: t.period for t in tasks if t.level is CriticalityLevel.C
+    }
+
+
+def apply_relative_pps(tasks: Sequence[Task], pps: Dict[int, float]) -> Tuple[Task, ...]:
+    """Return copies of *tasks* with level-C relative PPs replaced."""
+    out = []
+    for t in tasks:
+        if t.task_id in pps:
+            out.append(t.with_relative_pp(pps[t.task_id]))
+        else:
+            out.append(t)
+    return tuple(out)
+
+
+def virtual_priority(job: Job) -> PriorityKey:
+    """GEL-v dispatch key for a level-C job: earlier virtual PP first.
+
+    Raises :class:`ValueError` for jobs that have no virtual PP (non-C
+    jobs, or jobs created outside the kernel's release path).
+    """
+    if job.virtual_pp is None:
+        raise ValueError(f"job {job.label} has no virtual priority point")
+    return (job.virtual_pp, job.task.task_id, job.index)

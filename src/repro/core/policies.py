@@ -1,0 +1,107 @@
+"""Extension monitor policies beyond the paper's SIMPLE and ADAPTIVE.
+
+The paper's evaluation (Sec. 5) surfaces two rough edges that invite
+follow-up policies, both implemented here as extensions and evaluated in
+``benchmarks/bench_extension_policies.py``:
+
+* **ADAPTIVE throttles too hard** — "jobs are released at a drastically
+  lower frequency during the recovery period".
+  :class:`ClampedAdaptiveMonitor` keeps Algorithm 4's runtime speed
+  choice but never goes below a configured floor, trading a little
+  dissipation time for a bounded impact on releases.
+
+* **SIMPLE restores speed 1 in one jump** — at the idle normal instant
+  the release rate snaps back, which re-injects the full level-C arrival
+  rate instantly.  :class:`SteppedRestoreMonitor` raises the speed in
+  multiplicative steps instead, re-verifying normality (a fresh idle
+  normal instant) between steps.  The episode closes only when speed 1
+  is reached, so dissipation time remains honestly measured.
+
+Both reuse the Algorithm 2 machinery unchanged — they only override what
+happens at a miss (Algorithm 3/4's role) and/or at the recovery-exit
+point, so all Theorem 1 reasoning still applies to each individual
+speed plateau.
+"""
+
+from __future__ import annotations
+
+from repro.core.monitor import CompletionReport, Monitor, SpeedController
+
+__all__ = ["ClampedAdaptiveMonitor", "SteppedRestoreMonitor"]
+
+
+class ClampedAdaptiveMonitor(Monitor):
+    """Algorithm 4 with a floor on the chosen speed.
+
+    ``s(t) = max(floor, a * (Y_i + xi_i) / R_{i,k})`` over the episode's
+    misses, ratcheting downward only.  With ``floor = 0`` this is exactly
+    ADAPTIVE; with ``floor = a`` it degenerates to SIMPLE(a) triggered by
+    the first miss.
+    """
+
+    def __init__(self, controller: SpeedController, a: float, floor: float) -> None:
+        super().__init__(controller)
+        if not 0.0 < a <= 1.0:
+            raise ValueError(f"aggressiveness must be in (0, 1], got {a}")
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError(f"floor must be in [0, 1], got {floor}")
+        self.a = a
+        self.floor = floor
+        self.current_speed: float = 1.0
+
+    def handle_miss(self, report: CompletionReport) -> None:
+        if not self.recovery_mode:
+            self.current_speed = 1.0
+            self._open_episode(report)
+            self.init_recovery(report.comp_time, report.queue_empty)
+        y = report.task.relative_pp
+        xi = report.task.tolerance
+        assert y is not None and xi is not None
+        response = report.comp_time - report.release
+        new_speed = max(self.floor, self.a * (y + xi) / response)
+        new_speed = min(new_speed, 1.0)
+        if new_speed < self.current_speed:
+            self._change_speed(new_speed, report.comp_time)
+            self.current_speed = new_speed
+
+
+class SteppedRestoreMonitor(Monitor):
+    """SIMPLE with gradual speed restoration.
+
+    On the first miss outside recovery the clock slows to ``s``.  When an
+    idle normal instant is found, instead of jumping to 1 the speed is
+    multiplied by ``step_factor`` (capped at 1) and the monitor searches
+    for another idle normal instant at the new plateau.  The recovery
+    episode closes when speed 1 is reached.
+    """
+
+    def __init__(
+        self, controller: SpeedController, s: float, step_factor: float = 2.0
+    ) -> None:
+        super().__init__(controller)
+        if not 0.0 < s <= 1.0:
+            raise ValueError(f"recovery speed must be in (0, 1], got {s}")
+        if step_factor <= 1.0:
+            raise ValueError(f"step_factor must be > 1, got {step_factor}")
+        self.s = s
+        self.step_factor = step_factor
+        self.current_speed: float = 1.0
+
+    def handle_miss(self, report: CompletionReport) -> None:
+        if not self.recovery_mode:
+            self.current_speed = self.s
+            self._change_speed(self.s, report.comp_time)
+            self._open_episode(report)
+            self.init_recovery(report.comp_time, report.queue_empty)
+
+    def _exit_recovery(self, report: CompletionReport) -> None:
+        next_speed = min(1.0, self.current_speed * self.step_factor)
+        if next_speed < 1.0:
+            # Not done: install the next plateau and search for a fresh
+            # idle normal instant at it; the episode stays open.
+            self._change_speed(next_speed, report.comp_time)
+            self.current_speed = next_speed
+            self.init_recovery(report.comp_time, report.queue_empty)
+        else:
+            self.current_speed = 1.0
+            super()._exit_recovery(report)

@@ -1,0 +1,81 @@
+"""Response-time tolerances (Def. 1) from analytical bounds.
+
+Sec. 3: "Ideally, response-time tolerances should be determined based on
+analytical upper bounds of job response times, in order to guarantee
+that the virtual clock is never slowed down in the absence of overload."
+
+:func:`assign_tolerances` sets each level-C task's ``xi_i`` to the
+PP-relative response bound ``x + C_i`` from
+:mod:`repro.analysis.bounds`, optionally scaled by a safety margin.  With
+these tolerances, a job completing within the analytical bound never
+triggers recovery, so the monitor only reacts to genuine overload — the
+property the paper requires and our integration tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.analysis.bounds import gel_response_bounds
+from repro.analysis.supply import SupplyModel
+from repro.model.task import CriticalityLevel, Task
+from repro.model.taskset import TaskSet
+
+__all__ = ["assign_tolerances", "fixed_tolerances"]
+
+
+def assign_tolerances(
+    ts: TaskSet,
+    margin: float = 1.0,
+    supply: Optional[SupplyModel] = None,
+) -> TaskSet:
+    """Return a copy of *ts* with analytical tolerances on level-C tasks.
+
+    Parameters
+    ----------
+    ts:
+        The task set; must be SRT-schedulable at level C, otherwise the
+        bounds are infinite and no tolerance assignment is possible.
+    margin:
+        Multiplier ``>= 1`` applied to the analytical bound.  1.0 uses
+        the bound itself; larger values make recovery less trigger-happy
+        (an ablation knob, see ``benchmarks/bench_ablation_tolerance.py``).
+    supply:
+        Optional supply-model override.
+
+    Raises
+    ------
+    ValueError
+        If the analytical bound is infinite (no finite tolerance exists).
+    """
+    if margin < 1.0:
+        raise ValueError(f"margin must be >= 1, got {margin}")
+    bounds = gel_response_bounds(ts, supply=supply)
+    if not bounds.is_finite:
+        raise ValueError(
+            "cannot assign analytical tolerances: the response-time bound is "
+            "infinite (level C lacks slack; see analysis.check_level_c)"
+        )
+    new_tasks = []
+    for t in ts:
+        if t.level is CriticalityLevel.C:
+            new_tasks.append(t.with_tolerance(margin * bounds.pp_relative[t.task_id]))
+        else:
+            new_tasks.append(t)
+    return TaskSet(new_tasks, m=ts.m)
+
+
+def fixed_tolerances(ts: TaskSet, xi: float) -> TaskSet:
+    """Return a copy of *ts* with the same tolerance ``xi`` on every level-C task.
+
+    The paper's Fig. 2(c) walkthrough "simply uses a response-time
+    tolerance of three for each task" — this helper supports such
+    illustrative setups and tests.
+    """
+    if not math.isfinite(xi) or xi < 0.0:
+        raise ValueError(f"xi must be finite and >= 0, got {xi}")
+    new_tasks = [
+        t.with_tolerance(xi) if t.level is CriticalityLevel.C else t for t in ts
+    ]
+    return TaskSet(new_tasks, m=ts.m)

@@ -1,0 +1,287 @@
+"""Virtual time (Algorithm 1): the piecewise-linear actual<->virtual map.
+
+The paper defines virtual time as :math:`v(t) = \\int_0^t s(t)\\,dt`
+(eq. 4) for a global speed function ``s`` with ``s(t) = 1`` in normal
+operation and ``0 < s(t) < 1`` during overload recovery.  Because the
+monitor changes the speed at discrete instants, ``v`` is piecewise linear,
+and the kernel only needs three words of state (Fig. 5(a)):
+
+* ``last_act`` — actual time of the latest speed change,
+* ``last_virt`` — the corresponding virtual time,
+* ``speed`` — the current slope.
+
+:class:`VirtualClock` reproduces that state machine verbatim, including
+the convenience conversions::
+
+    act_to_virt(act)  = last_virt + (act - last_act) * speed
+    virt_to_act(virt) = last_act + (virt - last_virt) / speed
+
+Both require their argument to be at or after the latest speed change —
+asking about the past would silently use the wrong slope, so we raise.
+
+:class:`SpeedProfile` additionally records the *entire* history of speed
+changes, so that tests, traces, and the experiment harness can evaluate
+``v(t)`` (and its inverse) at any time, not just after the latest change.
+The paper's worked example — ``s = 0.5`` on ``[19, 29)`` gives
+``v(25) = 22`` — is a one-liner against it.
+
+Both classes are numeric-type agnostic: they work with ``float`` (used in
+the simulator) and with ``fractions.Fraction`` (used by exactness-checking
+unit and property tests), because they only use ``+ - * /`` and
+comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Sequence, TypeVar
+
+__all__ = ["VirtualClock", "SpeedProfile", "SpeedChange"]
+
+#: Any numeric type closed under +, -, *, / and totally ordered.
+N = TypeVar("N")
+
+
+@dataclass(frozen=True)
+class SpeedChange(Generic[N]):
+    """One speed change: at actual time ``act`` (virtual ``virt``), the
+    clock's slope became ``speed``."""
+
+    act: N
+    virt: N
+    speed: N
+
+
+class VirtualClock(Generic[N]):
+    """The in-kernel virtual clock state machine of Algorithm 1.
+
+    Parameters
+    ----------
+    now:
+        The actual time at which the clock is initialized; Algorithm 1's
+        ``initialize()`` sets ``last_act := now()``, ``last_virt := 0``,
+        ``speed := 1``.
+    initial_virt:
+        Virtual time at initialization (0 in the paper).
+    allow_speedup:
+        The paper never speeds virtual time up relative to actual time
+        ("we never speed up virtual time relative to the normal
+        underloaded system, so we avoid problems that have previously
+        prevented virtual time from being used on a multiprocessor").
+        Accordingly speeds must satisfy ``0 < s <= 1`` unless this flag is
+        set (it exists only so tests can demonstrate why s > 1 is
+        excluded).
+    """
+
+    def __init__(
+        self,
+        now: N = 0.0,  # type: ignore[assignment]
+        initial_virt: Optional[N] = None,
+        *,
+        allow_speedup: bool = False,
+    ) -> None:
+        one = now - now + (now + 1 - now)  # a "1" of the same numeric type family
+        zero = now - now
+        self._one: N = one
+        self.last_act: N = now
+        self.last_virt: N = initial_virt if initial_virt is not None else zero
+        self.speed: N = one
+        self.allow_speedup = allow_speedup
+        self._history: List[SpeedChange[N]] = [
+            SpeedChange(act=self.last_act, virt=self.last_virt, speed=self.speed)
+        ]
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 conversions
+    # ------------------------------------------------------------------
+    def act_to_virt(self, act: N) -> N:
+        """``last_virt + (act - last_act) * speed``.
+
+        Valid only for ``act >= last_act`` (no speed change between
+        ``last_act`` and ``act`` — guaranteed because speed changes always
+        advance ``last_act`` to "now").
+        """
+        if act < self.last_act:
+            raise ValueError(
+                f"act_to_virt({act!r}) predates the latest speed change at "
+                f"{self.last_act!r}; use SpeedProfile for historical queries"
+            )
+        return self.last_virt + (act - self.last_act) * self.speed
+
+    def virt_to_act(self, virt: N) -> N:
+        """``last_act + (virt - last_virt) / speed``.
+
+        Valid only for ``virt >= last_virt``.  If the speed changes before
+        the returned instant, the caller must re-invoke after the change —
+        exactly what Algorithm 1's ``change_speed`` does for pending
+        release timers (lines 21-22).
+        """
+        if virt < self.last_virt:
+            raise ValueError(
+                f"virt_to_act({virt!r}) predates the latest speed change at "
+                f"virtual time {self.last_virt!r}; use SpeedProfile instead"
+            )
+        return self.last_act + (virt - self.last_virt) / self.speed
+
+    def now_virt(self, now: N) -> N:
+        """Current virtual time, an alias of :meth:`act_to_virt`."""
+        return self.act_to_virt(now)
+
+    # ------------------------------------------------------------------
+    # Speed changes
+    # ------------------------------------------------------------------
+    def change_speed(self, new_speed: N, now: N) -> N:
+        """Algorithm 1's ``change_speed`` state update (lines 14-20).
+
+        Advances ``(last_act, last_virt)`` to the current instant and
+        installs ``new_speed``.  Returns the virtual time of the change so
+        callers (the kernel) can actualize priority points that have
+        already passed in virtual time (lines 16-17) and retime pending
+        releases (lines 21-22).
+        """
+        self._check_speed(new_speed)
+        if now < self.last_act:
+            raise ValueError(
+                f"change_speed at {now!r} would precede the previous change at "
+                f"{self.last_act!r}; time cannot run backwards"
+            )
+        virt = self.act_to_virt(now)
+        self.last_act = now
+        self.last_virt = virt
+        self.speed = new_speed
+        self._history.append(SpeedChange(act=now, virt=virt, speed=new_speed))
+        return virt
+
+    def _check_speed(self, speed: N) -> None:
+        if not speed > self.last_virt - self.last_virt:  # speed > 0
+            raise ValueError(f"virtual-clock speed must be > 0, got {speed!r}")
+        if not self.allow_speedup and speed > self._one:
+            raise ValueError(
+                f"virtual-clock speed must be <= 1 (paper Sec. 3); got {speed!r}. "
+                "Pass allow_speedup=True only for counterexample experiments."
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_normal_speed(self) -> bool:
+        """Whether the clock currently runs at speed 1."""
+        return self.speed == self._one
+
+    @property
+    def history(self) -> Sequence[SpeedChange[N]]:
+        """All speed changes, in order, starting with initialization."""
+        return tuple(self._history)
+
+    def profile(self) -> "SpeedProfile[N]":
+        """A :class:`SpeedProfile` over this clock's full history."""
+        return SpeedProfile(self._history)
+
+    def __repr__(self) -> str:  # pragma: no cover - formatting only
+        return (
+            f"VirtualClock(last_act={self.last_act!r}, "
+            f"last_virt={self.last_virt!r}, speed={self.speed!r})"
+        )
+
+
+class SpeedProfile(Generic[N]):
+    """A complete piecewise-linear virtual-time map over ``[t0, inf)``.
+
+    Built from an ordered sequence of :class:`SpeedChange` records (e.g.
+    :attr:`VirtualClock.history`).  Supports evaluating ``v(t)`` and its
+    inverse at *any* instant at or after the first record, which the
+    one-segment kernel state cannot do.
+    """
+
+    def __init__(self, changes: Sequence[SpeedChange[N]]) -> None:
+        if not changes:
+            raise ValueError("SpeedProfile requires at least one segment")
+        self._changes = list(changes)
+        for a, b in zip(self._changes, self._changes[1:]):
+            if b.act < a.act:
+                raise ValueError("speed changes must be ordered by actual time")
+            expected_virt = a.virt + (b.act - a.act) * a.speed
+            if b.virt != expected_virt:
+                raise ValueError(
+                    f"inconsistent profile: change at {b.act!r} records virtual "
+                    f"time {b.virt!r} but the previous segment implies {expected_virt!r}"
+                )
+
+    @classmethod
+    def from_segments(
+        cls, start: N, speeds: Sequence[tuple[N, N]], initial_virt: Optional[N] = None
+    ) -> "SpeedProfile[N]":
+        """Build a profile from ``(change_time, new_speed)`` pairs.
+
+        ``start`` is the profile origin with speed 1 and virtual time
+        ``initial_virt`` (default: same as ``start`` minus itself, i.e. 0).
+        Example (the paper's Fig. 2(c) profile)::
+
+            SpeedProfile.from_segments(0.0, [(19.0, 0.5), (29.0, 1.0)])
+        """
+        zero = start - start
+        one = start - start + (start + 1 - start)
+        virt = initial_virt if initial_virt is not None else zero
+        changes: List[SpeedChange[N]] = [SpeedChange(act=start, virt=virt, speed=one)]
+        for act, speed in speeds:
+            prev = changes[-1]
+            if act < prev.act:
+                raise ValueError("segment times must be non-decreasing")
+            v = prev.virt + (act - prev.act) * prev.speed
+            changes.append(SpeedChange(act=act, virt=v, speed=speed))
+        return cls(changes)
+
+    # ------------------------------------------------------------------
+    def _segment_for_act(self, act: N) -> SpeedChange[N]:
+        if act < self._changes[0].act:
+            raise ValueError(f"time {act!r} precedes the profile origin")
+        seg = self._changes[0]
+        for change in self._changes[1:]:
+            if change.act <= act:
+                seg = change
+            else:
+                break
+        return seg
+
+    def _segment_for_virt(self, virt: N) -> SpeedChange[N]:
+        if virt < self._changes[0].virt:
+            raise ValueError(f"virtual time {virt!r} precedes the profile origin")
+        seg = self._changes[0]
+        for change in self._changes[1:]:
+            if change.virt <= virt:
+                seg = change
+            else:
+                break
+        return seg
+
+    def v(self, act: N) -> N:
+        """Evaluate ``v(act)`` (eq. 4) anywhere at/after the origin."""
+        seg = self._segment_for_act(act)
+        return seg.virt + (act - seg.act) * seg.speed
+
+    def inverse(self, virt: N) -> N:
+        """Earliest actual time ``t`` with ``v(t) == virt``.
+
+        ``v`` is strictly increasing (speeds are positive), so the inverse
+        is unique.
+        """
+        seg = self._segment_for_virt(virt)
+        return seg.act + (virt - seg.virt) / seg.speed
+
+    def speed_at(self, act: N) -> N:
+        """The slope ``s(act)`` (right-continuous at change instants)."""
+        return self._segment_for_act(act).speed
+
+    @property
+    def changes(self) -> Sequence[SpeedChange[N]]:
+        """The underlying change records."""
+        return tuple(self._changes)
+
+    def minimum_speed(self) -> N:
+        """Smallest speed ever installed (the paper's Fig. 8 metric)."""
+        out = self._changes[0].speed
+        for change in self._changes[1:]:
+            if change.speed < out:
+                out = change.speed
+        return out

@@ -1,0 +1,57 @@
+"""Experiment harness: the paper's Sec. 5 evaluation, end to end.
+
+* :mod:`repro.experiments.runner` — run one (task set, scenario,
+  monitor) experiment and extract its metrics.
+* :mod:`repro.experiments.metrics` — dissipation time and run summaries.
+* :mod:`repro.experiments.figures` — Figs. 6-8 sweeps and table printers.
+* :mod:`repro.experiments.overhead` — Fig. 9 scheduling-overhead
+  comparison.
+* :mod:`repro.experiments.examples_fig2` — the reconstructed Fig. 2/3
+  example systems.
+"""
+
+from repro.experiments.calibration import calibrate_tolerances, measure_pp_lateness
+from repro.experiments.figures import (
+    DEFAULT_SWEEP_VALUES,
+    FigureData,
+    FigureSeries,
+    SeriesPoint,
+    adaptive_sweep,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.experiments.metrics import RunResult, dissipation_time
+from repro.experiments.overhead import OverheadResult, measure_overheads
+from repro.experiments.suite import ReproductionReport, full_reproduction
+from repro.experiments.timeline import TimelineBin, render_sparkline, response_timeline
+from repro.experiments.runner import (
+    ExperimentOutput,
+    MonitorSpec,
+    run_overload_experiment,
+)
+
+__all__ = [
+    "RunResult",
+    "dissipation_time",
+    "MonitorSpec",
+    "ExperimentOutput",
+    "run_overload_experiment",
+    "FigureData",
+    "FigureSeries",
+    "SeriesPoint",
+    "DEFAULT_SWEEP_VALUES",
+    "figure6",
+    "adaptive_sweep",
+    "figure7",
+    "figure8",
+    "OverheadResult",
+    "measure_overheads",
+    "calibrate_tolerances",
+    "measure_pp_lateness",
+    "response_timeline",
+    "render_sparkline",
+    "TimelineBin",
+    "ReproductionReport",
+    "full_reproduction",
+]

@@ -1,0 +1,94 @@
+"""Calibration-based response-time tolerances (extension).
+
+Sec. 3 prescribes analytical bounds as tolerances.  In practice (and for
+workloads whose analytical bounds are loose or unavailable), a designer
+can instead *measure*: run the system overload-free for a calibration
+window, record each task's worst observed PP-relative lateness, and set
+
+.. math:: \\xi_i = margin \\times \\max(\\text{observed}_i, floor)
+
+Smaller tolerances mean faster overload detection (less of the overload
+window passes before the first miss) at the price of a higher
+false-positive risk if the calibration window missed the true worst
+case.  ``benchmarks/bench_extension_calibration.py`` quantifies the
+trade-off against the analytical assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.model.behavior import ConstantBehavior, ExecutionBehavior
+from repro.model.task import CriticalityLevel
+from repro.model.taskset import TaskSet
+from repro.sim.kernel import KernelConfig, MC2Kernel
+
+__all__ = ["measure_pp_lateness", "calibrate_tolerances"]
+
+
+def measure_pp_lateness(
+    ts: TaskSet,
+    horizon: float,
+    behavior: Optional[ExecutionBehavior] = None,
+) -> Dict[int, float]:
+    """Worst observed PP-relative lateness per level-C task.
+
+    Runs an overload-free simulation (every job at its level-C PWCET by
+    default — the worst admissible normal behaviour) and returns, per
+    task, ``max over completed jobs of t^c - y`` clamped at 0.  Jobs that
+    completed before their PP contribute 0.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    kernel = MC2Kernel(
+        ts,
+        behavior=behavior if behavior is not None else ConstantBehavior(),
+        config=KernelConfig(),
+    )
+    trace = kernel.run(horizon)
+    worst: Dict[int, float] = {
+        t.task_id: 0.0 for t in ts.level(CriticalityLevel.C)
+    }
+    for rec in trace.completed(CriticalityLevel.C):
+        lateness = rec.pp_lateness
+        if lateness is not None and lateness > worst[rec.task_id]:
+            worst[rec.task_id] = lateness
+    return worst
+
+
+def calibrate_tolerances(
+    ts: TaskSet,
+    horizon: float = 5.0,
+    margin: float = 1.5,
+    floor: Optional[float] = None,
+    behavior: Optional[ExecutionBehavior] = None,
+) -> TaskSet:
+    """Return a copy of *ts* with measured (calibrated) tolerances.
+
+    Parameters
+    ----------
+    ts:
+        The task set; existing tolerances are replaced.
+    horizon:
+        Calibration window (simulated seconds of normal operation).
+    margin:
+        Safety multiplier (> 1) over the worst observed lateness.
+    floor:
+        Minimum pre-margin lateness, guarding tasks that happened never
+        to complete after their PP during calibration.  Defaults to each
+        task's level-C PWCET.
+    behavior:
+        Calibration behaviour (default: level-C PWCET execution).
+    """
+    if margin < 1.0:
+        raise ValueError(f"margin must be >= 1, got {margin}")
+    worst = measure_pp_lateness(ts, horizon, behavior)
+    new_tasks = []
+    for t in ts:
+        if t.level is CriticalityLevel.C:
+            base = floor if floor is not None else t.pwcet(CriticalityLevel.C)
+            xi = margin * max(worst[t.task_id], base)
+            new_tasks.append(t.with_tolerance(xi))
+        else:
+            new_tasks.append(t)
+    return TaskSet(new_tasks, m=ts.m)

@@ -1,0 +1,163 @@
+"""The paper's worked example systems (Figs. 2 and 3).
+
+The figures themselves are schedule graphics whose full parameter tables
+are not recoverable from the text, so we *reconstruct* concrete 2-CPU
+systems matching every waypoint the prose fixes (DESIGN.md,
+substitution 5):
+
+**Fig. 2 system** — two level-A tasks, one per CPU, ``(T, C^C, C^A) =
+(12, 2, 4)``, and three level-C tasks that fully utilize the remaining
+capacity (``U_C = 2 - 2/6 = 5/3``):
+
+* ``tau1 = (T=4, Y=3, C=2)`` — the prose fixes T=4 and Y=3 exactly
+  ("released at actual time 0, has its PP three units of time later at
+  actual time 3, and tau_{1,1} can be released four units later at
+  time 4");
+* ``tau2 = (T=6, Y=5, C=3)`` — T=6 matches tau_{2,6} being released at
+  actual time 36;
+* ``tau3 = (T=6, Y=7, C=4)``.
+
+The Y values of tau2/tau3 are chosen so that, like the paper's example,
+the worst overload-free PP-relative lateness exactly reaches the
+illustrative tolerance 3 ("barely within its tolerance") but never
+exceeds it — so recovery triggers only under genuine overload.
+
+All level-C tasks use the paper's illustrative response-time tolerance
+of 3.  The overload is the one described: "both level-A tasks released
+at time 12 run for their full level-A PWCETs" (4 instead of 2), and in
+variant (c) recovery runs SIMPLE with ``s = 0.5``.
+
+**Fig. 3 system** — the same two level-A tasks plus a *single* level-C
+task ``tau1 = (T=6, Y=5, C=5)`` whose utilization ``5/6`` exactly equals
+the per-CPU capacity left by level A: system-wide slack exists (the
+second CPU is mostly idle), but the task itself has none, so a transient
+overload degrades it permanently — the paper's per-task-utilization
+phenomenon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.monitor import Monitor, NullMonitor, SimpleMonitor
+from repro.core.tolerance import fixed_tolerances
+from repro.model.behavior import ConstantBehavior, TraceBehavior
+from repro.model.task import CriticalityLevel, Task
+from repro.model.taskset import TaskSet
+from repro.sim.kernel import KernelConfig, MC2Kernel
+from repro.sim.trace import Trace
+
+__all__ = [
+    "figure2_taskset",
+    "figure3_taskset",
+    "overload_behavior",
+    "ExampleRun",
+    "run_example",
+    "FIG2_TOLERANCE",
+]
+
+#: The paper's illustrative response-time tolerance ("we simply use a
+#: response-time tolerance of three for each task").
+FIG2_TOLERANCE = 3.0
+
+#: Task ids of the two per-CPU level-A tasks in both example systems.
+A0, A1 = 100, 101
+
+
+def _level_a_tasks() -> Tuple[Task, Task]:
+    pw = {CriticalityLevel.A: 4.0, CriticalityLevel.B: 4.0, CriticalityLevel.C: 2.0}
+    return (
+        Task(task_id=A0, level=CriticalityLevel.A, period=12.0, pwcets=pw, cpu=0, name="A"),
+        Task(task_id=A1, level=CriticalityLevel.A, period=12.0, pwcets=pw, cpu=1, name="B"),
+    )
+
+
+def figure2_taskset() -> TaskSet:
+    """The reconstructed Fig. 2 system (fully utilized at level C)."""
+    a0, a1 = _level_a_tasks()
+    cs = [
+        Task(task_id=1, level=CriticalityLevel.C, period=4.0,
+             pwcets={CriticalityLevel.C: 2.0}, relative_pp=3.0, name="tau1"),
+        Task(task_id=2, level=CriticalityLevel.C, period=6.0,
+             pwcets={CriticalityLevel.C: 3.0}, relative_pp=5.0, name="tau2"),
+        Task(task_id=3, level=CriticalityLevel.C, period=6.0,
+             pwcets={CriticalityLevel.C: 4.0}, relative_pp=7.0, name="tau3"),
+    ]
+    ts = TaskSet([a0, a1, *cs], m=2)
+    return fixed_tolerances(ts, FIG2_TOLERANCE)
+
+
+def figure3_taskset() -> TaskSet:
+    """The reconstructed Fig. 3 system (one level-C task with zero per-task slack)."""
+    a0, a1 = _level_a_tasks()
+    c1 = Task(task_id=1, level=CriticalityLevel.C, period=6.0,
+              pwcets={CriticalityLevel.C: 5.0}, relative_pp=5.0, name="tau1")
+    ts = TaskSet([a0, a1, c1], m=2)
+    return fixed_tolerances(ts, FIG2_TOLERANCE)
+
+
+def overload_behavior(overloaded: bool) -> TraceBehavior:
+    """Execution behaviour for the examples.
+
+    Without overload every job runs its level-C PWCET.  With overload,
+    the level-A jobs released at time 12 (job index 1 of each) run their
+    full level-A PWCET of 4 — the paper's Fig. 2(b)/3(b) condition.
+    """
+    overrides = {}
+    if overloaded:
+        overrides = {(A0, 1): 4.0, (A1, 1): 4.0}
+    return TraceBehavior(overrides, default=ConstantBehavior(CriticalityLevel.C))
+
+
+@dataclass
+class ExampleRun:
+    """Outcome of one example-schedule run."""
+
+    trace: Trace
+    kernel: MC2Kernel
+    monitor: Monitor
+
+    def response_time(self, task_id: int, index: int) -> float:
+        """Response time of one job (raises if it never completed)."""
+        rec = self.trace.job(task_id, index)
+        r = rec.response_time
+        if r is None:
+            raise ValueError(f"job ({task_id},{index}) did not complete")
+        return r
+
+
+def run_example(
+    ts: TaskSet,
+    overloaded: bool,
+    recovery_speed: Optional[float] = None,
+    until: float = 72.0,
+    record_intervals: bool = True,
+) -> ExampleRun:
+    """Run one variant of an example schedule.
+
+    Parameters
+    ----------
+    ts:
+        :func:`figure2_taskset` or :func:`figure3_taskset`.
+    overloaded:
+        Inject the time-12 level-A overload (variants (b)/(c)).
+    recovery_speed:
+        ``None`` disables recovery (variants (a)/(b)); a value in (0, 1]
+        attaches SIMPLE with that speed (variant (c); the paper uses 0.5).
+    until:
+        Simulation horizon (6 level-A periods by default).
+    """
+    kernel = MC2Kernel(
+        ts,
+        behavior=overload_behavior(overloaded),
+        config=KernelConfig(record_intervals=record_intervals),
+    )
+    monitor: Monitor
+    if recovery_speed is None:
+        monitor = NullMonitor(kernel)
+    else:
+        monitor = SimpleMonitor(kernel, s=recovery_speed)
+    kernel.attach_monitor(monitor)
+    trace = kernel.run(until)
+    return ExampleRun(trace=trace, kernel=kernel, monitor=monitor)

@@ -1,0 +1,209 @@
+"""Reproduction of the paper's experimental figures (Figs. 6-9).
+
+Each ``figureN`` function runs the corresponding sweep and returns a
+:class:`FigureData` whose :meth:`~FigureData.render` prints the same
+series the paper plots: one line per overload scenario, one point per
+parameter value, with means and 95 % confidence intervals over the
+generated task sets.
+
+Figs. 7 and 8 are two views of the *same* ADAPTIVE runs (dissipation
+time and minimum speed), so :func:`adaptive_sweep` runs them once and
+both figure builders consume the cached results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.metrics import RunResult
+from repro.experiments.runner import MonitorSpec, run_overload_experiment
+from repro.model.taskset import TaskSet
+from repro.sim.kernel import KernelConfig
+from repro.util.stats import ConfidenceInterval, mean_ci
+from repro.workload.scenarios import OverloadScenario, standard_scenarios
+
+__all__ = [
+    "SeriesPoint",
+    "FigureSeries",
+    "FigureData",
+    "figure6",
+    "adaptive_sweep",
+    "figure7",
+    "figure8",
+    "DEFAULT_SWEEP_VALUES",
+]
+
+#: The paper sweeps s (SIMPLE) and a (ADAPTIVE) from 0.2 to 1.0 in 0.2 steps.
+DEFAULT_SWEEP_VALUES: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One plotted point: parameter value -> mean with CI."""
+
+    x: float
+    ci: ConfidenceInterval
+    #: How many of the underlying runs hit the simulation horizon.
+    truncated_runs: int = 0
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One line of a figure (one overload scenario)."""
+
+    label: str
+    points: Tuple[SeriesPoint, ...]
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """A reproduced figure: titled series of mean+CI points."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: Tuple[FigureSeries, ...]
+
+    def render(self, unit_scale: float = 1.0, unit: str = "") -> str:
+        """Format the figure as the table of values the paper plots."""
+        lines = [f"{self.figure_id}: {self.title}", f"  x = {self.xlabel}; y = {self.ylabel}"]
+        xs = sorted({p.x for s in self.series for p in s.points})
+        header = f"  {'scenario':<10}" + "".join(f"{x:>16.2f}" for x in xs)
+        lines.append(header)
+        for s in self.series:
+            by_x = {p.x: p for p in s.points}
+            cells = []
+            for x in xs:
+                p = by_x.get(x)
+                if p is None:
+                    cells.append(f"{'-':>16}")
+                else:
+                    mark = "*" if p.truncated_runs else " "
+                    cells.append(
+                        f"{p.ci.mean * unit_scale:9.2f}±{p.ci.half_width * unit_scale:5.2f}{mark}"
+                    )
+            lines.append(f"  {s.label:<10}" + "".join(cells))
+        if unit:
+            lines.append(f"  (values in {unit}; '*' marks points with horizon-truncated runs)")
+        return "\n".join(lines)
+
+    def point(self, label: str, x: float) -> SeriesPoint:
+        """Look up one point by series label and x value."""
+        for s in self.series:
+            if s.label == label:
+                for p in s.points:
+                    if abs(p.x - x) < 1e-9:
+                        return p
+        raise KeyError(f"no point ({label!r}, {x})")
+
+
+def _aggregate(
+    figure_id: str,
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    results: Dict[Tuple[str, float], List[RunResult]],
+    value: str,
+) -> FigureData:
+    scenarios = sorted({k[0] for k in results}, key=lambda s: s)
+    # Keep the paper's presentation order where possible.
+    order = {"SHORT": 0, "LONG": 1, "DOUBLE": 2}
+    scenarios.sort(key=lambda s: order.get(s, 99))
+    series = []
+    for sc in scenarios:
+        pts = []
+        for (name, x), runs in sorted(results.items(), key=lambda kv: kv[0][1]):
+            if name != sc:
+                continue
+            vals = [getattr(r, value) for r in runs]
+            pts.append(
+                SeriesPoint(
+                    x=x,
+                    ci=mean_ci(vals),
+                    truncated_runs=sum(1 for r in runs if r.truncated),
+                )
+            )
+        series.append(FigureSeries(label=sc, points=tuple(pts)))
+    return FigureData(
+        figure_id=figure_id,
+        title=title,
+        xlabel=xlabel,
+        ylabel=ylabel,
+        series=tuple(series),
+    )
+
+
+def figure6(
+    tasksets: Sequence[TaskSet],
+    s_values: Sequence[float] = DEFAULT_SWEEP_VALUES,
+    scenarios: Sequence[OverloadScenario] = standard_scenarios(),
+    horizon: float = 30.0,
+    config: Optional[KernelConfig] = None,
+) -> FigureData:
+    """Fig. 6: average dissipation time for SIMPLE vs. recovery speed s.
+
+    ``s = 1`` is the paper's no-slowdown baseline.
+    """
+    results: Dict[Tuple[str, float], List[RunResult]] = {}
+    for sc in scenarios:
+        for s in s_values:
+            spec = MonitorSpec("simple", s)
+            runs = [
+                run_overload_experiment(ts, sc, spec, horizon=horizon, config=config)
+                for ts in tasksets
+            ]
+            results[(sc.name, s)] = runs  # type: ignore[assignment]
+    return _aggregate(
+        "Fig. 6",
+        "Dissipation time for SIMPLE",
+        "virtual-time speed s(t)",
+        "dissipation time (s)",
+        results,
+        value="dissipation",
+    )
+
+
+def adaptive_sweep(
+    tasksets: Sequence[TaskSet],
+    a_values: Sequence[float] = DEFAULT_SWEEP_VALUES,
+    scenarios: Sequence[OverloadScenario] = standard_scenarios(),
+    horizon: float = 30.0,
+    config: Optional[KernelConfig] = None,
+) -> Dict[Tuple[str, float], List[RunResult]]:
+    """Run the ADAPTIVE sweep once; Figs. 7 and 8 both read from it."""
+    results: Dict[Tuple[str, float], List[RunResult]] = {}
+    for sc in scenarios:
+        for a in a_values:
+            spec = MonitorSpec("adaptive", a)
+            runs = [
+                run_overload_experiment(ts, sc, spec, horizon=horizon, config=config)
+                for ts in tasksets
+            ]
+            results[(sc.name, a)] = runs  # type: ignore[assignment]
+    return results
+
+
+def figure7(sweep: Dict[Tuple[str, float], List[RunResult]]) -> FigureData:
+    """Fig. 7: average dissipation time for ADAPTIVE vs. aggressiveness a."""
+    return _aggregate(
+        "Fig. 7",
+        "Dissipation time for ADAPTIVE",
+        "aggressiveness a",
+        "dissipation time (s)",
+        sweep,
+        value="dissipation",
+    )
+
+
+def figure8(sweep: Dict[Tuple[str, float], List[RunResult]]) -> FigureData:
+    """Fig. 8: average minimum s(t) chosen by ADAPTIVE vs. aggressiveness a."""
+    return _aggregate(
+        "Fig. 8",
+        "Minimum s(t) for ADAPTIVE",
+        "aggressiveness a",
+        "minimum virtual-time speed",
+        sweep,
+        value="min_speed",
+    )

@@ -1,0 +1,136 @@
+"""One-call programmatic reproduction of the paper's evaluation.
+
+``examples/reproduce_paper.py`` drives this module; library users can
+call :func:`full_reproduction` directly to get every figure as
+structured data (and optionally as JSON files) without going through the
+CLI.  Scale knobs (`tasksets`, sweep values) trade fidelity for time:
+the paper's scale is 20 task sets and the full 0.2-1.0 sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.figures import (
+    DEFAULT_SWEEP_VALUES,
+    FigureData,
+    adaptive_sweep,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.experiments.overhead import OverheadResult, measure_overheads
+from repro.io.results_json import figure_to_json
+from repro.model.taskset import TaskSet
+from repro.workload.generator import GeneratorParams, generate_tasksets
+from repro.workload.scenarios import OverloadScenario, standard_scenarios
+
+__all__ = ["ReproductionReport", "full_reproduction"]
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """All regenerated evaluation figures."""
+
+    fig6: FigureData
+    fig7: FigureData
+    fig8: FigureData
+    fig9: OverheadResult
+    #: How many task sets the sweeps ran over.
+    tasksets: int
+
+    def render(self) -> str:
+        """Every figure as the text tables EXPERIMENTS.md is built from."""
+        parts = [
+            self.fig6.render(unit_scale=1e3, unit="ms"),
+            "",
+            self.fig7.render(unit_scale=1e3, unit="ms"),
+            "",
+            self.fig8.render(unit_scale=1.0, unit="virtual speed"),
+            "",
+            self.fig9.render(),
+        ]
+        return "\n".join(parts)
+
+    def write_json(self, directory: str | pathlib.Path) -> List[pathlib.Path]:
+        """Archive each figure as JSON under *directory*; returns the paths."""
+        out_dir = pathlib.Path(directory)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for name, fig in (("fig6", self.fig6), ("fig7", self.fig7),
+                          ("fig8", self.fig8)):
+            p = out_dir / f"{name}.json"
+            p.write_text(figure_to_json(fig) + "\n", encoding="utf-8")
+            paths.append(p)
+        p = out_dir / "fig9.json"
+        p.write_text(
+            json.dumps(
+                {
+                    "format": "repro-figure",
+                    "version": 1,
+                    "figure_id": "Fig. 9",
+                    "avg_with_vt_us": self.fig9.avg_with_vt,
+                    "max_with_vt_us": self.fig9.max_with_vt,
+                    "avg_without_vt_us": self.fig9.avg_without_vt,
+                    "max_without_vt_us": self.fig9.max_without_vt,
+                    "avg_with_vt_active_us": self.fig9.avg_with_vt_active,
+                    "avg_ratio": self.fig9.avg_ratio,
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        paths.append(p)
+        return paths
+
+
+def full_reproduction(
+    tasksets: int = 20,
+    base_seed: int = 2015,
+    sweep_values: Sequence[float] = DEFAULT_SWEEP_VALUES,
+    scenarios: Optional[Sequence[OverloadScenario]] = None,
+    params: Optional[GeneratorParams] = None,
+    horizon: float = 30.0,
+    overhead_tasksets: int = 5,
+    overhead_horizon: float = 3.0,
+    prebuilt: Optional[Sequence[TaskSet]] = None,
+) -> ReproductionReport:
+    """Regenerate Figs. 6-9 and return them as a report.
+
+    Parameters
+    ----------
+    tasksets, base_seed, params:
+        Workload generation (paper: 20 sets, the default parameters).
+    sweep_values:
+        s values for SIMPLE / a values for ADAPTIVE.
+    scenarios:
+        Overload scenarios (default: SHORT/LONG/DOUBLE).
+    horizon:
+        Per-run simulation cap.
+    overhead_tasksets, overhead_horizon:
+        Scale of the Fig. 9 measurement.
+    prebuilt:
+        Skip generation and use these task sets instead.
+    """
+    sets = (
+        list(prebuilt)
+        if prebuilt is not None
+        else generate_tasksets(tasksets, base_seed=base_seed, params=params)
+    )
+    scen = tuple(scenarios) if scenarios is not None else standard_scenarios()
+    fig6 = figure6(sets, s_values=sweep_values, scenarios=scen, horizon=horizon)
+    sweep = adaptive_sweep(sets, a_values=sweep_values, scenarios=scen,
+                           horizon=horizon)
+    fig7 = figure7(sweep)
+    fig8 = figure8(sweep)
+    fig9 = measure_overheads(
+        sets[: min(overhead_tasksets, len(sets))],
+        horizon=overhead_horizon,
+        trim_max_quantile=0.999,
+    )
+    return ReproductionReport(fig6=fig6, fig7=fig7, fig8=fig8, fig9=fig9,
+                              tasksets=len(sets))

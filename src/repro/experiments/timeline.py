@@ -1,0 +1,126 @@
+"""Response-time timelines: the quantitative view behind Figs. 2-3.
+
+The paper argues about *patterns over time* — "response times of level-C
+jobs settle into a pattern that is degraded compared to (a)" — which a
+single max/mean cannot show.  This module bins completed level-C jobs by
+release time and reports the worst normalized response per bin, giving a
+degradation/recovery curve:
+
+* before the overload: a flat baseline;
+* during/after it without recovery: a step up that never comes back
+  (Figs. 2(b)/3(b));
+* with recovery: a spike followed by return to baseline (Fig. 2(c)).
+
+``render_sparkline`` draws the curve as a Unicode sparkline for CLI and
+example output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.model.task import CriticalityLevel
+from repro.model.taskset import TaskSet
+from repro.sim.trace import Trace
+
+__all__ = ["TimelineBin", "response_timeline", "render_sparkline"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class TimelineBin:
+    """One time bin of the response timeline."""
+
+    start: float
+    end: float
+    #: Jobs released in the bin that completed.
+    jobs: int
+    #: Worst response time among them (0.0 when empty).
+    max_response: float
+    #: Worst response normalized by the task's period (comparability
+    #: across tasks with very different rates).
+    max_normalized: float
+
+
+def response_timeline(
+    trace: Trace,
+    ts: TaskSet,
+    bin_width: float,
+    horizon: Optional[float] = None,
+) -> List[TimelineBin]:
+    """Bin completed level-C jobs by release time.
+
+    Parameters
+    ----------
+    trace:
+        A finished run.
+    ts:
+        The task set (for period normalization).
+    bin_width:
+        Bin size in seconds.
+    horizon:
+        Timeline end; defaults to the last completion.
+    """
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be > 0, got {bin_width}")
+    completed = trace.completed(CriticalityLevel.C)
+    if horizon is None:
+        horizon = max((r.completion for r in completed), default=0.0)
+    n_bins = max(1, int(round(horizon / bin_width)))
+    counts = [0] * n_bins
+    worst = [0.0] * n_bins
+    worst_norm = [0.0] * n_bins
+    for rec in completed:
+        b = int(rec.release / bin_width)
+        if b >= n_bins:
+            continue
+        counts[b] += 1
+        resp = rec.response_time or 0.0
+        if resp > worst[b]:
+            worst[b] = resp
+        norm = resp / ts[rec.task_id].period
+        if norm > worst_norm[b]:
+            worst_norm[b] = norm
+    return [
+        TimelineBin(
+            start=i * bin_width,
+            end=(i + 1) * bin_width,
+            jobs=counts[i],
+            max_response=worst[i],
+            max_normalized=worst_norm[i],
+        )
+        for i in range(n_bins)
+    ]
+
+
+def render_sparkline(
+    bins: Sequence[TimelineBin],
+    value: str = "max_normalized",
+    width: Optional[int] = None,
+) -> str:
+    """Draw the timeline as a Unicode sparkline.
+
+    ``value`` selects the per-bin quantity (an attribute of
+    :class:`TimelineBin`); ``width`` optionally downsamples to that many
+    characters (taking the max within each group, so spikes survive).
+    """
+    xs = [getattr(b, value) for b in bins]
+    if not xs:
+        return ""
+    if width is not None and width < len(xs):
+        grouped = []
+        per = len(xs) / width
+        for i in range(width):
+            lo, hi = int(i * per), max(int(i * per) + 1, int((i + 1) * per))
+            grouped.append(max(xs[lo:hi]))
+        xs = grouped
+    top = max(xs)
+    if top <= 0:
+        return _SPARK[0] * len(xs)
+    out = []
+    for x in xs:
+        idx = min(len(_SPARK) - 1, int(x / top * (len(_SPARK) - 1) + 0.5))
+        out.append(_SPARK[idx])
+    return "".join(out)

@@ -1,0 +1,28 @@
+"""Serialization: task sets and experiment results as JSON.
+
+A reproducible evaluation needs workloads and results that can leave the
+process: the generator's task sets can be exported, audited, edited and
+re-imported, and experiment results can be archived next to the figures
+they produced.
+
+* :mod:`repro.io.taskset_json` — lossless Task/TaskSet <-> JSON.
+* :mod:`repro.io.results_json` — RunResult / figure data -> JSON.
+"""
+
+from repro.io.results_json import figure_to_dict, results_to_json, run_result_to_dict
+from repro.io.taskset_json import (
+    task_from_dict,
+    task_to_dict,
+    taskset_from_json,
+    taskset_to_json,
+)
+
+__all__ = [
+    "task_to_dict",
+    "task_from_dict",
+    "taskset_to_json",
+    "taskset_from_json",
+    "run_result_to_dict",
+    "results_to_json",
+    "figure_to_dict",
+]

@@ -1,0 +1,65 @@
+"""JSON export of experiment results and figure data.
+
+One-way (export-only): results are archives, not inputs.  The documents
+carry enough provenance (scenario, monitor label, parameters) to tell
+which configuration produced which numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Iterable
+
+from repro.experiments.figures import FigureData
+from repro.experiments.metrics import RunResult
+
+__all__ = ["run_result_to_dict", "results_to_json", "figure_to_dict", "figure_to_json"]
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """A RunResult as a JSON-ready dict (plain dataclass dump)."""
+    return dataclasses.asdict(result)
+
+
+def results_to_json(results: Iterable[RunResult], indent: int = 2) -> str:
+    """Serialize a batch of run results."""
+    doc = {
+        "format": "repro-results",
+        "version": 1,
+        "runs": [run_result_to_dict(r) for r in results],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def figure_to_dict(fig: FigureData) -> Dict[str, Any]:
+    """A reproduced figure (series of mean/CI points) as a dict."""
+    return {
+        "figure_id": fig.figure_id,
+        "title": fig.title,
+        "xlabel": fig.xlabel,
+        "ylabel": fig.ylabel,
+        "series": [
+            {
+                "label": s.label,
+                "points": [
+                    {
+                        "x": p.x,
+                        "mean": p.ci.mean,
+                        "ci_half_width": p.ci.half_width,
+                        "confidence": p.ci.confidence,
+                        "n": p.ci.n,
+                        "truncated_runs": p.truncated_runs,
+                    }
+                    for p in s.points
+                ],
+            }
+            for s in fig.series
+        ],
+    }
+
+
+def figure_to_json(fig: FigureData, indent: int = 2) -> str:
+    """Serialize a reproduced figure."""
+    doc = {"format": "repro-figure", "version": 1, **figure_to_dict(fig)}
+    return json.dumps(doc, indent=indent)

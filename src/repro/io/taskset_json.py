@@ -1,0 +1,107 @@
+"""Lossless JSON serialization of tasks and task sets.
+
+Format (versioned so future changes stay loadable)::
+
+    {
+      "format": "repro-taskset",
+      "version": 1,
+      "m": 4,
+      "tasks": [
+        {"task_id": 0, "level": "A", "period": 0.025,
+         "pwcets": {"A": 0.01, "B": 0.005, "C": 0.0005},
+         "cpu": 0, "phase": 0.0, "name": "A0"},
+        {"task_id": 17, "level": "C", "period": 0.05,
+         "pwcets": {"B": 0.1, "C": 0.01},
+         "relative_pp": 0.042, "tolerance": 0.13, "name": "C17"},
+        ...
+      ]
+    }
+
+Optional fields (``relative_pp``, ``tolerance``, ``cpu``, ``name``,
+``phase``) are omitted when absent/default, keeping files diff-friendly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.model.task import CriticalityLevel, Task
+from repro.model.taskset import TaskSet
+
+__all__ = ["task_to_dict", "task_from_dict", "taskset_to_json", "taskset_from_json"]
+
+FORMAT = "repro-taskset"
+VERSION = 1
+
+
+def task_to_dict(task: Task) -> Dict[str, Any]:
+    """One task as a plain JSON-ready dict."""
+    out: Dict[str, Any] = {
+        "task_id": task.task_id,
+        "level": task.level.name,
+        "period": task.period,
+        "pwcets": {CriticalityLevel(k).name: v for k, v in task.pwcets.items()},
+    }
+    if task.relative_pp is not None:
+        out["relative_pp"] = task.relative_pp
+    if task.tolerance is not None:
+        out["tolerance"] = task.tolerance
+    if task.cpu is not None:
+        out["cpu"] = task.cpu
+    if task.phase:
+        out["phase"] = task.phase
+    if task.name:
+        out["name"] = task.name
+    return out
+
+
+def task_from_dict(data: Dict[str, Any]) -> Task:
+    """Inverse of :func:`task_to_dict`.
+
+    Raises :class:`ValueError` on unknown levels or malformed fields (the
+    Task constructor revalidates everything else).
+    """
+    try:
+        level = CriticalityLevel[data["level"]]
+    except KeyError as exc:
+        raise ValueError(f"unknown criticality level {data.get('level')!r}") from exc
+    try:
+        pwcets = {CriticalityLevel[k]: float(v) for k, v in data.get("pwcets", {}).items()}
+    except KeyError as exc:
+        raise ValueError(f"unknown PWCET level in {data.get('pwcets')!r}") from exc
+    return Task(
+        task_id=int(data["task_id"]),
+        level=level,
+        period=float(data["period"]),
+        pwcets=pwcets,
+        relative_pp=(float(data["relative_pp"]) if "relative_pp" in data else None),
+        tolerance=(float(data["tolerance"]) if "tolerance" in data else None),
+        cpu=(int(data["cpu"]) if "cpu" in data else None),
+        phase=float(data.get("phase", 0.0)),
+        name=str(data.get("name", "")),
+    )
+
+
+def taskset_to_json(ts: TaskSet, indent: int = 2) -> str:
+    """Serialize a task set to a JSON string."""
+    doc = {
+        "format": FORMAT,
+        "version": VERSION,
+        "m": ts.m,
+        "tasks": [task_to_dict(t) for t in ts],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def taskset_from_json(text: str) -> TaskSet:
+    """Parse a task set from a JSON string (inverse of :func:`taskset_to_json`)."""
+    doc = json.loads(text)
+    if doc.get("format") != FORMAT:
+        raise ValueError(
+            f"not a {FORMAT} document (format={doc.get('format')!r})"
+        )
+    if doc.get("version") != VERSION:
+        raise ValueError(f"unsupported {FORMAT} version {doc.get('version')!r}")
+    tasks = [task_from_dict(d) for d in doc.get("tasks", [])]
+    return TaskSet(tasks, m=int(doc["m"]))

@@ -1,0 +1,45 @@
+"""Task model substrate.
+
+Implements the MC² mixed-criticality task model from Sec. 2 of the paper:
+
+* :class:`~repro.model.task.CriticalityLevel` — the four MC² levels
+  (A highest ... D lowest).
+* :class:`~repro.model.task.Task` — a sporadic task with one provisioned
+  worst-case execution time (PWCET) per analysis level, a minimum
+  separation ``T_i``, and (for level C) a relative priority point ``Y_i``
+  and a response-time tolerance ``xi_i``.
+* :class:`~repro.model.job.Job` — one released instance of a task, carrying
+  both actual-time and virtual-time bookkeeping (the SVO model).
+* :class:`~repro.model.taskset.TaskSet` — a validated collection of tasks
+  with utilization accounting per level and per CPU.
+* :mod:`~repro.model.behavior` — *execution behaviours*: how long each job
+  actually executes, which is how transient overload (jobs exceeding their
+  level-C PWCET) is injected.
+"""
+
+from repro.model.behavior import (
+    ConstantBehavior,
+    ExecutionBehavior,
+    OverloadWindow,
+    PwcetFractionBehavior,
+    StochasticBehavior,
+    TraceBehavior,
+    WindowedOverloadBehavior,
+)
+from repro.model.job import Job
+from repro.model.task import CriticalityLevel, Task
+from repro.model.taskset import TaskSet
+
+__all__ = [
+    "CriticalityLevel",
+    "Task",
+    "Job",
+    "TaskSet",
+    "ExecutionBehavior",
+    "ConstantBehavior",
+    "TraceBehavior",
+    "PwcetFractionBehavior",
+    "StochasticBehavior",
+    "OverloadWindow",
+    "WindowedOverloadBehavior",
+]

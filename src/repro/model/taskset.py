@@ -1,0 +1,202 @@
+"""Task sets: validated collections of MC² tasks with utilization accounting.
+
+A :class:`TaskSet` fixes the platform size ``m`` and groups tasks by level
+and (for A/B) by CPU.  It provides the utilization views used throughout
+the paper:
+
+* level-``l`` utilization of a task: ``C_i(l) / T_i``;
+* per-CPU level-A/B utilization at level C (the "CPU supply that is
+  unavailable to level C", Sec. 2);
+* total level-C utilization, which together with the supply view drives
+  the response-time bounds in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.model.task import CriticalityLevel, Task
+
+__all__ = ["TaskSet", "hyperperiod"]
+
+
+def _lcm_float(values: Sequence[float], resolution: float = 1e-9) -> float:
+    """LCM of positive reals, computed on an integer grid of *resolution*.
+
+    Periods in this library are integral multiples of 1 ns in every
+    provided generator, so this is exact for all practical inputs.
+    """
+    ints: List[int] = []
+    for v in values:
+        n = round(v / resolution)
+        if n <= 0 or abs(n * resolution - v) > resolution / 2:
+            raise ValueError(
+                f"period {v} is not representable on a {resolution}s grid; "
+                "pass a coarser resolution"
+            )
+        ints.append(n)
+    out = 1
+    for n in ints:
+        out = out * n // math.gcd(out, n)
+    return out * resolution
+
+
+def hyperperiod(tasks: Iterable[Task], resolution: float = 1e-9) -> float:
+    """Least common multiple of the tasks' periods (on a 1 ns grid)."""
+    periods = [t.period for t in tasks]
+    if not periods:
+        return 0.0
+    return _lcm_float(periods, resolution)
+
+
+class TaskSet:
+    """An immutable, validated set of MC² tasks on an ``m``-CPU platform."""
+
+    def __init__(self, tasks: Iterable[Task], m: int) -> None:
+        """
+        Parameters
+        ----------
+        tasks:
+            The tasks.  IDs must be unique; level-A/B CPU assignments must
+            fall in ``range(m)``.
+        m:
+            Number of identical unit-speed processors.
+        """
+        if m <= 0:
+            raise ValueError(f"m must be >= 1, got {m}")
+        self.m = m
+        self._tasks: Tuple[Task, ...] = tuple(sorted(tasks, key=lambda t: t.task_id))
+        ids = [t.task_id for t in self._tasks]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate task_ids: {dupes}")
+        for t in self._tasks:
+            if t.cpu is not None and not 0 <= t.cpu < m:
+                raise ValueError(
+                    f"task {t.task_id} pinned to cpu {t.cpu}, outside range(0, {m})"
+                )
+        self._by_id: Dict[int, Task] = {t.task_id: t for t in self._tasks}
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, task_id: int) -> Task:
+        return self._by_id[task_id]
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._by_id
+
+    @property
+    def tasks(self) -> Tuple[Task, ...]:
+        """All tasks, ordered by ``task_id``."""
+        return self._tasks
+
+    # ------------------------------------------------------------------
+    # Level / CPU views
+    # ------------------------------------------------------------------
+    def level(self, level: CriticalityLevel) -> Tuple[Task, ...]:
+        """All tasks of exactly the given criticality level."""
+        return tuple(t for t in self._tasks if t.level is level)
+
+    def at_or_above(self, level: CriticalityLevel) -> Tuple[Task, ...]:
+        """All tasks with criticality at or above *level* (paper Sec. 1)."""
+        return tuple(t for t in self._tasks if t.level.at_or_above(level))
+
+    def on_cpu(self, cpu: int, level: Optional[CriticalityLevel] = None) -> Tuple[Task, ...]:
+        """Partitioned tasks pinned to *cpu*, optionally filtered by level."""
+        return tuple(
+            t
+            for t in self._tasks
+            if t.cpu == cpu and (level is None or t.level is level)
+        )
+
+    # ------------------------------------------------------------------
+    # Utilization accounting
+    # ------------------------------------------------------------------
+    def utilization(
+        self,
+        analysis_level: CriticalityLevel,
+        level: Optional[CriticalityLevel] = None,
+    ) -> float:
+        """Total utilization at *analysis_level*.
+
+        Sums ``C_i(analysis_level)/T_i`` over tasks with criticality at or
+        above *analysis_level* (or over exactly *level* if given).  Tasks
+        lacking a PWCET at the analysis level contribute zero (that is
+        only possible for level-D tasks, which are best-effort).
+        """
+        if level is not None:
+            pool: Iterable[Task] = self.level(level)
+        else:
+            pool = self.at_or_above(analysis_level)
+        total = 0.0
+        for t in pool:
+            if analysis_level in t.pwcets:
+                total += t.utilization(analysis_level)
+        return total
+
+    def cpu_ab_utilization(self, cpu: int, analysis_level: CriticalityLevel) -> float:
+        """Level-A+B utilization pinned to *cpu*, measured at *analysis_level*.
+
+        This is the per-CPU "supply loss" seen by level C when
+        ``analysis_level is CriticalityLevel.C``.
+        """
+        total = 0.0
+        for t in self.on_cpu(cpu):
+            if t.level.is_hard and analysis_level in t.pwcets:
+                total += t.utilization(analysis_level)
+        return total
+
+    def level_c_supply(self) -> List[float]:
+        """Per-CPU processor share available to level C (normal operation).
+
+        CPU ``p`` contributes ``1 - U_AB^C(p)`` where the A/B utilizations
+        use level-C PWCETs, matching Sec. 2's view of levels A/B as CPU
+        supply unavailable to level C.
+        """
+        return [
+            1.0 - self.cpu_ab_utilization(p, CriticalityLevel.C) for p in range(self.m)
+        ]
+
+    # ------------------------------------------------------------------
+    # Validation used by generators and analysis
+    # ------------------------------------------------------------------
+    def validate_partitioning(self) -> None:
+        """Check per-CPU A/B capacity and global level-C capacity.
+
+        Raises :class:`ValueError` if any CPU is over-committed by its A/B
+        partition at that partition's own analysis level, or if level-C
+        total utilization (plus A/B interference at level C) exceeds the
+        platform capacity ``m``.
+        """
+        for p in range(self.m):
+            for lvl in (CriticalityLevel.A, CriticalityLevel.B):
+                u = sum(
+                    t.utilization(lvl)
+                    for t in self.on_cpu(p)
+                    if t.level.at_or_above(lvl) and lvl in t.pwcets
+                )
+                if u > 1.0 + 1e-9:
+                    raise ValueError(
+                        f"cpu {p} over-committed at level {lvl.name}: U={u:.4f} > 1"
+                    )
+        uc = self.utilization(CriticalityLevel.C)
+        if uc > self.m + 1e-9:
+            raise ValueError(
+                f"level-C analysis utilization U={uc:.4f} exceeds platform capacity m={self.m}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - formatting only
+        counts = {
+            lvl.name: len(self.level(lvl))
+            for lvl in CriticalityLevel
+            if self.level(lvl)
+        }
+        return f"TaskSet(m={self.m}, n={len(self)}, levels={counts})"

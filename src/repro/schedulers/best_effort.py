@@ -1,0 +1,27 @@
+"""Level-D best-effort scheduling.
+
+Level-D work has no guarantees in MC²; it soaks up whatever capacity
+levels A-C leave behind.  We schedule it FIFO by release time (ties by
+task id then index), which is what "best effort" background execution
+amounts to in the absence of any further policy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.model.job import Job
+
+__all__ = ["pick_best_effort"]
+
+
+def pick_best_effort(jobs: Sequence[Job]) -> Optional[Job]:
+    """The first-released job among *jobs* (``None`` if empty)."""
+    best: Optional[Job] = None
+    best_key: Tuple[float, int, int] = (math.inf, -1, -1)
+    for j in jobs:
+        key = (j.release, j.task.task_id, j.index)
+        if best is None or key < best_key:
+            best, best_key = j, key
+    return best

@@ -1,0 +1,36 @@
+"""Level-B partitioned EDF.
+
+Level-B tasks are pinned to CPUs and scheduled there by
+earliest-deadline-first with implicit deadlines (``d = r + T``).  Level B
+preempts levels C/D but never level A.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.model.job import Job
+
+__all__ = ["edf_key", "pick_edf"]
+
+
+def edf_key(job: Job) -> Tuple[float, int, int]:
+    """EDF sort key: (absolute deadline, task_id, job index).
+
+    Jobs without an explicit deadline use the implicit one,
+    ``release + period``.
+    """
+    d = job.deadline if job.deadline is not None else job.release + job.task.period
+    return (d, job.task.task_id, job.index)
+
+
+def pick_edf(jobs: Sequence[Job]) -> Optional[Job]:
+    """The earliest-deadline job among *jobs* (``None`` if empty)."""
+    best: Optional[Job] = None
+    best_key: Tuple[float, int, int] = (math.inf, -1, -1)
+    for j in jobs:
+        key = edf_key(j)
+        if best is None or key < best_key:
+            best, best_key = j, key
+    return best

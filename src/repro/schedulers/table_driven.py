@@ -1,0 +1,249 @@
+"""Level-A table-driven (cyclic executive) scheduling.
+
+MC² schedules level-A tasks with per-CPU dispatch tables: over one
+hyperperiod, every level-A job receives reserved processor slots sized to
+its level-A PWCET.  Because the paper's generator fills each CPU's
+level-A partition to 100 % of its capacity *at level-A PWCETs* (5 % of
+the CPU at level-C PWCETs x the 20x ratio), slots must in general be
+**split** (a job is preempted by a shorter-period job's slot and resumes
+later) — a contiguous slot longer than the shortest period on the CPU
+could never be placed.
+
+Two table builders are provided:
+
+* :func:`build_table` — contiguous (non-preemptive) slots, placed
+  greedily in release order with shortest-period-first tie-breaking.
+  Suitable for the hand-built example systems; fails loudly when a
+  contiguous placement does not exist.
+* :func:`build_preemptive_table` — split slots, obtained by simulating
+  preemptive rate-monotonic dispatching over one hyperperiod with every
+  job demanding its full level-A PWCET.  For the harmonic period grids
+  the paper uses ({25, 50, 100} ms), RM is optimal on one CPU and packs
+  100 % utilization.
+
+At runtime the kernel dispatches eligible level-A jobs in the same RM
+order (:func:`pick_table_driven`): when every job consumes its full
+level-A PWCET the online schedule coincides with the offline preemptive
+table (tested in ``tests/schedulers/test_table_driven.py``), and when a
+job finishes early the slot remainder immediately falls through to lower
+levels, which is MC²'s slack-shifting behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.job import Job
+from repro.model.task import CriticalityLevel, Task
+from repro.model.taskset import hyperperiod
+
+__all__ = [
+    "TimeTable",
+    "TableSlot",
+    "build_table",
+    "build_preemptive_table",
+    "pick_table_driven",
+    "rm_key",
+]
+
+
+def _check_level_a(tasks: Sequence[Task], cpu: int) -> None:
+    for t in tasks:
+        if t.level is not CriticalityLevel.A:
+            raise ValueError(f"task {t.label} is not level A")
+        if t.cpu != cpu:
+            raise ValueError(f"task {t.label} is pinned to cpu {t.cpu}, not {cpu}")
+
+
+@dataclass(frozen=True)
+class TableSlot:
+    """One (possibly partial) reserved slot of a level-A job."""
+
+    task_id: int
+    job_within_hp: int
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        """Slot duration."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TimeTable:
+    """A per-CPU level-A dispatch table over one hyperperiod.
+
+    ``slots`` lists every reserved slot within ``[0, hyperperiod)`` in
+    time order; a job may own several (split slots).  The pattern repeats
+    with period ``hyperperiod``.
+    """
+
+    cpu: int
+    hyperperiod: float
+    slots: Tuple[TableSlot, ...]
+    jobs_per_hp: Dict[int, int]
+
+    def job_slots(self, task_id: int, job_index: int) -> List[Tuple[float, float]]:
+        """Absolute (start, end) slots of one job, across hyperperiods."""
+        per = self.jobs_per_hp[task_id]
+        cycle, within = divmod(job_index, per)
+        base = cycle * self.hyperperiod
+        return [
+            (base + s.start, base + s.end)
+            for s in self.slots
+            if s.task_id == task_id and s.job_within_hp == within
+        ]
+
+    def slot_start(self, task_id: int, job_index: int) -> float:
+        """Absolute start of the job's first slot (its dispatch time)."""
+        slots = self.job_slots(task_id, job_index)
+        if not slots:
+            raise KeyError(f"no slots for ({task_id}, {job_index})")
+        return slots[0][0]
+
+    def allocation(self, task_id: int, job_index: int) -> float:
+        """Total reserved time for one job (equals the level-A PWCET)."""
+        return sum(e - s for s, e in self.job_slots(task_id, job_index))
+
+    def busy_fraction(self) -> float:
+        """Fraction of the hyperperiod covered by slots."""
+        if self.hyperperiod == 0.0:
+            return 0.0
+        return sum(s.length for s in self.slots) / self.hyperperiod
+
+
+def build_table(tasks: Sequence[Task], cpu: int) -> TimeTable:
+    """Contiguous-slot table: greedy placement in release order.
+
+    Simultaneous releases are placed shortest-period first (RM order).
+    Raises :class:`ValueError` when a slot cannot end by the job's next
+    release — use :func:`build_preemptive_table` for such partitions.
+    """
+    _check_level_a(tasks, cpu)
+    if not tasks:
+        return TimeTable(cpu=cpu, hyperperiod=0.0, slots=(), jobs_per_hp={})
+    hp = hyperperiod(tasks)
+    by_id = {t.task_id: t for t in tasks}
+    releases: List[Tuple[float, float, int, int, float]] = []
+    jobs_per_hp: Dict[int, int] = {}
+    for t in tasks:
+        per = int(round(hp / t.period))
+        jobs_per_hp[t.task_id] = per
+        slot_len = t.pwcet(CriticalityLevel.A)
+        for k in range(per):
+            releases.append((t.phase + k * t.period, t.period, t.task_id, k, slot_len))
+    releases.sort()
+    slots: List[TableSlot] = []
+    cursor = 0.0
+    for release, period, task_id, k, slot_len in releases:
+        start = max(release, cursor)
+        if start + slot_len > release + by_id[task_id].period + 1e-9:
+            raise ValueError(
+                f"cpu {cpu}: cannot place a contiguous level-A slot of length "
+                f"{slot_len} for tau{task_id} job {k} released at {release}; "
+                "use build_preemptive_table for this partition"
+            )
+        slots.append(TableSlot(task_id=task_id, job_within_hp=k, start=start, end=start + slot_len))
+        cursor = start + slot_len
+    return TimeTable(cpu=cpu, hyperperiod=hp, slots=tuple(slots), jobs_per_hp=jobs_per_hp)
+
+
+def build_preemptive_table(tasks: Sequence[Task], cpu: int) -> TimeTable:
+    """Split-slot table from a preemptive RM simulation over one hyperperiod.
+
+    Every job demands its full level-A PWCET; dispatching is preemptive
+    rate-monotonic (shorter period = higher priority; ties by task id).
+    Raises :class:`ValueError` if some job misses its implicit deadline —
+    the level-A partition is then infeasible under RM.
+    """
+    _check_level_a(tasks, cpu)
+    if not tasks:
+        return TimeTable(cpu=cpu, hyperperiod=0.0, slots=(), jobs_per_hp={})
+    hp = hyperperiod(tasks)
+    jobs_per_hp: Dict[int, int] = {}
+    # (release, period, task_id, k, remaining)
+    pending: List[List[float]] = []
+    for t in tasks:
+        per = int(round(hp / t.period))
+        jobs_per_hp[t.task_id] = per
+        for k in range(per):
+            r = t.phase + k * t.period
+            pending.append([r, t.period, float(t.task_id), float(k), t.pwcet(CriticalityLevel.A)])
+    slots: List[TableSlot] = []
+    t_now = 0.0
+    ready: List[Tuple[float, int, int, List[float]]] = []  # (period, task_id, k, rec)
+    while t_now < hp - 1e-12:
+        # Admit newly released jobs.
+        for rec in pending:
+            if rec[0] <= t_now + 1e-12 and rec[4] > 0 and not any(r is rec for *_, r in ready):
+                heapq.heappush(ready, (rec[1], int(rec[2]), int(rec[3]), rec))
+        if not ready:
+            future = [rec[0] for rec in pending if rec[4] > 0 and rec[0] > t_now]
+            if not future:
+                break
+            t_now = min(future)
+            continue
+        period, task_id, k, rec = ready[0]
+        # Run until the job finishes or a higher-priority release occurs.
+        next_rel = min(
+            (r[0] for r in pending if r[4] > 0 and r[0] > t_now + 1e-12 and r[1] < period),
+            default=math.inf,
+        )
+        run_end = min(t_now + rec[4], next_rel, hp)
+        if run_end > t_now:
+            if rec[0] + rec[1] + 1e-9 < run_end:
+                raise ValueError(
+                    f"cpu {cpu}: level-A job tau{task_id},{k} misses its deadline "
+                    f"under preemptive RM; partition infeasible"
+                )
+            slots.append(TableSlot(task_id=task_id, job_within_hp=k, start=t_now, end=run_end))
+            rec[4] -= run_end - t_now
+        t_now = run_end
+        if rec[4] <= 1e-12:
+            heapq.heappop(ready)
+    if any(rec[4] > 1e-9 for rec in pending):
+        raise ValueError(f"cpu {cpu}: level-A demand exceeds the hyperperiod; infeasible")
+    merged = _merge_adjacent(slots)
+    return TimeTable(cpu=cpu, hyperperiod=hp, slots=tuple(merged), jobs_per_hp=jobs_per_hp)
+
+
+def _merge_adjacent(slots: List[TableSlot]) -> List[TableSlot]:
+    """Merge back-to-back slots of the same job."""
+    out: List[TableSlot] = []
+    for s in sorted(slots, key=lambda s: s.start):
+        if (
+            out
+            and out[-1].task_id == s.task_id
+            and out[-1].job_within_hp == s.job_within_hp
+            and abs(out[-1].end - s.start) < 1e-12
+        ):
+            out[-1] = TableSlot(s.task_id, s.job_within_hp, out[-1].start, s.end)
+        else:
+            out.append(s)
+    return out
+
+
+def rm_key(job: Job) -> Tuple[float, int, int]:
+    """Rate-monotonic dispatch key: (period, task_id, job index)."""
+    return (job.task.period, job.task.task_id, job.index)
+
+
+def pick_table_driven(jobs: Sequence[Job]) -> Optional[Job]:
+    """Choose the level-A job to run on a CPU.
+
+    Eligible jobs are dispatched in RM order — the same order the offline
+    preemptive table encodes — so the online schedule matches the table
+    whenever jobs consume their full allocations, and hands slack to
+    lower levels when they finish early.
+    """
+    best: Optional[Job] = None
+    best_key: Tuple[float, int, int] = (math.inf, -1, -1)
+    for j in jobs:
+        key = rm_key(j)
+        if best is None or key < best_key:
+            best, best_key = j, key
+    return best

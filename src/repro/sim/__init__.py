@@ -1,0 +1,40 @@
+"""Discrete-event multicore scheduling simulator.
+
+This package plays the role of the LITMUS^RT kernel in the paper's
+implementation (DESIGN.md, substitution 1):
+
+* :mod:`repro.sim.events` — event types and the deterministic event queue;
+* :mod:`repro.sim.engine` — the simulation loop;
+* :mod:`repro.sim.processor` — per-CPU run state;
+* :mod:`repro.sim.trace` — schedule traces and response-time records
+  (the stand-in for sched_trace/Feather-Trace);
+* :mod:`repro.sim.kernel` — the MC² kernel proper: per-level dispatching,
+  Algorithm 1's virtual-time bookkeeping, release timers, and the
+  ``change_speed`` system call exposed to monitors;
+* :mod:`repro.sim.budgets` — optional PWCET budget enforcement
+  (footnote 2 of the paper).
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.kernel import KernelConfig, MC2Kernel, simulate
+from repro.sim.processor import Processor
+from repro.sim.stats import ResponseStats, level_response_stats, task_response_stats
+from repro.sim.trace import ExecutionInterval, JobRecord, Trace
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Engine",
+    "Processor",
+    "ResponseStats",
+    "task_response_stats",
+    "level_response_stats",
+    "Trace",
+    "JobRecord",
+    "ExecutionInterval",
+    "MC2Kernel",
+    "KernelConfig",
+    "simulate",
+]

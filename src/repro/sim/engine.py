@@ -1,0 +1,88 @@
+"""The simulation loop.
+
+:class:`Engine` owns the event queue and the current time, and drives a
+handler (the kernel) event by event.  It is deliberately policy-free:
+everything scheduling-related lives in :mod:`repro.sim.kernel`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.events import Event, EventKind, EventQueue
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Event-driven simulation core."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        #: Current simulation time; only advances.
+        self.now: float = 0.0
+        #: Number of events processed (diagnostics / throughput benches).
+        self.events_processed: int = 0
+        #: Run generation: stale END markers from earlier (interrupted)
+        #: run() calls are ignored, so runs can be resumed segment by
+        #: segment.
+        self._run_gen: int = 0
+
+    def push(self, event: Event) -> None:
+        """Schedule an event; it must not lie in the past."""
+        if event.time < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule {event.kind.name} at {event.time}; now is {self.now}"
+            )
+        self.queue.push(event)
+
+    def run(
+        self,
+        handler: Callable[[Event], None],
+        until: float,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Process events in order until *until* (inclusive).
+
+        Parameters
+        ----------
+        handler:
+            Called for every non-END event after ``now`` is advanced.
+        until:
+            Simulation horizon; an END marker is enqueued there so the
+            run has a definite final time even if the queue drains early.
+        stop:
+            Optional early-exit predicate evaluated after each event
+            (e.g. "monitor left recovery mode").
+
+        Returns
+        -------
+        float
+            The time at which the loop stopped.
+        """
+        self._run_gen += 1
+        self.queue.push(
+            Event(time=until, kind=EventKind.END, generation=self._run_gen)
+        )
+        while self.queue:
+            ev = self.queue.pop()
+            if ev.time > until:
+                # Put it back for a later run segment.
+                self.queue.push(ev)
+                self.now = until
+                break
+            # Events never move time backwards; guard against handler bugs.
+            if ev.time < self.now - 1e-12:
+                raise RuntimeError(
+                    f"event {ev.kind.name} at {ev.time} precedes now={self.now}"
+                )
+            self.now = max(self.now, ev.time)
+            if ev.kind is EventKind.END:
+                if ev.generation == self._run_gen:
+                    break
+                continue  # stale END from an interrupted earlier segment
+            self.events_processed += 1
+            handler(ev)
+            if stop is not None and stop():
+                break
+        return self.now

@@ -1,0 +1,93 @@
+"""Event types and the deterministic event queue.
+
+The simulator is event-driven: nothing happens between events, so the
+engine jumps from event to event.  Three properties matter for
+reproducibility and correctness:
+
+1. **Total order.**  Events are ordered by ``(time, kind, seq)``; ``seq``
+   is a global insertion counter, so equal-time/equal-kind events process
+   in insertion order and runs are bit-for-bit deterministic.
+2. **Kind priority at equal times.**  Releases process before
+   completions (a job releasing at the same instant another completes is
+   already pending at that instant, per the paper's pending definition
+   ``r <= t < t^c``), completions before deferred monitor reports, and
+   the end-of-simulation marker last.
+3. **Cancellation.**  Release timers are re-armed on every virtual-clock
+   speed change (Algorithm 1 lines 21-22) and tentative completion events
+   die on preemption.  Rather than deleting from the heap, events carry a
+   generation stamp; stale generations are discarded when popped.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.IntEnum):
+    """Event kinds; the integer value is the equal-time processing order."""
+
+    #: A job release timer fires (payload: task_id, generation).
+    RELEASE = 0
+    #: A running job's tentative completion (payload: job, generation).
+    COMPLETION = 1
+    #: Deferred delivery of a completion report to the monitor
+    #: (payload: CompletionReport) — used when monitor latency is modelled.
+    MONITOR_REPORT = 2
+    #: End of simulation.
+    END = 3
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled event."""
+
+    time: float
+    kind: EventKind
+    #: Kind-specific payload (task id, job, or report).
+    payload: Any = None
+    #: Generation stamp for cancellable events; compared against the
+    #: owner's current generation on pop.
+    generation: int = 0
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event`.
+
+    Heap entries are ``(time, kind, seq, event)``; ``seq`` breaks all
+    remaining ties by insertion order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        heapq.heappush(
+            self._heap, (event.time, int(event.kind), next(self._counter), event)
+        )
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises :class:`IndexError` when empty.
+        """
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,606 @@
+"""The MC² kernel: per-level dispatching plus Algorithm 1's virtual time.
+
+This module is the simulator's counterpart of the paper's in-kernel
+component (Sec. 4).  It owns:
+
+* the **virtual clock** (:class:`~repro.core.virtual_time.VirtualClock`)
+  and the Algorithm 1 bookkeeping: recording ``v(r)`` and ``v(y)`` at
+  release (``job_release``), lazily resolving actual PPs at completions
+  and speed changes (``job_complete`` / ``change_speed``, Fig. 5(b)-(d)),
+  and re-arming release timers after each speed change (lines 21-22);
+* the **release timers**: level-C releases fire at
+  ``virt_to_act(v(r_{i,k}))`` per the SVO rule (eq. 5); level-A/B/D
+  releases are periodic in actual time (virtual time affects only
+  level C);
+* the **dispatcher**: at every event, level-A jobs claim their CPUs
+  first (in the rate-monotonic order the offline dispatch table encodes,
+  see :mod:`repro.schedulers.table_driven`), then level-B EDF, then the
+  global GEL-v selection over the remaining CPUs, then level-D
+  background — the MC² architecture of Fig. 1;
+* the **change_speed system call** exposed to the userspace monitor
+  (:class:`~repro.core.monitor.Monitor`), including PP actualization and
+  timer re-arming;
+* the **completion reports** sent to the monitor (Algorithm 1 line 13),
+  optionally with a configurable userspace notification latency.
+
+A :class:`KernelConfig` with ``use_virtual_time=False`` degrades level C
+to plain GEL with actual-time PPs — the baseline for the Fig. 9 overhead
+comparison (monitors that change speed are rejected in that mode).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.monitor import CompletionReport, Monitor, NullMonitor
+from repro.core.svo import ReleaseController
+from repro.core.virtual_time import VirtualClock
+from repro.model.behavior import ConstantBehavior, ExecutionBehavior
+from repro.model.job import Job
+from repro.model.task import CriticalityLevel, Task
+from repro.model.taskset import TaskSet
+from repro.schedulers.best_effort import pick_best_effort
+from repro.schedulers.gel_global import select_gel_jobs
+from repro.schedulers.pedf import pick_edf
+from repro.schedulers.table_driven import pick_table_driven
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventKind
+from repro.sim.processor import Processor
+from repro.sim.trace import Trace
+
+__all__ = ["KernelConfig", "MC2Kernel", "simulate"]
+
+#: Completion slack below which remaining execution counts as zero (1 ns).
+_COMPLETION_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Static kernel configuration.
+
+    Attributes
+    ----------
+    use_virtual_time:
+        Enable the paper's virtual-time mechanism at level C.  When off,
+        PPs are fixed in actual time at release (plain GEL) and
+        ``change_speed`` is unavailable — the Fig. 9 baseline.
+    record_intervals:
+        Record per-CPU execution intervals in the trace (needed by the
+        example-schedule figures and schedule-invariant tests; off for
+        large sweeps).
+    monitor_latency:
+        Delay (seconds) between a kernel event and its delivery to the
+        userspace monitor; 0 models an instantaneous monitor.
+    measure_overhead:
+        Record wall-clock duration of every scheduler invocation
+        (Fig. 9); adds two ``perf_counter`` calls per event.
+    release_delay:
+        Optional sporadic-jitter hook ``(task, job_index) -> extra
+        separation`` applied to levels B/C/D (level A stays strictly
+        time-triggered).  The extra separation is measured in virtual
+        time for level-C tasks, keeping releases legal under eq. 5.
+        ``None`` (default) gives the paper's periodic release pattern.
+    """
+
+    use_virtual_time: bool = True
+    record_intervals: bool = False
+    monitor_latency: float = 0.0
+    measure_overhead: bool = False
+    release_delay: Optional[Callable[[Task, int], float]] = None
+
+
+class _IdentityClock:
+    """Degenerate clock for ``use_virtual_time=False``: v(t) == t always."""
+
+    speed = 1.0
+    last_act = 0.0
+    last_virt = 0.0
+
+    @staticmethod
+    def act_to_virt(act: float) -> float:
+        return act
+
+    @staticmethod
+    def virt_to_act(virt: float) -> float:
+        return virt
+
+    @property
+    def is_normal_speed(self) -> bool:
+        return True
+
+
+class MC2Kernel:
+    """The simulated MC² kernel over an :class:`~repro.sim.engine.Engine`."""
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        behavior: Optional[ExecutionBehavior] = None,
+        config: Optional[KernelConfig] = None,
+    ) -> None:
+        self.taskset = taskset
+        self.behavior: ExecutionBehavior = behavior if behavior is not None else ConstantBehavior()
+        self.config = config if config is not None else KernelConfig()
+        self.engine = Engine()
+        self.trace = Trace(record_intervals=self.config.record_intervals)
+        self.processors = [Processor(p) for p in range(taskset.m)]
+        self.monitor: Monitor = NullMonitor(self)
+
+        # Virtual clock (Algorithm 1 initialize()).
+        if self.config.use_virtual_time:
+            self.clock: VirtualClock | _IdentityClock = VirtualClock(0.0)
+        else:
+            self.clock = _IdentityClock()
+
+        # Per-level job pools: incomplete released jobs.
+        self.jobs_a: List[List[Job]] = [[] for _ in range(taskset.m)]
+        self.jobs_b: List[List[Job]] = [[] for _ in range(taskset.m)]
+        self.jobs_c: List[Job] = []
+        self.jobs_d: List[Job] = []
+
+        # Release bookkeeping.
+        self.controllers: Dict[int, ReleaseController] = {}
+        self._release_gen: Dict[int, int] = {}
+        #: Start of the current contiguous run per CPU (interval recording).
+        self._run_start: List[float] = [0.0] * taskset.m
+        #: Level-C jobs completed at the current instant whose monitor
+        #: reports are pending end-of-instant delivery (see _flush_reports).
+        self._report_buffer: List[Job] = []
+        #: Scheduler-invocation wall-clock durations in ns (Fig. 9).
+        self.sched_overheads: List[int] = []
+        #: Times a running job was descheduled while incomplete.
+        self.preemptions: int = 0
+        #: Times a job resumed on a different CPU than it last ran on.
+        self.migrations: int = 0
+        self._started = False
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def attach_monitor(self, monitor: Monitor) -> None:
+        """Install the userspace monitor (must happen before :meth:`run`)."""
+        if self._started:
+            raise RuntimeError("monitor must be attached before the simulation starts")
+        if not self.config.use_virtual_time and not isinstance(monitor, NullMonitor):
+            raise ValueError(
+                "active monitors require use_virtual_time=True; the plain-GEL "
+                "baseline only supports NullMonitor"
+            )
+        self.monitor = monitor
+
+    def _arm_initial_releases(self) -> None:
+        for t in self.taskset:
+            delay = (
+                self.config.release_delay
+                if t.level is not CriticalityLevel.A
+                else None
+            )
+            ctrl = ReleaseController(t, release_delay=delay)
+            self.controllers[t.task_id] = ctrl
+            self._release_gen[t.task_id] = 0
+            first = ctrl.next_release_actual(self.clock, 0.0)
+            self.engine.push(
+                Event(time=first, kind=EventKind.RELEASE, payload=t.task_id, generation=0)
+            )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the initial release timers (idempotent)."""
+        if not self._started:
+            self._started = True
+            self._arm_initial_releases()
+
+    def run_until(
+        self, until: float, stop: Optional[Callable[[], bool]] = None
+    ) -> float:
+        """Simulate up to *until* (or until *stop* fires); resumable.
+
+        Returns the time the segment stopped at.  Call :meth:`finish`
+        after the final segment to snapshot incomplete jobs into the
+        trace.
+        """
+        self.start()
+        if self._finished:
+            raise RuntimeError("cannot resume a finished kernel")
+        return self.engine.run(self._handle, until, stop)
+
+    def finish(self) -> Trace:
+        """Close the trace (record still-running intervals and incomplete jobs)."""
+        if not self._finished:
+            self._finished = True
+            self._finalize(self.engine.now)
+        return self.trace
+
+    def run(
+        self, until: float, stop: Optional[Callable[[], bool]] = None
+    ) -> Trace:
+        """Convenience: :meth:`run_until` one segment, then :meth:`finish`."""
+        self.run_until(until, stop)
+        return self.finish()
+
+    def _handle(self, ev: Event) -> None:
+        now = self.engine.now
+        for proc in self.processors:
+            proc.advance(now)
+        # Complete any job whose demand is exactly exhausted *before*
+        # processing the event: a release at the same instant must not be
+        # able to "preempt" a job with zero remaining work (its tentative
+        # COMPLETION event would sort after the RELEASE and go stale,
+        # deferring the completion to the next dispatch).
+        for proc in self.processors:
+            job = proc.current
+            if job is not None and job.remaining <= _COMPLETION_EPS:
+                job.remaining = 0.0
+                cpu = proc.cpu_id
+                self.trace.record_interval(cpu, job, self._run_start[cpu], now)
+                proc.assign(None, now)
+                job.running_on = None
+                job.last_cpu = cpu
+                job.generation += 1
+                self._complete_job(job, now)
+        if ev.kind is EventKind.RELEASE:
+            self._on_release_timer(ev, now)
+        elif ev.kind is EventKind.COMPLETION:
+            self._on_completion(ev, now)
+        elif ev.kind is EventKind.MONITOR_REPORT:
+            self._deliver_report(ev.payload, now)
+        # End-of-instant: once no further event shares this timestamp,
+        # the instant's state is final — deliver the completion reports.
+        # (A job released at exactly t IS pending at t per Sec. 2, so
+        # queue_empty must reflect same-instant releases; evaluating it
+        # any earlier would let the monitor accept a non-idle instant as
+        # a candidate.)
+        nxt = self.engine.queue.peek_time()
+        if self._report_buffer and (nxt is None or nxt > now):
+            self._flush_reports(now)
+        self._reschedule(now)
+
+    def _finalize(self, now: float) -> None:
+        if self._report_buffer:
+            self._flush_reports(now)
+        for proc in self.processors:
+            proc.advance(now)
+            if proc.current is not None:
+                self.trace.record_interval(
+                    proc.cpu_id, proc.current, self._run_start[proc.cpu_id], now
+                )
+        for pool in (*self.jobs_a, *self.jobs_b, self.jobs_c, self.jobs_d):
+            for job in pool:
+                self.trace.record_job(job)
+
+    # ------------------------------------------------------------------
+    # Releases
+    # ------------------------------------------------------------------
+    def _on_release_timer(self, ev: Event, now: float) -> None:
+        task_id = ev.payload
+        if ev.generation != self._release_gen[task_id]:
+            return  # re-armed timer superseded this one (Algorithm 1 line 22)
+        task = self.taskset[task_id]
+        if task.level is CriticalityLevel.C:
+            self._release_level_c(task, now)
+        else:
+            self._release_other(task, now)
+
+    def _release_level_c(self, task: Task, now: float) -> None:
+        # Algorithm 1 job_release(): r := now(); v(y) := act_to_virt(r)+Y; y := bottom.
+        ctrl = self.controllers[task.task_id]
+        index, v_r = ctrl.fire(self.clock, now)
+        job = Job(
+            task=task,
+            index=index,
+            release=now,
+            exec_time=self.behavior.exec_time(task, index, now),
+        )
+        job.virtual_release = v_r
+        assert task.relative_pp is not None
+        job.virtual_pp = v_r + task.relative_pp
+        job.actual_pp = None
+        self.jobs_c.append(job)
+        self._notify_release(job, now)
+        self._maybe_complete_zero(job, now)
+        # schedule_pending_release() for the successor.
+        nxt = ctrl.next_release_actual(self.clock, now)
+        gen = self._release_gen[task.task_id]
+        self.engine.push(
+            Event(time=nxt, kind=EventKind.RELEASE, payload=task.task_id, generation=gen)
+        )
+
+    def _release_other(self, task: Task, now: float) -> None:
+        ctrl = self.controllers[task.task_id]
+        index, _ = ctrl.fire(self.clock, now)
+        job = Job(
+            task=task,
+            index=index,
+            release=now,
+            exec_time=self.behavior.exec_time(task, index, now),
+        )
+        if task.level is CriticalityLevel.A:
+            self.jobs_a[task.cpu].append(job)  # type: ignore[index]
+        elif task.level is CriticalityLevel.B:
+            job.deadline = now + task.period
+            self.jobs_b[task.cpu].append(job)  # type: ignore[index]
+        else:
+            self.jobs_d.append(job)
+        self._maybe_complete_zero(job, now)
+        nxt = ctrl.next_release_actual(self.clock, now)
+        gen = self._release_gen[task.task_id]
+        self.engine.push(
+            Event(time=nxt, kind=EventKind.RELEASE, payload=task.task_id, generation=gen)
+        )
+
+    def _maybe_complete_zero(self, job: Job, now: float) -> None:
+        """Jobs with zero demand complete instantly without being scheduled."""
+        if job.exec_time <= 0.0:
+            self._complete_job(job, now)
+
+    # ------------------------------------------------------------------
+    # Completions
+    # ------------------------------------------------------------------
+    def _on_completion(self, ev: Event, now: float) -> None:
+        # Completions are actually performed in the advance pre-pass of
+        # _handle (so they cannot lose a same-instant ordering race with
+        # releases); the COMPLETION event only serves as the wakeup.  A
+        # still-valid event whose job has remaining work can only arise
+        # from float drift: deschedule and let the reschedule re-issue a
+        # corrected completion event.
+        job: Job = ev.payload
+        if ev.generation != job.generation or job.running_on is None:
+            return  # stale, or already completed by the pre-pass
+        if job.remaining > _COMPLETION_EPS:
+            job.generation += 1
+            cpu = job.running_on
+            self.trace.record_interval(cpu, job, self._run_start[cpu], now)
+            job.running_on = None
+            job.last_cpu = cpu
+            self.processors[cpu].assign(None, now)
+
+    def _complete_job(self, job: Job, now: float) -> None:
+        job.completion = now
+        self._remove_job(job)
+        level = job.task.level
+        if level is CriticalityLevel.C:
+            # Algorithm 1 job_complete() lines 10-12: resolve the actual PP
+            # if the virtual PP already passed (Fig. 5(d) case; the (c) case
+            # was handled by change_speed).
+            virt = self.clock.act_to_virt(now)
+            if job.actual_pp is None and job.virtual_pp is not None and job.virtual_pp < virt:
+                job.actual_pp = self.clock.virt_to_act(job.virtual_pp)
+            # The monitor report (including the queue_empty flag) is
+            # delivered at end-of-instant, after every same-timestamp
+            # event has been applied (see _handle / _flush_reports).
+            self._report_buffer.append(job)
+        self.trace.record_job(job)
+
+    def _flush_reports(self, now: float) -> None:
+        """Deliver buffered completion reports with final instant state.
+
+        "Ready queue empty" means no eligible (precedence-wise) level-C
+        job is waiting for a CPU — evaluated once the instant's releases
+        and completions have all been applied, matching the paper's
+        pending semantics (``r <= t < t^c``).
+        """
+        ready_remaining = any(
+            j.running_on is None for j in self._eligible(self.jobs_c)
+        )
+        buffered, self._report_buffer = self._report_buffer, []
+        for job in buffered:
+            report = CompletionReport(
+                task=job.task,
+                job_index=job.index,
+                release=job.release,
+                actual_pp=job.actual_pp,
+                comp_time=job.completion if job.completion is not None else now,
+                queue_empty=not ready_remaining,
+            )
+            if self.config.monitor_latency > 0.0:
+                self.engine.push(
+                    Event(
+                        time=report.comp_time + self.config.monitor_latency,
+                        kind=EventKind.MONITOR_REPORT,
+                        payload=("complete", report),
+                    )
+                )
+            else:
+                self.monitor.on_job_complete(report)
+
+    def _remove_job(self, job: Job) -> None:
+        level = job.task.level
+        if level is CriticalityLevel.A:
+            self.jobs_a[job.task.cpu].remove(job)  # type: ignore[index]
+        elif level is CriticalityLevel.B:
+            self.jobs_b[job.task.cpu].remove(job)  # type: ignore[index]
+        elif level is CriticalityLevel.C:
+            self.jobs_c.remove(job)
+        else:
+            self.jobs_d.remove(job)
+
+    # ------------------------------------------------------------------
+    # Monitor plumbing
+    # ------------------------------------------------------------------
+    def _notify_release(self, job: Job, now: float) -> None:
+        if self.config.monitor_latency > 0.0:
+            self.engine.push(
+                Event(
+                    time=now + self.config.monitor_latency,
+                    kind=EventKind.MONITOR_REPORT,
+                    payload=("release", job.jid),
+                )
+            )
+        else:
+            self.monitor.on_job_release(job.jid)
+
+    def _deliver_report(self, payload: Tuple[str, object], now: float) -> None:
+        kind, data = payload
+        if kind == "release":
+            self.monitor.on_job_release(data)  # type: ignore[arg-type]
+        else:
+            self.monitor.on_job_complete(data)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # The change_speed system call (Algorithm 1 lines 14-22)
+    # ------------------------------------------------------------------
+    def change_speed(self, new_speed: float, now: float) -> None:
+        """Install a new virtual-clock speed; called by the monitor."""
+        if not self.config.use_virtual_time:
+            raise RuntimeError("change_speed requires use_virtual_time=True")
+        assert isinstance(self.clock, VirtualClock)
+        t0 = _time.perf_counter_ns() if self.config.measure_overhead else 0
+        virt = self.clock.act_to_virt(now)  # lines 14-15
+        for job in self.jobs_c:  # lines 16-17
+            if job.actual_pp is None and job.virtual_pp is not None and job.virtual_pp < virt:
+                job.actual_pp = self.clock.virt_to_act(job.virtual_pp)
+        self.clock.change_speed(new_speed, now)  # lines 18-20
+        self.trace.record_speed_change(now, new_speed)
+        # Lines 21-22: re-arm every pending level-C release timer.
+        for t in self.taskset.level(CriticalityLevel.C):
+            self._release_gen[t.task_id] += 1
+            gen = self._release_gen[t.task_id]
+            ctrl = self.controllers[t.task_id]
+            nxt = ctrl.next_release_actual(self.clock, now)
+            self.engine.push(
+                Event(time=nxt, kind=EventKind.RELEASE, payload=t.task_id, generation=gen)
+            )
+        if self.config.measure_overhead:
+            self.sched_overheads.append(_time.perf_counter_ns() - t0)
+
+    # ------------------------------------------------------------------
+    # Dispatching (MC² architecture, Fig. 1)
+    # ------------------------------------------------------------------
+    def _reschedule(self, now: float) -> None:
+        t0 = _time.perf_counter_ns() if self.config.measure_overhead else 0
+        m = self.taskset.m
+        assignment: List[Optional[Job]] = [None] * m
+        # Level A claims its CPU first (highest priority, table order).
+        for p in range(m):
+            if self.jobs_a[p]:
+                assignment[p] = pick_table_driven(self.jobs_a[p])
+        # Level B: partitioned EDF on CPUs without level-A work.
+        for p in range(m):
+            if assignment[p] is None and self.jobs_b[p]:
+                assignment[p] = pick_edf(self.jobs_b[p])
+        # Level C: global GEL-v on the remaining CPUs.  Only each task's
+        # earliest incomplete job is eligible: jobs of one task execute
+        # sequentially (intra-task precedence), which is what makes a
+        # single task's utilization a genuine bottleneck (paper Fig. 3).
+        free = [p for p in range(m) if assignment[p] is None]
+        if free and self.jobs_c:
+            for cpu, job in select_gel_jobs(self._eligible(self.jobs_c), free).items():
+                assignment[cpu] = job
+        # Level D: background on whatever is left.
+        left = [p for p in range(m) if assignment[p] is None]
+        if left and self.jobs_d:
+            elig_d = self._eligible(self.jobs_d)
+            pool = [j for j in elig_d if j.running_on is None or j.running_on in left]
+            # Keep running D jobs in place, then fill FIFO.
+            for p in left:
+                cur = self.processors[p].current
+                if cur is not None and cur in pool:
+                    assignment[p] = cur
+                    pool.remove(cur)
+            for p in left:
+                if assignment[p] is None and pool:
+                    nxt = pick_best_effort(pool)
+                    assignment[p] = nxt
+                    pool.remove(nxt)  # type: ignore[arg-type]
+        self._apply_assignment(assignment, now)
+        if self.config.measure_overhead:
+            self.sched_overheads.append(_time.perf_counter_ns() - t0)
+
+    @staticmethod
+    def _eligible(jobs: Sequence[Job]) -> List[Job]:
+        """Each task's earliest incomplete job (intra-task precedence)."""
+        head: Dict[int, Job] = {}
+        for j in jobs:
+            cur = head.get(j.task.task_id)
+            if cur is None or j.index < cur.index:
+                head[j.task.task_id] = j
+        return list(head.values())
+
+    def _apply_assignment(self, assignment: Sequence[Optional[Job]], now: float) -> None:
+        # Pass 1: stop jobs that lost their CPU (or must migrate).
+        for p, proc in enumerate(self.processors):
+            old = proc.current
+            new = assignment[p]
+            if old is new:
+                continue
+            if old is not None:
+                self.trace.record_interval(p, old, self._run_start[p], now)
+                old.generation += 1
+                old.running_on = None
+                old.last_cpu = p
+                proc.assign(None, now)
+                if old.remaining > _COMPLETION_EPS:
+                    self.preemptions += 1
+        # Pass 2: start newly placed jobs and schedule their completions.
+        for p, proc in enumerate(self.processors):
+            new = assignment[p]
+            if new is None or proc.current is new:
+                continue
+            if new.running_on is not None:
+                # Migrating without a pause: close the old interval.
+                old_cpu = new.running_on
+                self.trace.record_interval(old_cpu, new, self._run_start[old_cpu], now)
+                self.processors[old_cpu].assign(None, now)
+                new.generation += 1
+            if new.last_cpu is not None and new.last_cpu != p:
+                self.migrations += 1
+            proc.assign(new, now)
+            new.running_on = p
+            new.last_cpu = p
+            self._run_start[p] = now
+            self.engine.push(
+                Event(
+                    time=now + new.remaining,
+                    kind=EventKind.COMPLETION,
+                    payload=new,
+                    generation=new.generation,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.engine.now
+
+    def pending_level_c(self) -> List[Job]:
+        """Incomplete released level-C jobs (the kernel's pending set)."""
+        return list(self.jobs_c)
+
+
+def simulate(
+    taskset: TaskSet,
+    until: float,
+    behavior: Optional[ExecutionBehavior] = None,
+    monitor_factory: Optional[Callable[[MC2Kernel], Monitor]] = None,
+    config: Optional[KernelConfig] = None,
+    stop: Optional[Callable[[MC2Kernel, Monitor], bool]] = None,
+) -> Tuple[Trace, MC2Kernel, Monitor]:
+    """Convenience wrapper: build a kernel, attach a monitor, run.
+
+    Parameters
+    ----------
+    taskset, until, behavior, config:
+        Passed through to :class:`MC2Kernel`.
+    monitor_factory:
+        ``kernel -> Monitor``; defaults to a :class:`NullMonitor`.
+    stop:
+        Optional early-exit predicate ``(kernel, monitor) -> bool``.
+
+    Returns
+    -------
+    (trace, kernel, monitor)
+    """
+    kernel = MC2Kernel(taskset, behavior=behavior, config=config)
+    monitor = monitor_factory(kernel) if monitor_factory else NullMonitor(kernel)
+    kernel.attach_monitor(monitor)
+    pred = (lambda: stop(kernel, monitor)) if stop else None
+    trace = kernel.run(until, stop=pred)
+    return trace, kernel, monitor

@@ -1,0 +1,61 @@
+"""Per-CPU run state.
+
+A :class:`Processor` tracks which job currently occupies the CPU and
+since when, so the kernel can charge elapsed execution on every event
+("advance"), and the trace can record contiguous execution intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.job import Job
+
+__all__ = ["Processor"]
+
+
+class Processor:
+    """One identical unit-speed CPU."""
+
+    def __init__(self, cpu_id: int) -> None:
+        self.cpu_id = cpu_id
+        #: The job currently executing here, if any.
+        self.current: Optional[Job] = None
+        #: When the current job last started/resumed/was advanced here.
+        self.since: float = 0.0
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether no job occupies this CPU."""
+        return self.current is None
+
+    def advance(self, now: float) -> float:
+        """Charge execution up to *now*; return the amount charged.
+
+        Decrements the running job's remaining execution by the elapsed
+        time since the last advance and moves the accounting point to
+        *now*.  Idle CPUs charge nothing.
+        """
+        if self.current is None:
+            self.since = now
+            return 0.0
+        elapsed = now - self.since
+        if elapsed < 0:
+            raise ValueError(
+                f"cpu {self.cpu_id}: advance to {now} precedes accounting point {self.since}"
+            )
+        if elapsed:
+            # Clamp at zero: the elapsed time equals the remaining work at a
+            # completion event up to float round-off.
+            self.current.remaining = max(0.0, self.current.remaining - elapsed)
+        self.since = now
+        return elapsed
+
+    def assign(self, job: Optional[Job], now: float) -> None:
+        """Install *job* (or idle the CPU) with accounting from *now*."""
+        self.current = job
+        self.since = now
+
+    def __repr__(self) -> str:  # pragma: no cover - formatting only
+        what = self.current.label if self.current else "idle"
+        return f"Processor({self.cpu_id}: {what} since {self.since})"

@@ -1,0 +1,154 @@
+"""A deliberately simple time-stepped reference simulator.
+
+The production kernel (:mod:`repro.sim.kernel`) is event-driven: fast,
+but with the usual event-driven failure modes (stale events, generation
+races, float drift at completion boundaries).  This module implements
+the *same* scheduling semantics as an obviously-correct quantum-stepped
+loop — no event queue, no timers, no cancellation — and exists purely to
+**differentially test** the kernel: on systems whose parameters are
+integral multiples of the quantum, both simulators must produce
+identical schedules (``tests/integration/test_differential.py``).
+
+Scope: level-C GEL-v with intra-task precedence, the global virtual
+clock, and optional scripted speed changes.  Levels A/B are modelled the
+same way the analysis sees them — per-CPU blackout intervals — which is
+sufficient for differential coverage of the level-C machinery (the
+production kernel's A/B layering has its own direct tests).
+
+Not optimized, not part of the public simulation API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.virtual_time import VirtualClock
+from repro.model.behavior import ConstantBehavior, ExecutionBehavior
+from repro.model.task import CriticalityLevel, Task
+
+__all__ = ["ReferenceJob", "ReferenceResult", "simulate_reference"]
+
+
+@dataclass
+class ReferenceJob:
+    """A job in the reference simulator."""
+
+    task_id: int
+    index: int
+    release: float
+    exec_time: float
+    remaining: float
+    virtual_release: float
+    virtual_pp: float
+    completion: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """Outcome of a reference run."""
+
+    jobs: Tuple[ReferenceJob, ...]
+    #: (time, task_id, job_index) per executed quantum, per CPU slot —
+    #: kept only when ``record_schedule`` is set (it is large).
+    schedule: Tuple[Tuple[float, int, int], ...]
+
+    def job(self, task_id: int, index: int) -> ReferenceJob:
+        """Look up one job (raises ``KeyError`` if absent)."""
+        for j in self.jobs:
+            if j.task_id == task_id and j.index == index:
+                return j
+        raise KeyError((task_id, index))
+
+
+def simulate_reference(
+    tasks: Sequence[Task],
+    m: int,
+    until: float,
+    quantum: float = 0.5,
+    behavior: Optional[ExecutionBehavior] = None,
+    speed_changes: Sequence[Tuple[float, float]] = (),
+    blackout: Optional[Callable[[int, float], bool]] = None,
+    record_schedule: bool = False,
+) -> ReferenceResult:
+    """Quantum-stepped GEL-v simulation of level-C *tasks* on *m* CPUs.
+
+    Parameters
+    ----------
+    tasks:
+        Level-C tasks only (others are rejected); phases, periods,
+        execution times and *until* must be integral multiples of
+        ``quantum`` for the step loop to be exact.
+    quantum:
+        Step size.
+    speed_changes:
+        Scripted ``(time, new_speed)`` changes, applied at the start of
+        the matching step.
+    blackout:
+        Optional ``(cpu, time) -> bool``; a blacked-out CPU executes
+        nothing that quantum (stands in for level-A/B occupancy).
+    record_schedule:
+        Keep the per-quantum execution log.
+    """
+    for t in tasks:
+        if t.level is not CriticalityLevel.C:
+            raise ValueError(f"reference simulator is level-C only, got {t.label}")
+    behavior = behavior if behavior is not None else ConstantBehavior()
+    clock = VirtualClock(0.0)
+    changes = sorted(speed_changes)
+    change_i = 0
+
+    jobs: List[ReferenceJob] = []
+    by_task: Dict[int, List[ReferenceJob]] = {t.task_id: [] for t in tasks}
+    #: Next release bookkeeping per task: (virtual point, next index).
+    next_release: Dict[int, Tuple[float, int]] = {
+        t.task_id: (t.phase, 0) for t in tasks
+    }
+
+    steps = int(round(until / quantum))
+    schedule: List[Tuple[float, int, int]] = []
+    for step in range(steps):
+        now = step * quantum
+        # 1. Scripted speed changes at this instant.
+        while change_i < len(changes) and changes[change_i][0] <= now + 1e-12:
+            clock.change_speed(changes[change_i][1], now)
+            change_i += 1
+        virt_now = clock.act_to_virt(now)
+        # 2. Releases whose earliest legal virtual time has arrived.
+        for t in tasks:
+            v_next, idx = next_release[t.task_id]
+            if v_next <= virt_now + 1e-12:
+                v_r = max(v_next, virt_now)
+                exec_time = behavior.exec_time(t, idx, now)
+                job = ReferenceJob(
+                    task_id=t.task_id,
+                    index=idx,
+                    release=now,
+                    exec_time=exec_time,
+                    remaining=exec_time,
+                    virtual_release=v_r,
+                    virtual_pp=v_r + (t.relative_pp or 0.0),
+                )
+                if exec_time <= 0.0:
+                    job.completion = now
+                jobs.append(job)
+                by_task[t.task_id].append(job)
+                next_release[t.task_id] = (v_r + t.period, idx + 1)
+        # 3. Eligible jobs: each task's earliest incomplete job.
+        eligible: List[ReferenceJob] = []
+        for t in tasks:
+            for j in by_task[t.task_id]:
+                if j.completion is None:
+                    eligible.append(j)
+                    break
+        eligible.sort(key=lambda j: (j.virtual_pp, j.task_id, j.index))
+        # 4. Run the top jobs on the available CPUs for one quantum.
+        cpus = [p for p in range(m) if blackout is None or not blackout(p, now)]
+        for j, cpu in zip(eligible, cpus):
+            if record_schedule:
+                schedule.append((now, j.task_id, j.index))
+            j.remaining -= quantum
+            if j.remaining <= 1e-12:
+                j.remaining = 0.0
+                j.completion = now + quantum
+    return ReferenceResult(jobs=tuple(jobs), schedule=tuple(schedule))

@@ -1,0 +1,115 @@
+"""Trace statistics: what a practitioner reads off a finished run.
+
+Computes per-task and per-level response-time distributions, PP-relative
+lateness, per-CPU busy utilization, and tolerance-miss tallies from a
+:class:`~repro.sim.trace.Trace` — the numbers behind the paper's
+qualitative statements like "response times settle into a pattern that
+is degraded compared to (a)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.task import CriticalityLevel, Task
+from repro.model.taskset import TaskSet
+from repro.sim.trace import Trace
+
+__all__ = ["ResponseStats", "task_response_stats", "level_response_stats",
+           "cpu_utilizations", "tolerance_miss_counts", "lateness_series"]
+
+
+@dataclass(frozen=True)
+class ResponseStats:
+    """Response-time distribution summary for a group of jobs (seconds)."""
+
+    jobs: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "ResponseStats":
+        """Summarize a non-empty sample of response times."""
+        xs = np.asarray(values, dtype=float)
+        if xs.size == 0:
+            raise ValueError("no completed jobs to summarize")
+        return cls(
+            jobs=int(xs.size),
+            mean=float(xs.mean()),
+            p50=float(np.percentile(xs, 50)),
+            p95=float(np.percentile(xs, 95)),
+            p99=float(np.percentile(xs, 99)),
+            maximum=float(xs.max()),
+        )
+
+    def row(self, label: str) -> str:
+        """One formatted table row (times in ms)."""
+        return (
+            f"{label:<12} n={self.jobs:<6d} mean={self.mean * 1e3:8.2f} "
+            f"p50={self.p50 * 1e3:8.2f} p95={self.p95 * 1e3:8.2f} "
+            f"p99={self.p99 * 1e3:8.2f} max={self.maximum * 1e3:8.2f} ms"
+        )
+
+
+def task_response_stats(trace: Trace, task_id: int) -> Optional[ResponseStats]:
+    """Response-time stats for one task (None if no job completed)."""
+    rs = [r.response_time for r in trace.jobs_of(task_id) if r.completion is not None]
+    if not rs:
+        return None
+    return ResponseStats.from_values(rs)
+
+
+def level_response_stats(
+    trace: Trace, level: CriticalityLevel = CriticalityLevel.C
+) -> Optional[ResponseStats]:
+    """Response-time stats across a whole criticality level."""
+    rs = trace.response_times(level)
+    if not rs:
+        return None
+    return ResponseStats.from_values(rs)
+
+
+def lateness_series(trace: Trace, task_id: int, relative_pp: float) -> List[float]:
+    """Per-job PP-relative lateness ``t^c - (r + Y)`` for one task.
+
+    Uses the *nominal* actual PP ``r + Y`` (what the PP would be with the
+    clock at speed 1 throughout), which is the natural per-job degradation
+    signal the paper's Fig. 2/3 discussions read off the schedules.
+    """
+    out = []
+    for rec in trace.jobs_of(task_id):
+        if rec.completion is not None:
+            out.append(rec.completion - (rec.release + relative_pp))
+    return out
+
+
+def cpu_utilizations(trace: Trace, m: int, horizon: float) -> List[float]:
+    """Fraction of ``[0, horizon]`` each CPU spent executing.
+
+    Requires interval recording.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    busy = [0.0] * m
+    for iv in trace.intervals:
+        busy[iv.cpu] += min(iv.end, horizon) - min(iv.start, horizon)
+    return [b / horizon for b in busy]
+
+
+def tolerance_miss_counts(trace: Trace, ts: TaskSet) -> Dict[int, int]:
+    """Per-task counts of completed level-C jobs missing their tolerance."""
+    out: Dict[int, int] = {}
+    for rec in trace.completed(CriticalityLevel.C):
+        task = ts[rec.task_id]
+        if task.tolerance is None:
+            continue
+        lateness = rec.pp_lateness
+        missed = lateness is not None and lateness > task.tolerance
+        out[rec.task_id] = out.get(rec.task_id, 0) + (1 if missed else 0)
+    return out

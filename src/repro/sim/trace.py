@@ -1,0 +1,208 @@
+"""Schedule traces: the simulator's stand-in for sched_trace.
+
+A :class:`Trace` records, per job, the quantities the paper's metrics
+need (release, actual PP, completion, execution time) and optionally the
+full per-CPU execution intervals used by the example-schedule figures,
+invariant property tests, and ASCII schedule rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.model.job import Job
+from repro.model.task import CriticalityLevel, Task
+
+__all__ = ["JobRecord", "ExecutionInterval", "Trace"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Final per-job accounting."""
+
+    task_id: int
+    level: CriticalityLevel
+    index: int
+    release: float
+    exec_time: float
+    completion: Optional[float]
+    #: Actual PP if it was resolved; None means the job completed at or
+    #: before its PP (level C) or has no PP (other levels / incomplete).
+    actual_pp: Optional[float]
+    #: v(r) and v(y) for level-C jobs.
+    virtual_release: Optional[float] = None
+    virtual_pp: Optional[float] = None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """``t^c - r`` or ``None`` if the job never completed."""
+        if self.completion is None:
+            return None
+        return self.completion - self.release
+
+    @property
+    def pp_lateness(self) -> Optional[float]:
+        """``t^c - y``; ``None`` when incomplete or completed before the PP."""
+        if self.completion is None or self.actual_pp is None:
+            return None
+        return self.completion - self.actual_pp
+
+
+@dataclass(frozen=True)
+class ExecutionInterval:
+    """A maximal interval during which one job ran on one CPU."""
+
+    cpu: int
+    task_id: int
+    job_index: int
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        """Interval duration."""
+        return self.end - self.start
+
+
+class Trace:
+    """Accumulates job records and (optionally) execution intervals."""
+
+    def __init__(self, record_intervals: bool = False) -> None:
+        self.record_intervals = record_intervals
+        self.jobs: List[JobRecord] = []
+        self.intervals: List[ExecutionInterval] = []
+        #: (time, speed) — every virtual-clock speed change the kernel applied.
+        self.speed_changes: List[Tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    # Recording API (called by the kernel)
+    # ------------------------------------------------------------------
+    def record_job(self, job: Job) -> None:
+        """Snapshot *job*'s final state (call at completion or at sim end)."""
+        self.jobs.append(
+            JobRecord(
+                task_id=job.task.task_id,
+                level=job.task.level,
+                index=job.index,
+                release=job.release,
+                exec_time=job.exec_time,
+                completion=job.completion,
+                actual_pp=job.actual_pp,
+                virtual_release=job.virtual_release,
+                virtual_pp=job.virtual_pp,
+            )
+        )
+
+    def record_interval(
+        self, cpu: int, job: Job, start: float, end: float
+    ) -> None:
+        """Record one execution interval (no-op unless enabled, or empty)."""
+        if not self.record_intervals or end <= start:
+            return
+        self.intervals.append(
+            ExecutionInterval(
+                cpu=cpu,
+                task_id=job.task.task_id,
+                job_index=job.index,
+                start=start,
+                end=end,
+            )
+        )
+
+    def record_speed_change(self, time: float, speed: float) -> None:
+        """Record a virtual-clock speed change."""
+        self.speed_changes.append((time, speed))
+
+    # ------------------------------------------------------------------
+    # Queries (used by metrics, tests, figures)
+    # ------------------------------------------------------------------
+    def jobs_of(self, task_id: int) -> List[JobRecord]:
+        """All records of one task, ordered by job index."""
+        return sorted(
+            (j for j in self.jobs if j.task_id == task_id), key=lambda j: j.index
+        )
+
+    def job(self, task_id: int, index: int) -> JobRecord:
+        """The record of one specific job (raises ``KeyError`` if absent)."""
+        for j in self.jobs:
+            if j.task_id == task_id and j.index == index:
+                return j
+        raise KeyError(f"no record for job ({task_id}, {index})")
+
+    def level_jobs(self, level: CriticalityLevel) -> List[JobRecord]:
+        """All records at a criticality level."""
+        return [j for j in self.jobs if j.level is level]
+
+    def completed(self, level: Optional[CriticalityLevel] = None) -> List[JobRecord]:
+        """All completed job records, optionally filtered by level."""
+        return [
+            j
+            for j in self.jobs
+            if j.completion is not None and (level is None or j.level is level)
+        ]
+
+    def response_times(self, level: CriticalityLevel = CriticalityLevel.C) -> List[float]:
+        """Response times of completed jobs at *level*."""
+        return [j.response_time for j in self.completed(level)]  # type: ignore[misc]
+
+    def max_response_time(self, level: CriticalityLevel = CriticalityLevel.C) -> float:
+        """Largest completed response time at *level* (0.0 if none)."""
+        rs = self.response_times(level)
+        return max(rs) if rs else 0.0
+
+    def intervals_of(self, task_id: int, index: Optional[int] = None) -> List[ExecutionInterval]:
+        """Execution intervals of a task (or one job), time-ordered."""
+        out = [
+            iv
+            for iv in self.intervals
+            if iv.task_id == task_id and (index is None or iv.job_index == index)
+        ]
+        return sorted(out, key=lambda iv: iv.start)
+
+    def busy_intervals(self, cpu: int) -> List[ExecutionInterval]:
+        """Execution intervals on one CPU, time-ordered."""
+        return sorted(
+            (iv for iv in self.intervals if iv.cpu == cpu), key=lambda iv: iv.start
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_ascii(
+        self,
+        tasks: Sequence[Task],
+        t_end: float,
+        resolution: float = 1.0,
+        width_limit: int = 200,
+    ) -> str:
+        """Render an ASCII schedule (one row per CPU) for small examples.
+
+        Each column covers ``resolution`` time units; the cell shows the
+        task id executing for the majority of the column on that CPU
+        (``.`` for idle).  Only usable with interval recording enabled.
+        """
+        if not self.record_intervals:
+            raise ValueError("interval recording was disabled for this trace")
+        labels = {t.task_id: t.label for t in tasks}
+        cpus = sorted({iv.cpu for iv in self.intervals}) or [0]
+        cols = min(int(round(t_end / resolution)), width_limit)
+        lines = []
+        header = "     " + "".join(
+            f"{int(i * resolution):<5d}" if i % 5 == 0 else "" for i in range(cols)
+        )
+        lines.append(header)
+        for cpu in cpus:
+            cells = []
+            ivs = self.busy_intervals(cpu)
+            for i in range(cols):
+                lo, hi = i * resolution, (i + 1) * resolution
+                best, best_len = ".", 0.0
+                for iv in ivs:
+                    ov = min(hi, iv.end) - max(lo, iv.start)
+                    if ov > best_len:
+                        best_len = ov
+                        best = labels.get(iv.task_id, str(iv.task_id))[-1]
+                cells.append(best)
+            lines.append(f"CPU{cpu} " + "".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Utility layer: statistics, time-unit helpers, validation helpers.
+
+These modules are dependency-free within :mod:`repro` (they only use the
+standard library, NumPy, and SciPy) and are shared by the task model, the
+simulator, the analysis, and the experiment harness.
+"""
+
+from repro.util.stats import ConfidenceInterval, mean_ci, summarize
+from repro.util.timeunits import MS, US, NS, SEC, from_ms, to_ms
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_ci",
+    "summarize",
+    "MS",
+    "US",
+    "NS",
+    "SEC",
+    "from_ms",
+    "to_ms",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+]

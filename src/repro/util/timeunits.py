@@ -1,0 +1,48 @@
+"""Time-unit conventions.
+
+All simulator and analysis code in this repository expresses time in
+**seconds** as plain Python numbers.  The paper's workloads are specified in
+milliseconds (periods of 10-300 ms, overload windows of 500 ms / 1 s), so
+these helpers make workload definitions read like the paper.
+
+The core :class:`repro.core.virtual_time.VirtualClock` is deliberately
+numeric-type agnostic (it works with ``float`` as well as
+``fractions.Fraction``), so nothing here enforces floats.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+__all__ = ["SEC", "MS", "US", "NS", "from_ms", "to_ms", "from_us", "to_us"]
+
+Number = TypeVar("Number", int, float)
+
+#: One second, the base unit.
+SEC: float = 1.0
+#: One millisecond in seconds.
+MS: float = 1e-3
+#: One microsecond in seconds.
+US: float = 1e-6
+#: One nanosecond in seconds.
+NS: float = 1e-9
+
+
+def from_ms(value_ms: float) -> float:
+    """Convert milliseconds to seconds (``from_ms(25) == 0.025``)."""
+    return value_ms * MS
+
+
+def to_ms(value_s: float) -> float:
+    """Convert seconds to milliseconds (``to_ms(0.025) == 25.0``)."""
+    return value_s / MS
+
+
+def from_us(value_us: float) -> float:
+    """Convert microseconds to seconds."""
+    return value_us * US
+
+
+def to_us(value_s: float) -> float:
+    """Convert seconds to microseconds."""
+    return value_s / US

@@ -1,0 +1,177 @@
+"""SVG schedule diagrams (Fig. 2/3-style) from traces.
+
+Renders a recorded schedule as a self-contained SVG: one row per CPU
+with execution rectangles colored by task, plus (for level-C tasks)
+release (▲), priority-point (▽) and completion (│) markers and the
+virtual-clock speed profile along the bottom — the same visual language
+as the paper's example figures.
+
+Pure string generation, no plotting dependency; the output opens in any
+browser. Used by ``examples/figure2_walkthrough.py --svg`` and validated
+structurally (well-formed XML, one rect per interval) in
+``tests/test_viz.py``.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence
+
+from repro.model.task import CriticalityLevel, Task
+from repro.sim.trace import Trace
+
+__all__ = ["svg_gantt", "PALETTE"]
+
+#: Color-blind-safe categorical palette (Okabe-Ito), cycled per task.
+PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7",
+    "#56B4E9", "#D55E00", "#F0E442", "#999999",
+)
+
+_ROW_H = 34
+_GUTTER = 70
+_TOP = 28
+_SPEED_H = 26
+
+
+def _esc(s: str) -> str:
+    return html.escape(s, quote=True)
+
+
+def svg_gantt(
+    trace: Trace,
+    tasks: Sequence[Task],
+    t_end: float,
+    width: int = 960,
+    title: str = "",
+    mark_level_c: bool = True,
+) -> str:
+    """Render *trace* (with interval recording) as an SVG string.
+
+    Parameters
+    ----------
+    trace:
+        A finished trace with ``record_intervals`` enabled.
+    tasks:
+        The tasks (for labels and level-C marker data).
+    t_end:
+        Time-axis end.
+    width:
+        Pixel width of the drawing.
+    title:
+        Optional caption.
+    mark_level_c:
+        Draw release/PP/completion markers for level-C jobs.
+    """
+    if not trace.record_intervals:
+        raise ValueError("interval recording was disabled for this trace")
+    if t_end <= 0:
+        raise ValueError(f"t_end must be > 0, got {t_end}")
+    by_id: Dict[int, Task] = {t.task_id: t for t in tasks}
+    color: Dict[int, str] = {
+        t.task_id: PALETTE[i % len(PALETTE)] for i, t in enumerate(tasks)
+    }
+    cpus = sorted({iv.cpu for iv in trace.intervals})
+    if not cpus:
+        cpus = [0]
+    scale = (width - _GUTTER - 10) / t_end
+
+    def x(t: float) -> float:
+        return _GUTTER + t * scale
+
+    rows = len(cpus)
+    height = _TOP + rows * _ROW_H + _SPEED_H + 46
+    out: List[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">'
+    )
+    out.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    if title:
+        out.append(f'<text x="{_GUTTER}" y="16" font-size="13">{_esc(title)}</text>')
+
+    # Time grid.
+    step = max(1, int(round(t_end / 12)))
+    for tick in range(0, int(t_end) + 1, step):
+        xt = x(tick)
+        out.append(
+            f'<line x1="{xt:.1f}" y1="{_TOP}" x2="{xt:.1f}" '
+            f'y2="{_TOP + rows * _ROW_H}" stroke="#ddd"/>'
+        )
+        out.append(
+            f'<text x="{xt:.1f}" y="{_TOP + rows * _ROW_H + 14}" '
+            f'text-anchor="middle" fill="#555">{tick}</text>'
+        )
+
+    # CPU rows and execution rectangles.
+    row_y = {cpu: _TOP + i * _ROW_H for i, cpu in enumerate(cpus)}
+    for cpu in cpus:
+        y = row_y[cpu]
+        out.append(
+            f'<text x="6" y="{y + _ROW_H * 0.65:.1f}" fill="#333">CPU{cpu}</text>'
+        )
+        out.append(
+            f'<line x1="{_GUTTER}" y1="{y + _ROW_H - 6}" x2="{width - 10}" '
+            f'y2="{y + _ROW_H - 6}" stroke="#999"/>'
+        )
+    for iv in trace.intervals:
+        if iv.start >= t_end:
+            continue
+        y = row_y[iv.cpu]
+        x0, x1 = x(iv.start), x(min(iv.end, t_end))
+        c = color.get(iv.task_id, "#bbb")
+        label = by_id[iv.task_id].label if iv.task_id in by_id else str(iv.task_id)
+        out.append(
+            f'<rect class="exec" x="{x0:.1f}" y="{y + 4}" '
+            f'width="{max(0.5, x1 - x0):.1f}" height="{_ROW_H - 12}" '
+            f'fill="{c}" fill-opacity="0.85">'
+            f"<title>{_esc(label)},{iv.job_index} [{iv.start:g}, {iv.end:g})</title>"
+            f"</rect>"
+        )
+
+    # Level-C job markers.
+    if mark_level_c:
+        y_base = _TOP + rows * _ROW_H
+        for rec in trace.jobs:
+            if rec.level is not CriticalityLevel.C or rec.release >= t_end:
+                continue
+            c = color.get(rec.task_id, "#333")
+            xr = x(rec.release)
+            out.append(
+                f'<path class="release" d="M {xr:.1f} {y_base + 24} l 4 7 l -8 0 z" '
+                f'fill="{c}"><title>{rec.task_id},{rec.index} released {rec.release:g}'
+                f"</title></path>"
+            )
+            if rec.actual_pp is not None and rec.actual_pp < t_end:
+                xp = x(rec.actual_pp)
+                out.append(
+                    f'<path class="pp" d="M {xp:.1f} {y_base + 31} l 4 -7 l -8 0 z" '
+                    f'fill="none" stroke="{c}"/>'
+                )
+            if rec.completion is not None and rec.completion < t_end:
+                xc = x(rec.completion)
+                out.append(
+                    f'<line class="completion" x1="{xc:.1f}" y1="{y_base + 22}" '
+                    f'x2="{xc:.1f}" y2="{y_base + 33}" stroke="{c}" stroke-width="2"/>'
+                )
+
+    # Virtual-clock speed profile.
+    y_speed = _TOP + rows * _ROW_H + 38
+    out.append(f'<text x="6" y="{y_speed + 8}" fill="#333">s(t)</text>')
+    changes = [(0.0, 1.0)] + list(trace.speed_changes) + [(t_end, None)]
+    for (t0, s0), (t1, _) in zip(changes, changes[1:]):
+        if s0 is None or t0 >= t_end:
+            continue
+        t1c = min(t1, t_end)
+        yl = y_speed + (1.0 - s0) * _SPEED_H * 0.6
+        out.append(
+            f'<line class="speed" x1="{x(t0):.1f}" y1="{yl:.1f}" '
+            f'x2="{x(t1c):.1f}" y2="{yl:.1f}" stroke="#D55E00" stroke-width="2"/>'
+        )
+        if s0 != 1.0:
+            out.append(
+                f'<text x="{x((t0 + t1c) / 2):.1f}" y="{yl - 3:.1f}" '
+                f'text-anchor="middle" fill="#D55E00">s={s0:g}</text>'
+            )
+    out.append("</svg>")
+    return "\n".join(out)

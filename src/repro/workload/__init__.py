@@ -1,0 +1,42 @@
+"""Experiment workload generation (Sec. 5 methodology).
+
+* :mod:`repro.workload.distributions` — the "uniform medium" utilization
+  distribution and the paper's period grids.
+* :mod:`repro.workload.generator` — the avionics-like task-set generator:
+  levels A and B each fill 5 % of system capacity and level C 65 %
+  (measured at level-C PWCETs), level-B PWCETs are 10x and level-A PWCETs
+  20x the level-C PWCETs, level-C relative PPs come from G-FL, and
+  response-time tolerances from the analytical bounds.
+* :mod:`repro.workload.scenarios` — the transient overload scenarios
+  SHORT, LONG and DOUBLE.
+"""
+
+from repro.workload.distributions import (
+    LEVEL_A_PERIODS_MS,
+    level_b_period_choices_ms,
+    level_c_period_choices_ms,
+    uniform_medium,
+)
+from repro.workload.generator import GeneratorParams, generate_taskset, generate_tasksets
+from repro.workload.scenarios import (
+    DOUBLE,
+    LONG,
+    SHORT,
+    OverloadScenario,
+    standard_scenarios,
+)
+
+__all__ = [
+    "uniform_medium",
+    "LEVEL_A_PERIODS_MS",
+    "level_b_period_choices_ms",
+    "level_c_period_choices_ms",
+    "GeneratorParams",
+    "generate_taskset",
+    "generate_tasksets",
+    "OverloadScenario",
+    "SHORT",
+    "LONG",
+    "DOUBLE",
+    "standard_scenarios",
+]

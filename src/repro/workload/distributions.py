@@ -1,0 +1,73 @@
+"""Parameter distributions used by the Sec. 5 generator.
+
+* **uniform medium** utilizations: ``U(0.1, 0.4)`` at the task's own
+  criticality level (Brandenburg's classification, used in the paper via
+  [5, 11]).
+* **level-A periods**: drawn from {25 ms, 50 ms, 100 ms}.
+* **level-B periods**: random multiples of the largest level-A period on
+  the same CPU, capped at 300 ms.
+* **level-C periods**: multiples of 5 ms between 10 ms and 100 ms,
+  inclusive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "uniform_medium",
+    "LEVEL_A_PERIODS_MS",
+    "level_b_period_choices_ms",
+    "level_c_period_choices_ms",
+]
+
+#: The paper's level-A period grid (milliseconds).
+LEVEL_A_PERIODS_MS: Sequence[int] = (25, 50, 100)
+
+#: Bounds of the "uniform medium" utilization distribution.
+UNIFORM_MEDIUM_LO = 0.1
+UNIFORM_MEDIUM_HI = 0.4
+
+#: Brandenburg's uniform utilization families [5]: the paper uses
+#: "medium"; light/heavy are provided for sensitivity studies
+#: (``benchmarks/bench_extension_distributions.py``).
+UNIFORM_RANGES = {
+    "light": (0.001, 0.1),
+    "medium": (UNIFORM_MEDIUM_LO, UNIFORM_MEDIUM_HI),
+    "heavy": (0.5, 0.9),
+}
+
+
+def uniform_medium(rng: np.random.Generator) -> float:
+    """Draw a per-task utilization from ``U(0.1, 0.4)``."""
+    return float(rng.uniform(UNIFORM_MEDIUM_LO, UNIFORM_MEDIUM_HI))
+
+
+def uniform_utilization(
+    rng: np.random.Generator, lo: float = UNIFORM_MEDIUM_LO,
+    hi: float = UNIFORM_MEDIUM_HI,
+) -> float:
+    """Draw a per-task utilization from ``U(lo, hi)``."""
+    if not 0.0 < lo <= hi <= 1.0:
+        raise ValueError(f"need 0 < lo <= hi <= 1, got ({lo}, {hi})")
+    return float(rng.uniform(lo, hi))
+
+
+def level_b_period_choices_ms(largest_a_period_ms: int, cap_ms: int = 300) -> List[int]:
+    """Legal level-B periods: multiples of the CPU's largest level-A period.
+
+    "For level-B tasks, we selected random multiples of the largest
+    level-A period on the same CPU, capped at 300 ms."
+    """
+    if largest_a_period_ms <= 0:
+        raise ValueError(f"largest_a_period_ms must be > 0, got {largest_a_period_ms}")
+    return [k * largest_a_period_ms for k in range(1, cap_ms // largest_a_period_ms + 1)]
+
+
+def level_c_period_choices_ms(
+    lo_ms: int = 10, hi_ms: int = 100, step_ms: int = 5
+) -> List[int]:
+    """Legal level-C periods: multiples of *step_ms* in ``[lo_ms, hi_ms]``."""
+    return list(range(lo_ms, hi_ms + 1, step_ms))

@@ -1,0 +1,83 @@
+"""The paper's transient overload scenarios (Sec. 5).
+
+* **SHORT** — all jobs at levels A, B and C execute for their level-B
+  PWCETs for 500 ms, then their level-C PWCETs afterward.
+* **LONG** — the same, for 1 s.
+* **DOUBLE** — level-B PWCETs for 500 ms, level-C PWCETs for one second,
+  level-B PWCETs for another 500 ms, then level-C PWCETs.
+
+Because levels A and B together occupy 10 % of the system at level C and
+level-B PWCETs are ten times more pessimistic, during the overload
+windows the A/B partitions alone occupy essentially all CPUs — the
+paper's "particularly pessimistic scenario".
+
+An :class:`OverloadScenario` is a declarative wrapper that produces the
+matching :class:`~repro.model.behavior.WindowedOverloadBehavior` and
+knows when its last overload window ends (the origin for dissipation
+measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.model.behavior import OverloadWindow, WindowedOverloadBehavior
+from repro.model.task import CriticalityLevel
+
+__all__ = ["OverloadScenario", "SHORT", "LONG", "DOUBLE", "standard_scenarios"]
+
+
+@dataclass(frozen=True)
+class OverloadScenario:
+    """A named set of overload windows."""
+
+    name: str
+    windows: Tuple[OverloadWindow, ...]
+    #: PWCET level jobs execute at inside windows (paper: level B).
+    overload_level: CriticalityLevel = CriticalityLevel.B
+
+    def behavior(self) -> WindowedOverloadBehavior:
+        """The execution behaviour implementing this scenario."""
+        return WindowedOverloadBehavior(
+            self.windows, overload_level=self.overload_level
+        )
+
+    @property
+    def last_overload_end(self) -> float:
+        """End of the final overload window — dissipation time's origin."""
+        return max(w.end for w in self.windows)
+
+    @property
+    def total_overload_length(self) -> float:
+        """Sum of window lengths (drives the analytical dissipation bound)."""
+        return sum(w.length for w in self.windows)
+
+    def shifted(self, offset: float) -> "OverloadScenario":
+        """The same scenario with every window delayed by *offset*.
+
+        Useful to let the system warm up before the overload hits; the
+        paper's experiments start the overload at time 0.
+        """
+        return OverloadScenario(
+            name=self.name,
+            windows=tuple(
+                OverloadWindow(w.start + offset, w.end + offset) for w in self.windows
+            ),
+            overload_level=self.overload_level,
+        )
+
+
+#: Level-B execution for the first 500 ms.
+SHORT = OverloadScenario("SHORT", (OverloadWindow(0.0, 0.5),))
+#: Level-B execution for the first 1 s.
+LONG = OverloadScenario("LONG", (OverloadWindow(0.0, 1.0),))
+#: Two 500 ms overload windows separated by one normal second.
+DOUBLE = OverloadScenario(
+    "DOUBLE", (OverloadWindow(0.0, 0.5), OverloadWindow(1.5, 2.0))
+)
+
+
+def standard_scenarios() -> Tuple[OverloadScenario, ...]:
+    """The paper's three scenarios, in presentation order."""
+    return (SHORT, LONG, DOUBLE)

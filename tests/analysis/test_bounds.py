@@ -1,0 +1,126 @@
+"""Tests for the GEL response-time bounds (repro.analysis.bounds)."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import gel_response_bounds, response_bound_x
+from repro.analysis.supply import SupplyModel
+from repro.core.gel import gfl_relative_pps
+from repro.model.task import CriticalityLevel as L
+from repro.model.taskset import TaskSet
+from tests.conftest import make_a_task, make_c_task
+
+
+@pytest.fixture
+def two_cpu_set():
+    return TaskSet(
+        [make_c_task(0, 4.0, 1.0, y=3.0), make_c_task(1, 8.0, 2.0, y=6.0)], m=2
+    )
+
+
+class TestResponseBoundX:
+    def test_empty_is_zero(self):
+        assert response_bound_x([], SupplyModel.unrestricted(2)) == 0.0
+
+    def test_finite_with_slack(self, two_cpu_set):
+        x = response_bound_x(two_cpu_set.tasks, SupplyModel.unrestricted(2))
+        assert 0.0 <= x < math.inf
+
+    def test_infinite_without_slack(self):
+        tasks = TaskSet(
+            [make_c_task(0, 1.0, 1.0, y=1.0), make_c_task(1, 1.0, 1.0, y=1.0)], m=2
+        ).tasks
+        assert response_bound_x(tasks, SupplyModel.unrestricted(2)) == math.inf
+
+    def test_infinite_when_one_task_outstrips_every_cpu(self):
+        """The Fig. 3 condition: u_i above any single CPU's availability."""
+        tasks = (make_c_task(0, 6.0, 5.5, y=4.0),)
+        supply = SupplyModel(alphas=(5 / 6, 5 / 6), sigmas=(0.0, 0.0))
+        assert response_bound_x(tasks, supply) == math.inf
+
+    def test_monotone_in_utilization(self):
+        lo = (make_c_task(0, 4.0, 1.0, y=3.0), make_c_task(1, 4.0, 1.0, y=3.0))
+        hi = (make_c_task(0, 4.0, 2.0, y=3.0), make_c_task(1, 4.0, 2.0, y=3.0))
+        sm = SupplyModel.unrestricted(2)
+        assert response_bound_x(lo, sm) <= response_bound_x(hi, sm)
+
+    def test_monotone_in_burst(self, two_cpu_set):
+        calm = SupplyModel(alphas=(1.0, 1.0), sigmas=(0.0, 0.0))
+        bursty = SupplyModel(alphas=(1.0, 1.0), sigmas=(1.0, 1.0))
+        assert response_bound_x(two_cpu_set.tasks, calm) <= response_bound_x(
+            two_cpu_set.tasks, bursty
+        )
+
+    def test_larger_pps_reduce_x(self, two_cpu_set):
+        """Carry-in terms (C - U*Y)+ shrink as Y grows."""
+        sm = SupplyModel.unrestricted(2)
+        x_small = response_bound_x(two_cpu_set.tasks, sm, pps={0: 0.0, 1: 0.0})
+        x_large = response_bound_x(two_cpu_set.tasks, sm, pps={0: 10.0, 1: 10.0})
+        assert x_large <= x_small
+
+    def test_uniprocessor_has_no_carry_in_term(self):
+        """With m = 1, the top-(m-1) sum is empty: x is burst/slack only."""
+        tasks = (make_c_task(0, 4.0, 1.0, y=0.0),)
+        x = response_bound_x(tasks, SupplyModel.unrestricted(1))
+        assert x == 0.0
+
+    def test_missing_pp_rejected(self):
+        t = make_c_task(0, 4.0, 1.0, y=3.0)
+        with pytest.raises(ValueError, match="relative PP"):
+            response_bound_x((t,), SupplyModel.unrestricted(2), pps={})
+
+
+class TestGelResponseBounds:
+    def test_structure(self, two_cpu_set):
+        b = gel_response_bounds(two_cpu_set)
+        assert b.is_finite
+        for t in two_cpu_set.level(L.C):
+            c = t.pwcet(L.C)
+            assert b.pp_relative[t.task_id] == pytest.approx(b.x + c)
+            assert b.absolute[t.task_id] == pytest.approx(t.relative_pp + b.x + c)
+
+    def test_default_supply_comes_from_taskset(self):
+        ts = TaskSet(
+            [make_a_task(10, 10.0, 0.5, cpu=0), make_c_task(0, 4.0, 1.0, y=3.0)],
+            m=2,
+        )
+        with_ab = gel_response_bounds(ts)
+        without_ab = gel_response_bounds(ts, supply=SupplyModel.unrestricted(2))
+        assert with_ab.x >= without_ab.x
+
+    def test_max_absolute(self, two_cpu_set):
+        b = gel_response_bounds(two_cpu_set)
+        assert b.max_absolute() == max(b.absolute.values())
+
+    def test_gfl_improves_max_pp_relative_bound_over_gedf(self):
+        """G-FL's raison d'etre: a lower maximum lateness bound than G-EDF.
+
+        Comparing max over tasks of (absolute bound - period) — the
+        lateness bound — under both PP assignments.
+        """
+        ts = TaskSet(
+            [
+                make_c_task(0, 10.0, 4.0),
+                make_c_task(1, 10.0, 4.0),
+                make_c_task(2, 20.0, 9.0),
+            ],
+            m=2,
+        )
+        gedf = gel_response_bounds(ts)  # Y = T by fixture default
+        gfl = gel_response_bounds(ts, pps=gfl_relative_pps(ts.tasks, m=2))
+        lateness_gedf = max(
+            gedf.absolute[t.task_id] - t.period for t in ts.level(L.C)
+        )
+        lateness_gfl = max(
+            gfl.absolute[t.task_id] - t.period for t in ts.level(L.C)
+        )
+        assert lateness_gfl <= lateness_gedf
+
+    def test_infinite_bounds_flagged(self):
+        ts = TaskSet(
+            [make_c_task(0, 1.0, 1.0, y=1.0), make_c_task(1, 1.0, 1.0, y=1.0)], m=2
+        )
+        b = gel_response_bounds(ts)
+        assert not b.is_finite
+        assert all(math.isinf(v) for v in b.pp_relative.values())

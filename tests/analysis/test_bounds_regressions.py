@@ -1,0 +1,76 @@
+"""Pinned regressions for the GEL response-time bound.
+
+These exact systems falsified the original single-term bound
+(x = x_rate only) during development: with small relative PPs, many jobs
+share one priority point and the last must wait for nearly all other
+tasks' carry-in — more than the top-(m-1) sum accounts for.  The
+x_burst term fixes them; they are pinned here so the bound can never
+regress (see docs/analysis.md §2).
+"""
+
+import pytest
+
+from repro.analysis.bounds import gel_response_bounds
+from repro.model.behavior import ConstantBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.sim.kernel import MC2Kernel
+
+#: (m, [(period, utilization, relative_pp), ...]) — found by boundary
+#: search; each previously produced a simulated response above the bound.
+REGRESSIONS = [
+    (2, [(2.0, 0.05, 0.0), (2.0, 0.05, 0.0), (2.0, 0.05, 0.0)]),
+    (2, [(10.0, 0.05, 0.0), (10.0, 0.05, 0.0), (2.0, 0.05, 0.0)]),
+    (2, [(10.0, 0.05, 0.0), (10.0, 0.05, 0.0), (10.0, 0.05, 0.0)]),
+]
+
+
+def build(m, params):
+    tasks = [
+        Task(task_id=i, level=L.C, period=T, pwcets={L.C: u * T}, relative_pp=y)
+        for i, (T, u, y) in enumerate(params)
+    ]
+    return TaskSet(tasks, m=m)
+
+
+@pytest.mark.parametrize("m,params", REGRESSIONS)
+def test_pinned_systems_stay_within_bound(m, params):
+    ts = build(m, params)
+    bounds = gel_response_bounds(ts)
+    assert bounds.is_finite
+    trace = MC2Kernel(ts, behavior=ConstantBehavior(L.C)).run(60.0)
+    for rec in trace.completed(L.C):
+        assert rec.response_time <= bounds.absolute[rec.task_id] + 1e-9, (
+            f"regression: tau{rec.task_id},{rec.index} R={rec.response_time} "
+            f"> {bounds.absolute[rec.task_id]}"
+        )
+
+
+def test_burst_term_is_what_saves_these_cases():
+    """Document the mechanism: for the pinned systems the burst term
+    dominates the rate term (removing it would re-break them)."""
+    from repro.analysis.supply import SupplyModel
+
+    m, params = REGRESSIONS[0]
+    ts = build(m, params)
+    supply = SupplyModel.unrestricted(m)
+    carry = [t.pwcet(L.C) for t in ts.level(L.C)]  # Y=0 => G = C
+    x_rate = sum(sorted(carry, reverse=True)[: m - 1]) / (
+        supply.total_rate - ts.utilization(L.C)
+    )
+    x_burst = (sum(carry) - min(carry)) / supply.total_rate
+    assert x_burst > x_rate
+    assert gel_response_bounds(ts).x == pytest.approx(x_burst)
+
+
+def test_equal_pp_worst_case_is_tight_for_n_equal_tasks():
+    """n equal tasks, Y=0, m CPUs: the last job's response is exactly
+    ceil(n/m) * C, and the bound covers it."""
+    n, m, c, period = 5, 2, 0.5, 10.0
+    ts = build(m, [(period, c / period, 0.0)] * n)
+    bounds = gel_response_bounds(ts)
+    trace = MC2Kernel(ts, behavior=ConstantBehavior(L.C)).run(period)
+    worst = max(r.response_time for r in trace.completed(L.C))
+    assert worst == pytest.approx(-(-n // m) * c)  # ceil(n/m) * C
+    assert worst <= bounds.max_absolute() + 1e-9

@@ -1,0 +1,61 @@
+"""Tests for the level-C SRT schedulability test."""
+
+import pytest
+
+from repro.analysis.schedulability import check_level_c
+from repro.analysis.supply import SupplyModel
+from repro.model.taskset import TaskSet
+from tests.conftest import make_a_task, make_c_task
+
+
+class TestCheckLevelC:
+    def test_schedulable_with_slack(self, tiny_c_taskset):
+        res = check_level_c(tiny_c_taskset)
+        assert res.schedulable
+        assert res.capacity_margin > 0
+        assert res.per_task_margin > 0
+
+    def test_fully_utilized_fails_strict_passes_lenient(self):
+        ts = TaskSet(
+            [make_c_task(0, 1.0, 1.0, y=1.0), make_c_task(1, 1.0, 1.0, y=1.0)], m=2
+        )
+        assert not check_level_c(ts).schedulable
+        assert check_level_c(ts, strict=False).schedulable
+
+    def test_overcommitted_fails_both(self):
+        ts = TaskSet([make_c_task(i, 1.0, 0.9) for i in range(3)], m=2)
+        res = check_level_c(ts, strict=False)
+        assert not res.schedulable
+        assert res.capacity_margin < 0
+
+    def test_per_task_bottleneck_detected(self):
+        """Fig. 3: one task's utilization exceeding per-CPU availability."""
+        ts = TaskSet(
+            [
+                make_a_task(10, 12.0, 2.0, cpu=0),
+                make_a_task(11, 12.0, 2.0, cpu=1),
+                make_c_task(0, 6.0, 5.5, y=4.0),
+            ],
+            m=2,
+        )
+        res = check_level_c(ts)
+        assert not res.schedulable
+        assert res.per_task_margin < 0
+        assert res.bottleneck_task == 0
+
+    def test_supply_override(self, tiny_c_taskset):
+        tight = SupplyModel(alphas=(0.35, 0.35), sigmas=(0.0, 0.0))
+        res = check_level_c(tiny_c_taskset, supply=tight)
+        assert res.per_task_margin < 0  # u_max = 0.4 > alpha = 0.35
+        assert not res.schedulable
+
+    def test_explain_contains_margins(self, tiny_c_taskset):
+        text = check_level_c(tiny_c_taskset).explain()
+        assert "capacity margin" in text
+        assert "per-task margin" in text
+
+    def test_empty_level_c_schedulable(self):
+        ts = TaskSet([make_a_task(0, 10.0, 0.5, cpu=0)], m=1)
+        res = check_level_c(ts)
+        assert res.schedulable
+        assert res.bottleneck_task is None

@@ -1,0 +1,73 @@
+"""Tests for the recovery-speed selector (repro.analysis.speed_selection)."""
+
+import math
+
+import pytest
+
+from repro.analysis.dissipation import dissipation_bound
+from repro.analysis.speed_selection import select_recovery_speed
+from repro.model.taskset import TaskSet
+from repro.workload.generator import GeneratorParams, generate_taskset
+from tests.conftest import make_c_task
+
+
+@pytest.fixture(scope="module")
+def ts():
+    return generate_taskset(2015, GeneratorParams(m=2))
+
+
+class TestSelectRecoverySpeed:
+    def test_chosen_speed_meets_target(self, ts):
+        choice = select_recovery_speed(ts, overload_length=0.5,
+                                       target_dissipation=5.0)
+        assert choice.feasible
+        assert 0.0 < choice.speed <= 1.0
+        assert choice.guaranteed_dissipation <= 5.0 + 1e-9
+
+    def test_forward_bound_confirms(self, ts):
+        choice = select_recovery_speed(ts, 0.5, target_dissipation=5.0)
+        fwd = dissipation_bound(ts, 0.5, speed=choice.speed)
+        assert fwd.bound == pytest.approx(choice.guaranteed_dissipation)
+
+    def test_looser_target_gentler_speed(self, ts):
+        tight = select_recovery_speed(ts, 0.5, target_dissipation=5.5)
+        loose = select_recovery_speed(ts, 0.5, target_dissipation=20.0)
+        assert tight.feasible and loose.feasible
+        assert loose.speed >= tight.speed
+
+    def test_target_below_s0_bound_infeasible(self, ts):
+        """Targets under the bound's s->0 limit are reported infeasible."""
+        from repro.analysis.dissipation import dissipation_bound
+
+        floor = dissipation_bound(ts, 0.5, speed=1e-3).bound
+        choice = select_recovery_speed(ts, 0.5, target_dissipation=0.9 * floor)
+        assert not choice.feasible
+
+    def test_very_loose_target_gives_full_speed(self, ts):
+        choice = select_recovery_speed(ts, 0.5, target_dissipation=1e6)
+        assert choice.speed == pytest.approx(1.0)
+
+    def test_impossible_target_infeasible(self, ts):
+        # Below the settling term no speed can help.
+        choice = select_recovery_speed(ts, 0.5, target_dissipation=1e-6)
+        assert not choice.feasible
+        assert choice.speed is None
+        assert math.isinf(choice.guaranteed_dissipation)
+
+    def test_longer_overload_needs_slower_speed(self, ts):
+        short = select_recovery_speed(ts, 0.5, target_dissipation=8.0)
+        long_ = select_recovery_speed(ts, 2.0, target_dissipation=8.0)
+        if long_.feasible:
+            assert long_.speed <= short.speed
+
+    def test_nonpositive_target_rejected(self, ts):
+        with pytest.raises(ValueError, match="target"):
+            select_recovery_speed(ts, 0.5, target_dissipation=0.0)
+
+    def test_unschedulable_set_rejected(self):
+        bad = TaskSet(
+            [make_c_task(0, 1.0, 1.0, y=1.0), make_c_task(1, 1.0, 1.0, y=1.0)],
+            m=2,
+        )
+        with pytest.raises(ValueError, match="finite"):
+            select_recovery_speed(bad, 0.5, target_dissipation=10.0)

@@ -1,0 +1,63 @@
+"""Tests for the A/B supply model (repro.analysis.supply)."""
+
+import pytest
+
+from repro.analysis.supply import SupplyModel
+from repro.model.taskset import TaskSet
+from tests.conftest import make_a_task, make_b_task, make_c_task
+
+
+class TestFromTaskset:
+    def test_rates_reflect_ab_utilization(self):
+        ts = TaskSet(
+            [
+                make_a_task(0, 10.0, 0.5, cpu=0),   # u_C = 0.05
+                make_b_task(1, 10.0, 0.5, cpu=0),   # u_C = 0.05
+                make_a_task(2, 20.0, 1.0, cpu=1),   # u_C = 0.05
+                make_c_task(3, 4.0, 1.0),
+            ],
+            m=2,
+        )
+        sm = SupplyModel.from_taskset(ts)
+        assert sm.alphas == pytest.approx((0.9, 0.95))
+        assert sm.total_rate == pytest.approx(1.85)
+
+    def test_bursts_scale_with_pwcets(self):
+        ts = TaskSet([make_a_task(0, 10.0, 0.5, cpu=0)], m=1)
+        sm = SupplyModel.from_taskset(ts)
+        # sigma = 2 * c * (1 - c/T) = 2 * 0.5 * 0.95
+        assert sm.sigmas[0] == pytest.approx(0.95)
+
+    def test_cpu_without_ab_is_full(self):
+        ts = TaskSet([make_c_task(0, 4.0, 1.0)], m=3)
+        sm = SupplyModel.from_taskset(ts)
+        assert sm.alphas == (1.0, 1.0, 1.0)
+        assert sm.total_burst == 0.0
+
+
+class TestUnrestricted:
+    def test_full_supply(self):
+        sm = SupplyModel.unrestricted(4)
+        assert sm.m == 4
+        assert sm.total_rate == 4.0
+        assert sm.max_alpha == 1.0
+        assert sm.total_burst == 0.0
+
+
+class TestSupplyLowerBound:
+    def test_zero_for_nonpositive_interval(self):
+        sm = SupplyModel(alphas=(0.9,), sigmas=(0.5,))
+        assert sm.supply_lower_bound(0.0) == 0.0
+        assert sm.supply_lower_bound(-1.0) == 0.0
+
+    def test_linear_minus_burst(self):
+        sm = SupplyModel(alphas=(0.9, 0.8), sigmas=(0.5, 0.5))
+        assert sm.supply_lower_bound(10.0) == pytest.approx(1.7 * 10 - 1.0)
+
+    def test_never_negative(self):
+        sm = SupplyModel(alphas=(0.9,), sigmas=(100.0,))
+        assert sm.supply_lower_bound(1.0) == 0.0
+
+    def test_max_alpha(self):
+        sm = SupplyModel(alphas=(0.7, 0.95, 0.8), sigmas=(0, 0, 0))
+        assert sm.max_alpha == 0.95

@@ -1,0 +1,83 @@
+"""Tests for GEL / G-FL priority points (repro.core.gel)."""
+
+import pytest
+
+from repro.core.gel import (
+    apply_relative_pps,
+    gedf_relative_pps,
+    gfl_relative_pp,
+    gfl_relative_pps,
+    virtual_priority,
+)
+from repro.model.job import Job
+from repro.model.task import CriticalityLevel as L
+from tests.conftest import make_a_task, make_c_task
+
+
+class TestGFL:
+    def test_formula(self):
+        # Y = T - (m-1)/m * C
+        assert gfl_relative_pp(4.0, 2.0, m=2) == pytest.approx(3.0)
+        assert gfl_relative_pp(10.0, 4.0, m=4) == pytest.approx(7.0)
+
+    def test_uniprocessor_reduces_to_edf(self):
+        """On m=1, G-FL PPs equal periods (EDF)."""
+        assert gfl_relative_pp(10.0, 4.0, m=1) == 10.0
+
+    def test_clamped_at_zero(self):
+        assert gfl_relative_pp(1.0, 10.0, m=4) == 0.0
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            gfl_relative_pp(1.0, 1.0, m=0)
+
+    def test_bulk_assignment_skips_non_c(self):
+        tasks = [make_c_task(0, 4.0, 2.0), make_a_task(1, 10.0, 0.5, cpu=0)]
+        pps = gfl_relative_pps(tasks, m=2)
+        assert set(pps) == {0}
+        assert pps[0] == pytest.approx(3.0)
+
+    def test_gfl_pp_earlier_than_gedf(self):
+        """G-FL places PPs earlier than deadlines for m > 1."""
+        tasks = [make_c_task(0, 4.0, 2.0)]
+        assert gfl_relative_pps(tasks, m=2)[0] < gedf_relative_pps(tasks)[0]
+
+
+class TestGEDF:
+    def test_pp_equals_period(self):
+        tasks = [make_c_task(0, 4.0, 2.0), make_c_task(1, 6.0, 3.0)]
+        assert gedf_relative_pps(tasks) == {0: 4.0, 1: 6.0}
+
+
+class TestApplyRelativePPs:
+    def test_replaces_only_listed(self):
+        tasks = (make_c_task(0, 4.0, 2.0, y=4.0), make_c_task(1, 6.0, 3.0, y=6.0))
+        out = apply_relative_pps(tasks, {0: 3.0})
+        assert out[0].relative_pp == 3.0
+        assert out[1].relative_pp == 6.0
+
+
+class TestVirtualPriority:
+    def test_key_orders_by_virtual_pp(self):
+        t = make_c_task(0, 4.0, 2.0)
+        j1 = Job(task=t, index=0, release=0.0, exec_time=1.0)
+        j1.virtual_pp = 3.0
+        t2 = make_c_task(1, 6.0, 2.0)
+        j2 = Job(task=t2, index=0, release=0.0, exec_time=1.0)
+        j2.virtual_pp = 5.0
+        assert virtual_priority(j1) < virtual_priority(j2)
+
+    def test_ties_broken_by_task_then_index(self):
+        ta, tb = make_c_task(0, 4.0, 2.0), make_c_task(1, 4.0, 2.0)
+        ja = Job(task=ta, index=1, release=0.0, exec_time=1.0)
+        jb = Job(task=tb, index=0, release=0.0, exec_time=1.0)
+        ja.virtual_pp = jb.virtual_pp = 3.0
+        assert virtual_priority(ja) < virtual_priority(jb)
+        ja2 = Job(task=ta, index=2, release=4.0, exec_time=1.0)
+        ja2.virtual_pp = 3.0
+        assert virtual_priority(ja) < virtual_priority(ja2)
+
+    def test_missing_virtual_pp_rejected(self):
+        j = Job(task=make_c_task(0, 4.0, 2.0), index=0, release=0.0, exec_time=1.0)
+        with pytest.raises(ValueError, match="priority point"):
+            virtual_priority(j)

@@ -1,0 +1,117 @@
+"""Tests for the SVO release rule (repro.core.svo, eq. 5)."""
+
+import pytest
+
+from repro.core.svo import ReleaseController
+from repro.core.virtual_time import VirtualClock
+from tests.conftest import make_a_task, make_c_task
+
+
+class TestLevelCReleases:
+    def test_periodic_in_virtual_time_at_speed_one(self):
+        t = make_c_task(0, 4.0, 1.0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t)
+        assert ctrl.next_release_actual(clk, 0.0) == 0.0
+        idx, v = ctrl.fire(clk, 0.0)
+        assert (idx, v) == (0, 0.0)
+        assert ctrl.next_release_actual(clk, 0.0) == 4.0
+        idx, v = ctrl.fire(clk, 4.0)
+        assert (idx, v) == (1, 4.0)
+
+    def test_slowdown_stretches_actual_separation(self):
+        """Eq. 5: separation is T_i in *virtual* time."""
+        t = make_c_task(0, 4.0, 1.0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t)
+        ctrl.fire(clk, 0.0)
+        clk.change_speed(0.5, 1.0)
+        # v must advance by 4: v(1)=1, need v=4 => actual 1 + 3/0.5 = 7.
+        assert ctrl.next_release_actual(clk, 1.0) == pytest.approx(7.0)
+
+    def test_retiming_after_second_speed_change(self):
+        """Algorithm 1 lines 21-22: timers re-computed per segment."""
+        t = make_c_task(0, 4.0, 1.0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t)
+        ctrl.fire(clk, 0.0)
+        clk.change_speed(0.5, 1.0)
+        assert ctrl.next_release_actual(clk, 1.0) == pytest.approx(7.0)
+        clk.change_speed(1.0, 3.0)  # v(3) = 2; need v=4 => actual 5
+        assert ctrl.next_release_actual(clk, 3.0) == pytest.approx(5.0)
+
+    def test_early_release_rejected(self):
+        t = make_c_task(0, 4.0, 1.0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t)
+        ctrl.fire(clk, 0.0)
+        with pytest.raises(ValueError, match="eq. 5"):
+            ctrl.fire(clk, 3.0)
+
+    def test_late_release_allowed_sporadic(self):
+        """Eq. 5 is an inequality: later releases are legal."""
+        t = make_c_task(0, 4.0, 1.0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t)
+        ctrl.fire(clk, 0.0)
+        idx, v = ctrl.fire(clk, 9.0)  # v(9) = 9 >= 4
+        assert idx == 1 and v == 9.0
+        # Next separation counts from the actual (late) release point.
+        assert ctrl.next_release_actual(clk, 9.0) == pytest.approx(13.0)
+
+    def test_overdue_release_clamped_to_now(self):
+        t = make_c_task(0, 4.0, 1.0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t)
+        ctrl.fire(clk, 0.0)
+        assert ctrl.next_release_actual(clk, 10.0) == 10.0
+
+    def test_phase_is_virtual(self):
+        t = make_c_task(0, 4.0, 1.0, phase=2.0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t)
+        assert ctrl.next_release_actual(clk, 0.0) == 2.0
+        assert ctrl.next_release_virtual == 2.0
+
+
+class TestNonVirtualLevels:
+    def test_level_a_periodic_in_actual_time(self):
+        t = make_a_task(0, 10.0, 0.5, cpu=0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t)
+        assert not ctrl.is_virtual
+        ctrl.fire(clk, 0.0)
+        # A slowdown must not affect level-A separations.
+        clk.change_speed(0.5, 1.0)
+        assert ctrl.next_release_actual(clk, 1.0) == 10.0
+
+    def test_next_release_virtual_rejected_for_level_a(self):
+        ctrl = ReleaseController(make_a_task(0, 10.0, 0.5, cpu=0))
+        with pytest.raises(ValueError, match="virtual"):
+            ctrl.next_release_virtual
+
+    def test_early_actual_release_rejected(self):
+        t = make_a_task(0, 10.0, 0.5, cpu=0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t)
+        ctrl.fire(clk, 0.0)
+        with pytest.raises(ValueError, match="separation"):
+            ctrl.fire(clk, 9.0)
+
+
+class TestSporadicDelayHook:
+    def test_delay_adds_separation(self):
+        t = make_c_task(0, 4.0, 1.0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t, release_delay=lambda task, k: 1.0)
+        # First release delayed by the hook too.
+        assert ctrl.next_release_actual(clk, 0.0) == 1.0
+        ctrl.fire(clk, 1.0)
+        assert ctrl.next_release_actual(clk, 1.0) == pytest.approx(1.0 + 4.0 + 1.0)
+
+    def test_negative_delay_clamped(self):
+        t = make_c_task(0, 4.0, 1.0)
+        clk = VirtualClock(0.0)
+        ctrl = ReleaseController(t, release_delay=lambda task, k: -5.0)
+        ctrl.fire(clk, 0.0)
+        assert ctrl.next_release_actual(clk, 0.0) == 4.0

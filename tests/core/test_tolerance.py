@@ -1,0 +1,61 @@
+"""Tests for tolerance assignment (repro.core.tolerance)."""
+
+import pytest
+
+from repro.analysis.bounds import gel_response_bounds
+from repro.core.tolerance import assign_tolerances, fixed_tolerances
+from repro.model.task import CriticalityLevel as L
+from repro.model.taskset import TaskSet
+from tests.conftest import make_c_task
+
+
+@pytest.fixture
+def slack_set():
+    return TaskSet(
+        [make_c_task(0, 4.0, 1.0, y=3.0), make_c_task(1, 8.0, 2.0, y=6.0)], m=2
+    )
+
+
+class TestAssignTolerances:
+    def test_tolerance_equals_pp_relative_bound(self, slack_set):
+        out = assign_tolerances(slack_set)
+        bounds = gel_response_bounds(slack_set)
+        for t in out.level(L.C):
+            assert t.tolerance == pytest.approx(bounds.pp_relative[t.task_id])
+
+    def test_margin_scales(self, slack_set):
+        base = assign_tolerances(slack_set)
+        wide = assign_tolerances(slack_set, margin=2.0)
+        for t in base.level(L.C):
+            assert wide[t.task_id].tolerance == pytest.approx(2.0 * t.tolerance)
+
+    def test_margin_below_one_rejected(self, slack_set):
+        with pytest.raises(ValueError, match="margin"):
+            assign_tolerances(slack_set, margin=0.5)
+
+    def test_infeasible_set_rejected(self):
+        # Fully utilized (no slack): infinite bound, no tolerance exists.
+        ts = TaskSet([make_c_task(0, 1.0, 1.0, y=1.0),
+                      make_c_task(1, 1.0, 1.0, y=1.0)], m=2)
+        with pytest.raises(ValueError, match="infinite"):
+            assign_tolerances(ts)
+
+    def test_non_c_tasks_untouched(self, mixed_taskset):
+        out = assign_tolerances(mixed_taskset)
+        for t in out:
+            if t.level is not L.C:
+                assert t.tolerance is None
+
+
+class TestFixedTolerances:
+    def test_sets_same_value_everywhere(self, slack_set):
+        out = fixed_tolerances(slack_set, 3.0)
+        assert all(t.tolerance == 3.0 for t in out.level(L.C))
+
+    def test_zero_allowed(self, slack_set):
+        out = fixed_tolerances(slack_set, 0.0)
+        assert all(t.tolerance == 0.0 for t in out.level(L.C))
+
+    def test_negative_rejected(self, slack_set):
+        with pytest.raises(ValueError):
+            fixed_tolerances(slack_set, -1.0)

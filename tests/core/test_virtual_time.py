@@ -1,0 +1,190 @@
+"""Tests for the virtual clock (Algorithm 1 / eq. 4 / Fig. 5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.virtual_time import SpeedChange, SpeedProfile, VirtualClock
+
+
+class TestPaperWorkedExample:
+    """Sec. 3: s = 0.5 on [19, 29) gives v(25) = 19 + 3 = 22."""
+
+    def test_v25_equals_22(self):
+        prof = SpeedProfile.from_segments(0.0, [(19.0, 0.5), (29.0, 1.0)])
+        assert prof.v(25.0) == pytest.approx(22.0)
+
+    def test_v19_boundary(self):
+        prof = SpeedProfile.from_segments(0.0, [(19.0, 0.5), (29.0, 1.0)])
+        assert prof.v(19.0) == pytest.approx(19.0)
+
+    def test_v29_is_24(self):
+        prof = SpeedProfile.from_segments(0.0, [(19.0, 0.5), (29.0, 1.0)])
+        assert prof.v(29.0) == pytest.approx(24.0)
+
+    def test_tau1_release_arithmetic(self):
+        """Sec. 3's tau_1 walkthrough: T=4, Y=3, slowdown at 19.
+
+        tau_{1,5} has v(r) = 20, i.e. actual release 21; its PP is 3
+        virtual units later (v = 23), i.e. actual 27; tau_{1,6} releases
+        4 virtual units after tau_{1,5} (v = 24), i.e. actual 29.
+        """
+        prof = SpeedProfile.from_segments(0.0, [(19.0, 0.5), (29.0, 1.0)])
+        assert prof.inverse(20.0) == pytest.approx(21.0)  # r_{1,5}
+        assert prof.inverse(23.0) == pytest.approx(27.0)  # y_{1,5}
+        assert prof.inverse(24.0) == pytest.approx(29.0)  # r_{1,6}
+
+
+class TestVirtualClockStateMachine:
+    def test_initialize_matches_algorithm1(self):
+        clk = VirtualClock(5.0)
+        assert clk.last_act == 5.0
+        assert clk.last_virt == 0.0
+        assert clk.speed == 1.0
+
+    def test_act_to_virt_identity_at_speed_one(self):
+        clk = VirtualClock(0.0)
+        assert clk.act_to_virt(7.5) == 7.5
+
+    def test_conversions_after_slowdown(self):
+        clk = VirtualClock(0.0)
+        clk.change_speed(0.5, 19.0)
+        assert clk.act_to_virt(25.0) == pytest.approx(22.0)
+        assert clk.virt_to_act(22.0) == pytest.approx(25.0)
+
+    def test_roundtrip_act_virt(self):
+        clk = VirtualClock(0.0)
+        clk.change_speed(0.25, 3.0)
+        for t in (3.0, 4.5, 10.0):
+            assert clk.virt_to_act(clk.act_to_virt(t)) == pytest.approx(t)
+
+    def test_change_speed_returns_virtual_time(self):
+        clk = VirtualClock(0.0)
+        assert clk.change_speed(0.5, 19.0) == pytest.approx(19.0)
+        assert clk.change_speed(1.0, 29.0) == pytest.approx(24.0)
+
+    def test_historical_act_query_rejected(self):
+        clk = VirtualClock(0.0)
+        clk.change_speed(0.5, 10.0)
+        with pytest.raises(ValueError, match="predates"):
+            clk.act_to_virt(9.0)
+
+    def test_historical_virt_query_rejected(self):
+        clk = VirtualClock(0.0)
+        clk.change_speed(0.5, 10.0)
+        with pytest.raises(ValueError, match="predates"):
+            clk.virt_to_act(9.0)
+
+    def test_time_cannot_run_backwards(self):
+        clk = VirtualClock(0.0)
+        clk.change_speed(0.5, 10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clk.change_speed(1.0, 9.0)
+
+    def test_speed_zero_rejected(self):
+        clk = VirtualClock(0.0)
+        with pytest.raises(ValueError, match="> 0"):
+            clk.change_speed(0.0, 1.0)
+
+    def test_speedup_rejected_by_default(self):
+        """The paper never speeds virtual time past actual time."""
+        clk = VirtualClock(0.0)
+        with pytest.raises(ValueError, match="<= 1"):
+            clk.change_speed(1.5, 1.0)
+
+    def test_speedup_allowed_with_flag(self):
+        clk = VirtualClock(0.0, allow_speedup=True)
+        clk.change_speed(2.0, 1.0)
+        assert clk.act_to_virt(2.0) == pytest.approx(3.0)
+
+    def test_is_normal_speed(self):
+        clk = VirtualClock(0.0)
+        assert clk.is_normal_speed
+        clk.change_speed(0.5, 1.0)
+        assert not clk.is_normal_speed
+        clk.change_speed(1.0, 2.0)
+        assert clk.is_normal_speed
+
+    def test_history_records_all_changes(self):
+        clk = VirtualClock(0.0)
+        clk.change_speed(0.5, 19.0)
+        clk.change_speed(1.0, 29.0)
+        hist = clk.history
+        assert len(hist) == 3
+        assert hist[1] == SpeedChange(act=19.0, virt=19.0, speed=0.5)
+        assert hist[2] == SpeedChange(act=29.0, virt=24.0, speed=1.0)
+
+
+class TestFractionExactness:
+    """The clock is numeric-type agnostic; Fractions stay exact."""
+
+    def test_exact_worked_example(self):
+        clk = VirtualClock(Fraction(0))
+        clk.change_speed(Fraction(1, 2), Fraction(19))
+        assert clk.act_to_virt(Fraction(25)) == Fraction(22)
+        assert clk.virt_to_act(Fraction(22)) == Fraction(25)
+
+    def test_exact_awkward_speed(self):
+        clk = VirtualClock(Fraction(0))
+        clk.change_speed(Fraction(1, 3), Fraction(10))
+        assert clk.act_to_virt(Fraction(13)) == Fraction(11)
+        clk.change_speed(Fraction(1), Fraction(13))
+        assert clk.last_virt == Fraction(11)
+        assert clk.act_to_virt(Fraction(14)) == Fraction(12)
+
+    def test_exact_profile(self):
+        prof = SpeedProfile.from_segments(
+            Fraction(0), [(Fraction(19), Fraction(1, 2)), (Fraction(29), Fraction(1))]
+        )
+        assert prof.v(Fraction(25)) == Fraction(22)
+        assert prof.inverse(Fraction(22)) == Fraction(25)
+
+
+class TestSpeedProfile:
+    def test_evaluates_across_all_segments(self):
+        prof = SpeedProfile.from_segments(0.0, [(10.0, 0.5), (20.0, 0.2), (30.0, 1.0)])
+        assert prof.v(5.0) == pytest.approx(5.0)
+        assert prof.v(15.0) == pytest.approx(12.5)
+        assert prof.v(25.0) == pytest.approx(16.0)
+        assert prof.v(35.0) == pytest.approx(22.0)
+
+    def test_inverse_is_exact_inverse(self):
+        prof = SpeedProfile.from_segments(0.0, [(10.0, 0.5), (20.0, 0.2), (30.0, 1.0)])
+        for t in (0.0, 3.0, 10.0, 17.2, 21.0, 33.3):
+            assert prof.inverse(prof.v(t)) == pytest.approx(t)
+
+    def test_speed_at_right_continuous(self):
+        prof = SpeedProfile.from_segments(0.0, [(10.0, 0.5)])
+        assert prof.speed_at(9.999) == 1.0
+        assert prof.speed_at(10.0) == 0.5
+
+    def test_minimum_speed(self):
+        prof = SpeedProfile.from_segments(0.0, [(10.0, 0.5), (20.0, 0.2), (30.0, 1.0)])
+        assert prof.minimum_speed() == 0.2
+
+    def test_query_before_origin_rejected(self):
+        prof = SpeedProfile.from_segments(5.0, [])
+        with pytest.raises(ValueError, match="precedes"):
+            prof.v(4.0)
+
+    def test_inconsistent_history_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            SpeedProfile(
+                [
+                    SpeedChange(act=0.0, virt=0.0, speed=1.0),
+                    SpeedChange(act=10.0, virt=9.0, speed=0.5),  # should be virt=10
+                ]
+            )
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SpeedProfile([])
+
+    def test_clock_profile_roundtrip(self):
+        clk = VirtualClock(0.0)
+        clk.change_speed(0.5, 19.0)
+        clk.change_speed(1.0, 29.0)
+        prof = clk.profile()
+        assert prof.v(25.0) == pytest.approx(22.0)
+        assert prof.v(30.0) == pytest.approx(25.0)
+        assert prof.minimum_speed() == 0.5

@@ -1,0 +1,78 @@
+"""Tests for calibration-based tolerances (repro.experiments.calibration)."""
+
+import pytest
+
+from repro.core.monitor import SimpleMonitor
+from repro.experiments.calibration import calibrate_tolerances, measure_pp_lateness
+from repro.model.behavior import ConstantBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.sim.kernel import MC2Kernel
+from repro.workload.generator import GeneratorParams, generate_taskset
+
+PARAMS = GeneratorParams(m=2, assign_tolerances=False)
+
+
+@pytest.fixture(scope="module")
+def ts():
+    return generate_taskset(seed=21, params=PARAMS)
+
+
+class TestMeasurePPLateness:
+    def test_every_c_task_covered(self, ts):
+        worst = measure_pp_lateness(ts, horizon=2.0)
+        assert set(worst) == {t.task_id for t in ts.level(L.C)}
+        assert all(v >= 0.0 for v in worst.values())
+
+    def test_longer_window_never_smaller(self, ts):
+        short = measure_pp_lateness(ts, horizon=1.0)
+        long_ = measure_pp_lateness(ts, horizon=4.0)
+        for tid in short:
+            assert long_[tid] >= short[tid] - 1e-12
+
+    def test_bad_horizon_rejected(self, ts):
+        with pytest.raises(ValueError):
+            measure_pp_lateness(ts, horizon=0.0)
+
+
+class TestCalibrateTolerances:
+    def test_assigns_positive_tolerances(self, ts):
+        out = calibrate_tolerances(ts, horizon=2.0, margin=1.5)
+        for t in out.level(L.C):
+            assert t.tolerance is not None and t.tolerance > 0.0
+
+    def test_margin_scales(self, ts):
+        lo = calibrate_tolerances(ts, horizon=2.0, margin=1.0)
+        hi = calibrate_tolerances(ts, horizon=2.0, margin=3.0)
+        for t in lo.level(L.C):
+            assert hi[t.task_id].tolerance == pytest.approx(3.0 * t.tolerance)
+
+    def test_margin_below_one_rejected(self, ts):
+        with pytest.raises(ValueError):
+            calibrate_tolerances(ts, margin=0.9)
+
+    def test_floor_applies_to_quiet_tasks(self, ts):
+        out = calibrate_tolerances(ts, horizon=2.0, margin=1.0, floor=0.5)
+        assert all(t.tolerance >= 0.5 for t in out.level(L.C))
+
+    def test_calibrated_tolerances_not_missed_in_replay(self, ts):
+        """Re-running the same normal behaviour never misses calibrated
+        tolerances (margin > 1 gives headroom over the observed worst)."""
+        out = calibrate_tolerances(ts, horizon=3.0, margin=1.5)
+        kernel = MC2Kernel(out, behavior=ConstantBehavior(L.C))
+        mon = SimpleMonitor(kernel, s=0.5)
+        kernel.attach_monitor(mon)
+        kernel.run(3.0)
+        assert mon.miss_count == 0
+
+    def test_calibrated_usually_tighter_than_analytical(self):
+        """The point of calibration: earlier detection via smaller xi."""
+        analytical = generate_taskset(seed=21, params=GeneratorParams(m=2))
+        calibrated = calibrate_tolerances(
+            generate_taskset(seed=21, params=PARAMS), horizon=3.0, margin=1.5
+        )
+        tighter = sum(
+            1
+            for t in calibrated.level(L.C)
+            if t.tolerance < analytical[t.task_id].tolerance
+        )
+        assert tighter >= len(calibrated.level(L.C)) // 2

@@ -1,0 +1,86 @@
+"""Tests for the figure sweeps (repro.experiments.figures).
+
+These run reduced-scale sweeps (2 task sets on 2 CPUs, two parameter
+values) — the full-scale reproduction lives in examples/reproduce_paper.py
+and the benchmarks.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    FigureData,
+    adaptive_sweep,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.workload.generator import GeneratorParams, generate_tasksets
+from repro.workload.scenarios import LONG, SHORT
+
+
+@pytest.fixture(scope="module")
+def tasksets():
+    return generate_tasksets(2, base_seed=11, params=GeneratorParams(m=2))
+
+
+@pytest.fixture(scope="module")
+def fig6(tasksets):
+    return figure6(tasksets, s_values=(0.4, 1.0), scenarios=(SHORT, LONG))
+
+
+@pytest.fixture(scope="module")
+def sweep(tasksets):
+    return adaptive_sweep(tasksets, a_values=(0.4, 1.0), scenarios=(SHORT,))
+
+
+class TestFigure6:
+    def test_structure(self, fig6):
+        assert fig6.figure_id == "Fig. 6"
+        assert [s.label for s in fig6.series] == ["SHORT", "LONG"]
+        assert all(len(s.points) == 2 for s in fig6.series)
+
+    def test_series_points_have_cis(self, fig6):
+        p = fig6.point("SHORT", 0.4)
+        assert p.ci.n == 2
+        assert p.ci.mean > 0
+
+    def test_shape_smaller_s_less_dissipation(self, fig6):
+        for label in ("SHORT", "LONG"):
+            assert fig6.point(label, 0.4).ci.mean <= fig6.point(label, 1.0).ci.mean
+
+    def test_shape_long_worse_than_short(self, fig6):
+        for s in (0.4, 1.0):
+            assert fig6.point("LONG", s).ci.mean > fig6.point("SHORT", s).ci.mean
+
+    def test_render_contains_values(self, fig6):
+        text = fig6.render(unit_scale=1e3, unit="ms")
+        assert "Fig. 6" in text and "SHORT" in text and "LONG" in text
+        assert "±" in text
+
+    def test_point_lookup_missing(self, fig6):
+        with pytest.raises(KeyError):
+            fig6.point("SHORT", 0.123)
+
+
+class TestAdaptiveFigures:
+    def test_fig7_reads_dissipation(self, sweep):
+        fig = figure7(sweep)
+        assert fig.figure_id == "Fig. 7"
+        assert fig.point("SHORT", 0.4).ci.mean > 0
+
+    def test_fig8_reads_min_speed(self, sweep):
+        fig = figure8(sweep)
+        assert fig.figure_id == "Fig. 8"
+        for a in (0.4, 1.0):
+            p = fig.point("SHORT", a)
+            assert 0.0 < p.ci.mean < 1.0
+
+    def test_fig8_min_speed_increases_with_a(self, sweep):
+        fig = figure8(sweep)
+        assert fig.point("SHORT", 0.4).ci.mean <= fig.point("SHORT", 1.0).ci.mean
+
+    def test_min_speed_below_aggressiveness(self, sweep):
+        """ADAPTIVE's chosen speed is a * (Y+xi)/R < a on a miss."""
+        fig = figure8(sweep)
+        for a in (0.4, 1.0):
+            assert fig.point("SHORT", a).ci.mean < a

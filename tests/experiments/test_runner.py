@@ -1,0 +1,98 @@
+"""Tests for the experiment runner (repro.experiments.runner)."""
+
+import pytest
+
+from repro.core.monitor import AdaptiveMonitor, NullMonitor, SimpleMonitor
+from repro.experiments.runner import ExperimentOutput, MonitorSpec, run_overload_experiment
+from repro.model.task import CriticalityLevel as L
+from repro.sim.kernel import MC2Kernel
+from repro.workload.generator import GeneratorParams, generate_taskset
+from repro.workload.scenarios import DOUBLE, SHORT
+
+# A small platform keeps these tests fast.
+PARAMS = GeneratorParams(m=2)
+
+
+@pytest.fixture(scope="module")
+def small_ts():
+    return generate_taskset(seed=5, params=PARAMS)
+
+
+class TestMonitorSpec:
+    def test_labels(self):
+        assert MonitorSpec("simple", 0.6).label == "SIMPLE(s=0.6)"
+        assert MonitorSpec("adaptive", 0.2).label == "ADAPTIVE(a=0.2)"
+        assert MonitorSpec("none").label == "NONE"
+
+    def test_build_types(self):
+        k = MC2Kernel(generate_taskset(1, PARAMS))
+        assert isinstance(MonitorSpec("simple", 0.5).build(k), SimpleMonitor)
+        assert isinstance(MonitorSpec("adaptive", 0.5).build(k), AdaptiveMonitor)
+        assert isinstance(MonitorSpec("none").build(k), NullMonitor)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitorSpec("weird")
+        with pytest.raises(ValueError):
+            MonitorSpec("simple", 0.0)
+        with pytest.raises(ValueError):
+            MonitorSpec("simple", 1.2)
+
+
+class TestRunOverloadExperiment:
+    def test_basic_run_produces_metrics(self, small_ts):
+        r = run_overload_experiment(small_ts, SHORT, MonitorSpec("simple", 0.6))
+        assert r.scenario == "SHORT"
+        assert r.monitor == "SIMPLE(s=0.6)"
+        assert r.dissipation > 0
+        assert not r.truncated
+        assert r.miss_count > 0
+        assert r.min_speed == pytest.approx(0.6)
+
+    def test_recovery_completes_before_horizon(self, small_ts):
+        r = run_overload_experiment(small_ts, SHORT, MonitorSpec("simple", 0.4))
+        assert r.sim_end < 30.0
+
+    def test_keep_artifacts_returns_output(self, small_ts):
+        out = run_overload_experiment(
+            small_ts, SHORT, MonitorSpec("simple", 0.6), keep_artifacts=True
+        )
+        assert isinstance(out, ExperimentOutput)
+        assert out.result.dissipation > 0
+        assert out.kernel.now == out.result.sim_end
+        assert not out.monitor.recovery_mode
+
+    def test_requires_tolerances(self):
+        ts = generate_taskset(1, GeneratorParams(m=2, assign_tolerances=False))
+        with pytest.raises(ValueError, match="tolerance"):
+            run_overload_experiment(ts, SHORT, MonitorSpec("simple", 0.6))
+
+    def test_adaptive_min_speed_below_a(self, small_ts):
+        r = run_overload_experiment(small_ts, SHORT, MonitorSpec("adaptive", 0.6))
+        assert r.min_speed < 0.6
+
+    def test_smaller_s_recovers_faster(self, small_ts):
+        fast = run_overload_experiment(small_ts, SHORT, MonitorSpec("simple", 0.2))
+        slow = run_overload_experiment(small_ts, SHORT, MonitorSpec("simple", 1.0))
+        assert fast.dissipation < slow.dissipation
+
+    def test_double_dissipation_measured_from_second_window(self, small_ts):
+        r = run_overload_experiment(small_ts, DOUBLE, MonitorSpec("simple", 0.4))
+        # dissipation is relative to t = 2.0 (end of the second window).
+        assert r.sim_end > 2.0
+        assert r.dissipation < r.sim_end
+
+    def test_no_budget_variant_is_harsher(self, small_ts):
+        with_b = run_overload_experiment(
+            small_ts, SHORT, MonitorSpec("simple", 0.6), level_c_budgets=True
+        )
+        without = run_overload_experiment(
+            small_ts, SHORT, MonitorSpec("simple", 0.6),
+            level_c_budgets=False, horizon=60.0,
+        )
+        assert without.dissipation > with_b.dissipation
+
+    def test_deterministic(self, small_ts):
+        a = run_overload_experiment(small_ts, SHORT, MonitorSpec("simple", 0.6))
+        b = run_overload_experiment(small_ts, SHORT, MonitorSpec("simple", 0.6))
+        assert a == b

@@ -1,0 +1,59 @@
+"""Tests for the programmatic reproduction suite (tiny scale)."""
+
+import json
+
+import pytest
+
+from repro.experiments.suite import ReproductionReport, full_reproduction
+from repro.workload.generator import GeneratorParams
+from repro.workload.scenarios import SHORT
+
+
+@pytest.fixture(scope="module")
+def report():
+    return full_reproduction(
+        tasksets=2,
+        base_seed=3,
+        sweep_values=(0.4, 1.0),
+        scenarios=(SHORT,),
+        params=GeneratorParams(m=2),
+        overhead_tasksets=1,
+        overhead_horizon=1.0,
+    )
+
+
+class TestFullReproduction:
+    def test_all_figures_present(self, report):
+        assert report.fig6.figure_id == "Fig. 6"
+        assert report.fig7.figure_id == "Fig. 7"
+        assert report.fig8.figure_id == "Fig. 8"
+        assert report.fig9.avg_with_vt > 0
+        assert report.tasksets == 2
+
+    def test_figures_share_scope(self, report):
+        for fig in (report.fig6, report.fig7, report.fig8):
+            assert [s.label for s in fig.series] == ["SHORT"]
+            assert [p.x for p in fig.series[0].points] == [0.4, 1.0]
+
+    def test_render_contains_everything(self, report):
+        text = report.render()
+        for token in ("Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9"):
+            assert token in text
+
+    def test_write_json(self, report, tmp_path):
+        paths = report.write_json(tmp_path)
+        assert len(paths) == 4
+        doc = json.loads((tmp_path / "fig6.json").read_text())
+        assert doc["figure_id"] == "Fig. 6"
+        doc9 = json.loads((tmp_path / "fig9.json").read_text())
+        assert doc9["avg_ratio"] > 0
+
+    def test_prebuilt_tasksets(self):
+        from repro.workload.generator import generate_tasksets
+
+        sets = generate_tasksets(1, base_seed=9, params=GeneratorParams(m=2))
+        rep = full_reproduction(
+            prebuilt=sets, sweep_values=(1.0,), scenarios=(SHORT,),
+            overhead_tasksets=1, overhead_horizon=1.0,
+        )
+        assert rep.tasksets == 1

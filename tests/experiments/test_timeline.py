@@ -1,0 +1,83 @@
+"""Tests for response-time timelines (repro.experiments.timeline)."""
+
+import pytest
+
+from repro.experiments.examples_fig2 import figure2_taskset, run_example
+from repro.experiments.timeline import TimelineBin, render_sparkline, response_timeline
+from repro.model.task import CriticalityLevel as L
+
+
+@pytest.fixture(scope="module")
+def fig2_runs():
+    ts = figure2_taskset()
+    a = run_example(ts, overloaded=False, until=72.0)
+    b = run_example(ts, overloaded=True, until=72.0)
+    c = run_example(ts, overloaded=True, recovery_speed=0.5, until=72.0)
+    return ts, a, b, c
+
+
+class TestResponseTimeline:
+    def test_bins_cover_horizon(self, fig2_runs):
+        ts, a, _, _ = fig2_runs
+        bins = response_timeline(a.trace, ts, bin_width=6.0, horizon=72.0)
+        assert len(bins) == 12
+        assert bins[0].start == 0.0
+        assert bins[-1].end == pytest.approx(72.0)
+
+    def test_all_bins_populated_in_steady_run(self, fig2_runs):
+        ts, a, _, _ = fig2_runs
+        bins = response_timeline(a.trace, ts, bin_width=6.0, horizon=66.0)
+        assert all(b.jobs > 0 for b in bins)
+
+    def test_degradation_visible_without_recovery(self, fig2_runs):
+        """Fig. 2(b): bins after the overload stay above the baseline."""
+        ts, a, b, _ = fig2_runs
+        base = response_timeline(a.trace, ts, bin_width=6.0, horizon=66.0)
+        degraded = response_timeline(b.trace, ts, bin_width=6.0, horizon=66.0)
+        # Compare the tail (releases >= 36): max normalized response.
+        tail = slice(6, 11)
+        assert max(x.max_normalized for x in degraded[tail]) > max(
+            x.max_normalized for x in base[tail]
+        )
+
+    def test_recovery_restores_baseline(self, fig2_runs):
+        ts, a, _, c = fig2_runs
+        base = response_timeline(a.trace, ts, bin_width=6.0, horizon=66.0)
+        rec = response_timeline(c.trace, ts, bin_width=6.0, horizon=66.0)
+        tail = slice(7, 11)
+        assert max(x.max_normalized for x in rec[tail]) <= max(
+            x.max_normalized for x in base[tail]
+        ) + 1e-9
+
+    def test_bad_bin_width(self, fig2_runs):
+        ts, a, _, _ = fig2_runs
+        with pytest.raises(ValueError):
+            response_timeline(a.trace, ts, bin_width=0.0)
+
+
+class TestSparkline:
+    def make_bins(self, values):
+        return [
+            TimelineBin(start=i, end=i + 1, jobs=1, max_response=v,
+                        max_normalized=v)
+            for i, v in enumerate(values)
+        ]
+
+    def test_monotone_heights(self):
+        art = render_sparkline(self.make_bins([0.0, 0.5, 1.0]))
+        assert len(art) == 3
+        assert art[0] <= art[1] <= art[2]
+
+    def test_all_zero(self):
+        art = render_sparkline(self.make_bins([0.0, 0.0]))
+        assert art == "▁▁"
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_downsampling_preserves_spikes(self):
+        values = [0.1] * 50
+        values[25] = 5.0
+        art = render_sparkline(self.make_bins(values), width=10)
+        assert len(art) == 10
+        assert "█" in art

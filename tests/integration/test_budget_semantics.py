@@ -1,0 +1,90 @@
+"""Integration: the footnote-2/3 budget semantics, end to end.
+
+Footnote 2: "While the use of execution budgets would prevent level-A
+and -B tasks from overrunning their level-A and -B PWCETs, respectively,
+they can still overrun their level-C PWCETs.  Thus, we have chosen
+examples that provide overload even when execution budgets are used."
+
+Footnote 3: "execution budgets can be used to restore this assumption
+[eq. 1] at level C, in which case overloads can come only from levels A
+and B."
+
+These tests run the actual scenarios through the kernel with different
+budget configurations and check the claims hold behaviourally.
+"""
+
+import pytest
+
+from repro.core.monitor import SimpleMonitor
+from repro.model.task import CriticalityLevel as L
+from repro.sim.budgets import BudgetEnforcedBehavior
+from repro.sim.kernel import KernelConfig, MC2Kernel
+from repro.workload.generator import GeneratorParams, generate_taskset
+from repro.workload.scenarios import SHORT
+
+
+@pytest.fixture(scope="module")
+def ts():
+    return generate_taskset(seed=17, params=GeneratorParams(m=2))
+
+
+def run_with(ts, behavior, horizon=4.0):
+    kernel = MC2Kernel(ts, behavior=behavior, config=KernelConfig())
+    mon = SimpleMonitor(kernel, s=0.5)
+    kernel.attach_monitor(mon)
+    trace = kernel.run(horizon)
+    return trace, mon
+
+
+def test_footnote2_overload_persists_with_full_budgets(ts):
+    """Even with budgets at every level (A, B and C), the SHORT scenario
+    still overloads level C: A/B jobs legally run up to their own (much
+    larger) PWCETs, exceeding their level-C provisioning."""
+    behavior = BudgetEnforcedBehavior(
+        SHORT.behavior(), enforce_a=True, enforce_b=True, enforce_c=True
+    )
+    trace, mon = run_with(ts, behavior)
+    assert mon.miss_count > 0, "budgets must not prevent level-C overload"
+    assert mon.episodes, "recovery must have triggered"
+
+
+def test_footnote3_c_budgets_cap_level_c_execution(ts):
+    """With level-C budgets, eq. 1 holds at level C: no level-C job's
+    execution exceeds its level-C PWCET."""
+    behavior = BudgetEnforcedBehavior(SHORT.behavior(), enforce_c=True)
+    trace, _ = run_with(ts, behavior)
+    for rec in trace.completed(L.C):
+        assert rec.exec_time <= ts[rec.task_id].pwcet(L.C) + 1e-12
+
+
+def test_without_c_budgets_level_c_overruns(ts):
+    """Without budgets, level-C jobs released in the window run their
+    level-B PWCETs (10x) — eq. 1 is genuinely violated."""
+    trace, _ = run_with(ts, SHORT.behavior(), horizon=8.0)
+    overruns = [
+        rec for rec in trace.completed(L.C)
+        if rec.exec_time > ts[rec.task_id].pwcet(L.C) + 1e-12
+    ]
+    assert overruns, "the no-budget scenario must contain level-C overruns"
+
+
+def test_ab_budgets_cap_ab_execution(ts):
+    """Budgets at A/B bound those levels by their own PWCETs."""
+    behavior = BudgetEnforcedBehavior(SHORT.behavior(), enforce_a=True,
+                                      enforce_b=True)
+    trace, _ = run_with(ts, behavior)
+    for rec in trace.completed(L.A):
+        assert rec.exec_time <= ts[rec.task_id].pwcet(L.A) + 1e-12
+    for rec in trace.completed(L.B):
+        assert rec.exec_time <= ts[rec.task_id].pwcet(L.B) + 1e-12
+
+
+def test_budgeted_overload_recovers_faster(ts):
+    """Capping level-C demand shrinks the backlog, hence the recovery."""
+    from repro.experiments.runner import MonitorSpec, run_overload_experiment
+
+    with_b = run_overload_experiment(ts, SHORT, MonitorSpec("simple", 0.5),
+                                     level_c_budgets=True)
+    without = run_overload_experiment(ts, SHORT, MonitorSpec("simple", 0.5),
+                                      level_c_budgets=False, horizon=60.0)
+    assert with_b.dissipation < without.dissipation

@@ -1,0 +1,49 @@
+"""Integration: measured dissipation never exceeds the analytical bound.
+
+The dissipation bound (repro.analysis.dissipation, our instantiation of
+tech report [8]) must upper-bound the dissipation the simulator actually
+measures, across scenarios and recovery speeds.
+"""
+
+import pytest
+
+from repro.analysis.dissipation import dissipation_bound
+from repro.experiments.runner import MonitorSpec, run_overload_experiment
+from repro.workload.generator import GeneratorParams, generate_taskset
+from repro.workload.scenarios import LONG, SHORT, standard_scenarios
+
+
+@pytest.fixture(scope="module")
+def ts():
+    return generate_taskset(seed=31, params=GeneratorParams(m=2))
+
+
+@pytest.mark.parametrize("scenario", standard_scenarios(), ids=lambda s: s.name)
+@pytest.mark.parametrize("s", [0.2, 0.6, 1.0])
+def test_measured_below_bound(ts, scenario, s):
+    measured = run_overload_experiment(ts, scenario, MonitorSpec("simple", s))
+    bound = dissipation_bound(
+        ts, overload_length=scenario.total_overload_length, speed=s
+    )
+    assert bound.is_finite
+    assert measured.dissipation <= bound.bound, (
+        f"{scenario.name} s={s}: measured {measured.dissipation:.3f}s "
+        f"exceeds bound {bound.bound:.3f}s"
+    )
+
+
+def test_bound_holds_at_full_scale():
+    ts4 = generate_taskset(seed=2016)
+    measured = run_overload_experiment(ts4, SHORT, MonitorSpec("simple", 0.6))
+    bound = dissipation_bound(ts4, overload_length=0.5, speed=0.6)
+    assert measured.dissipation <= bound.bound
+
+
+def test_bound_scales_like_measurements(ts):
+    """LONG's bound and measurement are both about 2x SHORT's."""
+    m_short = run_overload_experiment(ts, SHORT, MonitorSpec("simple", 0.6))
+    m_long = run_overload_experiment(ts, LONG, MonitorSpec("simple", 0.6))
+    b_short = dissipation_bound(ts, 0.5, 0.6)
+    b_long = dissipation_bound(ts, 1.0, 0.6)
+    assert m_long.dissipation > m_short.dissipation
+    assert b_long.bound > b_short.bound

@@ -1,0 +1,70 @@
+"""Integration: level-D best-effort semantics.
+
+Level D has no guarantees in MC² — it runs on whatever capacity levels
+A-C leave behind, and must never delay them.
+"""
+
+import pytest
+
+from repro.model.behavior import ConstantBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.sim.kernel import KernelConfig, MC2Kernel
+from tests.conftest import make_a_task, make_c_task
+
+
+def d_task(tid, period, exec_time, phase=0.0):
+    return Task(task_id=tid, level=L.D, period=period,
+                pwcets={L.D: exec_time}, phase=phase)
+
+
+class TestLevelD:
+    def test_d_never_delays_level_c(self):
+        """Level-C response times are identical with and without D load."""
+        cs = [make_c_task(0, 4.0, 2.0, y=3.0), make_c_task(1, 6.0, 3.0, y=5.0)]
+        ds = [d_task(30, 2.0, 1.5), d_task(31, 3.0, 2.0)]
+        base = MC2Kernel(TaskSet(cs, m=2), behavior=ConstantBehavior()).run(48.0)
+        loaded = MC2Kernel(TaskSet(cs + ds, m=2), behavior=ConstantBehavior()).run(48.0)
+        for tid in (0, 1):
+            a = [(r.index, r.release, r.completion) for r in base.jobs_of(tid)]
+            b = [(r.index, r.release, r.completion) for r in loaded.jobs_of(tid)]
+            assert a == b
+
+    def test_d_gets_leftover_capacity(self):
+        """On an underutilized platform, D work completes."""
+        cs = [make_c_task(0, 4.0, 1.0, y=3.0)]
+        ds = [d_task(30, 4.0, 1.0)]
+        trace = MC2Kernel(TaskSet(cs + ds, m=1), behavior=ConstantBehavior()).run(40.0)
+        done = [r for r in trace.jobs_of(30) if r.completion is not None]
+        assert len(done) >= 8
+
+    def test_d_starves_on_saturated_platform(self):
+        """When A+C consume the CPU, D makes (almost) no progress."""
+        a = make_a_task(10, 10.0, 0.25, cpu=0)   # 5.0 at its own level... 0.25 at C
+        c = make_c_task(0, 4.0, 3.9, y=3.0)
+        d = d_task(30, 4.0, 1.0)
+        kernel = MC2Kernel(TaskSet([a, c, d], m=1),
+                           behavior=ConstantBehavior(),
+                           config=KernelConfig(record_intervals=True))
+        trace = kernel.run(40.0)
+        d_time = sum(iv.length for iv in trace.intervals_of(30))
+        total_c = sum(iv.length for iv in trace.intervals_of(0))
+        assert total_c > 30.0
+        assert d_time < 3.0
+
+    def test_d_jobs_run_fifo(self):
+        ds = [d_task(30, 100.0, 1.0, phase=0.0), d_task(31, 100.0, 1.0, phase=0.5)]
+        trace = MC2Kernel(TaskSet(ds, m=1), behavior=ConstantBehavior()).run(10.0)
+        assert trace.job(30, 0).completion == pytest.approx(1.0)
+        assert trace.job(31, 0).completion == pytest.approx(2.0)
+
+    def test_d_intra_task_precedence(self):
+        """Even best-effort tasks execute their jobs sequentially."""
+        d = d_task(30, 1.0, 3.0)  # overloaded D task, backlog builds
+        kernel = MC2Kernel(TaskSet([d], m=2), behavior=ConstantBehavior(),
+                           config=KernelConfig(record_intervals=True))
+        trace = kernel.run(12.0)
+        ivs = sorted(trace.intervals_of(30), key=lambda iv: iv.start)
+        for a, b in zip(ivs, ivs[1:]):
+            assert a.end <= b.start + 1e-9  # never two D jobs in parallel

@@ -1,0 +1,65 @@
+"""Integration: analytical tolerances are never missed without overload.
+
+Sec. 3: "response-time tolerances should be determined based on
+analytical upper bounds of job response times, in order to guarantee
+that the virtual clock is never slowed down in the absence of overload."
+
+This is the empirical soundness check of our bound instantiation
+(DESIGN.md, substitution 4): on the paper's generated workloads running
+normally (every job at its level-C PWCET — the worst case the bound
+covers), the monitor must observe zero tolerance misses and never slow
+the clock.
+"""
+
+import pytest
+
+from repro.core.monitor import SimpleMonitor
+from repro.model.behavior import ConstantBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.sim.kernel import MC2Kernel
+from repro.workload.generator import GeneratorParams, generate_taskset
+
+
+def run_normal(ts, until):
+    kernel = MC2Kernel(ts, behavior=ConstantBehavior(L.C))
+    mon = SimpleMonitor(kernel, s=0.5)
+    kernel.attach_monitor(mon)
+    kernel.run(until)
+    return kernel, mon
+
+
+@pytest.mark.parametrize("seed", range(2015, 2025))
+def test_no_miss_on_paper_workloads(seed):
+    """Ten of the paper-scale (m=4) generated sets, 3 s of normal run."""
+    ts = generate_taskset(seed)
+    kernel, mon = run_normal(ts, until=3.0)
+    assert mon.miss_count == 0, f"seed {seed}: analytical tolerance violated"
+    assert mon.episodes == []
+    assert kernel.clock.is_normal_speed
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_no_miss_on_small_platforms(seed):
+    ts = generate_taskset(seed, GeneratorParams(m=2))
+    _, mon = run_normal(ts, until=3.0)
+    assert mon.miss_count == 0
+
+
+def test_no_miss_with_early_completions():
+    """Jobs usually finish below their PWCET (Sec. 3): still no misses."""
+    from repro.model.behavior import PwcetFractionBehavior
+
+    ts = generate_taskset(2015)
+    kernel = MC2Kernel(ts, behavior=PwcetFractionBehavior(0.6))
+    mon = SimpleMonitor(kernel, s=0.5)
+    kernel.attach_monitor(mon)
+    kernel.run(2.0)
+    assert mon.miss_count == 0
+
+
+def test_margin_only_widens_tolerances():
+    ts_tight = generate_taskset(2015, GeneratorParams(tolerance_margin=1.0))
+    ts_wide = generate_taskset(2015, GeneratorParams(tolerance_margin=2.0))
+    for t_tight in ts_tight.level(L.C):
+        t_wide = ts_wide[t_tight.task_id]
+        assert t_wide.tolerance == pytest.approx(2.0 * t_tight.tolerance)

@@ -1,0 +1,77 @@
+"""Integration: the system always returns to normal behavior.
+
+Sec. 3: "our technique creates extra slack both in a system-wide sense
+and in a per-task sense ... Therefore, the system eventually returns to
+normal behavior."  After any of the paper's transient overloads, every
+monitor configuration must detect an idle normal instant, restore the
+clock to speed 1, and exit recovery within the horizon.
+"""
+
+import pytest
+
+from repro.experiments.runner import MonitorSpec, run_overload_experiment
+from repro.workload.generator import GeneratorParams, generate_taskset
+from repro.workload.scenarios import DOUBLE, LONG, SHORT, standard_scenarios
+
+PARAMS = GeneratorParams(m=2)
+
+
+@pytest.fixture(scope="module")
+def ts():
+    return generate_taskset(seed=77, params=PARAMS)
+
+
+@pytest.mark.parametrize("scenario", standard_scenarios(), ids=lambda s: s.name)
+@pytest.mark.parametrize("spec", [
+    MonitorSpec("simple", 0.2),
+    MonitorSpec("simple", 0.6),
+    MonitorSpec("simple", 1.0),
+    MonitorSpec("adaptive", 0.2),
+    MonitorSpec("adaptive", 1.0),
+], ids=lambda m: m.label)
+def test_always_recovers(ts, scenario, spec):
+    out = run_overload_experiment(ts, scenario, spec, keep_artifacts=True)
+    r = out.result
+    assert not r.truncated, f"{spec.label} on {scenario.name} never recovered"
+    assert not out.monitor.recovery_mode
+    assert out.kernel.clock.is_normal_speed
+    assert r.episodes >= 1
+    assert r.dissipation >= 0.0
+
+
+def test_recovery_on_full_scale_platform():
+    ts4 = generate_taskset(seed=2015)
+    r = run_overload_experiment(ts4, SHORT, MonitorSpec("simple", 0.6))
+    assert not r.truncated
+    assert r.dissipation > 0
+
+
+def test_all_speed_changes_restore_to_one(ts):
+    out = run_overload_experiment(
+        ts, LONG, MonitorSpec("adaptive", 0.4), keep_artifacts=True
+    )
+    changes = out.trace.speed_changes
+    assert changes, "an overload this severe must trigger recovery"
+    assert changes[-1][1] == 1.0
+    # Within an ADAPTIVE episode, requested speeds only ratchet downward
+    # until the reset to 1.
+    episode_speeds = []
+    for _, s in changes:
+        if s == 1.0:
+            episode_speeds = []
+        else:
+            if episode_speeds:
+                assert s < episode_speeds[-1]
+            episode_speeds.append(s)
+
+
+def test_double_midgap_recovery_possible(ts):
+    """With an aggressive slowdown, recovery can complete inside the
+    DOUBLE gap; the second window then re-triggers a new episode."""
+    out = run_overload_experiment(
+        ts, DOUBLE, MonitorSpec("simple", 0.2), keep_artifacts=True
+    )
+    eps = out.monitor.episodes
+    assert len(eps) >= 2
+    assert any(e.end is not None and e.end < 1.5 for e in eps)
+    assert eps[-1].end is not None and eps[-1].end >= 2.0

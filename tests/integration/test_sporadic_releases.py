@@ -1,0 +1,96 @@
+"""Integration: sporadic (jittered) releases — the general SVO model.
+
+The paper's experiments use periodic releases, but the SVO model is
+sporadic (eq. 5 is an inequality).  These tests exercise the kernel's
+``release_delay`` hook: random extra separations must (a) keep every
+schedule invariant intact, (b) never cause tolerance misses (load only
+drops), and (c) still allow recovery from overload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import SimpleMonitor
+from repro.core.virtual_time import SpeedProfile
+from repro.experiments.runner import MonitorSpec, run_overload_experiment
+from repro.model.behavior import ConstantBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.sim.kernel import KernelConfig, MC2Kernel
+from repro.workload.generator import GeneratorParams, generate_taskset
+from repro.workload.scenarios import SHORT
+
+
+def jitter(seed: int, scale: float):
+    rng = np.random.default_rng(seed)
+
+    def delay(task, k):
+        return float(rng.uniform(0.0, scale * task.period))
+
+    return delay
+
+
+@pytest.fixture(scope="module")
+def ts():
+    return generate_taskset(seed=13, params=GeneratorParams(m=2))
+
+
+def test_sporadic_separations_respect_eq5(ts):
+    kernel = MC2Kernel(
+        ts,
+        behavior=ConstantBehavior(L.C),
+        config=KernelConfig(release_delay=jitter(0, 0.3)),
+    )
+    trace = kernel.run(3.0)
+    profile = SpeedProfile.from_segments(0.0, trace.speed_changes)
+    for t in ts.level(L.C):
+        recs = trace.jobs_of(t.task_id)
+        for a, b in zip(recs, recs[1:]):
+            sep = profile.v(b.release) - profile.v(a.release)
+            assert sep >= t.period - 1e-6
+
+
+def test_sporadic_slack_never_triggers_recovery(ts):
+    kernel = MC2Kernel(
+        ts,
+        behavior=ConstantBehavior(L.C),
+        config=KernelConfig(release_delay=jitter(1, 0.5)),
+    )
+    mon = SimpleMonitor(kernel, s=0.5)
+    kernel.attach_monitor(mon)
+    kernel.run(3.0)
+    assert mon.miss_count == 0
+    assert mon.episodes == []
+
+
+def test_level_a_unaffected_by_jitter(ts):
+    kernel = MC2Kernel(
+        ts,
+        behavior=ConstantBehavior(L.C),
+        config=KernelConfig(release_delay=jitter(2, 0.5)),
+    )
+    trace = kernel.run(1.0)
+    for t in ts.level(L.A):
+        recs = trace.jobs_of(t.task_id)
+        for a, b in zip(recs, recs[1:]):
+            assert b.release - a.release == pytest.approx(t.period)
+
+
+def test_recovery_still_works_with_jitter(ts):
+    cfg = KernelConfig(release_delay=jitter(3, 0.2))
+    r = run_overload_experiment(ts, SHORT, MonitorSpec("simple", 0.6), config=cfg)
+    assert not r.truncated
+    assert r.episodes >= 1
+    assert r.dissipation >= 0.0
+
+
+def test_jitter_reduces_load_and_responses(ts):
+    def run(delay):
+        kernel = MC2Kernel(
+            ts, behavior=ConstantBehavior(L.C),
+            config=KernelConfig(release_delay=delay),
+        )
+        return kernel.run(3.0)
+
+    periodic = run(None)
+    jittered = run(jitter(4, 0.5))
+    assert len(jittered.completed(L.C)) < len(periodic.completed(L.C))

@@ -1,0 +1,59 @@
+"""Tests for result/figure JSON export."""
+
+import json
+
+from repro.experiments.figures import FigureData, FigureSeries, SeriesPoint
+from repro.experiments.metrics import RunResult
+from repro.io.results_json import (
+    figure_to_dict,
+    figure_to_json,
+    results_to_json,
+    run_result_to_dict,
+)
+from repro.util.stats import ConfidenceInterval
+
+
+def sample_result():
+    return RunResult(
+        scenario="SHORT", monitor="SIMPLE(s=0.6)", dissipation=0.769,
+        truncated=False, min_speed=0.6, miss_count=195, episodes=1,
+        max_response_c=0.594, sim_end=1.77, events=2802,
+    )
+
+
+def sample_figure():
+    ci = ConfidenceInterval(mean=0.77, half_width=0.01, confidence=0.95, n=20)
+    return FigureData(
+        figure_id="Fig. 6", title="t", xlabel="s", ylabel="d",
+        series=(FigureSeries(label="SHORT",
+                             points=(SeriesPoint(x=0.6, ci=ci),)),),
+    )
+
+
+class TestRunResultExport:
+    def test_dict_has_all_fields(self):
+        d = run_result_to_dict(sample_result())
+        assert d["scenario"] == "SHORT"
+        assert d["dissipation"] == 0.769
+        assert d["events"] == 2802
+
+    def test_batch_json(self):
+        doc = json.loads(results_to_json([sample_result(), sample_result()]))
+        assert doc["format"] == "repro-results"
+        assert len(doc["runs"]) == 2
+
+
+class TestFigureExport:
+    def test_dict_structure(self):
+        d = figure_to_dict(sample_figure())
+        assert d["figure_id"] == "Fig. 6"
+        pt = d["series"][0]["points"][0]
+        assert pt["x"] == 0.6
+        assert pt["mean"] == 0.77
+        assert pt["ci_half_width"] == 0.01
+        assert pt["n"] == 20
+
+    def test_json_parses(self):
+        doc = json.loads(figure_to_json(sample_figure()))
+        assert doc["format"] == "repro-figure"
+        assert doc["series"][0]["label"] == "SHORT"

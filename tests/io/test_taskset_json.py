@@ -1,0 +1,89 @@
+"""Tests for task-set JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.io.taskset_json import (
+    task_from_dict,
+    task_to_dict,
+    taskset_from_json,
+    taskset_to_json,
+)
+from repro.model.task import CriticalityLevel as L
+from repro.workload.generator import GeneratorParams, generate_taskset
+from tests.conftest import make_a_task, make_c_task
+
+
+class TestTaskRoundtrip:
+    def test_level_c_roundtrip(self):
+        t = make_c_task(3, 0.05, 0.01, y=0.042, tolerance=0.13, name="nav")
+        back = task_from_dict(task_to_dict(t))
+        assert back == t
+
+    def test_level_a_roundtrip(self):
+        t = make_a_task(0, 0.025, 0.001, cpu=2)
+        back = task_from_dict(task_to_dict(t))
+        assert back == t
+
+    def test_optional_fields_omitted(self):
+        t = make_c_task(0, 4.0, 1.0)
+        d = task_to_dict(t)
+        assert "tolerance" not in d
+        assert "cpu" not in d
+        assert "name" not in d
+        assert "phase" not in d
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="criticality level"):
+            task_from_dict({"task_id": 0, "level": "Z", "period": 1.0, "pwcets": {}})
+
+    def test_unknown_pwcet_level_rejected(self):
+        with pytest.raises(ValueError, match="PWCET level"):
+            task_from_dict({"task_id": 0, "level": "D", "period": 1.0,
+                            "pwcets": {"Q": 1.0}})
+
+
+class TestTaskSetRoundtrip:
+    def test_generated_set_roundtrip(self):
+        ts = generate_taskset(2015)
+        back = taskset_from_json(taskset_to_json(ts))
+        assert back.m == ts.m
+        assert len(back) == len(ts)
+        for a, b in zip(ts, back):
+            assert a == b
+
+    def test_small_platform_roundtrip(self):
+        ts = generate_taskset(3, GeneratorParams(m=2))
+        back = taskset_from_json(taskset_to_json(ts))
+        assert [t.tolerance for t in back.level(L.C)] == [
+            t.tolerance for t in ts.level(L.C)
+        ]
+
+    def test_document_structure(self):
+        ts = generate_taskset(1, GeneratorParams(m=2))
+        doc = json.loads(taskset_to_json(ts))
+        assert doc["format"] == "repro-taskset"
+        assert doc["version"] == 1
+        assert doc["m"] == 2
+        assert len(doc["tasks"]) == len(ts)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            taskset_from_json(json.dumps({"format": "other", "version": 1, "m": 1}))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            taskset_from_json(
+                json.dumps({"format": "repro-taskset", "version": 99, "m": 1,
+                            "tasks": []})
+            )
+
+    def test_invalid_task_rejected_by_model(self):
+        doc = {
+            "format": "repro-taskset", "version": 1, "m": 1,
+            "tasks": [{"task_id": 0, "level": "C", "period": -1.0,
+                       "pwcets": {"C": 0.1}, "relative_pp": 0.0}],
+        }
+        with pytest.raises(ValueError, match="period"):
+            taskset_from_json(json.dumps(doc))

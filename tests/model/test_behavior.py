@@ -1,0 +1,152 @@
+"""Tests for execution behaviours (repro.model.behavior)."""
+
+import pytest
+
+from repro.model.behavior import (
+    ConstantBehavior,
+    OverloadWindow,
+    PwcetFractionBehavior,
+    StochasticBehavior,
+    TraceBehavior,
+    WindowedOverloadBehavior,
+)
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+
+
+def a_task():
+    return Task(task_id=0, level=L.A, period=10.0,
+                pwcets={L.A: 4.0, L.B: 2.0, L.C: 0.2}, cpu=0)
+
+
+def c_task():
+    return Task(task_id=1, level=L.C, period=4.0, pwcets={L.C: 1.0}, relative_pp=3.0)
+
+
+def d_task():
+    return Task(task_id=2, level=L.D, period=1.0)
+
+
+class TestConstantBehavior:
+    def test_default_is_level_c_pwcet(self):
+        assert ConstantBehavior().exec_time(a_task(), 0, 0.0) == 0.2
+        assert ConstantBehavior().exec_time(c_task(), 0, 0.0) == 1.0
+
+    def test_other_level(self):
+        assert ConstantBehavior(L.A).exec_time(a_task(), 0, 0.0) == 4.0
+
+    def test_missing_level_falls_back_to_least_pessimistic(self):
+        """A level-C task has no level-B PWCET; use its level-C one."""
+        assert ConstantBehavior(L.B).exec_time(c_task(), 0, 0.0) == 1.0
+
+    def test_level_d_task_without_pwcets_is_zero(self):
+        assert ConstantBehavior().exec_time(d_task(), 0, 0.0) == 0.0
+
+
+class TestPwcetFraction:
+    def test_fraction(self):
+        assert PwcetFractionBehavior(0.5).exec_time(c_task(), 0, 0.0) == 0.5
+
+    def test_overrun_fraction(self):
+        assert PwcetFractionBehavior(1.5).exec_time(c_task(), 0, 0.0) == 1.5
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            PwcetFractionBehavior(0.0)
+
+
+class TestTraceBehavior:
+    def test_overrides_and_default(self):
+        b = TraceBehavior({(1, 3): 9.0})
+        assert b.exec_time(c_task(), 3, 0.0) == 9.0
+        assert b.exec_time(c_task(), 2, 0.0) == 1.0
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBehavior({(1, 0): -1.0})
+
+    def test_custom_default(self):
+        b = TraceBehavior({}, default=ConstantBehavior(L.A))
+        assert b.exec_time(a_task(), 0, 0.0) == 4.0
+
+
+class TestOverloadWindow:
+    def test_contains_half_open(self):
+        w = OverloadWindow(1.0, 2.0)
+        assert not w.contains(0.999)
+        assert w.contains(1.0)
+        assert w.contains(1.999)
+        assert not w.contains(2.0)
+
+    def test_length(self):
+        assert OverloadWindow(0.5, 2.0).length == 1.5
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            OverloadWindow(1.0, 1.0)
+
+
+class TestWindowedOverloadBehavior:
+    def test_short_scenario_semantics(self):
+        """Jobs released inside the window run level-B PWCETs (10x)."""
+        b = WindowedOverloadBehavior([OverloadWindow(0.0, 0.5)])
+        assert b.exec_time(a_task(), 0, 0.0) == 2.0   # level-B PWCET
+        assert b.exec_time(a_task(), 1, 0.5) == 0.2   # back to level C
+        assert b.exec_time(c_task(), 0, 0.25) == 1.0  # no level-B PWCET: fallback
+
+    def test_double_scenario_two_windows(self):
+        b = WindowedOverloadBehavior(
+            [OverloadWindow(0.0, 0.5), OverloadWindow(1.5, 2.0)]
+        )
+        assert b.in_overload(0.2)
+        assert not b.in_overload(1.0)
+        assert b.in_overload(1.7)
+        assert b.last_overload_end == 2.0
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            WindowedOverloadBehavior(
+                [OverloadWindow(0.0, 1.0), OverloadWindow(0.5, 2.0)]
+            )
+
+    def test_windows_sorted_internally(self):
+        b = WindowedOverloadBehavior(
+            [OverloadWindow(1.5, 2.0), OverloadWindow(0.0, 0.5)]
+        )
+        assert b.windows[0].start == 0.0
+
+    def test_no_windows_means_never_overloaded(self):
+        b = WindowedOverloadBehavior([])
+        assert not b.in_overload(0.0)
+        assert b.last_overload_end == 0.0
+
+
+class TestStochasticBehavior:
+    def test_within_bounds_without_overruns(self):
+        b = StochasticBehavior(lo=0.5, hi=0.9, seed=1)
+        for k in range(200):
+            e = b.exec_time(c_task(), k, 0.0)
+            assert 0.5 <= e <= 0.9
+
+    def test_deterministic_given_seed(self):
+        b1 = StochasticBehavior(seed=7)
+        b2 = StochasticBehavior(seed=7)
+        xs1 = [b1.exec_time(c_task(), k, 0.0) for k in range(20)]
+        xs2 = [b2.exec_time(c_task(), k, 0.0) for k in range(20)]
+        assert xs1 == xs2
+
+    def test_overruns_occur_with_probability(self):
+        b = StochasticBehavior(lo=0.5, hi=1.0, overrun_prob=0.5,
+                               overrun_factor=3.0, seed=3)
+        es = [b.exec_time(c_task(), k, 0.0) for k in range(500)]
+        overruns = [e for e in es if e > 1.0]
+        assert 150 < len(overruns) < 350  # ~50%
+        assert max(es) <= 3.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StochasticBehavior(lo=0.0)
+        with pytest.raises(ValueError):
+            StochasticBehavior(overrun_prob=1.5)
+        with pytest.raises(ValueError):
+            StochasticBehavior(overrun_factor=0.5)

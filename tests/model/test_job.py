@@ -1,0 +1,103 @@
+"""Tests for repro.model.job."""
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+
+
+def c_task(tolerance=3.0):
+    return Task(task_id=1, level=L.C, period=4.0, pwcets={L.C: 2.0},
+                relative_pp=3.0, tolerance=tolerance)
+
+
+class TestJobBasics:
+    def test_remaining_initialized_to_exec_time(self):
+        j = Job(task=c_task(), index=0, release=0.0, exec_time=2.0)
+        assert j.remaining == 2.0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="index"):
+            Job(task=c_task(), index=-1, release=0.0, exec_time=1.0)
+
+    def test_negative_exec_rejected(self):
+        with pytest.raises(ValueError, match="exec_time"):
+            Job(task=c_task(), index=0, release=0.0, exec_time=-0.1)
+
+    def test_jid_and_label(self):
+        j = Job(task=c_task(), index=6, release=36.0, exec_time=3.0)
+        assert j.jid == (1, 6)
+        assert j.label == "tau1,6"
+
+
+class TestPendingDefinition:
+    """Sec. 2: pending at t iff r <= t < t^c."""
+
+    def test_not_pending_before_release(self):
+        j = Job(task=c_task(), index=0, release=5.0, exec_time=1.0)
+        assert not j.is_pending(4.999)
+        assert j.is_pending(5.0)
+
+    def test_pending_until_completion_exclusive(self):
+        j = Job(task=c_task(), index=0, release=0.0, exec_time=1.0)
+        j.completion = 3.0
+        assert j.is_pending(2.999)
+        assert not j.is_pending(3.0)
+
+    def test_incomplete_job_pending_forever(self):
+        j = Job(task=c_task(), index=0, release=0.0, exec_time=1.0)
+        assert j.is_pending(1e9)
+
+
+class TestResponseAndLateness:
+    def test_response_time(self):
+        j = Job(task=c_task(), index=0, release=36.0, exec_time=3.0)
+        assert j.response_time is None
+        j.completion = 43.0
+        assert j.response_time == 7.0
+
+    def test_pp_lateness_requires_resolved_pp(self):
+        j = Job(task=c_task(), index=0, release=0.0, exec_time=1.0)
+        j.completion = 5.0
+        assert j.pp_lateness is None  # completed before PP (Fig. 5(b))
+        j.actual_pp = 3.0
+        assert j.pp_lateness == 2.0
+
+
+class TestMeetsTolerance:
+    def test_unresolved_pp_always_meets(self):
+        """Fig. 5(b): t^c <= y means the tolerance is met by definition."""
+        j = Job(task=c_task(tolerance=0.0), index=0, release=0.0, exec_time=1.0)
+        j.completion = 2.0
+        assert j.meets_tolerance()
+
+    def test_within_tolerance(self):
+        j = Job(task=c_task(tolerance=3.0), index=0, release=0.0, exec_time=1.0)
+        j.actual_pp = 3.0
+        j.completion = 6.0  # exactly y + xi: "barely within its tolerance"
+        assert j.meets_tolerance()
+
+    def test_miss(self):
+        j = Job(task=c_task(tolerance=3.0), index=0, release=0.0, exec_time=1.0)
+        j.actual_pp = 3.0
+        j.completion = 6.0001
+        assert not j.meets_tolerance()
+
+    def test_incomplete_rejected(self):
+        j = Job(task=c_task(), index=0, release=0.0, exec_time=1.0)
+        with pytest.raises(ValueError, match="not complete"):
+            j.meets_tolerance()
+
+    def test_no_tolerance_configured_rejected(self):
+        j = Job(task=c_task(tolerance=None), index=0, release=0.0, exec_time=1.0)
+        j.completion = 1.0
+        with pytest.raises(ValueError, match="tolerance"):
+            j.meets_tolerance()
+
+    def test_non_c_job_rejected(self):
+        a = Task(task_id=0, level=L.A, period=10.0, pwcets={L.A: 1.0}, cpu=0)
+        j = Job(task=a, index=0, release=0.0, exec_time=1.0)
+        j.completion = 1.0
+        with pytest.raises(ValueError, match="level-C"):
+            j.meets_tolerance()

@@ -1,0 +1,121 @@
+"""Tests for the MC² task model (repro.model.task)."""
+
+import pytest
+
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+
+
+class TestCriticalityLevel:
+    def test_ordering_a_is_most_critical(self):
+        assert L.A < L.B < L.C < L.D
+
+    def test_at_or_above(self):
+        assert L.A.at_or_above(L.C)
+        assert L.C.at_or_above(L.C)
+        assert not L.D.at_or_above(L.C)
+
+    def test_hard_levels(self):
+        assert L.A.is_hard and L.B.is_hard
+        assert not L.C.is_hard and not L.D.is_hard
+
+
+class TestTaskConstruction:
+    def test_level_c_requires_relative_pp(self):
+        with pytest.raises(ValueError, match="relative_pp"):
+            Task(task_id=0, level=L.C, period=4.0, pwcets={L.C: 1.0})
+
+    def test_level_c_valid(self):
+        t = Task(task_id=0, level=L.C, period=4.0, pwcets={L.C: 1.0}, relative_pp=3.0)
+        assert t.utilization(L.C) == pytest.approx(0.25)
+
+    def test_level_c_cannot_be_pinned(self):
+        with pytest.raises(ValueError, match="globally"):
+            Task(task_id=0, level=L.C, period=4.0, pwcets={L.C: 1.0},
+                 relative_pp=3.0, cpu=0)
+
+    def test_level_a_requires_cpu(self):
+        with pytest.raises(ValueError, match="pinned"):
+            Task(task_id=0, level=L.A, period=10.0, pwcets={L.A: 1.0})
+
+    def test_level_a_requires_own_pwcet(self):
+        with pytest.raises(ValueError, match="missing PWCET"):
+            Task(task_id=0, level=L.A, period=10.0, pwcets={L.C: 1.0}, cpu=0)
+
+    def test_pwcet_above_own_criticality_allowed(self):
+        """Sec. 5: level-C tasks carry level-B PWCETs (10x) for the
+        overload scenarios; analysis at level B simply ignores them."""
+        t = Task(task_id=0, level=L.C, period=4.0,
+                 pwcets={L.C: 1.0, L.B: 10.0}, relative_pp=3.0)
+        assert t.pwcet(L.B) == 10.0
+
+    def test_non_c_task_cannot_have_pp_or_tolerance(self):
+        with pytest.raises(ValueError, match="Y_i"):
+            Task(task_id=0, level=L.A, period=10.0, pwcets={L.A: 1.0},
+                 cpu=0, relative_pp=1.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            Task(task_id=0, level=L.A, period=10.0, pwcets={L.A: 1.0},
+                 cpu=0, tolerance=1.0)
+
+    @pytest.mark.parametrize("period", [0.0, -1.0])
+    def test_bad_period(self, period):
+        with pytest.raises(ValueError, match="period"):
+            Task(task_id=0, level=L.D, period=period)
+
+    def test_negative_task_id(self):
+        with pytest.raises(ValueError, match="task_id"):
+            Task(task_id=-1, level=L.D, period=1.0)
+
+    def test_level_d_needs_no_pwcets(self):
+        t = Task(task_id=0, level=L.D, period=1.0)
+        assert t.pwcets == {}
+
+    def test_zero_pwcet_rejected(self):
+        with pytest.raises(ValueError, match="pwcet"):
+            Task(task_id=0, level=L.C, period=4.0, pwcets={L.C: 0.0}, relative_pp=1.0)
+
+
+class TestTaskDerived:
+    def test_pwcet_lookup_by_level(self):
+        t = Task(task_id=0, level=L.A, period=10.0,
+                 pwcets={L.A: 4.0, L.B: 2.0, L.C: 0.2}, cpu=1)
+        assert t.pwcet(L.A) == 4.0
+        assert t.pwcet(L.C) == 0.2
+        assert t.utilization(L.A) == pytest.approx(0.4)
+        assert t.utilization(L.C) == pytest.approx(0.02)
+
+    def test_pwcet_missing_level_raises(self):
+        t = Task(task_id=0, level=L.B, period=10.0, pwcets={L.B: 2.0}, cpu=0)
+        with pytest.raises(KeyError):
+            t.pwcet(L.C)
+
+    def test_label_defaults_to_tau(self):
+        t = Task(task_id=7, level=L.D, period=1.0)
+        assert t.label == "tau7"
+        named = Task(task_id=7, level=L.D, period=1.0, name="nav")
+        assert named.label == "nav"
+
+    def test_with_tolerance_copies(self):
+        t = Task(task_id=0, level=L.C, period=4.0, pwcets={L.C: 1.0}, relative_pp=3.0)
+        t2 = t.with_tolerance(2.5)
+        assert t2.tolerance == 2.5
+        assert t.tolerance is None
+        assert t2.period == t.period and t2.relative_pp == t.relative_pp
+
+    def test_with_tolerance_on_level_a_rejected(self):
+        t = Task(task_id=0, level=L.A, period=10.0, pwcets={L.A: 1.0}, cpu=0)
+        with pytest.raises(ValueError):
+            t.with_tolerance(1.0)
+
+    def test_with_relative_pp_copies(self):
+        t = Task(task_id=0, level=L.C, period=4.0, pwcets={L.C: 1.0},
+                 relative_pp=3.0, tolerance=1.0)
+        t2 = t.with_relative_pp(2.0)
+        assert t2.relative_pp == 2.0
+        assert t2.tolerance == 1.0
+
+    def test_pwcets_mapping_is_copied(self):
+        src = {L.C: 1.0}
+        t = Task(task_id=0, level=L.C, period=4.0, pwcets=src, relative_pp=3.0)
+        src[L.C] = 99.0
+        assert t.pwcet(L.C) == 1.0

@@ -1,0 +1,126 @@
+"""Tests for repro.model.taskset."""
+
+import pytest
+
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+from repro.model.taskset import TaskSet, hyperperiod
+from tests.conftest import make_a_task, make_b_task, make_c_task
+
+
+class TestHyperperiod:
+    def test_paper_level_a_grid(self):
+        ts = [
+            make_a_task(0, 0.025, 0.001, cpu=0),
+            make_a_task(1, 0.050, 0.001, cpu=0),
+            make_a_task(2, 0.100, 0.001, cpu=0),
+        ]
+        assert hyperperiod(ts) == pytest.approx(0.1)
+
+    def test_coprime_periods(self):
+        ts = [make_c_task(0, 0.004, 0.001), make_c_task(1, 0.006, 0.001)]
+        assert hyperperiod(ts) == pytest.approx(0.012)
+
+    def test_empty(self):
+        assert hyperperiod([]) == 0.0
+
+
+class TestTaskSetConstruction:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskSet([make_c_task(0, 4.0, 1.0), make_c_task(0, 5.0, 1.0)], m=2)
+
+    def test_cpu_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="cpu"):
+            TaskSet([make_a_task(0, 10.0, 0.5, cpu=2)], m=2)
+
+    def test_m_must_be_positive(self):
+        with pytest.raises(ValueError, match="m"):
+            TaskSet([], m=0)
+
+    def test_lookup_and_iteration(self):
+        t0, t1 = make_c_task(0, 4.0, 1.0), make_c_task(5, 5.0, 1.0)
+        ts = TaskSet([t1, t0], m=1)
+        assert ts[0].task_id == 0
+        assert 5 in ts and 3 not in ts
+        assert [t.task_id for t in ts] == [0, 5]  # ordered by id
+        assert len(ts) == 2
+
+
+class TestViews:
+    def make_mixed(self):
+        return TaskSet(
+            [
+                make_a_task(0, 10.0, 0.5, cpu=0),
+                make_a_task(1, 10.0, 0.5, cpu=1),
+                make_b_task(2, 20.0, 0.5, cpu=0),
+                make_c_task(3, 4.0, 1.0),
+            ],
+            m=2,
+        )
+
+    def test_level_view(self):
+        ts = self.make_mixed()
+        assert [t.task_id for t in ts.level(L.A)] == [0, 1]
+        assert [t.task_id for t in ts.level(L.C)] == [3]
+
+    def test_at_or_above(self):
+        ts = self.make_mixed()
+        assert [t.task_id for t in ts.at_or_above(L.B)] == [0, 1, 2]
+        assert len(ts.at_or_above(L.C)) == 4
+
+    def test_on_cpu(self):
+        ts = self.make_mixed()
+        assert [t.task_id for t in ts.on_cpu(0)] == [0, 2]
+        assert [t.task_id for t in ts.on_cpu(0, L.B)] == [2]
+
+
+class TestUtilization:
+    def test_total_level_c_utilization_includes_ab(self):
+        ts = TaskSet(
+            [make_a_task(0, 10.0, 0.5, cpu=0), make_c_task(1, 4.0, 1.0)], m=1
+        )
+        # A contributes 0.05, C contributes 0.25.
+        assert ts.utilization(L.C) == pytest.approx(0.30)
+
+    def test_utilization_filtered_by_level(self):
+        ts = TaskSet(
+            [make_a_task(0, 10.0, 0.5, cpu=0), make_c_task(1, 4.0, 1.0)], m=1
+        )
+        assert ts.utilization(L.C, level=L.C) == pytest.approx(0.25)
+        assert ts.utilization(L.C, level=L.A) == pytest.approx(0.05)
+
+    def test_cpu_ab_utilization(self):
+        ts = TaskSet(
+            [
+                make_a_task(0, 10.0, 0.5, cpu=0),
+                make_b_task(1, 10.0, 0.5, cpu=0),
+                make_c_task(2, 4.0, 1.0),
+            ],
+            m=2,
+        )
+        assert ts.cpu_ab_utilization(0, L.C) == pytest.approx(0.10)
+        assert ts.cpu_ab_utilization(1, L.C) == 0.0
+
+    def test_level_c_supply(self):
+        ts = TaskSet(
+            [make_a_task(0, 10.0, 1.0, cpu=0), make_c_task(1, 4.0, 1.0)], m=2
+        )
+        assert ts.level_c_supply() == pytest.approx([0.9, 1.0])
+
+
+class TestValidatePartitioning:
+    def test_valid_set_passes(self, mixed_taskset):
+        mixed_taskset.validate_partitioning()
+
+    def test_overcommitted_cpu_at_level_a(self):
+        # Level-A utilization at level A: 20x level-C pwcet => u_A = 20 * 0.6/10 = 1.2.
+        ts = TaskSet([make_a_task(0, 10.0, 0.6, cpu=0)], m=1)
+        with pytest.raises(ValueError, match="over-committed"):
+            ts.validate_partitioning()
+
+    def test_overcommitted_level_c_total(self):
+        tasks = [make_c_task(i, 1.0, 0.9) for i in range(3)]
+        ts = TaskSet(tasks, m=2)
+        with pytest.raises(ValueError, match="platform capacity"):
+            ts.validate_partitioning()

@@ -1,0 +1,77 @@
+"""Property tests for the response-time bounds.
+
+The strongest check: for random *schedulable* level-C systems running
+normally (every job at its PWCET), the simulator's observed response
+times never exceed the analytical bound ``Y_i + x + C_i`` — the bound
+the tolerances are derived from.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import gel_response_bounds, response_bound_x
+from repro.analysis.supply import SupplyModel
+from repro.model.behavior import ConstantBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.sim.kernel import MC2Kernel
+
+
+@st.composite
+def schedulable_systems(draw):
+    m = draw(st.integers(min_value=2, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=5))
+    tasks = []
+    for tid in range(n):
+        period = draw(st.floats(min_value=2.0, max_value=10.0))
+        u = draw(st.floats(min_value=0.05, max_value=0.5))
+        pwcet = u * period
+        y = draw(st.floats(min_value=0.0, max_value=2.0 * period))
+        tasks.append(Task(task_id=tid, level=L.C, period=period,
+                          pwcets={L.C: pwcet}, relative_pp=y))
+    ts = TaskSet(tasks, m=m)
+    u_total = ts.utilization(L.C)
+    assume(u_total < 0.9 * m)  # comfortably schedulable
+    return ts
+
+
+@given(schedulable_systems())
+@settings(max_examples=40, deadline=None)
+def test_simulated_responses_never_exceed_bound(ts):
+    bounds = gel_response_bounds(ts)
+    assume(bounds.is_finite)
+    kernel = MC2Kernel(ts, behavior=ConstantBehavior(L.C))
+    trace = kernel.run(60.0)
+    for rec in trace.completed(L.C):
+        limit = bounds.absolute[rec.task_id]
+        assert rec.response_time <= limit + 1e-6, (
+            f"tau{rec.task_id},{rec.index}: R={rec.response_time} > bound={limit}"
+        )
+
+
+@given(schedulable_systems())
+@settings(max_examples=60, deadline=None)
+def test_x_nonnegative_or_infinite(ts):
+    x = response_bound_x(ts.tasks, SupplyModel.unrestricted(ts.m))
+    assert x >= 0.0 or math.isinf(x)
+
+
+@given(schedulable_systems(), st.floats(min_value=0.0, max_value=5.0))
+@settings(max_examples=60, deadline=None)
+def test_x_monotone_in_supply_burst(ts, burst):
+    base = SupplyModel.unrestricted(ts.m)
+    bursty = SupplyModel(alphas=base.alphas, sigmas=(burst,) * ts.m)
+    assert response_bound_x(ts.tasks, base) <= response_bound_x(ts.tasks, bursty) + 1e-12
+
+
+@given(schedulable_systems(), st.floats(min_value=0.5, max_value=0.99))
+@settings(max_examples=60, deadline=None)
+def test_x_monotone_in_supply_rate(ts, alpha):
+    full = SupplyModel.unrestricted(ts.m)
+    reduced = SupplyModel(alphas=(alpha,) * ts.m, sigmas=(0.0,) * ts.m)
+    x_full = response_bound_x(ts.tasks, full)
+    x_red = response_bound_x(ts.tasks, reduced)
+    assert x_red >= x_full - 1e-12 or math.isinf(x_red)

@@ -1,0 +1,165 @@
+"""Property tests for the infrastructure: event queue, serialization,
+timeline binning, and the reference simulator's self-consistency."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.timeline import TimelineBin, render_sparkline, response_timeline
+from repro.io.taskset_json import task_from_dict, task_to_dict
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.reference import simulate_reference
+
+
+# ----------------------------------------------------------------------
+# Event queue
+# ----------------------------------------------------------------------
+events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.sampled_from(list(EventKind)),
+    ),
+    max_size=50,
+)
+
+
+@given(events)
+def test_queue_pops_in_total_order(pairs):
+    q = EventQueue()
+    for t, kind in pairs:
+        q.push(Event(time=t, kind=kind))
+    out = []
+    while q:
+        ev = q.pop()
+        out.append((ev.time, int(ev.kind)))
+    assert out == sorted(out)
+
+
+@given(events)
+def test_queue_preserves_count(pairs):
+    q = EventQueue()
+    for t, kind in pairs:
+        q.push(Event(time=t, kind=kind))
+    assert len(q) == len(pairs)
+    n = 0
+    while q:
+        q.pop()
+        n += 1
+    assert n == len(pairs)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=1, max_size=30))
+def test_equal_time_equal_kind_is_fifo(times):
+    t = min(times)
+    q = EventQueue()
+    for i in range(len(times)):
+        q.push(Event(time=t, kind=EventKind.RELEASE, payload=i))
+    assert [q.pop().payload for _ in range(len(times))] == list(range(len(times)))
+
+
+# ----------------------------------------------------------------------
+# Task serialization
+# ----------------------------------------------------------------------
+@st.composite
+def arbitrary_tasks(draw):
+    level = draw(st.sampled_from([L.A, L.B, L.C, L.D]))
+    period = draw(st.floats(min_value=0.001, max_value=10.0))
+    pwcets = {}
+    if level is not L.D:
+        c = draw(st.floats(min_value=1e-6, max_value=period))
+        pwcets[L.C] = c
+        if level in (L.A, L.B):
+            pwcets[L.B] = 10 * c
+        if level is L.A:
+            pwcets[L.A] = 20 * c
+    kwargs = dict(
+        task_id=draw(st.integers(min_value=0, max_value=10_000)),
+        level=level,
+        period=period,
+        pwcets=pwcets,
+        phase=draw(st.floats(min_value=0.0, max_value=5.0)),
+        name=draw(st.text(alphabet="abcXYZ09_", max_size=8)),
+    )
+    if level is L.C:
+        kwargs["relative_pp"] = draw(st.floats(min_value=0.0, max_value=20.0))
+        if draw(st.booleans()):
+            kwargs["tolerance"] = draw(st.floats(min_value=0.0, max_value=5.0))
+    if level in (L.A, L.B):
+        kwargs["cpu"] = draw(st.integers(min_value=0, max_value=7))
+    return Task(**kwargs)
+
+
+@given(arbitrary_tasks())
+@settings(max_examples=200)
+def test_task_json_roundtrip(task):
+    assert task_from_dict(task_to_dict(task)) == task
+
+
+# ----------------------------------------------------------------------
+# Timeline binning
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=1, max_size=40))
+def test_sparkline_length_and_alphabet(values):
+    bins = [TimelineBin(start=i, end=i + 1, jobs=1, max_response=v,
+                        max_normalized=v) for i, v in enumerate(values)]
+    art = render_sparkline(bins)
+    assert len(art) == len(values)
+    assert set(art) <= set("▁▂▃▄▅▆▇█")
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=5, max_size=60),
+       st.integers(min_value=1, max_value=10))
+def test_sparkline_downsampling_keeps_max(values, width):
+    bins = [TimelineBin(start=i, end=i + 1, jobs=1, max_response=v,
+                        max_normalized=v) for i, v in enumerate(values)]
+    art = render_sparkline(bins, width=min(width, len(values)))
+    if max(values) > 0:
+        assert "█" in art  # the global max always maps to full height
+
+
+# ----------------------------------------------------------------------
+# Reference simulator self-consistency
+# ----------------------------------------------------------------------
+@st.composite
+def ref_systems(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    tasks = []
+    for tid in range(n):
+        period = draw(st.integers(min_value=2, max_value=6)) * 1.0
+        pwcet = draw(st.integers(min_value=1, max_value=4)) * 0.5
+        tasks.append(Task(task_id=tid, level=L.C, period=period,
+                          pwcets={L.C: min(pwcet, period)},
+                          relative_pp=float(draw(st.integers(0, 6)))))
+    m = draw(st.integers(min_value=1, max_value=2))
+    return tasks, m
+
+
+@given(ref_systems())
+@settings(max_examples=60, deadline=None)
+def test_reference_releases_respect_period(system):
+    tasks, m = system
+    res = simulate_reference(tasks, m, until=30.0)
+    by_task = {}
+    for j in res.jobs:
+        by_task.setdefault(j.task_id, []).append(j)
+    for tid, jobs in by_task.items():
+        period = next(t.period for t in tasks if t.task_id == tid)
+        jobs.sort(key=lambda j: j.index)
+        for a, b in zip(jobs, jobs[1:]):
+            assert b.virtual_release - a.virtual_release >= period - 1e-9
+
+
+@given(ref_systems())
+@settings(max_examples=60, deadline=None)
+def test_reference_completions_after_release_plus_demand(system):
+    tasks, m = system
+    res = simulate_reference(tasks, m, until=30.0)
+    for j in res.jobs:
+        if j.completion is not None:
+            assert j.completion >= j.release + j.exec_time - 1e-9

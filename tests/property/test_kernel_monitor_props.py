@@ -1,0 +1,99 @@
+"""End-to-end property tests: kernel + monitor vs. ground truth.
+
+Random level-C systems with random overruns run through the *real*
+kernel with a SIMPLE monitor; afterwards every monitor decision is
+checked against the brute-force trace checker
+(:mod:`repro.analysis.trace_check`):
+
+* every closed recovery episode ends at a genuine idle normal instant
+  (Theorem 1, end-to-end, not just on synthetic report streams);
+* recovery only ever starts when some job truly missed its tolerance;
+* if the run ends outside recovery, the virtual clock is at speed 1.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.trace_check import job_misses_tolerance, verify_monitor_decisions
+from repro.core.monitor import SimpleMonitor
+from repro.core.tolerance import fixed_tolerances
+from repro.model.behavior import ExecutionBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.sim.kernel import KernelConfig, MC2Kernel
+
+HORIZON = 40.0
+
+
+@st.composite
+def monitored_systems(draw):
+    m = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=1, max_value=4))
+    tasks = []
+    exec_tables = {}
+    for tid in range(n):
+        period = draw(st.floats(min_value=2.0, max_value=8.0))
+        u = draw(st.floats(min_value=0.1, max_value=0.6))
+        pwcet = u * period
+        y = draw(st.floats(min_value=0.5, max_value=period))
+        tasks.append(Task(task_id=tid, level=L.C, period=period,
+                          pwcets={L.C: pwcet}, relative_pp=y))
+        # Mostly normal execution with occasional overruns.
+        exec_tables[tid] = draw(
+            st.lists(st.floats(min_value=0.3 * pwcet, max_value=2.5 * pwcet),
+                     min_size=1, max_size=6)
+        )
+    xi = draw(st.floats(min_value=0.5, max_value=4.0))
+    s = draw(st.sampled_from([0.2, 0.5, 0.8]))
+    return m, tasks, exec_tables, xi, s
+
+
+class TableBehavior(ExecutionBehavior):
+    def __init__(self, tables):
+        self.tables = tables
+
+    def exec_time(self, task, job_index, release):
+        xs = self.tables[task.task_id]
+        return xs[job_index % len(xs)]
+
+
+def run_system(system):
+    m, tasks, exec_tables, xi, s = system
+    ts = fixed_tolerances(TaskSet(tasks, m=m), xi)
+    kernel = MC2Kernel(ts, behavior=TableBehavior(exec_tables),
+                       config=KernelConfig())
+    mon = SimpleMonitor(kernel, s=s)
+    kernel.attach_monitor(mon)
+    trace = kernel.run(HORIZON)
+    return ts, kernel, mon, trace
+
+
+@given(monitored_systems())
+@settings(max_examples=50, deadline=None)
+def test_episode_exits_are_idle_normal_instants(system):
+    ts, kernel, mon, trace = run_system(system)
+    verdict = verify_monitor_decisions(mon, trace, ts)
+    assert verdict.ok, verdict.violations
+
+
+@given(monitored_systems())
+@settings(max_examples=50, deadline=None)
+def test_recovery_starts_only_on_real_misses(system):
+    ts, kernel, mon, trace = run_system(system)
+    any_miss = any(job_misses_tolerance(rec, ts) for rec in trace.jobs)
+    if mon.episodes:
+        assert any_miss, "recovery started but no job ever missed (ground truth)"
+    if not any_miss:
+        assert mon.miss_count == 0
+
+
+@given(monitored_systems())
+@settings(max_examples=50, deadline=None)
+def test_clock_normal_when_out_of_recovery(system):
+    ts, kernel, mon, trace = run_system(system)
+    if not mon.recovery_mode:
+        assert kernel.clock.is_normal_speed
+    # And the monitor's miss count matches ground truth exactly.
+    truth = sum(1 for rec in trace.jobs if job_misses_tolerance(rec, ts))
+    assert mon.miss_count == truth

@@ -1,0 +1,96 @@
+"""Property tests for the virtual clock (eq. 4 invariants)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.virtual_time import SpeedProfile, VirtualClock
+
+# A random piecewise speed schedule: positive time deltas and speeds in
+# (0, 1], as the paper requires during recovery.
+speed_schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+def build_profile(schedule):
+    t = 0.0
+    segs = []
+    for dt, s in schedule:
+        t += dt
+        segs.append((t, s))
+    return SpeedProfile.from_segments(0.0, segs), t
+
+
+@given(speed_schedules, st.floats(min_value=0.0, max_value=200.0))
+def test_v_is_monotone_nondecreasing(schedule, t):
+    prof, _ = build_profile(schedule)
+    assert prof.v(t + 1.0) > prof.v(t)
+
+
+@given(speed_schedules, st.floats(min_value=0.0, max_value=200.0))
+def test_v_never_exceeds_actual_time(schedule, t):
+    """With s <= 1 everywhere, v(t) <= t (virtual time never runs ahead)."""
+    prof, _ = build_profile(schedule)
+    assert prof.v(t) <= t + 1e-9
+
+
+@given(speed_schedules, st.floats(min_value=0.0, max_value=200.0),
+       st.floats(min_value=0.0, max_value=10.0))
+def test_v_is_1_lipschitz(schedule, t, dt):
+    """v advances at most as fast as actual time (s <= 1)."""
+    prof, _ = build_profile(schedule)
+    assert prof.v(t + dt) - prof.v(t) <= dt + 1e-9
+
+
+@given(speed_schedules, st.floats(min_value=0.0, max_value=200.0))
+def test_inverse_roundtrip(schedule, t):
+    prof, _ = build_profile(schedule)
+    assert prof.inverse(prof.v(t)) == pytest.approx(t, abs=1e-6)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=100),
+                  st.fractions(min_value=Fraction(1, 10), max_value=Fraction(1))),
+        min_size=0, max_size=6,
+    ),
+    st.integers(min_value=0, max_value=500),
+)
+def test_fraction_roundtrip_is_exact(schedule, t_num):
+    """Over Fractions the inverse is exact, not approximate."""
+    t = Fraction(0)
+    segs = []
+    for dt, s in schedule:
+        t += dt
+        segs.append((t, s))
+    prof = SpeedProfile.from_segments(Fraction(0), segs)
+    q = Fraction(t_num, 7)
+    assert prof.inverse(prof.v(q)) == q
+
+
+@given(speed_schedules)
+def test_clock_agrees_with_profile(schedule):
+    """Replaying the schedule through VirtualClock matches SpeedProfile."""
+    clk = VirtualClock(0.0)
+    t = 0.0
+    for dt, s in schedule:
+        t += dt
+        clk.change_speed(s, t)
+    prof, _ = build_profile(schedule)
+    for probe in (t, t + 0.5, t + 10.0):
+        assert clk.act_to_virt(probe) == pytest.approx(prof.v(probe), rel=1e-9, abs=1e-9)
+
+
+@given(speed_schedules)
+def test_minimum_speed_matches_schedule(schedule):
+    prof, _ = build_profile(schedule)
+    expected = min([1.0] + [s for _, s in schedule])
+    assert prof.minimum_speed() == pytest.approx(expected)

@@ -1,0 +1,28 @@
+"""Tests for the level-D best-effort policy."""
+
+from repro.model.job import Job
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+from repro.schedulers.best_effort import pick_best_effort
+
+
+def djob(tid, release, index=0):
+    t = Task(task_id=tid, level=L.D, period=1.0)
+    return Job(task=t, index=index, release=release, exec_time=0.5)
+
+
+class TestPickBestEffort:
+    def test_fifo_by_release(self):
+        early = djob(1, 0.0)
+        late = djob(0, 1.0)
+        assert pick_best_effort([late, early]) is early
+
+    def test_tie_by_task_id_then_index(self):
+        a = djob(0, 0.0, index=1)
+        b = djob(1, 0.0, index=0)
+        assert pick_best_effort([b, a]) is a
+        a0 = djob(0, 0.0, index=0)
+        assert pick_best_effort([a, a0]) is a0
+
+    def test_empty(self):
+        assert pick_best_effort([]) is None

@@ -1,0 +1,58 @@
+"""Tests for global GEL-v selection (repro.schedulers.gel_global)."""
+
+from repro.model.job import Job
+from repro.schedulers.gel_global import select_gel_jobs
+from tests.conftest import make_c_task
+
+
+def cjob(tid, vpp, index=0, running_on=None):
+    j = Job(task=make_c_task(tid, 10.0, 1.0), index=index, release=0.0, exec_time=1.0)
+    j.virtual_pp = vpp
+    j.running_on = running_on
+    return j
+
+
+class TestSelectGelJobs:
+    def test_top_k_by_virtual_pp(self):
+        jobs = [cjob(0, 5.0), cjob(1, 3.0), cjob(2, 4.0)]
+        out = select_gel_jobs(jobs, free_cpus=[0, 1])
+        chosen = {j.task.task_id for j in out.values() if j is not None}
+        assert chosen == {1, 2}
+
+    def test_fewer_jobs_than_cpus(self):
+        jobs = [cjob(0, 5.0)]
+        out = select_gel_jobs(jobs, free_cpus=[0, 1, 2])
+        assert sum(j is not None for j in out.values()) == 1
+
+    def test_no_free_cpus(self):
+        assert select_gel_jobs([cjob(0, 1.0)], free_cpus=[]) == {}
+
+    def test_no_jobs(self):
+        out = select_gel_jobs([], free_cpus=[0, 1])
+        assert out == {0: None, 1: None}
+
+    def test_running_job_stays_on_its_cpu(self):
+        a = cjob(0, 1.0, running_on=1)
+        b = cjob(1, 2.0)
+        out = select_gel_jobs([a, b], free_cpus=[0, 1])
+        assert out[1] is a
+        assert out[0] is b
+
+    def test_running_job_on_unavailable_cpu_migrates(self):
+        a = cjob(0, 1.0, running_on=5)  # its CPU got claimed by level A/B
+        out = select_gel_jobs([a], free_cpus=[0])
+        assert out[0] is a
+
+    def test_preempted_job_is_simply_not_selected(self):
+        low = cjob(0, 9.0, running_on=0)
+        hi1 = cjob(1, 1.0)
+        hi2 = cjob(2, 2.0)
+        out = select_gel_jobs([low, hi1, hi2], free_cpus=[0, 1])
+        selected = {j.task.task_id for j in out.values()}
+        assert selected == {1, 2}
+
+    def test_deterministic_tie_break(self):
+        a = cjob(0, 3.0)
+        b = cjob(1, 3.0)
+        out = select_gel_jobs([b, a], free_cpus=[0])
+        assert out[0] is a  # lower task id wins the PP tie

@@ -1,0 +1,42 @@
+"""Tests for partitioned EDF (repro.schedulers.pedf)."""
+
+from repro.model.job import Job
+from repro.schedulers.pedf import edf_key, pick_edf
+from tests.conftest import make_b_task
+
+
+def bjob(tid, period, release, deadline=None, index=0):
+    j = Job(task=make_b_task(tid, period, 0.1, cpu=0), index=index,
+            release=release, exec_time=0.5)
+    j.deadline = deadline
+    return j
+
+
+class TestEdfKey:
+    def test_explicit_deadline_used(self):
+        j = bjob(0, 10.0, 0.0, deadline=4.0)
+        assert edf_key(j)[0] == 4.0
+
+    def test_implicit_deadline_release_plus_period(self):
+        j = bjob(0, 10.0, 3.0)
+        assert edf_key(j)[0] == 13.0
+
+
+class TestPickEdf:
+    def test_earliest_deadline_wins(self):
+        a = bjob(0, 10.0, 0.0, deadline=10.0)
+        b = bjob(1, 20.0, 0.0, deadline=5.0)
+        assert pick_edf([a, b]) is b
+
+    def test_tie_broken_by_task_id(self):
+        a = bjob(0, 10.0, 0.0, deadline=10.0)
+        b = bjob(1, 10.0, 0.0, deadline=10.0)
+        assert pick_edf([b, a]) is a
+
+    def test_tie_broken_by_index(self):
+        a0 = bjob(0, 10.0, 0.0, deadline=10.0, index=0)
+        a1 = bjob(0, 10.0, 0.0, deadline=10.0, index=1)
+        assert pick_edf([a1, a0]) is a0
+
+    def test_empty(self):
+        assert pick_edf([]) is None

@@ -1,0 +1,128 @@
+"""Tests for level-A dispatch tables (repro.schedulers.table_driven)."""
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+from repro.schedulers.table_driven import (
+    build_preemptive_table,
+    build_table,
+    pick_table_driven,
+    rm_key,
+)
+
+
+def a_task(tid, period, pwcet_a, cpu=0, phase=0.0):
+    return Task(task_id=tid, level=L.A, period=period,
+                pwcets={L.A: pwcet_a, L.C: pwcet_a / 20.0}, cpu=cpu, phase=phase)
+
+
+class TestContiguousTable:
+    def test_single_task_slots_at_releases(self):
+        tbl = build_table([a_task(0, 10.0, 2.0)], cpu=0)
+        assert tbl.hyperperiod == 10.0
+        assert tbl.slot_start(0, 0) == 0.0
+        assert tbl.slot_start(0, 3) == 30.0
+        assert tbl.allocation(0, 0) == pytest.approx(2.0)
+
+    def test_two_tasks_serialized(self):
+        tbl = build_table([a_task(0, 10.0, 2.0), a_task(1, 10.0, 3.0)], cpu=0)
+        assert tbl.slot_start(0, 0) == 0.0
+        assert tbl.slot_start(1, 0) == 2.0
+        assert tbl.busy_fraction() == pytest.approx(0.5)
+
+    def test_harmonic_full_utilization_packs(self):
+        tbl = build_table([a_task(0, 10.0, 5.0), a_task(1, 20.0, 10.0)], cpu=0)
+        assert tbl.busy_fraction() == pytest.approx(1.0)
+
+    def test_infeasible_contiguous_placement_raises(self):
+        # A 6-unit slot cannot fit contiguously around a 5-period task at
+        # full utilization.
+        with pytest.raises(ValueError, match="contiguous"):
+            build_table([a_task(0, 5.0, 2.5), a_task(1, 20.0, 10.0)], cpu=0)
+
+    def test_rejects_wrong_level(self):
+        c = Task(task_id=0, level=L.C, period=4.0, pwcets={L.C: 1.0}, relative_pp=3.0)
+        with pytest.raises(ValueError, match="level A"):
+            build_table([c], cpu=0)
+
+    def test_rejects_wrong_cpu(self):
+        with pytest.raises(ValueError, match="pinned"):
+            build_table([a_task(0, 10.0, 2.0, cpu=1)], cpu=0)
+
+    def test_empty(self):
+        tbl = build_table([], cpu=0)
+        assert tbl.hyperperiod == 0.0
+
+
+class TestPreemptiveTable:
+    def test_splits_long_slot_around_short_period(self):
+        """The case contiguous placement cannot handle."""
+        tbl = build_preemptive_table(
+            [a_task(0, 5.0, 2.5), a_task(1, 20.0, 10.0)], cpu=0
+        )
+        assert tbl.busy_fraction() == pytest.approx(1.0)
+        # Long task's first job is split into several sub-slots.
+        slots = tbl.job_slots(1, 0)
+        assert len(slots) >= 2
+        assert sum(e - s for s, e in slots) == pytest.approx(10.0)
+
+    def test_full_allocation_for_every_job(self):
+        tasks = [a_task(0, 25.0, 10.0), a_task(1, 50.0, 15.0), a_task(2, 100.0, 30.0)]
+        tbl = build_preemptive_table(tasks, cpu=0)
+        for t in tasks:
+            per = tbl.jobs_per_hp[t.task_id]
+            for k in range(per):
+                assert tbl.allocation(t.task_id, k) == pytest.approx(t.pwcet(L.A))
+
+    def test_slots_never_overlap(self):
+        tasks = [a_task(0, 25.0, 10.0), a_task(1, 50.0, 15.0), a_task(2, 100.0, 30.0)]
+        tbl = build_preemptive_table(tasks, cpu=0)
+        ordered = sorted(tbl.slots, key=lambda s: s.start)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.end <= b.start + 1e-12
+
+    def test_slots_respect_release_and_deadline(self):
+        tasks = [a_task(0, 25.0, 10.0), a_task(1, 50.0, 30.0)]
+        tbl = build_preemptive_table(tasks, cpu=0)
+        for s in tbl.slots:
+            t = next(t for t in tasks if t.task_id == s.task_id)
+            release = s.job_within_hp * t.period
+            assert s.start >= release - 1e-12
+            assert s.end <= release + t.period + 1e-9
+
+    def test_harmonic_100_percent_feasible(self):
+        """The paper's generator produces exactly this shape."""
+        tasks = [a_task(0, 25.0, 5.0), a_task(1, 50.0, 20.0), a_task(2, 100.0, 40.0)]
+        # u = 0.2 + 0.4 + 0.4 = 1.0
+        tbl = build_preemptive_table(tasks, cpu=0)
+        assert tbl.busy_fraction() == pytest.approx(1.0)
+
+    def test_overcommitted_raises(self):
+        with pytest.raises(ValueError):
+            build_preemptive_table([a_task(0, 10.0, 6.0), a_task(1, 20.0, 10.0)], cpu=0)
+
+    def test_nonharmonic_rm_unschedulable_raises(self):
+        # Classic RM counterexample beyond the bound: u = 0.5 + 0.5 over
+        # non-harmonic periods misses a deadline.
+        with pytest.raises(ValueError):
+            build_preemptive_table(
+                [a_task(0, 10.0, 5.0), a_task(1, 14.0, 7.0)], cpu=0
+            )
+
+
+class TestDispatchOrder:
+    def test_rm_key_orders_by_period(self):
+        short = Job(task=a_task(1, 10.0, 2.0), index=0, release=0.0, exec_time=2.0)
+        long_ = Job(task=a_task(0, 20.0, 2.0), index=0, release=0.0, exec_time=2.0)
+        assert rm_key(short) < rm_key(long_)
+        assert pick_table_driven([long_, short]) is short
+
+    def test_tie_by_task_id(self):
+        j0 = Job(task=a_task(0, 10.0, 2.0), index=0, release=0.0, exec_time=2.0)
+        j1 = Job(task=a_task(1, 10.0, 2.0), index=0, release=0.0, exec_time=2.0)
+        assert pick_table_driven([j1, j0]) is j0
+
+    def test_empty(self):
+        assert pick_table_driven([]) is None

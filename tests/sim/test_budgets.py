@@ -1,0 +1,49 @@
+"""Tests for execution-budget enforcement (footnote 2)."""
+
+import pytest
+
+from repro.model.behavior import ConstantBehavior, TraceBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.sim.budgets import BudgetEnforcedBehavior
+from tests.conftest import make_a_task, make_b_task, make_c_task
+
+
+class TestBudgetEnforcedBehavior:
+    def test_level_a_clamped_to_level_a_pwcet(self):
+        a = make_a_task(0, 10.0, 0.5, cpu=0)  # C^A = 10.0
+        inner = TraceBehavior({(0, 0): 99.0})
+        b = BudgetEnforcedBehavior(inner)
+        assert b.exec_time(a, 0, 0.0) == 10.0
+
+    def test_level_a_can_still_exceed_level_c_pwcet(self):
+        """Footnote 2: budgets at A/B do not prevent level-C overload."""
+        a = make_a_task(0, 10.0, 0.5, cpu=0)
+        inner = ConstantBehavior(L.B)  # 10x the level-C PWCET
+        b = BudgetEnforcedBehavior(inner)
+        assert b.exec_time(a, 0, 0.0) == 5.0  # level-B PWCET, > C^C = 0.5
+
+    def test_level_b_clamped(self):
+        t = make_b_task(0, 10.0, 0.5, cpu=0)  # C^B = 5.0
+        b = BudgetEnforcedBehavior(TraceBehavior({(0, 0): 7.0}))
+        assert b.exec_time(t, 0, 0.0) == 5.0
+
+    def test_level_c_unclamped_by_default(self):
+        c = make_c_task(0, 4.0, 1.0)
+        b = BudgetEnforcedBehavior(TraceBehavior({(0, 0): 3.0}))
+        assert b.exec_time(c, 0, 0.0) == 3.0
+
+    def test_level_c_clamped_when_enabled(self):
+        """Enforcing level-C budgets restores eq. 1 at level C."""
+        c = make_c_task(0, 4.0, 1.0)
+        b = BudgetEnforcedBehavior(TraceBehavior({(0, 0): 3.0}), enforce_c=True)
+        assert b.exec_time(c, 0, 0.0) == 1.0
+
+    def test_under_budget_passes_through(self):
+        c = make_c_task(0, 4.0, 1.0)
+        b = BudgetEnforcedBehavior(TraceBehavior({(0, 0): 0.3}), enforce_c=True)
+        assert b.exec_time(c, 0, 0.0) == 0.3
+
+    def test_enforcement_can_be_disabled_per_level(self):
+        a = make_a_task(0, 10.0, 0.5, cpu=0)
+        b = BudgetEnforcedBehavior(TraceBehavior({(0, 0): 99.0}), enforce_a=False)
+        assert b.exec_time(a, 0, 0.0) == 99.0

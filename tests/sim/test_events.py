@@ -1,0 +1,59 @@
+"""Tests for the event queue (repro.sim.events)."""
+
+import pytest
+
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(Event(2.0, EventKind.RELEASE))
+        q.push(Event(1.0, EventKind.RELEASE))
+        q.push(Event(3.0, EventKind.RELEASE))
+        assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_kind_order_at_equal_time(self):
+        """RELEASE < COMPLETION < MONITOR_REPORT < END at the same instant."""
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.END))
+        q.push(Event(1.0, EventKind.COMPLETION))
+        q.push(Event(1.0, EventKind.MONITOR_REPORT))
+        q.push(Event(1.0, EventKind.RELEASE))
+        kinds = [q.pop().kind for _ in range(4)]
+        assert kinds == [
+            EventKind.RELEASE,
+            EventKind.COMPLETION,
+            EventKind.MONITOR_REPORT,
+            EventKind.END,
+        ]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        q = EventQueue()
+        a = Event(1.0, EventKind.RELEASE, payload="a")
+        b = Event(1.0, EventKind.RELEASE, payload="b")
+        q.push(a)
+        q.push(b)
+        assert q.pop().payload == "a"
+        assert q.pop().payload == "b"
+
+
+class TestQueueProtocol:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(Event(0.0, EventKind.RELEASE))
+        assert q and len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(Event(5.0, EventKind.RELEASE))
+        q.push(Event(2.0, EventKind.RELEASE))
+        assert q.peek_time() == 2.0
+        q.pop()
+        assert q.peek_time() == 5.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()

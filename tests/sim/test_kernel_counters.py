@@ -1,0 +1,63 @@
+"""Tests for the kernel's preemption/migration counters."""
+
+import pytest
+
+from repro.model.behavior import ConstantBehavior, TraceBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.model.taskset import TaskSet
+from repro.sim.kernel import KernelConfig, MC2Kernel
+from tests.conftest import make_c_task
+
+
+def run(tasks, m, behavior=None, until=20.0):
+    kernel = MC2Kernel(TaskSet(tasks, m=m), behavior=behavior,
+                       config=KernelConfig(record_intervals=True))
+    kernel.run(until)
+    return kernel
+
+
+class TestPreemptionCounter:
+    def test_no_preemptions_when_unloaded(self):
+        k = run([make_c_task(0, 4.0, 1.0, y=3.0)], m=1)
+        assert k.preemptions == 0
+
+    def test_high_priority_release_counts_one_preemption(self):
+        # tau0 (PP at 2) preempts the long-running tau1 (PP at 11) once.
+        t0 = make_c_task(0, 20.0, 1.0, y=1.0, phase=1.0)
+        t1 = make_c_task(1, 20.0, 5.0, y=11.0)
+        k = run([t0, t1], m=1, until=10.0)
+        assert k.preemptions == 1
+
+    def test_completion_is_not_a_preemption(self):
+        """Jobs finishing exactly when others release must not count."""
+        t0 = make_c_task(0, 4.0, 2.0, y=3.0)
+        t1 = make_c_task(1, 4.0, 2.0, y=3.5)
+        k = run([t0, t1], m=1, until=20.0)
+        assert k.preemptions == 0
+
+
+class TestMigrationCounter:
+    def test_partitioned_like_load_never_migrates(self):
+        tasks = [make_c_task(0, 4.0, 1.0, y=3.0), make_c_task(1, 4.0, 1.0, y=3.5)]
+        k = run(tasks, m=2)
+        assert k.migrations == 0
+
+    def test_global_scheduling_can_migrate(self):
+        """A preempted job resuming on another CPU counts as a migration."""
+        # Two CPUs, three tasks; the lowest-priority job gets preempted
+        # and resumes wherever a CPU frees first.
+        tasks = [
+            make_c_task(0, 6.0, 2.0, y=1.0, phase=1.0),
+            make_c_task(1, 6.0, 2.0, y=1.5, phase=1.0),
+            make_c_task(2, 6.0, 4.0, y=10.0),
+        ]
+        k = run(tasks, m=2, until=30.0)
+        assert k.preemptions >= 1
+        # Migration count is environment-dependent but non-negative and
+        # bounded by preemption-ish churn.
+        assert 0 <= k.migrations <= k.preemptions + len(k.trace.jobs)
+
+    def test_counters_zero_without_contention(self):
+        k = run([make_c_task(0, 10.0, 1.0, y=5.0)], m=4)
+        assert k.preemptions == 0
+        assert k.migrations == 0

@@ -1,0 +1,60 @@
+"""Tests for per-CPU run state (repro.sim.processor)."""
+
+import pytest
+
+from repro.model.job import Job
+from repro.sim.processor import Processor
+from tests.conftest import make_c_task
+
+
+def job(exec_time=5.0):
+    return Job(task=make_c_task(0, 10.0, 2.0), index=0, release=0.0,
+               exec_time=exec_time)
+
+
+class TestProcessor:
+    def test_starts_idle(self):
+        p = Processor(0)
+        assert p.is_idle
+
+    def test_advance_charges_running_job(self):
+        p = Processor(0)
+        j = job(5.0)
+        p.assign(j, 1.0)
+        charged = p.advance(3.5)
+        assert charged == pytest.approx(2.5)
+        assert j.remaining == pytest.approx(2.5)
+        assert p.since == 3.5
+
+    def test_advance_idle_charges_nothing(self):
+        p = Processor(0)
+        assert p.advance(10.0) == 0.0
+        assert p.since == 10.0
+
+    def test_advance_clamps_remaining_at_zero(self):
+        p = Processor(0)
+        j = job(1.0)
+        p.assign(j, 0.0)
+        p.advance(1.0 + 1e-13)  # float fuzz beyond the demand
+        assert j.remaining == 0.0
+
+    def test_advance_backwards_rejected(self):
+        p = Processor(0)
+        p.assign(job(), 5.0)
+        with pytest.raises(ValueError, match="precedes"):
+            p.advance(4.0)
+
+    def test_repeated_advance_accumulates(self):
+        p = Processor(0)
+        j = job(5.0)
+        p.assign(j, 0.0)
+        p.advance(1.0)
+        p.advance(2.0)
+        p.advance(4.0)
+        assert j.remaining == pytest.approx(1.0)
+
+    def test_assign_none_idles(self):
+        p = Processor(0)
+        p.assign(job(), 0.0)
+        p.assign(None, 2.0)
+        assert p.is_idle

@@ -1,0 +1,106 @@
+"""Tests for schedule traces (repro.sim.trace)."""
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.task import CriticalityLevel as L
+from repro.sim.trace import Trace
+from tests.conftest import make_c_task
+
+
+def done_job(tid=0, index=0, release=0.0, exec_time=1.0, completion=2.0, pp=None):
+    j = Job(task=make_c_task(tid, 4.0, 1.0), index=index, release=release,
+            exec_time=exec_time)
+    j.completion = completion
+    j.actual_pp = pp
+    return j
+
+
+class TestJobRecords:
+    def test_record_and_query(self):
+        tr = Trace()
+        tr.record_job(done_job(0, 0, completion=2.0))
+        tr.record_job(done_job(0, 1, release=4.0, completion=9.0))
+        tr.record_job(done_job(1, 0, completion=3.0))
+        assert len(tr.jobs_of(0)) == 2
+        assert tr.job(0, 1).response_time == 5.0
+        with pytest.raises(KeyError):
+            tr.job(9, 9)
+
+    def test_jobs_of_sorted_by_index(self):
+        tr = Trace()
+        tr.record_job(done_job(0, 2))
+        tr.record_job(done_job(0, 0))
+        assert [j.index for j in tr.jobs_of(0)] == [0, 2]
+
+    def test_completed_filter(self):
+        tr = Trace()
+        tr.record_job(done_job(0, 0))
+        incomplete = Job(task=make_c_task(0, 4.0, 1.0), index=1, release=4.0,
+                         exec_time=1.0)
+        tr.record_job(incomplete)
+        assert len(tr.completed()) == 1
+        assert len(tr.jobs) == 2
+
+    def test_response_times_and_max(self):
+        tr = Trace()
+        tr.record_job(done_job(0, 0, release=0.0, completion=2.0))
+        tr.record_job(done_job(0, 1, release=4.0, completion=9.0))
+        assert sorted(tr.response_times(L.C)) == [2.0, 5.0]
+        assert tr.max_response_time(L.C) == 5.0
+
+    def test_max_response_time_empty_is_zero(self):
+        assert Trace().max_response_time() == 0.0
+
+    def test_pp_lateness(self):
+        rec = Trace()
+        rec.record_job(done_job(0, 0, completion=5.0, pp=3.0))
+        assert rec.jobs[0].pp_lateness == 2.0
+        rec.record_job(done_job(0, 1, completion=5.0, pp=None))
+        assert rec.jobs[1].pp_lateness is None
+
+
+class TestIntervals:
+    def test_disabled_by_default(self):
+        tr = Trace()
+        tr.record_interval(0, done_job(), 0.0, 1.0)
+        assert tr.intervals == []
+
+    def test_recording_and_queries(self):
+        tr = Trace(record_intervals=True)
+        j = done_job(0, 0)
+        tr.record_interval(0, j, 0.0, 1.0)
+        tr.record_interval(1, j, 2.0, 3.0)
+        tr.record_interval(0, done_job(1, 0), 1.0, 2.0)
+        assert len(tr.intervals_of(0)) == 2
+        assert [iv.cpu for iv in tr.intervals_of(0)] == [0, 1]
+        assert len(tr.busy_intervals(0)) == 2
+        assert tr.busy_intervals(0)[0].length == 1.0
+
+    def test_empty_interval_dropped(self):
+        tr = Trace(record_intervals=True)
+        tr.record_interval(0, done_job(), 1.0, 1.0)
+        assert tr.intervals == []
+
+    def test_render_ascii_requires_intervals(self):
+        with pytest.raises(ValueError, match="disabled"):
+            Trace().render_ascii([], 10.0)
+
+    def test_render_ascii_shows_execution(self):
+        tr = Trace(record_intervals=True)
+        t = make_c_task(1, 4.0, 2.0, name="x1")
+        j = Job(task=t, index=0, release=0.0, exec_time=2.0)
+        tr.record_interval(0, j, 0.0, 2.0)
+        art = tr.render_ascii([t], 4.0, resolution=1.0)
+        assert "CPU0" in art
+        row = [l for l in art.splitlines() if l.startswith("CPU0")][0]
+        assert row.count("1") == 2
+        assert row.count(".") == 2
+
+
+class TestSpeedChanges:
+    def test_recorded_in_order(self):
+        tr = Trace()
+        tr.record_speed_change(19.0, 0.5)
+        tr.record_speed_change(29.0, 1.0)
+        assert tr.speed_changes == [(19.0, 0.5), (29.0, 1.0)]

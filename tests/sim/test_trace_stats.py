@@ -1,0 +1,94 @@
+"""Tests for trace statistics (repro.sim.stats)."""
+
+import pytest
+
+from repro.model.behavior import ConstantBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.sim.kernel import KernelConfig, MC2Kernel
+from repro.sim.stats import (
+    ResponseStats,
+    cpu_utilizations,
+    lateness_series,
+    level_response_stats,
+    task_response_stats,
+    tolerance_miss_counts,
+)
+from repro.model.taskset import TaskSet
+from tests.conftest import make_c_task
+from repro.core.tolerance import fixed_tolerances
+
+
+@pytest.fixture(scope="module")
+def run():
+    ts = fixed_tolerances(
+        TaskSet(
+            [make_c_task(0, 4.0, 1.0, y=3.0), make_c_task(1, 6.0, 2.0, y=5.0)],
+            m=1,
+        ),
+        2.0,
+    )
+    kernel = MC2Kernel(ts, behavior=ConstantBehavior(L.C),
+                       config=KernelConfig(record_intervals=True))
+    trace = kernel.run(24.0)
+    return ts, trace
+
+
+class TestResponseStats:
+    def test_from_values(self):
+        s = ResponseStats.from_values([1.0, 2.0, 3.0, 4.0])
+        assert s.jobs == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.p50 == pytest.approx(2.5)
+        assert s.maximum == 4.0
+        assert s.p95 <= s.p99 <= s.maximum
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseStats.from_values([])
+
+    def test_row_formats_ms(self):
+        s = ResponseStats.from_values([0.1])
+        assert "100.00" in s.row("x")
+
+
+class TestTraceQueries:
+    def test_task_stats(self, run):
+        _, trace = run
+        s = task_response_stats(trace, 0)
+        assert s is not None and s.jobs >= 5
+        assert s.maximum >= s.mean > 0
+
+    def test_task_without_completions_none(self, run):
+        _, trace = run
+        assert task_response_stats(trace, 99) is None
+
+    def test_level_stats_pool_all_tasks(self, run):
+        _, trace = run
+        lvl = level_response_stats(trace, L.C)
+        t0 = task_response_stats(trace, 0)
+        t1 = task_response_stats(trace, 1)
+        assert lvl.jobs == t0.jobs + t1.jobs
+
+    def test_lateness_series(self, run):
+        _, trace = run
+        xs = lateness_series(trace, 0, relative_pp=3.0)
+        assert len(xs) >= 5
+        # tau0 runs alone-ish: completes well before its PP.
+        assert all(x <= 0.0 for x in xs)
+
+    def test_cpu_utilizations(self, run):
+        _, trace = run
+        us = cpu_utilizations(trace, m=1, horizon=24.0)
+        # U = 1/4 + 2/6 = 0.583...
+        assert us[0] == pytest.approx(1 / 4 + 2 / 6, abs=0.05)
+
+    def test_cpu_utilizations_bad_horizon(self, run):
+        _, trace = run
+        with pytest.raises(ValueError):
+            cpu_utilizations(trace, m=1, horizon=0.0)
+
+    def test_tolerance_miss_counts_zero_in_normal_run(self, run):
+        ts, trace = run
+        counts = tolerance_miss_counts(trace, ts)
+        assert set(counts) == {0, 1}
+        assert all(v == 0 for v in counts.values())

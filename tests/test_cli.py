@@ -1,0 +1,93 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, parse_monitor
+from repro.io.taskset_json import taskset_from_json
+
+
+class TestParseMonitor:
+    def test_simple(self):
+        spec = parse_monitor("simple:0.6")
+        assert spec.kind == "simple" and spec.param == 0.6
+
+    def test_defaults(self):
+        spec = parse_monitor("none")
+        assert spec.kind == "none"
+
+    def test_extra(self):
+        spec = parse_monitor("clamped:0.6:0.3")
+        assert (spec.kind, spec.param, spec.extra) == ("clamped", 0.6, 0.3)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            parse_monitor("magic:0.5")
+
+
+class TestGenerate:
+    def test_to_stdout(self, capsys):
+        assert main(["generate", "--seed", "3", "--m", "2"]) == 0
+        out = capsys.readouterr().out
+        ts = taskset_from_json(out)
+        assert ts.m == 2
+
+    def test_to_file(self, tmp_path, capsys):
+        path = tmp_path / "ts.json"
+        assert main(["generate", "--seed", "3", "--m", "2", "-o", str(path)]) == 0
+        ts = taskset_from_json(path.read_text())
+        assert len(ts) > 5
+
+
+class TestAnalyze:
+    def test_from_file(self, tmp_path, capsys):
+        path = tmp_path / "ts.json"
+        main(["generate", "--seed", "3", "--m", "2", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "schedulable" in out
+        assert "shared delay term" in out
+
+    def test_generated_inline(self, capsys):
+        assert main(["analyze", "--seed", "3", "--m", "2"]) == 0
+        assert "bound (ms)" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_text_output(self, capsys):
+        assert main(["simulate", "--seed", "3", "--m", "2",
+                     "--scenario", "SHORT", "--monitor", "simple:0.6"]) == 0
+        out = capsys.readouterr().out
+        assert "SIMPLE(s=0.6)" in out
+        assert "dissipation" in out
+
+    def test_json_output(self, capsys):
+        assert main(["simulate", "--seed", "3", "--m", "2", "--json",
+                     "--monitor", "adaptive:0.4"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["monitor"] == "ADAPTIVE(a=0.4)"
+        assert doc["dissipation"] > 0
+
+    def test_extension_monitor(self, capsys):
+        assert main(["simulate", "--seed", "3", "--m", "2",
+                     "--monitor", "clamped:0.6:0.3", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["min_speed"] >= 0.3 - 1e-9
+
+    def test_bad_monitor_errors(self):
+        with pytest.raises(ValueError):
+            main(["simulate", "--seed", "3", "--m", "2", "--monitor", "bogus:1"])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_choices(self):
+        args = build_parser().parse_args(["figures", "--figure", "6"])
+        assert args.figure == "6"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--figure", "5"])

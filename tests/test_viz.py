@@ -1,0 +1,77 @@
+"""Tests for SVG schedule rendering (repro.viz)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.examples_fig2 import figure2_taskset, run_example
+from repro.sim.trace import Trace
+from repro.viz import PALETTE, svg_gantt
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def fig2c_run():
+    return run_example(figure2_taskset(), overloaded=True, recovery_speed=0.5,
+                       until=48.0)
+
+
+class TestSvgGantt:
+    def test_output_is_well_formed_xml(self, fig2c_run):
+        ts = figure2_taskset()
+        svg = svg_gantt(fig2c_run.trace, list(ts), t_end=48.0, title="Fig 2(c)")
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_visible_interval(self, fig2c_run):
+        ts = figure2_taskset()
+        svg = svg_gantt(fig2c_run.trace, list(ts), t_end=48.0)
+        root = ET.fromstring(svg)
+        rects = [el for el in root.iter(f"{SVG_NS}rect")
+                 if el.get("class") == "exec"]
+        visible = [iv for iv in fig2c_run.trace.intervals if iv.start < 48.0]
+        assert len(rects) == len(visible)
+
+    def test_release_markers_for_level_c(self, fig2c_run):
+        ts = figure2_taskset()
+        svg = svg_gantt(fig2c_run.trace, list(ts), t_end=48.0)
+        root = ET.fromstring(svg)
+        markers = [el for el in root.iter(f"{SVG_NS}path")
+                   if el.get("class") == "release"]
+        c_releases = [r for r in fig2c_run.trace.jobs
+                      if r.level.name == "C" and r.release < 48.0]
+        assert len(markers) == len(c_releases)
+
+    def test_markers_can_be_disabled(self, fig2c_run):
+        ts = figure2_taskset()
+        svg = svg_gantt(fig2c_run.trace, list(ts), t_end=48.0, mark_level_c=False)
+        assert 'class="release"' not in svg
+
+    def test_speed_profile_segments(self, fig2c_run):
+        """Fig. 2(c) has s=1, then 0.5, then 1: three speed segments."""
+        ts = figure2_taskset()
+        svg = svg_gantt(fig2c_run.trace, list(ts), t_end=48.0)
+        root = ET.fromstring(svg)
+        segs = [el for el in root.iter(f"{SVG_NS}line")
+                if el.get("class") == "speed"]
+        assert len(segs) == 3
+        assert "s=0.5" in svg
+
+    def test_requires_interval_recording(self):
+        with pytest.raises(ValueError, match="disabled"):
+            svg_gantt(Trace(), [], t_end=10.0)
+
+    def test_bad_t_end(self, fig2c_run):
+        with pytest.raises(ValueError, match="t_end"):
+            svg_gantt(fig2c_run.trace, [], t_end=0.0)
+
+    def test_title_escaped(self, fig2c_run):
+        ts = figure2_taskset()
+        svg = svg_gantt(fig2c_run.trace, list(ts), t_end=48.0,
+                        title="<overload> & recovery")
+        ET.fromstring(svg)  # would raise on unescaped '<'
+        assert "&lt;overload&gt;" in svg
+
+    def test_palette_is_valid_hex(self):
+        assert all(c.startswith("#") and len(c) == 7 for c in PALETTE)

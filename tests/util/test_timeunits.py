@@ -1,0 +1,28 @@
+"""Tests for repro.util.timeunits."""
+
+import pytest
+
+from repro.util.timeunits import MS, NS, SEC, US, from_ms, from_us, to_ms, to_us
+
+
+def test_unit_constants_ratios():
+    assert SEC == 1.0
+    assert MS == pytest.approx(1e-3)
+    assert US == pytest.approx(1e-6)
+    assert NS == pytest.approx(1e-9)
+    assert MS / US == pytest.approx(1000.0)
+
+
+def test_from_ms_matches_paper_periods():
+    assert from_ms(25) == pytest.approx(0.025)
+    assert from_ms(300) == pytest.approx(0.3)
+
+
+def test_ms_roundtrip():
+    for v in (0.0, 0.01, 12.5, 100.0):
+        assert to_ms(from_ms(v)) == pytest.approx(v)
+
+
+def test_us_roundtrip():
+    for v in (0.0, 1.0, 37.2):
+        assert to_us(from_us(v)) == pytest.approx(v)

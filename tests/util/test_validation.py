@@ -1,0 +1,62 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_numbers(self):
+        check_finite("x", 0)
+        check_finite("x", -3.5)
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan, "no", None])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_finite("x", bad)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("p", 1e-9)
+
+    @pytest.mark.parametrize("bad", [0, -1, math.inf, math.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive("p", bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        check_nonnegative("y", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="y"):
+            check_nonnegative("y", -0.001)
+
+
+class TestCheckInRange:
+    def test_closed_interval(self):
+        check_in_range("s", 0.0, 0.0, 1.0)
+        check_in_range("s", 1.0, 0.0, 1.0)
+
+    def test_open_low_endpoint_rejects_boundary(self):
+        """The recovery-speed constraint 0 < s <= 1."""
+        check_in_range("s", 0.5, 0.0, 1.0, low_open=True)
+        with pytest.raises(ValueError, match=r"\(0\.0"):
+            check_in_range("s", 0.0, 0.0, 1.0, low_open=True)
+
+    def test_open_high_endpoint_rejects_boundary(self):
+        with pytest.raises(ValueError, match=r"1\.0\)"):
+            check_in_range("s", 1.0, 0.0, 1.0, high_open=True)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_in_range("s", 1.5, 0.0, 1.0)

@@ -1,0 +1,45 @@
+"""Tests for the Sec. 5 parameter distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import (
+    LEVEL_A_PERIODS_MS,
+    level_b_period_choices_ms,
+    level_c_period_choices_ms,
+    uniform_medium,
+)
+
+
+class TestUniformMedium:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        xs = [uniform_medium(rng) for _ in range(1000)]
+        assert all(0.1 <= x <= 0.4 for x in xs)
+
+    def test_spread(self):
+        rng = np.random.default_rng(1)
+        xs = [uniform_medium(rng) for _ in range(1000)]
+        assert np.mean(xs) == pytest.approx(0.25, abs=0.02)
+
+
+class TestPeriodGrids:
+    def test_level_a_grid(self):
+        assert tuple(LEVEL_A_PERIODS_MS) == (25, 50, 100)
+
+    def test_level_b_multiples(self):
+        assert level_b_period_choices_ms(100) == [100, 200, 300]
+        assert level_b_period_choices_ms(50) == [50, 100, 150, 200, 250, 300]
+
+    def test_level_b_cap(self):
+        assert max(level_b_period_choices_ms(25)) <= 300
+
+    def test_level_b_bad_period(self):
+        with pytest.raises(ValueError):
+            level_b_period_choices_ms(0)
+
+    def test_level_c_grid(self):
+        grid = level_c_period_choices_ms()
+        assert grid[0] == 10 and grid[-1] == 100
+        assert all(p % 5 == 0 for p in grid)
+        assert len(grid) == 19

@@ -1,0 +1,162 @@
+"""Tests for the Sec. 5 task-set generator."""
+
+import pytest
+
+from repro.analysis.schedulability import check_level_c
+from repro.core.gel import gfl_relative_pp
+from repro.model.task import CriticalityLevel as L
+from repro.workload.generator import GeneratorParams, generate_taskset, generate_tasksets
+
+
+@pytest.fixture(scope="module")
+def ts():
+    return generate_taskset(seed=42)
+
+
+class TestBudgets:
+    def test_level_shares_met(self, ts):
+        """A/B: 5% per level; C: 65% of the system (level-C PWCETs)."""
+        m = ts.m
+        assert ts.utilization(L.C, level=L.A) == pytest.approx(0.05 * m, abs=1e-3)
+        assert ts.utilization(L.C, level=L.B) == pytest.approx(0.05 * m, abs=1e-3)
+        assert ts.utilization(L.C, level=L.C) == pytest.approx(0.65 * m, abs=1e-3)
+
+    def test_per_cpu_ab_shares(self, ts):
+        for p in range(ts.m):
+            assert ts.cpu_ab_utilization(p, L.C) == pytest.approx(0.10, abs=1e-3)
+
+    def test_level_a_full_at_own_level(self, ts):
+        """5% at level-C PWCETs x 20 = 100% at level-A PWCETs per CPU."""
+        for p in range(ts.m):
+            u = sum(t.utilization(L.A) for t in ts.on_cpu(p, L.A))
+            assert u == pytest.approx(1.0, abs=0.02)
+
+
+class TestPwcetRatios:
+    def test_ratios_10_and_20(self, ts):
+        for t in ts.level(L.A):
+            c = t.pwcet(L.C)
+            assert t.pwcet(L.B) == pytest.approx(10 * c)
+            assert t.pwcet(L.A) == pytest.approx(20 * c)
+        for t in ts.level(L.B):
+            assert t.pwcet(L.B) == pytest.approx(10 * t.pwcet(L.C))
+
+    def test_level_c_tasks_carry_level_b_pwcets(self, ts):
+        """Needed by Sec. 5's overload scenarios (all levels overrun)."""
+        for t in ts.level(L.C):
+            assert t.pwcet(L.B) == pytest.approx(10 * t.pwcet(L.C))
+
+
+class TestPeriods:
+    def test_level_a_periods_from_grid(self, ts):
+        for t in ts.level(L.A):
+            assert round(t.period * 1000) in (25, 50, 100)
+
+    def test_level_b_periods_multiples_of_largest_a(self, ts):
+        for p in range(ts.m):
+            a_periods = [round(t.period * 1000) for t in ts.on_cpu(p, L.A)]
+            largest = max(a_periods)
+            for t in ts.on_cpu(p, L.B):
+                ms = round(t.period * 1000)
+                assert ms % largest == 0
+                assert ms <= 300
+
+    def test_level_c_periods_grid(self, ts):
+        for t in ts.level(L.C):
+            ms = round(t.period * 1000)
+            assert 10 <= ms <= 100 and ms % 5 == 0
+
+
+class TestLevelCProperties:
+    def test_gfl_pps(self, ts):
+        for t in ts.level(L.C):
+            assert t.relative_pp == pytest.approx(
+                gfl_relative_pp(t.period, t.pwcet(L.C), ts.m)
+            )
+
+    def test_tolerances_assigned(self, ts):
+        assert all(t.tolerance is not None and t.tolerance > 0 for t in ts.level(L.C))
+
+    def test_schedulable(self, ts):
+        assert check_level_c(ts).schedulable
+
+    def test_utilizations_in_uniform_medium_range(self, ts):
+        # All but the (scaled-down) last task obey U(0.1, 0.4).
+        us = sorted(t.utilization(L.C) for t in ts.level(L.C))
+        assert all(u <= 0.4 + 1e-9 for u in us)
+        assert sum(1 for u in us if u < 0.1) <= 1
+
+
+class TestReproducibility:
+    def test_same_seed_same_set(self):
+        a = generate_taskset(7)
+        b = generate_taskset(7)
+        assert len(a) == len(b)
+        for ta, tb in zip(a, b):
+            assert ta.period == tb.period
+            assert ta.pwcets == tb.pwcets
+            assert ta.cpu == tb.cpu
+
+    def test_different_seeds_differ(self):
+        a = generate_taskset(7)
+        b = generate_taskset(8)
+        assert any(
+            ta.period != tb.period or ta.pwcets != tb.pwcets
+            for ta, tb in zip(a, b)
+        ) or len(a) != len(b)
+
+    def test_generate_tasksets_count_and_seeds(self):
+        sets = generate_tasksets(3, base_seed=100)
+        assert len(sets) == 3
+        ref = generate_taskset(101)
+        assert len(sets[1]) == len(ref)
+
+
+class TestParams:
+    def test_without_tolerances(self):
+        ts = generate_taskset(1, GeneratorParams(assign_tolerances=False))
+        assert all(t.tolerance is None for t in ts.level(L.C))
+
+    def test_custom_m(self):
+        ts = generate_taskset(1, GeneratorParams(m=2))
+        assert ts.m == 2
+        assert ts.utilization(L.C, level=L.C) == pytest.approx(1.3, abs=1e-3)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorParams(m=0)
+        with pytest.raises(ValueError):
+            GeneratorParams(level_c_share=1.5)
+        with pytest.raises(ValueError):
+            GeneratorParams(ratio_a=5.0, ratio_b=10.0)
+        with pytest.raises(ValueError):
+            GeneratorParams(util_range=(0.0, 0.4))
+        with pytest.raises(ValueError):
+            GeneratorParams(util_range=(0.5, 0.4))
+        with pytest.raises(ValueError):
+            GeneratorParams(level_c_util_cap=0.0)
+
+    def test_light_distribution_many_small_tasks(self):
+        light = generate_taskset(1, GeneratorParams(util_range=(0.001, 0.1)))
+        medium = generate_taskset(1, GeneratorParams())
+        assert len(light.level(L.C)) > 2 * len(medium.level(L.C))
+        assert all(t.utilization(L.C) <= 0.1 + 1e-9 for t in light.level(L.C))
+
+    def test_heavy_distribution_capped_and_schedulable(self):
+        ts = generate_taskset(
+            1, GeneratorParams(util_range=(0.5, 0.9), level_c_util_cap=0.85)
+        )
+        assert all(t.utilization(L.C) <= 0.85 + 1e-9 for t in ts.level(L.C))
+        assert check_level_c(ts).schedulable
+
+    def test_util_range_respected_at_own_level(self):
+        ts = generate_taskset(4, GeneratorParams(util_range=(0.2, 0.3)))
+        # All but the per-budget scaled-down last task per group.
+        us = sorted(t.utilization(L.A) for t in ts.level(L.A))
+        assert us[-1] <= 0.3 + 1e-9
+        assert sum(1 for u in us if u < 0.2 - 1e-9) <= ts.m  # one leftover per CPU
+
+    def test_every_seed_schedulable(self):
+        """The paper's 20 task sets: all must admit finite bounds."""
+        for ts in generate_tasksets(20, base_seed=2015):
+            assert check_level_c(ts).schedulable

@@ -1,0 +1,58 @@
+"""Tests for the SHORT/LONG/DOUBLE overload scenarios."""
+
+import pytest
+
+from repro.model.task import CriticalityLevel as L
+from repro.workload.scenarios import DOUBLE, LONG, SHORT, standard_scenarios
+from tests.conftest import make_a_task, make_c_task
+
+
+class TestScenarioDefinitions:
+    def test_short_is_500ms(self):
+        assert SHORT.windows[0].start == 0.0
+        assert SHORT.windows[0].end == 0.5
+        assert SHORT.last_overload_end == 0.5
+        assert SHORT.total_overload_length == 0.5
+
+    def test_long_is_1s(self):
+        assert LONG.last_overload_end == 1.0
+        assert LONG.total_overload_length == 1.0
+
+    def test_double_structure(self):
+        """500 ms overload, 1 s normal, 500 ms overload."""
+        w1, w2 = DOUBLE.windows
+        assert (w1.start, w1.end) == (0.0, 0.5)
+        assert (w2.start, w2.end) == (1.5, 2.0)
+        assert DOUBLE.last_overload_end == 2.0
+        assert DOUBLE.total_overload_length == 1.0
+
+    def test_standard_order(self):
+        assert [s.name for s in standard_scenarios()] == ["SHORT", "LONG", "DOUBLE"]
+
+
+class TestScenarioBehavior:
+    def test_level_b_pwcets_inside_window(self):
+        b = SHORT.behavior()
+        a = make_a_task(0, 0.025, 0.001, cpu=0)
+        assert b.exec_time(a, 0, 0.0) == pytest.approx(0.010)   # 10x
+        assert b.exec_time(a, 20, 0.5) == pytest.approx(0.001)  # back to normal
+
+    def test_level_c_task_has_no_b_pwcet_falls_back(self):
+        """Level-C tasks carry only a level-C PWCET; the scenario's
+        overload level falls back to it (they are still delayed by the
+        inflated A/B interference)."""
+        b = SHORT.behavior()
+        c = make_c_task(0, 0.02, 0.004)
+        assert b.exec_time(c, 0, 0.1) == pytest.approx(0.004)
+
+    def test_double_gap_is_normal(self):
+        b = DOUBLE.behavior()
+        a = make_a_task(0, 0.025, 0.001, cpu=0)
+        assert b.exec_time(a, 0, 1.0) == pytest.approx(0.001)
+        assert b.exec_time(a, 0, 1.6) == pytest.approx(0.010)
+
+    def test_shifted(self):
+        s = SHORT.shifted(1.0)
+        assert s.windows[0].start == 1.0
+        assert s.last_overload_end == 1.5
+        assert s.name == "SHORT"
