@@ -14,7 +14,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.tolerance import assign_tolerances
 from repro.experiments.runner import MonitorSpec, run_overload_experiment

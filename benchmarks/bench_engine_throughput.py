@@ -6,7 +6,6 @@ regressions in the kernel/engine hot path are visible.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.bounds import gel_response_bounds
 from repro.model.behavior import ConstantBehavior

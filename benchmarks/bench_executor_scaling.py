@@ -1,0 +1,81 @@
+"""Benchmark: sweep wall-clock for serial vs. process-pool executors.
+
+Runs a fixed Fig. 6 grid (SHORT/LONG/DOUBLE x the full s sweep x the
+shared task sets, 45 cells) uncached through ``SerialBackend`` and
+``ProcessPoolBackend`` at ``jobs`` in {1, 2, 4, 8}, and records each
+configuration's wall-clock plus its speedup over serial in
+``extra_info`` (JSON in pytest-benchmark's report, like the other
+``bench_*`` scripts).  Run standalone to get the same document on
+stdout:
+
+    PYTHONPATH=src python benchmarks/bench_executor_scaling.py
+
+Sanity assertions only check that every backend produced the identical
+figure — wall-clock ratios depend on the host and are reported, not
+asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.experiments.figures import DEFAULT_SWEEP_VALUES, figure6
+from repro.runtime.executor import ProcessPoolBackend, SerialBackend
+from repro.runtime.spec import TaskSetSpec
+from repro.workload.generator import taskset_seeds
+from repro.workload.scenarios import standard_scenarios
+
+JOB_COUNTS = (1, 2, 4, 8)
+
+
+def _sweep(taskset_specs, executor):
+    return figure6(taskset_specs, s_values=DEFAULT_SWEEP_VALUES,
+                   scenarios=standard_scenarios(), executor=executor)
+
+
+def _measure(taskset_specs):
+    """{label: (seconds, FigureData)} for serial + each pool width."""
+    timings = {}
+    t0 = time.perf_counter()
+    baseline = _sweep(taskset_specs, SerialBackend())
+    timings["serial"] = (time.perf_counter() - t0, baseline)
+    for jobs in JOB_COUNTS:
+        t0 = time.perf_counter()
+        fig = _sweep(taskset_specs, ProcessPoolBackend(jobs=jobs))
+        timings[f"process:{jobs}"] = (time.perf_counter() - t0, fig)
+    return timings
+
+
+def _report(timings):
+    serial_s, baseline = timings["serial"]
+    cells = sum(p.ci.n for s in baseline.series for p in s.points)
+    doc = {"cells": cells, "serial_s": round(serial_s, 3), "backends": {}}
+    for label, (seconds, fig) in timings.items():
+        assert fig == baseline, f"{label} diverged from the serial figure"
+        doc["backends"][label] = {
+            "wall_s": round(seconds, 3),
+            "speedup": round(serial_s / seconds, 2) if seconds else float("inf"),
+        }
+    return doc
+
+
+def bench_executor_scaling(benchmark, taskset_specs):
+    timings = {}
+
+    def run():
+        timings.update(_measure(taskset_specs))
+        return timings
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    doc = _report(timings)
+    print()
+    print(json.dumps(doc, indent=2))
+    for label, entry in doc["backends"].items():
+        benchmark.extra_info[label] = entry["wall_s"]
+        benchmark.extra_info[f"{label}:speedup"] = entry["speedup"]
+
+
+if __name__ == "__main__":
+    specs = [TaskSetSpec.generated(seed) for seed in taskset_seeds(3, 2015)]
+    print(json.dumps(_report(_measure(specs)), indent=2))

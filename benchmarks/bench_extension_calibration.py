@@ -13,7 +13,6 @@ dissipation time.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.tolerance import assign_tolerances
 from repro.experiments.calibration import calibrate_tolerances

@@ -17,7 +17,6 @@ shifts with task granularity.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.runner import MonitorSpec, run_overload_experiment
 from repro.model.task import CriticalityLevel as L

@@ -7,7 +7,6 @@ while timing the simulation of the Fig. 2(c) recovery schedule.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.examples_fig2 import (
     figure2_taskset,

@@ -13,18 +13,19 @@ shape claims:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.figures import DEFAULT_SWEEP_VALUES, figure6
+from repro.runtime.executor import SerialBackend
 from repro.workload.scenarios import standard_scenarios
 
 
-def bench_fig6_dissipation_simple(benchmark, tasksets):
+def bench_fig6_dissipation_simple(benchmark, taskset_specs):
+    executor = SerialBackend()
     fig = benchmark.pedantic(
-        lambda: figure6(tasksets, s_values=DEFAULT_SWEEP_VALUES,
-                        scenarios=standard_scenarios()),
+        lambda: figure6(taskset_specs, s_values=DEFAULT_SWEEP_VALUES,
+                        scenarios=standard_scenarios(), executor=executor),
         rounds=1, iterations=1,
     )
+    benchmark.extra_info["cells_simulated"] = executor.total.cells_simulated
     print()
     print(fig.render(unit_scale=1e3, unit="ms"))
 

@@ -7,23 +7,24 @@ shape: ADAPTIVE's dissipation depends only weakly on the overload length
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.figures import (
     DEFAULT_SWEEP_VALUES,
     adaptive_sweep,
     figure6,
     figure7,
 )
+from repro.runtime.executor import SerialBackend
 from repro.workload.scenarios import standard_scenarios
 
 
-def bench_fig7_dissipation_adaptive(benchmark, tasksets):
+def bench_fig7_dissipation_adaptive(benchmark, taskset_specs):
+    executor = SerialBackend()
     sweep = benchmark.pedantic(
-        lambda: adaptive_sweep(tasksets, a_values=DEFAULT_SWEEP_VALUES,
-                               scenarios=standard_scenarios()),
+        lambda: adaptive_sweep(taskset_specs, a_values=DEFAULT_SWEEP_VALUES,
+                               scenarios=standard_scenarios(), executor=executor),
         rounds=1, iterations=1,
     )
+    benchmark.extra_info["cells_simulated"] = executor.total.cells_simulated
     fig = figure7(sweep)
     print()
     print(fig.render(unit_scale=1e3, unit="ms"))
@@ -37,7 +38,8 @@ def bench_fig7_dissipation_adaptive(benchmark, tasksets):
     assert min(ratios) < 1.8, f"ADAPTIVE LONG/SHORT ratios: {ratios}"
 
     # Shape: ADAPTIVE beats SIMPLE's baseline (s = 1) dissipation.
-    fig6_data = figure6(tasksets, s_values=(1.0,), scenarios=standard_scenarios())
+    fig6_data = figure6(taskset_specs, s_values=(1.0,),
+                        scenarios=standard_scenarios(), executor=executor)
     for name in ("SHORT", "LONG", "DOUBLE"):
         adaptive_best = min(fig.point(name, a).ci.mean for a in DEFAULT_SWEEP_VALUES)
         assert adaptive_best < fig6_data.point(name, 1.0).ci.mean

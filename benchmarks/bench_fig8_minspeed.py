@@ -12,7 +12,6 @@ Asserts the paper's shape claims:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.figures import (
     DEFAULT_SWEEP_VALUES,

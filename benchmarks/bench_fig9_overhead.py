@@ -12,7 +12,6 @@ its kernel; our Python scheduler path shows the same order).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.overhead import measure_overheads
 

@@ -14,13 +14,24 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workload.generator import generate_tasksets
+from repro.runtime.spec import TaskSetSpec
+from repro.workload.generator import generate_tasksets, taskset_seeds
 
 #: Number of generated task sets per benchmark (paper: 20).
 BENCH_TASKSETS = 3
+
+#: Shared RNG base seed (the paper's publication year, as everywhere).
+BENCH_BASE_SEED = 2015
 
 
 @pytest.fixture(scope="session")
 def tasksets():
     """Paper-methodology task sets (m = 4), shared across benchmarks."""
-    return generate_tasksets(BENCH_TASKSETS, base_seed=2015)
+    return generate_tasksets(BENCH_TASKSETS, base_seed=BENCH_BASE_SEED)
+
+
+@pytest.fixture(scope="session")
+def taskset_specs():
+    """The same task sets as seed-carrying specs (worker-reconstructible)."""
+    return [TaskSetSpec.generated(seed)
+            for seed in taskset_seeds(BENCH_TASKSETS, BENCH_BASE_SEED)]

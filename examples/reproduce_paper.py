@@ -11,6 +11,8 @@ Usage:
     python examples/reproduce_paper.py                 # everything
     python examples/reproduce_paper.py --figure 6      # one figure
     python examples/reproduce_paper.py --tasksets 5    # quicker pass
+    python examples/reproduce_paper.py --jobs 8        # parallel sweeps
+    python examples/reproduce_paper.py --cache-dir .repro-cache  # warm re-runs
 """
 
 from __future__ import annotations
@@ -33,7 +35,9 @@ from repro.experiments.figures import (
 )
 from repro.experiments.overhead import measure_overheads
 from repro.model.task import CriticalityLevel as L
-from repro.workload.generator import generate_tasksets
+from repro.runtime.executor import make_executor
+from repro.runtime.spec import TaskSetSpec
+from repro.workload.generator import generate_tasksets, taskset_seeds
 from repro.workload.scenarios import standard_scenarios
 
 
@@ -85,6 +89,11 @@ def main() -> int:
     ap.add_argument("--seed", type=int, default=2015)
     ap.add_argument("--json-dir", default=None,
                     help="also archive each figure as JSON into this directory")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for the Fig. 6-8 sweeps")
+    ap.add_argument("--cache-dir", default=None,
+                    help="content-addressed result cache (re-runs only "
+                         "simulate cells whose spec changed)")
     args = ap.parse_args()
 
     t0 = time.time()
@@ -93,22 +102,29 @@ def main() -> int:
         if args.figure in ("2", "3"):
             return 0
 
-    print(f"Generating {args.tasksets} task sets (base seed {args.seed})...")
-    tasksets = generate_tasksets(args.tasksets, base_seed=args.seed)
+    # The sweeps ship seed-carrying specs to the executor (workers
+    # regenerate task sets on their side); Fig. 9 needs the materialized
+    # sets in-process to time the scheduler.
+    refs = [TaskSetSpec.generated(seed)
+            for seed in taskset_seeds(args.tasksets, args.seed)]
+    executor = make_executor(jobs=args.jobs, cache_dir=args.cache_dir)
     scenarios = standard_scenarios()
     archive = {}
 
     if args.figure in ("6", "all"):
         print()
-        fig = figure6(tasksets, s_values=DEFAULT_SWEEP_VALUES, scenarios=scenarios)
+        print(f"Running the SIMPLE sweep ({args.tasksets} task sets, "
+              f"jobs={args.jobs})...")
+        fig = figure6(refs, s_values=DEFAULT_SWEEP_VALUES, scenarios=scenarios,
+                      executor=executor)
         archive["fig6"] = fig
         print(fig.render(unit_scale=1e3, unit="ms"))
 
     if args.figure in ("7", "8", "all"):
         print()
         print("Running the ADAPTIVE sweep (shared by Figs. 7 and 8)...")
-        sweep = adaptive_sweep(tasksets, a_values=DEFAULT_SWEEP_VALUES,
-                               scenarios=scenarios)
+        sweep = adaptive_sweep(refs, a_values=DEFAULT_SWEEP_VALUES,
+                               scenarios=scenarios, executor=executor)
         if args.figure in ("7", "all"):
             print()
             fig = figure7(sweep)
@@ -122,7 +138,9 @@ def main() -> int:
 
     if args.figure in ("9", "all"):
         print()
-        res = measure_overheads(tasksets[: min(5, len(tasksets))], horizon=3.0,
+        print("Measuring scheduler overheads (Fig. 9; always serial)...")
+        tasksets = generate_tasksets(min(5, args.tasksets), base_seed=args.seed)
+        res = measure_overheads(tasksets, horizon=3.0,
                                 trim_max_quantile=0.999)
         print(res.render())
 
@@ -138,6 +156,10 @@ def main() -> int:
         print(f"archived {sorted(archive)} to {out_dir}/")
 
     print()
+    stats = executor.total
+    if stats.cells_total:
+        print(f"Executor: {stats.cells_total} cells, "
+              f"{stats.cells_simulated} simulated, {stats.cache_hits} from cache")
     print(f"Total wall time: {time.time() - t0:.1f} s")
     return 0
 

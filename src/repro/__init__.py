@@ -67,6 +67,18 @@ from repro.model import (
     WindowedOverloadBehavior,
 )
 from repro.io import taskset_from_json, taskset_to_json
+from repro.runtime import (
+    KernelSpec,
+    ProcessPoolBackend,
+    ResultCache,
+    RunSpec,
+    ScenarioSpec,
+    SerialBackend,
+    TaskSetSpec,
+    make_executor,
+    monitor_registry,
+    scheduler_registry,
+)
 from repro.sim import KernelConfig, MC2Kernel, Trace, simulate
 from repro.viz import svg_gantt
 from repro.workload import (
@@ -129,6 +141,17 @@ __all__ = [
     "LONG",
     "DOUBLE",
     "standard_scenarios",
+    # runtime
+    "RunSpec",
+    "TaskSetSpec",
+    "ScenarioSpec",
+    "KernelSpec",
+    "ResultCache",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_executor",
+    "monitor_registry",
+    "scheduler_registry",
     # experiments
     "MonitorSpec",
     "RunResult",

@@ -15,6 +15,14 @@ Examples::
     repro-mc2 analyze ts.json
     repro-mc2 simulate ts.json --scenario SHORT --monitor simple:0.6
     repro-mc2 figures --figure 6 --tasksets 5
+    repro-mc2 figures --figure 7 --jobs 4 --cache-dir ~/.cache/repro-mc2
+
+``simulate`` and ``figures`` build declarative
+:class:`~repro.runtime.spec.RunSpec` grids and submit them through a
+:mod:`repro.runtime.executor` backend: ``--jobs N`` fans the sweep out
+over N worker processes, ``--cache-dir`` reuses previously simulated
+cells by content address (a re-run of an unchanged grid simulates
+nothing).
 """
 
 from __future__ import annotations
@@ -34,12 +42,18 @@ from repro.experiments.figures import (
     figure8,
 )
 from repro.experiments.overhead import measure_overheads
-from repro.experiments.runner import MonitorSpec, run_overload_experiment
 from repro.io.results_json import run_result_to_dict
 from repro.io.taskset_json import taskset_from_json, taskset_to_json
 from repro.model.task import CriticalityLevel
 from repro.model.taskset import TaskSet
-from repro.workload.generator import GeneratorParams, generate_taskset, generate_tasksets
+from repro.runtime.executor import make_executor
+from repro.runtime.spec import MonitorSpec, RunSpec, ScenarioSpec, TaskSetSpec
+from repro.workload.generator import (
+    GeneratorParams,
+    generate_taskset,
+    generate_tasksets,
+    taskset_seeds,
+)
 from repro.workload.scenarios import DOUBLE, LONG, SHORT
 
 __all__ = ["main", "build_parser", "parse_monitor"]
@@ -61,6 +75,22 @@ def _load_taskset(path: Optional[str], seed: int, m: int) -> TaskSet:
         with open(path, "r", encoding="utf-8") as fh:
             return taskset_from_json(fh.read())
     return generate_taskset(seed, GeneratorParams(m=m))
+
+
+def _taskset_spec(path: Optional[str], seed: int, m: int) -> TaskSetSpec:
+    """The :class:`TaskSetSpec` matching :func:`_load_taskset`'s choice."""
+    if path:
+        with open(path, "r", encoding="utf-8") as fh:
+            return TaskSetSpec(inline=fh.read())
+    return TaskSetSpec.generated(seed, GeneratorParams(m=m))
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep (default: 1, serial)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="content-addressed result cache; re-runs only "
+                             "simulate cells whose spec changed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,11 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--no-budgets", action="store_true",
                    help="disable level-C execution budgets (harsher overload)")
     s.add_argument("--json", action="store_true", help="emit the result as JSON")
+    _add_executor_flags(s)
 
     f = sub.add_parser("figures", help="regenerate a paper figure")
     f.add_argument("--figure", choices=["6", "7", "8", "9"], required=True)
     f.add_argument("--tasksets", type=int, default=5)
     f.add_argument("--seed", type=int, default=2015)
+    _add_executor_flags(f)
 
     return ap
 
@@ -135,13 +167,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    ts = _load_taskset(args.taskset, args.seed, args.m)
-    spec = parse_monitor(args.monitor)
-    scenario = _SCENARIOS[args.scenario]
-    result = run_overload_experiment(
-        ts, scenario, spec, horizon=args.horizon,
+    spec = RunSpec(
+        taskset=_taskset_spec(args.taskset, args.seed, args.m),
+        scenario=ScenarioSpec.from_scenario(_SCENARIOS[args.scenario]),
+        monitor=parse_monitor(args.monitor),
+        horizon=args.horizon,
         level_c_budgets=not args.no_budgets,
     )
+    executor = make_executor(jobs=args.jobs, cache_dir=args.cache_dir)
+    [result] = executor.run([spec])
     if args.json:
         print(json.dumps(run_result_to_dict(result), indent=2))
     else:
@@ -150,18 +184,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    tasksets = generate_tasksets(args.tasksets, base_seed=args.seed)
+    executor = make_executor(jobs=args.jobs, cache_dir=args.cache_dir)
+    refs = [TaskSetSpec.generated(seed)
+            for seed in taskset_seeds(args.tasksets, args.seed)]
     if args.figure == "6":
-        print(figure6(tasksets, s_values=DEFAULT_SWEEP_VALUES)
+        print(figure6(refs, s_values=DEFAULT_SWEEP_VALUES, executor=executor)
               .render(unit_scale=1e3, unit="ms"))
     elif args.figure in ("7", "8"):
-        sweep = adaptive_sweep(tasksets, a_values=DEFAULT_SWEEP_VALUES)
+        sweep = adaptive_sweep(refs, a_values=DEFAULT_SWEEP_VALUES,
+                               executor=executor)
         fig = figure7(sweep) if args.figure == "7" else figure8(sweep)
         scale, unit = (1e3, "ms") if args.figure == "7" else (1.0, "virtual speed")
         print(fig.render(unit_scale=scale, unit=unit))
     else:
+        tasksets = generate_tasksets(args.tasksets, base_seed=args.seed)
         print(measure_overheads(tasksets, horizon=3.0,
                                 trim_max_quantile=0.999).render())
+        return 0
+    stats = executor.stats
+    if args.cache_dir:
+        print(f"  [executor] cells: {stats.cells_total}, simulated: "
+              f"{stats.cells_simulated}, cache hits: {stats.cache_hits}")
     return 0
 
 

@@ -23,10 +23,10 @@ Line numbers in comments refer to the paper's pseudocode listings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Protocol, Set, Tuple
 
-from repro.model.task import CriticalityLevel, Task
+from repro.model.task import Task
 
 __all__ = [
     "CompletionReport",

@@ -15,11 +15,11 @@ property the paper requires and our integration tests verify.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.analysis.bounds import gel_response_bounds
 from repro.analysis.supply import SupplyModel
-from repro.model.task import CriticalityLevel, Task
+from repro.model.task import CriticalityLevel
 from repro.model.taskset import TaskSet
 
 __all__ = ["assign_tolerances", "fixed_tolerances"]

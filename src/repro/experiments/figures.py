@@ -9,16 +9,33 @@ generated task sets.
 Figs. 7 and 8 are two views of the *same* ADAPTIVE runs (dissipation
 time and minimum speed), so :func:`adaptive_sweep` runs them once and
 both figure builders consume the cached results.
+
+The sweeps themselves are grids of frozen
+:class:`~repro.runtime.spec.RunSpec` cells submitted through a
+:class:`~repro.runtime.executor.SweepExecutor` — pass ``executor=`` to
+parallelize over processes and/or reuse a content-addressed result
+cache; the default is an uncached :class:`~repro.runtime.executor.SerialBackend`.
+Task sets may be given as :class:`~repro.model.taskset.TaskSet` objects
+(embedded by value) or as :class:`~repro.runtime.spec.TaskSetSpec`
+references (reconstructed worker-side from their generator seed, the
+cheap and cache-stable form).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.metrics import RunResult
-from repro.experiments.runner import MonitorSpec, run_overload_experiment
 from repro.model.taskset import TaskSet
+from repro.runtime.executor import SerialBackend, SweepExecutor
+from repro.runtime.spec import (
+    KernelSpec,
+    MonitorSpec,
+    RunSpec,
+    ScenarioSpec,
+    TaskSetSpec,
+)
 from repro.sim.kernel import KernelConfig
 from repro.util.stats import ConfidenceInterval, mean_ci
 from repro.workload.scenarios import OverloadScenario, standard_scenarios
@@ -27,12 +44,16 @@ __all__ = [
     "SeriesPoint",
     "FigureSeries",
     "FigureData",
+    "monitor_sweep",
     "figure6",
     "adaptive_sweep",
     "figure7",
     "figure8",
     "DEFAULT_SWEEP_VALUES",
 ]
+
+#: A task set by value or by reconstructible reference.
+TaskSetLike = Union[TaskSet, TaskSetSpec]
 
 #: The paper sweeps s (SIMPLE) and a (ADAPTIVE) from 0.2 to 1.0 in 0.2 steps.
 DEFAULT_SWEEP_VALUES: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
@@ -135,26 +156,72 @@ def _aggregate(
     )
 
 
+def _as_taskset_spec(ts: TaskSetLike) -> TaskSetSpec:
+    if isinstance(ts, TaskSetSpec):
+        return ts
+    return TaskSetSpec.from_taskset(ts)
+
+
+def monitor_sweep(
+    tasksets: Sequence[TaskSetLike],
+    kind: str,
+    values: Sequence[float],
+    scenarios: Sequence[OverloadScenario] = standard_scenarios(),
+    horizon: float = 30.0,
+    config: Optional[KernelConfig] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> Dict[Tuple[str, float], List[RunResult]]:
+    """Run the scenario x value x task-set grid for one monitor *kind*.
+
+    Builds one :class:`~repro.runtime.spec.RunSpec` per cell and submits
+    the whole grid through *executor* in a single batch (so a process
+    pool sees every cell at once and the cache is consulted per cell).
+    Returns ``{(scenario name, value): [RunResult per task set]}``.
+    """
+    ex = executor if executor is not None else SerialBackend()
+    kernel = KernelSpec.from_config(config) if config is not None else KernelSpec()
+    ts_specs = [_as_taskset_spec(ts) for ts in tasksets]
+    cells = [
+        (sc.name, x)
+        for sc in scenarios
+        for x in values
+        for _ in ts_specs
+    ]
+    specs = [
+        RunSpec(
+            taskset=ts_spec,
+            scenario=ScenarioSpec.from_scenario(sc),
+            monitor=MonitorSpec(kind, x),
+            kernel=kernel,
+            horizon=horizon,
+        )
+        for sc in scenarios
+        for x in values
+        for ts_spec in ts_specs
+    ]
+    runs = ex.run(specs)
+    results: Dict[Tuple[str, float], List[RunResult]] = {}
+    for cell, run in zip(cells, runs):
+        results.setdefault(cell, []).append(run)
+    return results
+
+
 def figure6(
-    tasksets: Sequence[TaskSet],
+    tasksets: Sequence[TaskSetLike],
     s_values: Sequence[float] = DEFAULT_SWEEP_VALUES,
     scenarios: Sequence[OverloadScenario] = standard_scenarios(),
     horizon: float = 30.0,
     config: Optional[KernelConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureData:
     """Fig. 6: average dissipation time for SIMPLE vs. recovery speed s.
 
     ``s = 1`` is the paper's no-slowdown baseline.
     """
-    results: Dict[Tuple[str, float], List[RunResult]] = {}
-    for sc in scenarios:
-        for s in s_values:
-            spec = MonitorSpec("simple", s)
-            runs = [
-                run_overload_experiment(ts, sc, spec, horizon=horizon, config=config)
-                for ts in tasksets
-            ]
-            results[(sc.name, s)] = runs  # type: ignore[assignment]
+    results = monitor_sweep(
+        tasksets, "simple", s_values, scenarios=scenarios, horizon=horizon,
+        config=config, executor=executor,
+    )
     return _aggregate(
         "Fig. 6",
         "Dissipation time for SIMPLE",
@@ -166,23 +233,18 @@ def figure6(
 
 
 def adaptive_sweep(
-    tasksets: Sequence[TaskSet],
+    tasksets: Sequence[TaskSetLike],
     a_values: Sequence[float] = DEFAULT_SWEEP_VALUES,
     scenarios: Sequence[OverloadScenario] = standard_scenarios(),
     horizon: float = 30.0,
     config: Optional[KernelConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[Tuple[str, float], List[RunResult]]:
     """Run the ADAPTIVE sweep once; Figs. 7 and 8 both read from it."""
-    results: Dict[Tuple[str, float], List[RunResult]] = {}
-    for sc in scenarios:
-        for a in a_values:
-            spec = MonitorSpec("adaptive", a)
-            runs = [
-                run_overload_experiment(ts, sc, spec, horizon=horizon, config=config)
-                for ts in tasksets
-            ]
-            results[(sc.name, a)] = runs  # type: ignore[assignment]
-    return results
+    return monitor_sweep(
+        tasksets, "adaptive", a_values, scenarios=scenarios, horizon=horizon,
+        config=config, executor=executor,
+    )
 
 
 def figure7(sweep: Dict[Tuple[str, float], List[RunResult]]) -> FigureData:

@@ -14,7 +14,7 @@ run (interesting for ADAPTIVE, constant-by-construction for SIMPLE).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.core.monitor import Monitor
 from repro.model.task import CriticalityLevel

@@ -29,7 +29,7 @@ mechanism adds modest average overhead) is the reproduced claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

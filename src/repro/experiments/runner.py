@@ -17,75 +17,22 @@ horizon caps pathological runs (flagged ``truncated``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Optional
 
-from repro.core.monitor import AdaptiveMonitor, Monitor, NullMonitor, SimpleMonitor
-from repro.core.policies import ClampedAdaptiveMonitor, SteppedRestoreMonitor
+from repro.core.monitor import Monitor
 from repro.core.virtual_time import VirtualClock
 from repro.experiments.metrics import RunResult, dissipation_time
 from repro.model.task import CriticalityLevel
 from repro.model.taskset import TaskSet
+from repro.runtime.spec import MonitorSpec
 from repro.sim.budgets import BudgetEnforcedBehavior
 from repro.sim.kernel import KernelConfig, MC2Kernel
 from repro.sim.trace import Trace
 from repro.workload.scenarios import OverloadScenario
 
+# MonitorSpec moved to repro.runtime.spec (registry-backed); re-exported
+# here because this was its historical home.
 __all__ = ["MonitorSpec", "run_overload_experiment", "ExperimentOutput"]
-
-
-@dataclass(frozen=True)
-class MonitorSpec:
-    """Declarative monitor choice for the sweeps.
-
-    ``kind`` selects the policy:
-
-    * ``"simple"`` — Algorithm 3; ``param`` = recovery speed ``s``.
-    * ``"adaptive"`` — Algorithm 4; ``param`` = aggressiveness ``a``.
-    * ``"stepped"`` — extension: SIMPLE with gradual restoration;
-      ``param`` = ``s``, ``extra`` = step factor (default 2.0).
-    * ``"clamped"`` — extension: ADAPTIVE with a speed floor;
-      ``param`` = ``a``, ``extra`` = floor (default 0.2).
-    * ``"none"`` — no mechanism (baseline).
-    """
-
-    kind: str
-    param: float = 1.0
-    extra: Optional[float] = None
-
-    def __post_init__(self) -> None:
-        if self.kind not in ("simple", "adaptive", "stepped", "clamped", "none"):
-            raise ValueError(f"unknown monitor kind {self.kind!r}")
-        if self.kind != "none" and not 0.0 < self.param <= 1.0:
-            raise ValueError(f"monitor parameter must be in (0, 1], got {self.param}")
-
-    def build(self, kernel: MC2Kernel) -> Monitor:
-        """Instantiate the monitor against *kernel*."""
-        if self.kind == "simple":
-            return SimpleMonitor(kernel, s=self.param)
-        if self.kind == "adaptive":
-            return AdaptiveMonitor(kernel, a=self.param)
-        if self.kind == "stepped":
-            step = self.extra if self.extra is not None else 2.0
-            return SteppedRestoreMonitor(kernel, s=self.param, step_factor=step)
-        if self.kind == "clamped":
-            floor = self.extra if self.extra is not None else 0.2
-            return ClampedAdaptiveMonitor(kernel, a=self.param, floor=floor)
-        return NullMonitor(kernel)
-
-    @property
-    def label(self) -> str:
-        """Display label, e.g. ``SIMPLE(s=0.6)``."""
-        if self.kind == "simple":
-            return f"SIMPLE(s={self.param:g})"
-        if self.kind == "adaptive":
-            return f"ADAPTIVE(a={self.param:g})"
-        if self.kind == "stepped":
-            step = self.extra if self.extra is not None else 2.0
-            return f"STEPPED(s={self.param:g},x{step:g})"
-        if self.kind == "clamped":
-            floor = self.extra if self.extra is not None else 0.2
-            return f"CLAMPED(a={self.param:g},>={floor:g})"
-        return "NONE"
 
 
 @dataclass(frozen=True)

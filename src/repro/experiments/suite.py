@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.experiments.figures import (
     DEFAULT_SWEEP_VALUES,
@@ -25,7 +25,9 @@ from repro.experiments.figures import (
 from repro.experiments.overhead import OverheadResult, measure_overheads
 from repro.io.results_json import figure_to_json
 from repro.model.taskset import TaskSet
-from repro.workload.generator import GeneratorParams, generate_tasksets
+from repro.runtime.executor import SweepExecutor, make_executor
+from repro.runtime.spec import TaskSetSpec
+from repro.workload.generator import GeneratorParams, taskset_seeds
 from repro.workload.scenarios import OverloadScenario, standard_scenarios
 
 __all__ = ["ReproductionReport", "full_reproduction"]
@@ -98,6 +100,9 @@ def full_reproduction(
     overhead_tasksets: int = 5,
     overhead_horizon: float = 3.0,
     prebuilt: Optional[Sequence[TaskSet]] = None,
+    executor: Optional[SweepExecutor] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ReproductionReport:
     """Regenerate Figs. 6-9 and return them as a report.
 
@@ -115,16 +120,31 @@ def full_reproduction(
         Scale of the Fig. 9 measurement.
     prebuilt:
         Skip generation and use these task sets instead.
+    executor:
+        Sweep executor for the Fig. 6-8 grids; overrides *jobs* /
+        *cache_dir*.  Default: built by
+        :func:`repro.runtime.executor.make_executor` from *jobs* and
+        *cache_dir* — ``jobs > 1`` parallelizes the sweeps over worker
+        processes, *cache_dir* makes re-runs incremental (only cells
+        whose spec changed are simulated).  Fig. 9 measures wall-clock
+        scheduler overhead and therefore always runs serially and
+        uncached.
     """
-    sets = (
-        list(prebuilt)
-        if prebuilt is not None
-        else generate_tasksets(tasksets, base_seed=base_seed, params=params)
-    )
+    if prebuilt is not None:
+        refs: List[TaskSetSpec] = [TaskSetSpec.from_taskset(ts) for ts in prebuilt]
+        sets = list(prebuilt)
+    else:
+        # Thread the explicit per-set seeds into the specs so workers
+        # regenerate exactly the sets the report claims to cover.
+        refs = [TaskSetSpec.generated(seed, params)
+                for seed in taskset_seeds(tasksets, base_seed)]
+        sets = [r.materialize() for r in refs]
+    ex = executor if executor is not None else make_executor(jobs=jobs, cache_dir=cache_dir)
     scen = tuple(scenarios) if scenarios is not None else standard_scenarios()
-    fig6 = figure6(sets, s_values=sweep_values, scenarios=scen, horizon=horizon)
-    sweep = adaptive_sweep(sets, a_values=sweep_values, scenarios=scen,
-                           horizon=horizon)
+    fig6 = figure6(refs, s_values=sweep_values, scenarios=scen, horizon=horizon,
+                   executor=ex)
+    sweep = adaptive_sweep(refs, a_values=sweep_values, scenarios=scen,
+                           horizon=horizon, executor=ex)
     fig7 = figure7(sweep)
     fig8 = figure8(sweep)
     fig9 = measure_overheads(

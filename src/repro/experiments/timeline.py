@@ -18,7 +18,7 @@ example output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.model.task import CriticalityLevel
 from repro.model.taskset import TaskSet

@@ -6,10 +6,24 @@ re-imported, and experiment results can be archived next to the figures
 they produced.
 
 * :mod:`repro.io.taskset_json` — lossless Task/TaskSet <-> JSON.
-* :mod:`repro.io.results_json` — RunResult / figure data -> JSON.
+* :mod:`repro.io.results_json` — RunResult / figure data <-> JSON.
+* :mod:`repro.io.runspec_json` — canonical RunSpec <-> JSON (the hash
+  the content-addressed result cache is keyed by).
 """
 
-from repro.io.results_json import figure_to_dict, results_to_json, run_result_to_dict
+from repro.io.results_json import (
+    figure_to_dict,
+    results_to_json,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+from repro.io.runspec_json import (
+    runspec_canonical_json,
+    runspec_from_dict,
+    runspec_from_json,
+    runspec_to_dict,
+    spec_key,
+)
 from repro.io.taskset_json import (
     task_from_dict,
     task_to_dict,
@@ -23,6 +37,12 @@ __all__ = [
     "taskset_to_json",
     "taskset_from_json",
     "run_result_to_dict",
+    "run_result_from_dict",
     "results_to_json",
     "figure_to_dict",
+    "runspec_to_dict",
+    "runspec_from_dict",
+    "runspec_canonical_json",
+    "runspec_from_json",
+    "spec_key",
 ]

@@ -14,12 +14,32 @@ from typing import Any, Dict, Iterable
 from repro.experiments.figures import FigureData
 from repro.experiments.metrics import RunResult
 
-__all__ = ["run_result_to_dict", "results_to_json", "figure_to_dict", "figure_to_json"]
+__all__ = [
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "results_to_json",
+    "figure_to_dict",
+    "figure_to_json",
+]
 
 
 def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
     """A RunResult as a JSON-ready dict (plain dataclass dump)."""
     return dataclasses.asdict(result)
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`run_result_to_dict` (the result-cache read path).
+
+    Unknown keys are ignored (forward compatibility); missing required
+    fields raise :class:`ValueError` so a truncated cache entry reads as
+    corrupt rather than as a zeroed result.
+    """
+    fields = {f.name for f in dataclasses.fields(RunResult)}
+    missing = fields - set(data)
+    if missing:
+        raise ValueError(f"RunResult document missing fields: {sorted(missing)}")
+    return RunResult(**{k: v for k, v in data.items() if k in fields})
 
 
 def results_to_json(results: Iterable[RunResult], indent: int = 2) -> str:

@@ -1,0 +1,62 @@
+"""Declarative run specifications and sweep executors.
+
+The paper's evaluation is a grid — scenario x parameter x task set — and
+every figure, benchmark and CLI sweep walks some slice of it.  This
+package turns one grid cell into a frozen, hashable, picklable
+:class:`~repro.runtime.spec.RunSpec` and provides the machinery to run
+many of them:
+
+* :mod:`repro.runtime.registry` — string-keyed plugin registries for
+  monitor policies and per-level schedulers, so extensions register
+  themselves instead of patching ``if``/``elif`` chains in core modules;
+* :mod:`repro.runtime.spec` — ``RunSpec`` and its component specs
+  (task-set reference, scenario, monitor, kernel knobs), all plain
+  frozen dataclasses with canonical JSON forms (:mod:`repro.io.runspec_json`);
+* :mod:`repro.runtime.cache` — a content-addressed on-disk result cache
+  keyed by the sha256 of a spec's canonical JSON;
+* :mod:`repro.runtime.executor` — ``SerialBackend`` and
+  ``ProcessPoolBackend`` sweep executors that check the cache, simulate
+  only the missing cells, and report how much work they actually did.
+"""
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepExecutor,
+    SweepStats,
+    make_executor,
+    run_spec,
+)
+from repro.runtime.registry import (
+    MonitorKind,
+    Registry,
+    monitor_registry,
+    scheduler_registry,
+)
+from repro.runtime.spec import (
+    KernelSpec,
+    MonitorSpec,
+    RunSpec,
+    ScenarioSpec,
+    TaskSetSpec,
+)
+
+__all__ = [
+    "Registry",
+    "MonitorKind",
+    "monitor_registry",
+    "scheduler_registry",
+    "TaskSetSpec",
+    "ScenarioSpec",
+    "MonitorSpec",
+    "KernelSpec",
+    "RunSpec",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepStats",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_executor",
+    "run_spec",
+]

@@ -1,0 +1,149 @@
+"""Content-addressed on-disk cache of sweep results.
+
+Each entry is one JSON file named by the sha256 of its spec's canonical
+JSON (sharded two-hex-chars deep, git-object style), holding both the
+spec document and the :class:`~repro.experiments.metrics.RunResult` —
+the spec rides along for auditability, the key alone addresses the
+entry.  Because simulation is deterministic given a spec, a hit is
+exactly the result a fresh run would produce; re-running a sweep whose
+grid did not change performs zero simulations.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweeps
+sharing a cache directory can only ever observe complete entries, and a
+torn/corrupt file is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Optional, Union
+
+from repro.experiments.metrics import RunResult
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+_FORMAT = "repro-runcache"
+_VERSION = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$XDG_CACHE_HOME/repro-mc2`` (or ``~/.cache/repro-mc2``)."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = pathlib.Path(base) if base else pathlib.Path.home() / ".cache"
+    return root / "repro-mc2"
+
+
+class ResultCache:
+    """Spec-keyed result store under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Cache root (created on first write).  ``None`` selects
+        :func:`default_cache_dir`.
+    max_entries:
+        Optional size cap; when a :meth:`put` pushes the entry count
+        past it, the oldest entries (by file modification time) are
+        evicted until the cap holds.  ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path, None] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.directory = pathlib.Path(directory) if directory else default_cache_dir()
+        self.max_entries = max_entries
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for *key*, or ``None`` on a miss."""
+        from repro.io.results_json import run_result_from_dict
+
+        path = self._path(key)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if doc.get("format") != _FORMAT:
+            return None
+        try:
+            return run_result_from_dict(doc["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: str, spec_doc: dict, result: RunResult) -> None:
+        """Store *result* under *key*, evicting past ``max_entries``."""
+        from repro.io.results_json import run_result_to_dict
+
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "key": key,
+            "spec": spec_doc,
+            "result": run_result_to_dict(result),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(doc, indent=2) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if self.max_entries is not None:
+            self.prune(self.max_entries)
+
+    def _entries(self) -> list[pathlib.Path]:
+        if not self.directory.is_dir():
+            return []
+        return [
+            p
+            for shard in self.directory.iterdir()
+            if shard.is_dir()
+            for p in shard.glob("*.json")
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def prune(self, max_entries: int) -> int:
+        """Evict oldest entries beyond *max_entries*; returns evictions."""
+        entries = self._entries()
+        excess = len(entries) - max_entries
+        if excess <= 0:
+            return 0
+        entries.sort(key=lambda p: (p.stat().st_mtime, p.name))
+        evicted = 0
+        for p in entries[:excess]:
+            try:
+                p.unlink()
+                evicted += 1
+            except OSError:
+                pass
+        return evicted
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        entries = self._entries()
+        for p in entries:
+            try:
+                p.unlink()
+            except OSError:
+                pass
+        return len(entries)

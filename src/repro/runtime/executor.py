@@ -1,0 +1,198 @@
+"""Sweep executors: run many :class:`RunSpec` cells, serially or in parallel.
+
+The evaluation grids are embarrassingly parallel — cells share nothing —
+so the executor interface is simply *"here are N specs, give me N
+results in order"*:
+
+* :class:`SerialBackend` runs cells in the calling process (the old
+  nested-loop behaviour, now with caching);
+* :class:`ProcessPoolBackend` fans cells out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` in chunks.  Specs are
+  small frozen dataclasses, so only the spec crosses the process
+  boundary; the worker reconstructs the task set from its seed (or
+  inline JSON) on its own side.
+
+Both backends share the cache protocol: before simulating, each cell's
+:meth:`~repro.runtime.spec.RunSpec.key` is looked up in the optional
+:class:`~repro.runtime.cache.ResultCache`; only misses are simulated,
+and fresh results are written back.  :attr:`SweepExecutor.stats`
+reports, per ``run()`` call, how many cells were served from cache and
+how many were actually simulated — the number a fully warmed cache
+drives to zero.
+
+Determinism: a cell's result depends only on its spec (the task-set
+seed pins the single source of randomness), so backend choice and job
+count never change the aggregated figures — only the wall clock.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.metrics import RunResult
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import RunSpec
+
+__all__ = [
+    "run_spec",
+    "SweepStats",
+    "SweepExecutor",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_executor",
+]
+
+
+def run_spec(spec: RunSpec) -> RunResult:
+    """Execute one cell: materialize the task set, simulate, return the result.
+
+    Module-level (and importing nothing exotic) so it pickles cleanly as
+    a process-pool task.  Custom monitor kinds must be registered at
+    *import* time of a module the worker also imports — with the default
+    ``fork`` start method on Linux, anything registered in the parent is
+    simply inherited.
+    """
+    from repro.experiments.runner import run_overload_experiment
+
+    result = run_overload_experiment(
+        spec.taskset.materialize(),
+        spec.scenario.build(),
+        spec.monitor,
+        horizon=spec.horizon,
+        confirm_window=spec.confirm_window,
+        config=spec.kernel.to_config(),
+        level_c_budgets=spec.level_c_budgets,
+    )
+    assert isinstance(result, RunResult)
+    return result
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """What one ``run()`` call actually did."""
+
+    #: Cells requested.
+    cells_total: int = 0
+    #: Cells that had to be simulated (cache misses).
+    cells_simulated: int = 0
+    #: Cells served from the result cache.
+    cache_hits: int = 0
+
+
+class SweepExecutor:
+    """Common sweep front-end: cache lookups around a simulation backend.
+
+    Subclasses implement :meth:`_execute` (simulate these specs, in
+    order); the base class handles cache consultation, write-back and
+    accounting.  ``stats`` describes the most recent :meth:`run`;
+    ``total`` accumulates across the executor's lifetime.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+        self.cache = cache
+        self.stats = SweepStats()
+        self.total = SweepStats()
+
+    def _execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        raise NotImplementedError
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Results for *specs*, in the same order."""
+        specs = list(specs)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        miss_idx: List[int] = []
+        if self.cache is not None:
+            keys = [s.key() for s in specs]
+            for i, key in enumerate(keys):
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    miss_idx.append(i)
+        else:
+            miss_idx = list(range(len(specs)))
+
+        if miss_idx:
+            fresh = self._execute([specs[i] for i in miss_idx])
+            for i, result in zip(miss_idx, fresh):
+                results[i] = result
+                if self.cache is not None:
+                    from repro.io.runspec_json import runspec_to_dict
+
+                    self.cache.put(keys[i], runspec_to_dict(specs[i]), result)
+
+        self.stats = SweepStats(
+            cells_total=len(specs),
+            cells_simulated=len(miss_idx),
+            cache_hits=len(specs) - len(miss_idx),
+        )
+        self.total = SweepStats(
+            cells_total=self.total.cells_total + self.stats.cells_total,
+            cells_simulated=self.total.cells_simulated + self.stats.cells_simulated,
+            cache_hits=self.total.cache_hits + self.stats.cache_hits,
+        )
+        return results  # type: ignore[return-value]
+
+
+class SerialBackend(SweepExecutor):
+    """Simulate cells one after another in the calling process."""
+
+    def _execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        return [run_spec(s) for s in specs]
+
+
+class ProcessPoolBackend(SweepExecutor):
+    """Simulate cells across a pool of worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count (default: ``os.cpu_count()``).
+    chunksize:
+        Specs per pool task; ``None`` picks ``ceil(n / (4 * jobs))``,
+        which amortizes dispatch overhead while still load-balancing
+        cells of uneven cost (short vs. truncated runs).
+    cache:
+        Optional shared result cache (consulted in the parent; workers
+        never touch the disk cache).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        super().__init__(cache=cache)
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.chunksize = chunksize
+
+    def _execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        if len(specs) <= 1 or self.jobs == 1:
+            # Not worth a pool; also keeps single-cell CLI runs fork-free.
+            return [run_spec(s) for s in specs]
+        chunk = self.chunksize
+        if chunk is None:
+            chunk = max(1, -(-len(specs) // (4 * self.jobs)))
+        workers = min(self.jobs, len(specs))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_spec, specs, chunksize=chunk))
+
+
+def make_executor(
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    max_entries: Optional[int] = None,
+) -> SweepExecutor:
+    """CLI-flag-shaped factory: ``--jobs N`` / ``--cache-dir PATH``."""
+    cache = ResultCache(cache_dir, max_entries=max_entries) if cache_dir else None
+    if jobs <= 1:
+        return SerialBackend(cache=cache)
+    return ProcessPoolBackend(jobs=jobs, cache=cache)

@@ -13,7 +13,7 @@ the selected set).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.gel import virtual_priority
 from repro.model.job import Job

@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional
 
 __all__ = ["EventKind", "Event", "EventQueue"]

@@ -31,7 +31,7 @@ comparison (monitors that change speed are rejected in that mode).
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.monitor import CompletionReport, Monitor, NullMonitor

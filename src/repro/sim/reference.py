@@ -20,7 +20,7 @@ Not optimized, not part of the public simulation API.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.virtual_time import VirtualClock

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.model.task import CriticalityLevel, Task
+from repro.model.task import CriticalityLevel
 from repro.model.taskset import TaskSet
 from repro.sim.trace import Trace
 

@@ -9,7 +9,7 @@ invariant property tests, and ASCII schedule rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.model.job import Job
 from repro.model.task import CriticalityLevel, Task

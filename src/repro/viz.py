@@ -15,7 +15,7 @@ structurally (well-formed XML, one rect per interval) in
 from __future__ import annotations
 
 import html
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.model.task import CriticalityLevel, Task
 from repro.sim.trace import Trace

@@ -43,7 +43,7 @@ from repro.workload.distributions import (
     uniform_utilization,
 )
 
-__all__ = ["GeneratorParams", "generate_taskset", "generate_tasksets"]
+__all__ = ["GeneratorParams", "generate_taskset", "generate_tasksets", "taskset_seeds"]
 
 #: Ignore a residual capacity below this when filling a budget; a task
 #: scaled to a sliver of utilization contributes nothing but numerical
@@ -231,8 +231,22 @@ def generate_taskset(
     return ts
 
 
+def taskset_seeds(count: int, base_seed: int = 2015) -> List[int]:
+    """The explicit per-set seed schedule: *count* consecutive seeds.
+
+    This is the single definition of "task set i's seed" — both
+    :func:`generate_tasksets` and the sweep layer's
+    :class:`~repro.runtime.spec.TaskSetSpec` grids derive from it, so a
+    cached :class:`~repro.runtime.spec.RunSpec` names exactly the seed
+    that regenerates its task set bit-for-bit.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return [base_seed + i for i in range(count)]
+
+
 def generate_tasksets(
     count: int, base_seed: int = 2015, params: Optional[GeneratorParams] = None
 ) -> List[TaskSet]:
     """Generate *count* task sets with consecutive seeds (paper: 20)."""
-    return [generate_taskset(base_seed + i, params) for i in range(count)]
+    return [generate_taskset(seed, params) for seed in taskset_seeds(count, base_seed)]

@@ -20,7 +20,7 @@ measurement).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.model.behavior import OverloadWindow, WindowedOverloadBehavior
 from repro.model.task import CriticalityLevel

@@ -1,6 +1,5 @@
 """Tests for the level-C SRT schedulability test."""
 
-import pytest
 
 from repro.analysis.schedulability import check_level_c
 from repro.analysis.supply import SupplyModel

@@ -11,9 +11,8 @@ from repro.analysis.trace_check import (
 )
 from repro.core.monitor import SimpleMonitor
 from repro.core.tolerance import fixed_tolerances
-from repro.experiments.examples_fig2 import figure2_taskset, overload_behavior, run_example
+from repro.experiments.examples_fig2 import figure2_taskset, run_example
 from repro.model.job import Job
-from repro.model.task import CriticalityLevel as L
 from repro.model.taskset import TaskSet
 from repro.sim.kernel import KernelConfig, MC2Kernel
 from repro.sim.trace import Trace

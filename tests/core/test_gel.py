@@ -10,7 +10,6 @@ from repro.core.gel import (
     virtual_priority,
 )
 from repro.model.job import Job
-from repro.model.task import CriticalityLevel as L
 from tests.conftest import make_a_task, make_c_task
 
 

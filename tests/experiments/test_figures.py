@@ -7,13 +7,7 @@ and the benchmarks.
 
 import pytest
 
-from repro.experiments.figures import (
-    FigureData,
-    adaptive_sweep,
-    figure6,
-    figure7,
-    figure8,
-)
+from repro.experiments.figures import adaptive_sweep, figure6, figure7, figure8
 from repro.workload.generator import GeneratorParams, generate_tasksets
 from repro.workload.scenarios import LONG, SHORT
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.monitor import AdaptiveMonitor, NullMonitor, SimpleMonitor
 from repro.experiments.runner import ExperimentOutput, MonitorSpec, run_overload_experiment
-from repro.model.task import CriticalityLevel as L
 from repro.sim.kernel import MC2Kernel
 from repro.workload.generator import GeneratorParams, generate_taskset
 from repro.workload.scenarios import DOUBLE, SHORT

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.experiments.suite import ReproductionReport, full_reproduction
+from repro.experiments.suite import full_reproduction
 from repro.workload.generator import GeneratorParams
 from repro.workload.scenarios import SHORT
 
@@ -57,3 +57,24 @@ class TestFullReproduction:
             overhead_tasksets=1, overhead_horizon=1.0,
         )
         assert rep.tasksets == 1
+
+    def test_cached_rerun_simulates_nothing(self, tmp_path):
+        from repro.runtime.cache import ResultCache
+        from repro.runtime.executor import SerialBackend
+
+        kwargs = dict(
+            tasksets=1, base_seed=3, sweep_values=(1.0,), scenarios=(SHORT,),
+            params=GeneratorParams(m=2), overhead_tasksets=1,
+            overhead_horizon=1.0,
+        )
+        cache = ResultCache(tmp_path)
+        cold = SerialBackend(cache=cache)
+        first = full_reproduction(executor=cold, **kwargs)
+        warm = SerialBackend(cache=cache)
+        second = full_reproduction(executor=warm, **kwargs)
+        assert cold.total.cells_simulated > 0
+        assert warm.total.cells_simulated == 0
+        assert warm.total.cache_hits == cold.total.cells_simulated
+        assert second.fig6 == first.fig6
+        assert second.fig7 == first.fig7
+        assert second.fig8 == first.fig8

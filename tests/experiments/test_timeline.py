@@ -4,7 +4,6 @@ import pytest
 
 from repro.experiments.examples_fig2 import figure2_taskset, run_example
 from repro.experiments.timeline import TimelineBin, render_sparkline, response_timeline
-from repro.model.task import CriticalityLevel as L
 
 
 @pytest.fixture(scope="module")

@@ -6,9 +6,7 @@ event-driven kernel and the obviously-correct time-stepped reference
 simulator must agree on every release and completion instant.
 """
 
-import itertools
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -16,7 +14,7 @@ from repro.model.behavior import TraceBehavior
 from repro.model.task import CriticalityLevel as L
 from repro.model.task import Task
 from repro.model.taskset import TaskSet
-from repro.sim.kernel import KernelConfig, MC2Kernel
+from repro.sim.kernel import MC2Kernel
 from repro.sim.reference import simulate_reference
 
 QUANTUM = 0.5

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.model.task import CriticalityLevel as L
-from repro.model.task import Task
 from repro.model.taskset import TaskSet, hyperperiod
 from tests.conftest import make_a_task, make_b_task, make_c_task
 

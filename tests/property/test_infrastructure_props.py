@@ -1,12 +1,11 @@
 """Property tests for the infrastructure: event queue, serialization,
 timeline binning, and the reference simulator's self-consistency."""
 
-from fractions import Fraction
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.experiments.timeline import TimelineBin, render_sparkline, response_timeline
+from repro.experiments.timeline import TimelineBin, render_sparkline
 from repro.io.taskset_json import task_from_dict, task_to_dict
 from repro.model.task import CriticalityLevel as L
 from repro.model.task import Task

@@ -1,0 +1,127 @@
+"""Tests for the content-addressed result cache (repro.runtime.cache)."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.metrics import RunResult
+from repro.runtime.cache import ResultCache, default_cache_dir
+
+
+def result(dissipation=0.5) -> RunResult:
+    return RunResult(
+        scenario="SHORT",
+        monitor="SIMPLE(s=0.6)",
+        dissipation=dissipation,
+        truncated=False,
+        min_speed=0.6,
+        miss_count=10,
+        episodes=1,
+        max_response_c=0.1,
+        sim_end=2.0,
+        events=1234,
+    )
+
+
+KEY = "ab" + "0" * 62
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(KEY) is None
+        assert KEY not in cache
+        assert len(cache) == 0
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"spec": "doc"}, result())
+        assert KEY in cache
+        assert len(cache) == 1
+        assert cache.get(KEY) == result()
+
+    def test_entries_sharded_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, result())
+        assert (tmp_path / KEY[:2] / f"{KEY}.json").is_file()
+
+    def test_entry_carries_spec_for_audit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"seed": 2015}, result())
+        doc = json.loads((tmp_path / KEY[:2] / f"{KEY}.json").read_text())
+        assert doc["spec"] == {"seed": 2015}
+        assert doc["key"] == KEY
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, result())
+        (tmp_path / KEY[:2] / f"{KEY}.json").write_text("{not json", encoding="utf-8")
+        assert cache.get(KEY) is None
+
+    def test_truncated_result_doc_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, result())
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        doc = json.loads(path.read_text())
+        del doc["result"]["dissipation"]
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert cache.get(KEY) is None
+
+    def test_wrong_format_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, result())
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        doc = json.loads(path.read_text())
+        doc["format"] = "other"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert cache.get(KEY) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" + "0" * 62, {}, result())
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_default_dir_used_when_unset(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        cache = ResultCache()
+        assert cache.directory == tmp_path / "repro-mc2"
+        assert default_cache_dir() == tmp_path / "repro-mc2"
+
+
+class TestEviction:
+    def _age(self, cache, key, age_seconds):
+        path = cache._path(key)
+        stamp = os.path.getmtime(path) - age_seconds
+        os.utime(path, (stamp, stamp))
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [f"{i:02d}" + "f" * 62 for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put(key, {}, result(dissipation=float(i)))
+            self._age(cache, key, age_seconds=100 - i)  # keys[0] oldest
+        assert cache.prune(2) == 2
+        assert keys[0] not in cache and keys[1] not in cache
+        assert keys[2] in cache and keys[3] in cache
+
+    def test_prune_noop_under_cap(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, result())
+        assert cache.prune(5) == 0
+        assert KEY in cache
+
+    def test_max_entries_enforced_on_put(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        keys = [f"{i:02d}" + "e" * 62 for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.put(key, {}, result())
+            self._age(cache, key, age_seconds=50 - i)
+        cache.put("ff" + "e" * 62, {}, result())
+        assert len(cache) == 2
+
+    def test_max_entries_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)

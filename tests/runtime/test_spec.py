@@ -1,0 +1,190 @@
+"""Tests for RunSpec and its canonical serialization / hashing."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.io.runspec_json import (
+    runspec_canonical_json,
+    runspec_from_dict,
+    runspec_from_json,
+    runspec_to_dict,
+    spec_key,
+)
+from repro.runtime.spec import (
+    KernelSpec,
+    MonitorSpec,
+    RunSpec,
+    ScenarioSpec,
+    TaskSetSpec,
+)
+from repro.sim.kernel import KernelConfig
+from repro.workload.generator import GeneratorParams, generate_taskset
+from repro.workload.scenarios import DOUBLE, SHORT
+
+
+def make_spec(**overrides) -> RunSpec:
+    base = dict(
+        taskset=TaskSetSpec.generated(2015, GeneratorParams(m=2)),
+        scenario=ScenarioSpec.from_scenario(SHORT),
+        monitor=MonitorSpec("simple", 0.6),
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestTaskSetSpec:
+    def test_needs_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            TaskSetSpec()
+        with pytest.raises(ValueError):
+            TaskSetSpec(seed=1, inline="{}")
+        with pytest.raises(ValueError):
+            TaskSetSpec(inline="{}", params=GeneratorParams())
+
+    def test_generated_materializes_deterministically(self):
+        ref = TaskSetSpec.generated(7, GeneratorParams(m=2))
+        a, b = ref.materialize(), ref.materialize()
+        assert len(a) == len(b)
+        assert [t.period for t in a] == [t.period for t in b]
+
+    def test_inline_round_trip(self):
+        ts = generate_taskset(11, GeneratorParams(m=2))
+        ref = TaskSetSpec.from_taskset(ts)
+        back = ref.materialize()
+        assert len(back) == len(ts)
+        assert back.m == ts.m
+
+    def test_labels(self):
+        assert TaskSetSpec.generated(9).label == "seed:9"
+        ts = generate_taskset(9, GeneratorParams(m=2))
+        assert "inline" in TaskSetSpec.from_taskset(ts).label
+
+
+class TestScenarioSpec:
+    def test_round_trip(self):
+        spec = ScenarioSpec.from_scenario(DOUBLE)
+        sc = spec.build()
+        assert sc.name == "DOUBLE"
+        assert [(w.start, w.end) for w in sc.windows] == [(0.0, 0.5), (1.5, 2.0)]
+        assert sc.overload_level.name == "B"
+
+    def test_needs_windows(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="EMPTY", windows=())
+
+
+class TestKernelSpec:
+    def test_config_round_trip(self):
+        cfg = KernelConfig(use_virtual_time=False, monitor_latency=0.25)
+        spec = KernelSpec.from_config(cfg)
+        back = spec.to_config()
+        assert back.use_virtual_time is False
+        assert back.monitor_latency == 0.25
+
+    def test_release_delay_rejected(self):
+        cfg = KernelConfig(release_delay=lambda task, k: 0.0)
+        with pytest.raises(ValueError, match="release_delay"):
+            KernelSpec.from_config(cfg)
+
+
+class TestRunSpecValidation:
+    def test_horizon_positive(self):
+        with pytest.raises(ValueError):
+            make_spec(horizon=0.0)
+
+    def test_confirm_window_nonnegative(self):
+        with pytest.raises(ValueError):
+            make_spec(confirm_window=-1.0)
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {make_spec(): 1}
+        assert d[make_spec()] == 1
+
+
+class TestCanonicalJson:
+    def test_equal_specs_equal_keys(self):
+        assert spec_key(make_spec()) == spec_key(make_spec())
+
+    def test_key_is_sha256_of_canonical_json(self):
+        spec = make_spec()
+        expected = hashlib.sha256(
+            runspec_canonical_json(spec).encode("utf-8")
+        ).hexdigest()
+        assert spec.key() == expected
+        assert spec.canonical_json() == runspec_canonical_json(spec)
+
+    def test_field_order_does_not_matter(self):
+        # Keyword order at construction cannot leak into the canonical text.
+        a = RunSpec(
+            taskset=TaskSetSpec.generated(1),
+            scenario=ScenarioSpec.from_scenario(SHORT),
+            monitor=MonitorSpec("simple", 0.6),
+            horizon=30.0,
+        )
+        b = RunSpec(
+            horizon=30.0,
+            monitor=MonitorSpec("simple", 0.6),
+            scenario=ScenarioSpec.from_scenario(SHORT),
+            taskset=TaskSetSpec.generated(1),
+        )
+        assert runspec_canonical_json(a) == runspec_canonical_json(b)
+
+    def test_canonical_text_has_sorted_keys_and_no_spaces(self):
+        text = runspec_canonical_json(make_spec())
+        assert ": " not in text and ", " not in text
+        doc = json.loads(text)
+        assert list(doc) == sorted(doc)
+
+    def test_float_formatting_is_shortest_repr(self):
+        # 0.6 must serialize as the literal shortest repr, stable across
+        # runs and platforms (it is the cache key's raw material).
+        text = runspec_canonical_json(make_spec(monitor=MonitorSpec("simple", 0.6)))
+        assert '"param":0.6' in text
+
+    def test_distinct_floats_distinct_keys(self):
+        near = 0.6 + 1e-15  # a genuinely different float
+        assert near != 0.6
+        a = make_spec(monitor=MonitorSpec("simple", 0.6))
+        b = make_spec(monitor=MonitorSpec("simple", near))
+        assert spec_key(a) != spec_key(b)
+
+    def test_any_field_change_changes_key(self):
+        base = make_spec()
+        variants = [
+            make_spec(taskset=TaskSetSpec.generated(2016, GeneratorParams(m=2))),
+            make_spec(scenario=ScenarioSpec.from_scenario(DOUBLE)),
+            make_spec(monitor=MonitorSpec("adaptive", 0.6)),
+            make_spec(horizon=31.0),
+            make_spec(level_c_budgets=False),
+            make_spec(kernel=KernelSpec(monitor_latency=0.001)),
+        ]
+        keys = {spec_key(v) for v in variants}
+        assert spec_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_dict_round_trip(self):
+        spec = make_spec(
+            monitor=MonitorSpec("clamped", 0.6, 0.3),
+            scenario=ScenarioSpec.from_scenario(DOUBLE),
+        )
+        assert runspec_from_dict(runspec_to_dict(spec)) == spec
+        assert runspec_from_json(spec.canonical_json()) == spec
+
+    def test_inline_taskset_round_trip(self):
+        ts = generate_taskset(5, GeneratorParams(m=2))
+        spec = make_spec(taskset=TaskSetSpec.from_taskset(ts))
+        back = runspec_from_dict(runspec_to_dict(spec))
+        assert back == spec
+        assert spec_key(back) == spec_key(spec)
+
+    def test_bad_header_rejected(self):
+        doc = runspec_to_dict(make_spec())
+        doc["format"] = "something-else"
+        with pytest.raises(ValueError, match="format"):
+            runspec_from_dict(doc)
+        doc2 = runspec_to_dict(make_spec())
+        doc2["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            runspec_from_dict(doc2)

@@ -1,6 +1,5 @@
 """Tests for execution-budget enforcement (footnote 2)."""
 
-import pytest
 
 from repro.model.behavior import ConstantBehavior, TraceBehavior
 from repro.model.task import CriticalityLevel as L

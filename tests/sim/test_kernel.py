@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.monitor import NullMonitor, SimpleMonitor
-from repro.model.behavior import ConstantBehavior, TraceBehavior
+from repro.model.behavior import TraceBehavior
 from repro.model.task import CriticalityLevel as L
 from repro.model.task import Task
 from repro.model.taskset import TaskSet

@@ -1,9 +1,6 @@
 """Tests for the kernel's preemption/migration counters."""
 
-import pytest
 
-from repro.model.behavior import ConstantBehavior, TraceBehavior
-from repro.model.task import CriticalityLevel as L
 from repro.model.taskset import TaskSet
 from repro.sim.kernel import KernelConfig, MC2Kernel
 from tests.conftest import make_c_task

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.model.task import CriticalityLevel as L
 from repro.workload.scenarios import DOUBLE, LONG, SHORT, standard_scenarios
 from tests.conftest import make_a_task, make_c_task
 
