@@ -67,8 +67,17 @@ from repro.model import (
     WindowedOverloadBehavior,
 )
 from repro.io import taskset_from_json, taskset_to_json
+from repro.obs import (
+    JsonlTracer,
+    MetricsRegistry,
+    NullTracer,
+    SpanTimer,
+    summarize_trace,
+    write_chrome_trace,
+)
 from repro.runtime import (
     KernelSpec,
+    ObsSpec,
     ProcessPoolBackend,
     ResultCache,
     RunSpec,
@@ -146,6 +155,7 @@ __all__ = [
     "TaskSetSpec",
     "ScenarioSpec",
     "KernelSpec",
+    "ObsSpec",
     "ResultCache",
     "SerialBackend",
     "ProcessPoolBackend",
@@ -163,6 +173,13 @@ __all__ = [
     "measure_overheads",
     "calibrate_tolerances",
     "full_reproduction",
+    # obs
+    "JsonlTracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "SpanTimer",
+    "summarize_trace",
+    "write_chrome_trace",
     "svg_gantt",
     "taskset_to_json",
     "taskset_from_json",

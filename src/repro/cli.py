@@ -7,22 +7,30 @@ Subcommands:
   set (from a file or freshly generated);
 * ``simulate`` — run one overload-recovery experiment and print its
   metrics (optionally as JSON);
-* ``figures``  — regenerate one of the paper's figures.
+* ``figures``  — regenerate one of the paper's figures;
+* ``trace``    — summarize or convert JSONL event traces
+  (:mod:`repro.obs`).
 
 Examples::
 
     repro-mc2 generate --seed 2015 -o ts.json
     repro-mc2 analyze ts.json
     repro-mc2 simulate ts.json --scenario SHORT --monitor simple:0.6
+    repro-mc2 simulate --trace-dir traces/ --metrics-out run.json
     repro-mc2 figures --figure 6 --tasksets 5
     repro-mc2 figures --figure 7 --jobs 4 --cache-dir ~/.cache/repro-mc2
+    repro-mc2 trace summarize traces/run-0123abcd4567.jsonl
+    repro-mc2 trace convert traces/run-0123abcd4567.jsonl -o chrome.json
 
 ``simulate`` and ``figures`` build declarative
 :class:`~repro.runtime.spec.RunSpec` grids and submit them through a
 :mod:`repro.runtime.executor` backend: ``--jobs N`` fans the sweep out
 over N worker processes, ``--cache-dir`` reuses previously simulated
 cells by content address (a re-run of an unchanged grid simulates
-nothing).
+nothing).  Observability flags are observation-only: ``--trace-dir``
+streams one JSONL event trace per simulated cell, ``--metrics-out``
+archives the per-cell sweep report, ``--progress`` reports live sweep
+progress on stderr — none of them changes any result or cache key.
 """
 
 from __future__ import annotations
@@ -46,8 +54,9 @@ from repro.io.results_json import run_result_to_dict
 from repro.io.taskset_json import taskset_from_json, taskset_to_json
 from repro.model.task import CriticalityLevel
 from repro.model.taskset import TaskSet
-from repro.runtime.executor import make_executor
-from repro.runtime.spec import MonitorSpec, RunSpec, ScenarioSpec, TaskSetSpec
+from repro.obs.progress import ProgressReporter
+from repro.runtime.executor import SweepExecutor, make_executor
+from repro.runtime.spec import MonitorSpec, ObsSpec, RunSpec, ScenarioSpec, TaskSetSpec
 from repro.workload.generator import (
     GeneratorParams,
     generate_taskset,
@@ -91,6 +100,45 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="content-addressed result cache; re-runs only "
                              "simulate cells whose spec changed")
+    parser.add_argument("--trace-dir", metavar="DIR",
+                        help="stream one JSONL event trace per simulated cell "
+                             "into DIR (observation only; cached cells are "
+                             "not re-simulated and leave no trace)")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write the per-cell sweep report + executor "
+                             "metrics as JSON to FILE")
+    parser.add_argument("--progress", action="store_true",
+                        help="report live sweep progress (done/total, cache "
+                             "hit rate, ETA) on stderr")
+
+
+def _make_executor(args: argparse.Namespace) -> SweepExecutor:
+    progress = ProgressReporter() if args.progress else None
+    return make_executor(jobs=args.jobs, cache_dir=args.cache_dir, progress=progress)
+
+
+def _obs_spec(args: argparse.Namespace) -> ObsSpec:
+    return ObsSpec(trace_dir=args.trace_dir)
+
+
+def _write_metrics(path: str, executor: SweepExecutor) -> None:
+    """Archive the sweep report (plus executor metrics) as JSON."""
+    doc = executor.report.to_dict()
+    doc["metrics"] = executor.metrics.to_dict()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def _warn_truncated(executor: SweepExecutor) -> None:
+    """Flag cells whose recovery was still open at the horizon."""
+    trunc = executor.report.truncated_cells
+    if not trunc:
+        return
+    print(f"warning: {len(trunc)} of {executor.report.cells_total} cells hit "
+          "the simulation horizon with recovery still open; their "
+          "dissipation times are lower bounds, not measurements "
+          "(a longer horizon would settle them)", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,6 +177,18 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--tasksets", type=int, default=5)
     f.add_argument("--seed", type=int, default=2015)
     _add_executor_flags(f)
+
+    t = sub.add_parser("trace", help="inspect or convert JSONL event traces")
+    tsub = t.add_subparsers(dest="trace_command", required=True)
+    tsum = tsub.add_parser("summarize",
+                           help="event counts, time range and tasks of a trace")
+    tsum.add_argument("file", help="JSONL trace file (from --trace-dir)")
+    tsum.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    tconv = tsub.add_parser("convert",
+                            help="convert to Chrome/Perfetto trace-event JSON")
+    tconv.add_argument("file", help="JSONL trace file (from --trace-dir)")
+    tconv.add_argument("-o", "--output", required=True,
+                       help="output path (open in Perfetto or chrome://tracing)")
 
     return ap
 
@@ -173,26 +233,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         monitor=parse_monitor(args.monitor),
         horizon=args.horizon,
         level_c_budgets=not args.no_budgets,
+        obs=_obs_spec(args),
     )
-    executor = make_executor(jobs=args.jobs, cache_dir=args.cache_dir)
+    executor = _make_executor(args)
     [result] = executor.run([spec])
     if args.json:
         print(json.dumps(run_result_to_dict(result), indent=2))
     else:
         print(result.row())
+    _warn_truncated(executor)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, executor)
     return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    executor = make_executor(jobs=args.jobs, cache_dir=args.cache_dir)
+    executor = _make_executor(args)
+    obs = _obs_spec(args)
     refs = [TaskSetSpec.generated(seed)
             for seed in taskset_seeds(args.tasksets, args.seed)]
     if args.figure == "6":
-        print(figure6(refs, s_values=DEFAULT_SWEEP_VALUES, executor=executor)
+        print(figure6(refs, s_values=DEFAULT_SWEEP_VALUES, executor=executor,
+                      obs=obs)
               .render(unit_scale=1e3, unit="ms"))
     elif args.figure in ("7", "8"):
         sweep = adaptive_sweep(refs, a_values=DEFAULT_SWEEP_VALUES,
-                               executor=executor)
+                               executor=executor, obs=obs)
         fig = figure7(sweep) if args.figure == "7" else figure8(sweep)
         scale, unit = (1e3, "ms") if args.figure == "7" else (1.0, "virtual speed")
         print(fig.render(unit_scale=scale, unit=unit))
@@ -202,9 +268,26 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                                 trim_max_quantile=0.999).render())
         return 0
     stats = executor.stats
-    if args.cache_dir:
-        print(f"  [executor] cells: {stats.cells_total}, simulated: "
-              f"{stats.cells_simulated}, cache hits: {stats.cache_hits}")
+    print(f"  [executor] cells: {stats.cells_total}, simulated: "
+          f"{stats.cells_simulated}, cache hits: {stats.cache_hits}")
+    _warn_truncated(executor)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, executor)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import summarize_trace, write_chrome_trace
+
+    if args.trace_command == "summarize":
+        summary = summarize_trace(args.file)
+        if args.json:
+            print(json.dumps(summary.to_dict(), indent=2))
+        else:
+            print(summary.render())
+        return 0
+    n = write_chrome_trace(args.file, args.output)
+    print(f"wrote {n} trace events to {args.output}")
     return 0
 
 
@@ -216,6 +299,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "simulate": _cmd_simulate,
         "figures": _cmd_figures,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Protocol, Set, Tuple
 
 from repro.model.task import Task
+from repro.obs.tracer import NULL_TRACER, EventName, Tracer
 
 __all__ = [
     "CompletionReport",
@@ -131,6 +132,10 @@ class Monitor:
 
     def __init__(self, controller: SpeedController) -> None:
         self.controller = controller
+        #: Structured event stream; :meth:`MC2Kernel.attach_monitor`
+        #: replaces this with the kernel's tracer so one trace carries
+        #: both kernel and monitor events.
+        self.tracer: Tracer = NULL_TRACER
         #: Whether we are searching for an idle normal instant.
         self.recovery_mode: bool = False
         #: Earliest candidate idle instant, or None for the bottom value.
@@ -170,6 +175,15 @@ class Monitor:
         miss = report.misses_tolerance
         if miss:  # line 10
             self.miss_count += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventName.MONITOR_MISS,
+                    report.comp_time,
+                    task=report.task.task_id,
+                    job=report.job_index,
+                    response=report.response_time,
+                    queue_empty=report.queue_empty,
+                )
             self.handle_miss(report)  # line 11
         if self.recovery_mode and self.idle_cand is not None:  # line 12
             if miss:  # line 13
@@ -197,6 +211,12 @@ class Monitor:
         Overridable hook — extension policies (e.g. gradual restoration,
         :mod:`repro.core.policies`) replace the one-jump restore.
         """
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventName.MONITOR_EXIT,
+                report.comp_time,
+                idle_instant=self.idle_cand,
+            )
         self._change_speed(1.0, report.comp_time)  # line 22
         self.recovery_mode = False  # line 23
         self._close_episode(report.comp_time)
@@ -213,12 +233,21 @@ class Monitor:
     # ------------------------------------------------------------------
     def _change_speed(self, speed: float, now: float) -> None:
         self.speed_requests.append((now, speed))
+        if self.tracer.enabled:
+            self.tracer.emit(EventName.MONITOR_SPEED, now, speed=speed)
         self.controller.change_speed(speed, now)
 
     def _open_episode(self, report: CompletionReport) -> None:
         self.episodes.append(
             RecoveryEpisode(start=report.comp_time, end=None, trigger=report.jid)
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventName.RECOVERY_OPEN,
+                report.comp_time,
+                trigger_task=report.task.task_id,
+                trigger_job=report.job_index,
+            )
 
     def _close_episode(self, end: float) -> None:
         if self.episodes and self.episodes[-1].end is None:
@@ -226,6 +255,8 @@ class Monitor:
             self.episodes[-1] = RecoveryEpisode(
                 start=last.start, end=end, trigger=last.trigger
             )
+            if self.tracer.enabled:
+                self.tracer.emit(EventName.RECOVERY_CLOSE, end, start=last.start)
 
     @property
     def last_recovery_end(self) -> Optional[float]:

@@ -32,6 +32,7 @@ from repro.runtime.executor import SerialBackend, SweepExecutor
 from repro.runtime.spec import (
     KernelSpec,
     MonitorSpec,
+    ObsSpec,
     RunSpec,
     ScenarioSpec,
     TaskSetSpec,
@@ -170,6 +171,7 @@ def monitor_sweep(
     horizon: float = 30.0,
     config: Optional[KernelConfig] = None,
     executor: Optional[SweepExecutor] = None,
+    obs: Optional[ObsSpec] = None,
 ) -> Dict[Tuple[str, float], List[RunResult]]:
     """Run the scenario x value x task-set grid for one monitor *kind*.
 
@@ -177,9 +179,14 @@ def monitor_sweep(
     the whole grid through *executor* in a single batch (so a process
     pool sees every cell at once and the cache is consulted per cell).
     Returns ``{(scenario name, value): [RunResult per task set]}``.
+
+    *obs* (observation-only; never hashed) is attached to every cell —
+    with a ``trace_dir`` set, each simulated cell streams a JSONL event
+    trace named after its spec key.
     """
     ex = executor if executor is not None else SerialBackend()
     kernel = KernelSpec.from_config(config) if config is not None else KernelSpec()
+    obs_spec = obs if obs is not None else ObsSpec()
     ts_specs = [_as_taskset_spec(ts) for ts in tasksets]
     cells = [
         (sc.name, x)
@@ -194,6 +201,7 @@ def monitor_sweep(
             monitor=MonitorSpec(kind, x),
             kernel=kernel,
             horizon=horizon,
+            obs=obs_spec,
         )
         for sc in scenarios
         for x in values
@@ -213,6 +221,7 @@ def figure6(
     horizon: float = 30.0,
     config: Optional[KernelConfig] = None,
     executor: Optional[SweepExecutor] = None,
+    obs: Optional[ObsSpec] = None,
 ) -> FigureData:
     """Fig. 6: average dissipation time for SIMPLE vs. recovery speed s.
 
@@ -220,7 +229,7 @@ def figure6(
     """
     results = monitor_sweep(
         tasksets, "simple", s_values, scenarios=scenarios, horizon=horizon,
-        config=config, executor=executor,
+        config=config, executor=executor, obs=obs,
     )
     return _aggregate(
         "Fig. 6",
@@ -239,11 +248,12 @@ def adaptive_sweep(
     horizon: float = 30.0,
     config: Optional[KernelConfig] = None,
     executor: Optional[SweepExecutor] = None,
+    obs: Optional[ObsSpec] = None,
 ) -> Dict[Tuple[str, float], List[RunResult]]:
     """Run the ADAPTIVE sweep once; Figs. 7 and 8 both read from it."""
     return monitor_sweep(
         tasksets, "adaptive", a_values, scenarios=scenarios, horizon=horizon,
-        config=config, executor=executor,
+        config=config, executor=executor, obs=obs,
     )
 
 

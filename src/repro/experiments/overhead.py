@@ -7,7 +7,12 @@ finding: average +~40 %, worst case ~2x, both small in absolute terms.
 Our substitution (DESIGN.md, substitution 3): we time the simulator's
 scheduler invocation — the pick-next pass plus, for the virtual-time
 variant, the Algorithm 1 bookkeeping (conversions, PP actualization,
-timer re-arming) — with ``time.perf_counter_ns``.
+timer re-arming) — via the kernel's :mod:`repro.obs` timing spans
+(``with kernel.spans.span("pick_next")``, backed by
+``time.perf_counter_ns``).  The raw nanosecond samples are read back
+from the ``kernel.pick_next.ns`` / ``kernel.change_speed.ns``
+histograms of each kernel's metrics registry — the simulator analogue
+of Feather-Trace's in-kernel event buffers.
 
 For a fair comparison the two variants must schedule the *same* job
 population: a no-mechanism baseline left in overload accumulates backlog
@@ -93,6 +98,19 @@ class OverheadResult:
         return "\n".join(rows)
 
 
+#: Span histograms that make up the scheduler path (see repro.sim.kernel).
+_SCHED_SPANS = ("kernel.pick_next.ns", "kernel.change_speed.ns")
+
+
+def _span_samples(kernel: MC2Kernel) -> List[int]:
+    """Raw scheduler-path samples (ns) from *kernel*'s metrics registry."""
+    return [
+        int(v)
+        for name in _SCHED_SPANS
+        for v in kernel.metrics.histogram(name).samples
+    ]
+
+
 def _normal_run_samples(ts: TaskSet, use_virtual_time: bool, horizon: float) -> List[int]:
     kernel = MC2Kernel(
         ts,
@@ -100,7 +118,7 @@ def _normal_run_samples(ts: TaskSet, use_virtual_time: bool, horizon: float) -> 
         config=KernelConfig(use_virtual_time=use_virtual_time, measure_overhead=True),
     )
     kernel.run(horizon)
-    return kernel.sched_overheads
+    return _span_samples(kernel)
 
 
 def measure_overheads(
@@ -131,7 +149,7 @@ def measure_overheads(
             config=KernelConfig(use_virtual_time=True, measure_overhead=True),
             keep_artifacts=True,
         )
-        active.extend(out.kernel.sched_overheads)  # type: ignore[union-attr]
+        active.extend(_span_samples(out.kernel))  # type: ignore[union-attr]
     wv = np.asarray(with_vt, dtype=float) / 1e3  # ns -> us
     wo = np.asarray(without_vt, dtype=float) / 1e3
     ac = np.asarray(active, dtype=float) / 1e3

@@ -24,6 +24,8 @@ from repro.core.virtual_time import VirtualClock
 from repro.experiments.metrics import RunResult, dissipation_time
 from repro.model.task import CriticalityLevel
 from repro.model.taskset import TaskSet
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.runtime.spec import MonitorSpec
 from repro.sim.budgets import BudgetEnforcedBehavior
 from repro.sim.kernel import KernelConfig, MC2Kernel
@@ -54,6 +56,8 @@ def run_overload_experiment(
     config: Optional[KernelConfig] = None,
     keep_artifacts: bool = False,
     level_c_budgets: bool = True,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult | ExperimentOutput:
     """Run one overload-recovery experiment.
 
@@ -86,6 +90,12 @@ def run_overload_experiment(
         dissipation under twice the overload length).  Set ``False`` for
         the harsher no-budget variant in which level-C demand itself
         inflates 10x (ablation).
+    tracer:
+        Structured event stream (:mod:`repro.obs`); observation only —
+        the :class:`RunResult` is identical with or without it.
+    metrics:
+        Metrics registry shared with the kernel (counters + span
+        histograms); defaults to a fresh per-kernel registry.
     """
     for t in ts.level(CriticalityLevel.C):
         if t.tolerance is None:
@@ -98,7 +108,7 @@ def run_overload_experiment(
         behavior = BudgetEnforcedBehavior(
             behavior, enforce_a=False, enforce_b=False, enforce_c=True
         )
-    kernel = MC2Kernel(ts, behavior=behavior, config=cfg)
+    kernel = MC2Kernel(ts, behavior=behavior, config=cfg, tracer=tracer, metrics=metrics)
     monitor = spec.build(kernel)
     kernel.attach_monitor(monitor)
 

@@ -27,6 +27,7 @@ from typing import Any, Dict
 from repro.runtime.spec import (
     KernelSpec,
     MonitorSpec,
+    ObsSpec,
     RunSpec,
     ScenarioSpec,
     TaskSetSpec,
@@ -59,7 +60,23 @@ def _params_from_dict(doc: Dict[str, Any]) -> GeneratorParams:
 
 
 def runspec_to_dict(spec: RunSpec) -> Dict[str, Any]:
-    """*spec* as a JSON-ready dict (canonical field set, ``null`` defaults)."""
+    """*spec* as a JSON-ready dict (canonical field set, ``null`` defaults).
+
+    The ``obs`` component is result-neutral (observation only) and is
+    serialized *only when non-default*, keeping documents for untraced
+    specs byte-identical to the pre-obs format.
+    """
+    doc = _runspec_core_dict(spec)
+    if spec.obs != ObsSpec():
+        doc["obs"] = {
+            "trace_dir": spec.obs.trace_dir,
+            "trace_name": spec.obs.trace_name,
+        }
+    return doc
+
+
+def _runspec_core_dict(spec: RunSpec) -> Dict[str, Any]:
+    """The hashed (result-determining) portion of *spec* — never ``obs``."""
     return {
         "format": FORMAT,
         "version": VERSION,
@@ -104,6 +121,7 @@ def runspec_from_dict(doc: Dict[str, Any]) -> RunSpec:
     sc = doc["scenario"]
     mon = doc["monitor"]
     ker = doc.get("kernel", {})
+    obs = doc.get("obs", {}) or {}
     return RunSpec(
         taskset=TaskSetSpec(
             seed=ts.get("seed"),
@@ -131,13 +149,21 @@ def runspec_from_dict(doc: Dict[str, Any]) -> RunSpec:
         horizon=float(doc["horizon"]),
         confirm_window=float(doc.get("confirm_window", 0.5)),
         level_c_budgets=bool(doc.get("level_c_budgets", True)),
+        obs=ObsSpec(
+            trace_dir=obs.get("trace_dir"),
+            trace_name=obs.get("trace_name"),
+        ),
     )
 
 
 def runspec_canonical_json(spec: RunSpec) -> str:
-    """The canonical (hash-stable) JSON text for *spec*."""
+    """The canonical (hash-stable) JSON text for *spec*.
+
+    Hashes only the result-determining fields: ``obs`` never appears
+    here, so tracing a spec does not change its cache key.
+    """
     return json.dumps(
-        runspec_to_dict(spec),
+        _runspec_core_dict(spec),
         sort_keys=True,
         separators=(",", ":"),
         allow_nan=False,

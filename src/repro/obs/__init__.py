@@ -1,0 +1,71 @@
+"""Observability: structured tracing, metrics, spans, progress.
+
+``repro.obs`` is the simulator's counterpart of the tracing
+infrastructure the paper's evaluation leaned on (Feather-Trace /
+sched_trace on LITMUS^RT).  It is **zero-cost when disabled**: every
+producer keeps a :class:`~repro.obs.tracer.NullTracer` by default and
+guards each emission behind a single ``enabled`` flag check, so the
+simulation hot path pays nothing until a real tracer is attached.
+
+Pieces:
+
+* :mod:`repro.obs.tracer` — the structured event stream (our
+  ``sched_trace`` analog): job releases/completions, preemptions,
+  migrations, execution intervals, virtual-clock speed changes, and
+  monitor decisions, written as newline-delimited JSON.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms with percentile summaries and JSON export.
+* :mod:`repro.obs.spans` — a context-manager timing API
+  (``with spans.span("pick_next"): ...``) recording wall-clock
+  durations into the metrics registry; spans nest into dotted paths.
+* :mod:`repro.obs.chrome_trace` — convert a JSONL trace into Chrome
+  trace-event format so schedules open in Perfetto /
+  ``chrome://tracing``.
+* :mod:`repro.obs.progress` — throttled sweep progress reporting
+  (cells done/total, cache hit-rate, ETA).
+* :mod:`repro.obs.report` — per-cell sweep accounting
+  (:class:`~repro.obs.report.SweepReport`) exported by the runtime
+  executors.
+"""
+
+from repro.obs.chrome_trace import (
+    chrome_trace_events,
+    chrome_trace_from_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.progress import ProgressReporter
+from repro.obs.report import CellReport, SweepReport
+from repro.obs.spans import SpanTimer
+from repro.obs.tracer import (
+    NULL_TRACER,
+    EventName,
+    JsonlTracer,
+    NullTracer,
+    Tracer,
+    TraceSummary,
+    read_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "EventName",
+    "TraceSummary",
+    "read_trace",
+    "summarize_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanTimer",
+    "ProgressReporter",
+    "CellReport",
+    "SweepReport",
+    "chrome_trace_events",
+    "chrome_trace_from_jsonl",
+    "write_chrome_trace",
+]

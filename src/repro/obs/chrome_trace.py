@@ -1,0 +1,184 @@
+"""Convert a JSONL trace to Chrome trace-event format.
+
+The output opens directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: one timeline row per CPU showing execution
+intervals, instant markers for releases/completions and monitor
+decisions, a counter track for the virtual-clock speed, and async
+slices spanning recovery episodes.
+
+Mapping (Chrome trace-event ``ph`` phases):
+
+* ``exec_interval``  → complete events (``X``) on ``pid 0`` ("CPUs"),
+  one ``tid`` per CPU, named after the executing job;
+* ``job_release`` / ``job_complete`` / ``monitor_*`` → instant events
+  (``i``) on ``pid 1`` ("events"), one ``tid`` per task (releases /
+  completions) or the monitor row (decisions);
+* ``speed_change`` → counter events (``C``, "virtual speed");
+* ``recovery_open`` / ``recovery_close`` → async begin/end (``b``/``e``)
+  so each episode renders as one spanning slice.
+
+Simulation time is unitless; the converter maps one simulation time
+unit to one Chrome microsecond tick scaled by *time_scale* (default
+1e6, i.e. sim units display as seconds).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.obs.tracer import EventName, read_trace
+
+__all__ = ["chrome_trace_events", "chrome_trace_from_jsonl", "write_chrome_trace"]
+
+#: pid used for the per-CPU execution tracks.
+PID_CPUS = 0
+#: pid used for instant/marker tracks (per-task releases, monitor row).
+PID_EVENTS = 1
+#: tid of the monitor-decision row within PID_EVENTS.
+TID_MONITOR = 0
+
+
+def _job_name(record: Dict[str, Any]) -> str:
+    task = record.get("task", "?")
+    job = record.get("job", "?")
+    return f"task{task}#{job}"
+
+
+def chrome_trace_events(
+    records: Iterable[Dict[str, Any]], time_scale: float = 1e6
+) -> List[Dict[str, Any]]:
+    """Map trace records to a list of Chrome trace-event dicts."""
+    out: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": PID_CPUS, "name": "process_name",
+         "args": {"name": "CPUs"}},
+        {"ph": "M", "pid": PID_EVENTS, "name": "process_name",
+         "args": {"name": "events"}},
+        {"ph": "M", "pid": PID_EVENTS, "tid": TID_MONITOR, "name": "thread_name",
+         "args": {"name": "monitor"}},
+    ]
+    cpus_seen: set = set()
+    episode = 0
+    for record in records:
+        ev = record["ev"]
+        if ev == EventName.META:
+            continue
+        ts = float(record["t"]) * time_scale
+        if ev == EventName.EXEC_INTERVAL:
+            cpu = int(record["cpu"])
+            if cpu not in cpus_seen:
+                cpus_seen.add(cpu)
+                out.append(
+                    {"ph": "M", "pid": PID_CPUS, "tid": cpu, "name": "thread_name",
+                     "args": {"name": f"CPU {cpu}"}}
+                )
+            start = float(record["start"]) * time_scale
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": PID_CPUS,
+                    "tid": cpu,
+                    "ts": start,
+                    "dur": float(record["end"]) * time_scale - start,
+                    "name": _job_name(record),
+                    "cat": "exec",
+                    "args": {"task": record.get("task"), "job": record.get("job")},
+                }
+            )
+        elif ev in (EventName.JOB_RELEASE, EventName.JOB_COMPLETE):
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": PID_EVENTS,
+                    # One marker row per task; offset past the monitor row.
+                    "tid": int(record.get("task", 0)) + 1,
+                    "ts": ts,
+                    "s": "t",
+                    "name": f"{'release' if ev == EventName.JOB_RELEASE else 'complete'} "
+                            f"{_job_name(record)}",
+                    "cat": "job",
+                    "args": {k: v for k, v in record.items()
+                             if k not in ("seq", "t", "ev")},
+                }
+            )
+        elif ev == EventName.SPEED_CHANGE:
+            out.append(
+                {
+                    "ph": "C",
+                    "pid": PID_CPUS,
+                    "ts": ts,
+                    "name": "virtual speed",
+                    "args": {"speed": float(record["speed"])},
+                }
+            )
+        elif ev == EventName.RECOVERY_OPEN:
+            episode += 1
+            out.append(
+                {
+                    "ph": "b",
+                    "pid": PID_EVENTS,
+                    "tid": TID_MONITOR,
+                    "ts": ts,
+                    "id": episode,
+                    "name": "recovery",
+                    "cat": "recovery",
+                    "args": {k: v for k, v in record.items()
+                             if k not in ("seq", "t", "ev")},
+                }
+            )
+        elif ev == EventName.RECOVERY_CLOSE:
+            out.append(
+                {
+                    "ph": "e",
+                    "pid": PID_EVENTS,
+                    "tid": TID_MONITOR,
+                    "ts": ts,
+                    "id": episode,
+                    "name": "recovery",
+                    "cat": "recovery",
+                }
+            )
+        elif ev in (EventName.MONITOR_MISS, EventName.MONITOR_SPEED,
+                    EventName.MONITOR_EXIT):
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": PID_EVENTS,
+                    "tid": TID_MONITOR,
+                    "ts": ts,
+                    "s": "t",
+                    "name": ev,
+                    "cat": "monitor",
+                    "args": {k: v for k, v in record.items()
+                             if k not in ("seq", "t", "ev")},
+                }
+            )
+        # Unknown/auxiliary events (job_preempt, job_migrate, third-party
+        # kinds) are deliberately skipped: preemptions and migrations are
+        # already visible as interval boundaries on the CPU tracks.
+    return out
+
+
+def chrome_trace_from_jsonl(
+    path: Union[str, pathlib.Path], time_scale: float = 1e6
+) -> Dict[str, Any]:
+    """Read a JSONL trace and return the Chrome trace-event document."""
+    return {
+        "traceEvents": chrome_trace_events(read_trace(path), time_scale=time_scale),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": str(path), "format": "repro-trace"},
+    }
+
+
+def write_chrome_trace(
+    src: Union[str, pathlib.Path],
+    dst: Union[str, pathlib.Path],
+    time_scale: float = 1e6,
+) -> int:
+    """Convert *src* (JSONL) to *dst* (Chrome JSON); returns event count."""
+    doc = chrome_trace_from_jsonl(src, time_scale=time_scale)
+    with open(dst, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(doc["traceEvents"])

@@ -1,0 +1,182 @@
+"""A lightweight metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` per measured component (a kernel, an
+executor); instruments are created on first use and looked up by dotted
+name (``kernel.pick_next.ns``, ``executor.cell.ns``).  Everything is
+plain Python — no locks, no background threads — because the simulator
+is single-threaded per process; cross-process aggregation happens by
+value (workers return numbers, the parent records them).
+
+Histograms keep their raw samples (sweeps record at most a few hundred
+thousand values), so percentile summaries are exact rather than
+sketched.  :meth:`MetricsRegistry.to_dict` exports everything as a
+JSON-ready document for ``--metrics-out`` and the benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+#: Percentiles reported by default in histogram summaries.
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up; got inc({n})")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution of samples with exact percentile queries."""
+
+    __slots__ = ("_samples", "_sorted")
+
+    def __init__(self) -> None:
+        self._samples: List[Number] = []
+        self._sorted = True
+
+    def record(self, value: Number) -> None:
+        """Add one sample."""
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    def record_many(self, values: Sequence[Number]) -> None:
+        """Add a batch of samples."""
+        for v in values:
+            self.record(v)
+
+    @property
+    def samples(self) -> List[Number]:
+        """The raw samples, in recording order."""
+        return list(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._samples))
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._samples) if self._samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return float(min(self._samples)) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(max(self._samples)) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile via linear interpolation (p in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        xs = self._samples
+        if len(xs) == 1:
+            return float(xs[0])
+        rank = (p / 100.0) * (len(xs) - 1)
+        lo = int(rank)
+        frac = rank - lo
+        if lo + 1 >= len(xs):
+            return float(xs[-1])
+        return float(xs[lo]) + frac * (float(xs[lo + 1]) - float(xs[lo]))
+
+    def summary(self, percentiles: Sequence[float] = DEFAULT_PERCENTILES) -> Dict[str, Any]:
+        """JSON-ready summary: count/mean/min/max plus requested percentiles."""
+        doc: Dict[str, Any] = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+        for p in percentiles:
+            doc[f"p{p:g}"] = self.percentile(p)
+        return doc
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument lookup (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Every registered instrument name, sorted."""
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def to_dict(
+        self, percentiles: Sequence[float] = DEFAULT_PERCENTILES
+    ) -> Dict[str, Any]:
+        """All instruments as one JSON-ready document."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.summary(percentiles) for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

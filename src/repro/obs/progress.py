@@ -1,0 +1,92 @@
+"""Throttled progress reporting for long sweeps.
+
+A :class:`ProgressReporter` is fed one :meth:`cell_done` per finished
+sweep cell and periodically prints a one-line status — cells done/total,
+cache hit-rate, elapsed time, and an ETA extrapolated from the current
+rate — without ever flooding the output (at most one line per
+``min_interval_s`` seconds, plus a final line at :meth:`finish`).
+
+The reporter writes plain ``\\n``-terminated lines (no carriage-return
+tricks) so output stays readable when redirected to a log file or CI
+console.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Progress lines for an N-cell sweep.
+
+    Parameters
+    ----------
+    stream:
+        Where lines go (default ``sys.stderr``, keeping stdout clean for
+        results).
+    min_interval_s:
+        Minimum seconds between progress lines (the final line always
+        prints).
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self.total = 0
+        self.done = 0
+        self.cache_hits = 0
+        self._t0 = 0.0
+        self._last_emit = float("-inf")
+        self.lines_emitted = 0
+
+    def begin(self, total: int) -> None:
+        """Start (or restart) reporting for a sweep of *total* cells."""
+        self.total = total
+        self.done = 0
+        self.cache_hits = 0
+        self._t0 = self._clock()
+        self._last_emit = float("-inf")
+
+    def cell_done(self, cached: bool = False) -> None:
+        """Record one finished cell; maybe emit a progress line."""
+        self.done += 1
+        if cached:
+            self.cache_hits += 1
+        now = self._clock()
+        if self.done < self.total and now - self._last_emit < self.min_interval_s:
+            return
+        self._emit(now, final=self.done >= self.total)
+
+    def finish(self) -> None:
+        """Emit the final line if :meth:`cell_done` didn't already."""
+        if self.done < self.total:
+            self._emit(self._clock(), final=True)
+
+    # ------------------------------------------------------------------
+    def _emit(self, now: float, final: bool) -> None:
+        elapsed = max(now - self._t0, 0.0)
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        hit_rate = 100.0 * self.cache_hits / self.done if self.done else 0.0
+        line = (
+            f"[sweep] {self.done}/{self.total} cells ({pct:.0f}%)  "
+            f"cache {self.cache_hits} ({hit_rate:.0f}%)  elapsed {elapsed:.1f}s"
+        )
+        if not final and self.done:
+            rate = self.done / elapsed if elapsed > 0 else 0.0
+            if rate > 0:
+                line += f"  eta {(self.total - self.done) / rate:.1f}s"
+        self._stream.write(line + "\n")
+        self._last_emit = now
+        self.lines_emitted += 1

@@ -1,0 +1,120 @@
+"""Per-cell sweep accounting: what a sweep actually did, cell by cell.
+
+The runtime executors (:mod:`repro.runtime.executor`) build one
+:class:`CellReport` per submitted :class:`~repro.runtime.spec.RunSpec`
+— cache status, wall-clock time, simulated time, event count, and the
+dissipation-truncation flag — and expose them as a :class:`SweepReport`
+(``executor.report``).  The report is what ``--metrics-out`` archives
+and what the CLI's truncation warnings read.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.obs.metrics import Histogram
+
+__all__ = ["CellReport", "SweepReport"]
+
+REPORT_FORMAT = "repro-sweep-report"
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CellReport:
+    """One sweep cell, as executed."""
+
+    #: Position in the submitted spec list.
+    index: int
+    #: Content address of the spec (sha256 prefix; "" when unhashed).
+    key: str
+    #: Scenario name (provenance for humans reading the report).
+    scenario: str
+    #: Monitor label.
+    monitor: str
+    #: Served from the result cache (wall_ns then ~0).
+    cached: bool
+    #: Wall-clock nanoseconds spent simulating this cell.
+    wall_ns: int
+    #: Simulation time at which the run stopped.
+    sim_end: float
+    #: Simulator events processed.
+    events: int
+    #: Recovery episode still open at the horizon (dissipation is a
+    #: lower bound, not a measurement).
+    truncated: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "scenario": self.scenario,
+            "monitor": self.monitor,
+            "cached": self.cached,
+            "wall_ns": self.wall_ns,
+            "sim_end": self.sim_end,
+            "events": self.events,
+            "truncated": self.truncated,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Every cell of one executor ``run()`` call, plus aggregates."""
+
+    cells: List[CellReport] = field(default_factory=list)
+
+    @property
+    def cells_total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def cells_simulated(self) -> int:
+        return sum(1 for c in self.cells if not c.cached)
+
+    @property
+    def truncated_cells(self) -> List[CellReport]:
+        """Cells whose recovery was still open at the horizon."""
+        return [c for c in self.cells if c.truncated]
+
+    @property
+    def wall_ns_total(self) -> int:
+        return sum(c.wall_ns for c in self.cells)
+
+    @property
+    def events_total(self) -> int:
+        return sum(c.events for c in self.cells)
+
+    def wall_histogram(self) -> Histogram:
+        """Per-cell wall-clock distribution (simulated cells only)."""
+        h = Histogram()
+        for c in self.cells:
+            if not c.cached:
+                h.record(c.wall_ns)
+        return h
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready document (``--metrics-out`` payload)."""
+        return {
+            "format": REPORT_FORMAT,
+            "version": REPORT_VERSION,
+            "summary": {
+                "cells_total": self.cells_total,
+                "cells_simulated": self.cells_simulated,
+                "cache_hits": self.cache_hits,
+                "truncated_cells": len(self.truncated_cells),
+                "wall_ns_total": self.wall_ns_total,
+                "events_total": self.events_total,
+                "cell_wall_ns": self.wall_histogram().summary(),
+            },
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,68 @@
+"""Timing spans: ``with spans.span("pick_next"): ...``.
+
+A :class:`SpanTimer` measures wall-clock durations of code regions and
+records them into a :class:`~repro.obs.metrics.MetricsRegistry`
+histogram named ``<prefix>.<path>.ns``.  Spans nest: entering
+``span("inner")`` while ``span("outer")`` is open records under the
+dotted path ``outer.inner``, so a profile of nested phases reads like a
+call tree.
+
+This is the *one* timing mechanism observability-aware code uses — the
+kernel's scheduling pass, the ``change_speed`` system call, and the
+sweep executor's per-cell execution all record through it, and
+:mod:`repro.experiments.overhead` (Fig. 9) consumes the same
+histograms.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Iterator, List
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["SpanTimer"]
+
+
+class SpanTimer:
+    """Context-manager timing bound to one metrics registry.
+
+    Parameters
+    ----------
+    metrics:
+        Where durations land.
+    prefix:
+        Histogram name prefix (component name, e.g. ``"kernel"``).
+    """
+
+    def __init__(self, metrics: MetricsRegistry, prefix: str = "span") -> None:
+        self.metrics = metrics
+        self.prefix = prefix
+        self._stack: List[str] = []
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram a top-level span *name* records into."""
+        return self.metrics.histogram(f"{self.prefix}.{name}.ns")
+
+    @contextlib.contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into ``<prefix>.<path>.ns``.
+
+        ``path`` is *name* dotted under any currently-open spans, so
+        nested timings attribute to their enclosing phase.
+        """
+        self._stack.append(name)
+        path = ".".join(self._stack)
+        t0 = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter_ns() - t0
+            self._stack.pop()
+            self.metrics.histogram(f"{self.prefix}.{path}.ns").record(dt)

@@ -1,0 +1,281 @@
+"""Structured event tracing: the simulator's ``sched_trace``.
+
+A :class:`Tracer` receives structured events from the kernel and the
+monitor as the simulation runs.  Two implementations ship:
+
+* :class:`NullTracer` — the default.  ``enabled`` is ``False``, every
+  emission is a no-op, and producers are expected to guard event
+  construction behind ``tracer.enabled`` so a disabled tracer costs one
+  attribute load per potential event.
+* :class:`JsonlTracer` — streams events as newline-delimited JSON
+  records to a file (or any text stream).  The format is line-oriented
+  so traces can be tailed, grepped, and processed incrementally; see
+  :mod:`repro.obs.chrome_trace` for the Perfetto conversion.
+
+Record schema (one JSON object per line)::
+
+    {"seq": 12, "t": 14.5, "ev": "job_release", ...event fields...}
+
+``seq`` is a per-trace monotonic sequence number (ties in ``t`` keep
+their emission order), ``t`` is simulation time, ``ev`` the event name.
+The first record of every trace is a ``trace_meta`` header carrying the
+format name/version plus whatever provenance the producer supplies
+(spec key, scenario, monitor label, ...).
+
+Event catalog (``docs/observability.md`` documents every field):
+
+=================  ====================================================
+``trace_meta``     format/version header + provenance
+``job_release``    a job was released (kernel)
+``job_complete``   a job completed (kernel)
+``job_preempt``    a running, incomplete job lost its CPU (kernel)
+``job_migrate``    a job resumed on a different CPU (kernel)
+``exec_interval``  one maximal (job, CPU) execution interval (kernel)
+``speed_change``   the kernel applied a virtual-clock speed (kernel)
+``monitor_miss``   a tolerance miss was detected (monitor, Def. 1)
+``monitor_speed``  the monitor requested a speed (Algorithms 3/4)
+``monitor_exit``   idle-normal-instant recovery exit (Theorem 1)
+``recovery_open``  a recovery episode opened (monitor)
+``recovery_close`` a recovery episode closed (monitor)
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterator, List, Optional, Protocol, Tuple, Union
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "EventName",
+    "Tracer",
+    "NullTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "read_trace",
+    "TraceSummary",
+    "summarize_trace",
+]
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+class EventName:
+    """The event names producers emit (string constants, not an enum,
+    so third-party producers can add kinds without touching this file)."""
+
+    META = "trace_meta"
+    JOB_RELEASE = "job_release"
+    JOB_COMPLETE = "job_complete"
+    JOB_PREEMPT = "job_preempt"
+    JOB_MIGRATE = "job_migrate"
+    EXEC_INTERVAL = "exec_interval"
+    SPEED_CHANGE = "speed_change"
+    MONITOR_MISS = "monitor_miss"
+    MONITOR_SPEED = "monitor_speed"
+    MONITOR_EXIT = "monitor_exit"
+    RECOVERY_OPEN = "recovery_open"
+    RECOVERY_CLOSE = "recovery_close"
+
+
+class Tracer(Protocol):
+    """What the kernel/monitor need from a tracer.
+
+    ``enabled`` is the hot-path contract: producers check it *before*
+    assembling event fields, so a disabled tracer never materializes a
+    record.
+    """
+
+    enabled: bool
+
+    def emit(self, ev: str, t: float, **fields: Any) -> None:
+        """Record one event at simulation time *t*."""
+        ...
+
+
+class NullTracer:
+    """The no-op tracer: zero events, (near-)zero overhead."""
+
+    enabled: bool = False
+
+    def emit(self, ev: str, t: float, **fields: Any) -> None:  # pragma: no cover
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared default instance — stateless, so one is enough for everybody.
+NULL_TRACER = NullTracer()
+
+
+class JsonlTracer:
+    """Stream events as newline-delimited JSON.
+
+    Parameters
+    ----------
+    sink:
+        A path (opened/overwritten, closed by :meth:`close`) or an
+        already-open text stream (left open; caller owns it).
+    meta:
+        Extra fields for the ``trace_meta`` header record (provenance:
+        spec key, scenario, monitor label, ...).
+
+    Usable as a context manager; :attr:`counts` tallies events by name
+    as they are written so summaries don't require re-reading the file.
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        sink: Union[str, pathlib.Path, IO[str]],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if isinstance(sink, (str, pathlib.Path)):
+            self.path: Optional[pathlib.Path] = pathlib.Path(sink)
+            self._fh: IO[str] = self.path.open("w", encoding="utf-8")
+            self._owns_fh = True
+        else:
+            self.path = None
+            self._fh = sink
+            self._owns_fh = False
+        self._seq = 0
+        #: Events written so far, by event name (header included).
+        self.counts: Dict[str, int] = {}
+        self.emit(
+            EventName.META,
+            0.0,
+            format=TRACE_FORMAT,
+            version=TRACE_VERSION,
+            **(meta or {}),
+        )
+
+    def emit(self, ev: str, t: float, **fields: Any) -> None:
+        record: Dict[str, Any] = {"seq": self._seq, "t": t, "ev": ev}
+        record.update(fields)
+        self._seq += 1
+        self.counts[ev] = self.counts.get(ev, 0) + 1
+        self._fh.write(json.dumps(record, sort_keys=True, allow_nan=False))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        """Flush and (if this tracer opened the file) close the sink."""
+        if self._owns_fh:
+            if not self._fh.closed:
+                self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_trace(path: Union[str, pathlib.Path]) -> Iterator[Dict[str, Any]]:
+    """Iterate the records of a JSONL trace file.
+
+    Validates the ``trace_meta`` header (first record) and raises
+    :class:`ValueError` on format mismatch or malformed lines.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if lineno == 1:
+                if record.get("ev") != EventName.META:
+                    raise ValueError(f"{path}: missing trace_meta header record")
+                if record.get("format") != TRACE_FORMAT:
+                    raise ValueError(
+                        f"{path}: not a {TRACE_FORMAT} trace "
+                        f"(format={record.get('format')!r})"
+                    )
+                if record.get("version") != TRACE_VERSION:
+                    raise ValueError(
+                        f"{path}: unsupported trace version {record.get('version')!r}"
+                    )
+            yield record
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one trace (what ``repro-mc2 trace summarize`` prints)."""
+
+    #: Events by name, header included.
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: Total records (= sum of counts).
+    events: int = 0
+    #: Simulation-time range covered by non-header events.
+    t_min: float = 0.0
+    t_max: float = 0.0
+    #: Distinct task ids seen on job events.
+    tasks: int = 0
+    #: (t, speed) of every ``speed_change`` event, in order.
+    speed_changes: List[Tuple[float, float]] = field(default_factory=list)
+    #: Provenance fields from the header (minus format/version plumbing).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"trace: {self.events} events over t=[{self.t_min:g}, {self.t_max:g}]"]
+        for key, value in sorted(self.meta.items()):
+            lines.append(f"  {key}: {value}")
+        lines.append(f"  distinct tasks: {self.tasks}")
+        for name in sorted(self.counts):
+            lines.append(f"  {name:<16}{self.counts[name]:>8d}")
+        if self.speed_changes:
+            changes = ", ".join(f"{s:g}@{t:g}" for t, s in self.speed_changes)
+            lines.append(f"  speed changes: {changes}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events": self.events,
+            "counts": dict(sorted(self.counts.items())),
+            "t_min": self.t_min,
+            "t_max": self.t_max,
+            "tasks": self.tasks,
+            "speed_changes": [[t, s] for t, s in self.speed_changes],
+            "meta": self.meta,
+        }
+
+
+def summarize_trace(path: Union[str, pathlib.Path]) -> TraceSummary:
+    """Summarize a JSONL trace file (event counts, time range, speeds)."""
+    summary = TraceSummary()
+    tasks = set()
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+    for record in read_trace(path):
+        ev = record["ev"]
+        summary.counts[ev] = summary.counts.get(ev, 0) + 1
+        summary.events += 1
+        if ev == EventName.META:
+            summary.meta = {
+                k: v
+                for k, v in record.items()
+                if k not in ("seq", "t", "ev", "format", "version")
+            }
+            continue
+        t = float(record["t"])
+        t_min = t if t_min is None else min(t_min, t)
+        t_max = t if t_max is None else max(t_max, t)
+        if "task" in record:
+            tasks.add(record["task"])
+        if ev == EventName.SPEED_CHANGE:
+            summary.speed_changes.append((t, float(record["speed"])))
+    summary.tasks = len(tasks)
+    summary.t_min = t_min if t_min is not None else 0.0
+    summary.t_max = t_max if t_max is not None else 0.0
+    return summary

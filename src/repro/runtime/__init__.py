@@ -37,6 +37,7 @@ from repro.runtime.registry import (
 from repro.runtime.spec import (
     KernelSpec,
     MonitorSpec,
+    ObsSpec,
     RunSpec,
     ScenarioSpec,
     TaskSetSpec,
@@ -51,6 +52,7 @@ __all__ = [
     "ScenarioSpec",
     "MonitorSpec",
     "KernelSpec",
+    "ObsSpec",
     "RunSpec",
     "ResultCache",
     "SweepExecutor",

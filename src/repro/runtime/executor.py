@@ -29,10 +29,14 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.metrics import RunResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressReporter
+from repro.obs.report import CellReport, SweepReport
 from repro.runtime.cache import ResultCache
 from repro.runtime.spec import RunSpec
 
@@ -54,20 +58,56 @@ def run_spec(spec: RunSpec) -> RunResult:
     *import* time of a module the worker also imports — with the default
     ``fork`` start method on Linux, anything registered in the parent is
     simply inherited.
+
+    When ``spec.obs`` requests tracing, a
+    :class:`~repro.obs.tracer.JsonlTracer` streams the run's events to
+    ``<trace_dir>/run-<key prefix>.jsonl``.  Tracing is observation
+    only: the returned :class:`RunResult` is identical either way.
     """
     from repro.experiments.runner import run_overload_experiment
 
-    result = run_overload_experiment(
-        spec.taskset.materialize(),
-        spec.scenario.build(),
-        spec.monitor,
-        horizon=spec.horizon,
-        confirm_window=spec.confirm_window,
-        config=spec.kernel.to_config(),
-        level_c_budgets=spec.level_c_budgets,
-    )
+    tracer = None
+    if spec.obs.tracing:
+        from repro.obs.tracer import JsonlTracer
+
+        os.makedirs(spec.obs.trace_dir, exist_ok=True)
+        name = spec.obs.trace_name or f"run-{spec.key()[:12]}.jsonl"
+        tracer = JsonlTracer(
+            os.path.join(spec.obs.trace_dir, name),
+            meta={
+                "spec_key": spec.key(),
+                "scenario": spec.scenario.name,
+                "monitor": spec.monitor.label,
+            },
+        )
+    try:
+        result = run_overload_experiment(
+            spec.taskset.materialize(),
+            spec.scenario.build(),
+            spec.monitor,
+            horizon=spec.horizon,
+            confirm_window=spec.confirm_window,
+            config=spec.kernel.to_config(),
+            level_c_budgets=spec.level_c_budgets,
+            tracer=tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     assert isinstance(result, RunResult)
     return result
+
+
+def _timed_run_spec(spec: RunSpec) -> Tuple[RunResult, int]:
+    """:func:`run_spec` plus its wall-clock cost in nanoseconds.
+
+    Module-level for the same pickling reason as :func:`run_spec` —
+    this is what the process pool actually maps over, so per-cell
+    timing happens on the worker side and rides home with the result.
+    """
+    t0 = time.perf_counter_ns()
+    result = run_spec(spec)
+    return result, time.perf_counter_ns() - t0
 
 
 @dataclass(frozen=True)
@@ -89,19 +129,51 @@ class SweepExecutor:
     order); the base class handles cache consultation, write-back and
     accounting.  ``stats`` describes the most recent :meth:`run`;
     ``total`` accumulates across the executor's lifetime.
+
+    Observability (:mod:`repro.obs`) is layered on top: every
+    :meth:`run` rebuilds ``report`` (a per-cell
+    :class:`~repro.obs.report.SweepReport` — cache status, wall time,
+    truncation), per-cell wall times feed the ``executor.cell.ns``
+    histogram of ``metrics``, and an optional
+    :class:`~repro.obs.progress.ProgressReporter` gets a tick as each
+    cell lands.
     """
 
-    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[ProgressReporter] = None,
+    ) -> None:
         self.cache = cache
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.progress = progress
         self.stats = SweepStats()
         self.total = SweepStats()
+        self.report = SweepReport()
 
     def _execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         raise NotImplementedError
 
+    def _execute_timed(self, specs: Sequence[RunSpec]) -> List[Tuple[RunResult, int]]:
+        """Simulate *specs*, reporting (result, wall_ns) per cell.
+
+        Built-in backends override this; a third-party subclass that
+        only implements :meth:`_execute` still works — its cells are
+        simply reported with an unknown (zero) wall time.
+        """
+        return [(r, 0) for r in self._execute(specs)]
+
+    def _cell_finished(self, wall_ns: int) -> None:
+        """Backend hook: one cell just finished simulating."""
+        self.metrics.histogram("executor.cell.ns").record(wall_ns)
+        if self.progress is not None:
+            self.progress.cell_done(cached=False)
+
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Results for *specs*, in the same order."""
         specs = list(specs)
+        keys: List[str] = []
         results: List[Optional[RunResult]] = [None] * len(specs)
         miss_idx: List[int] = []
         if self.cache is not None:
@@ -115,14 +187,43 @@ class SweepExecutor:
         else:
             miss_idx = list(range(len(specs)))
 
+        if self.progress is not None:
+            self.progress.begin(len(specs))
+            for _ in range(len(specs) - len(miss_idx)):
+                self.progress.cell_done(cached=True)
+
+        wall: Dict[int, int] = {}
         if miss_idx:
-            fresh = self._execute([specs[i] for i in miss_idx])
-            for i, result in zip(miss_idx, fresh):
+            timed = self._execute_timed([specs[i] for i in miss_idx])
+            for i, (result, wall_ns) in zip(miss_idx, timed):
                 results[i] = result
+                wall[i] = wall_ns
                 if self.cache is not None:
                     from repro.io.runspec_json import runspec_to_dict
 
                     self.cache.put(keys[i], runspec_to_dict(specs[i]), result)
+
+        if self.progress is not None:
+            self.progress.finish()
+
+        self.report = SweepReport(
+            cells=[
+                CellReport(
+                    index=i,
+                    key=(keys[i][:12] if keys else ""),
+                    scenario=spec.scenario.name,
+                    monitor=spec.monitor.label,
+                    cached=i not in wall,
+                    wall_ns=wall.get(i, 0),
+                    sim_end=result.sim_end,
+                    events=result.events,
+                    truncated=result.truncated,
+                )
+                for i, (spec, result) in enumerate(zip(specs, results))
+            ]
+        )
+        self.metrics.counter("executor.cells").inc(len(specs))
+        self.metrics.counter("executor.cache_hits").inc(len(specs) - len(miss_idx))
 
         self.stats = SweepStats(
             cells_total=len(specs),
@@ -141,7 +242,15 @@ class SerialBackend(SweepExecutor):
     """Simulate cells one after another in the calling process."""
 
     def _execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        return [run_spec(s) for s in specs]
+        return [r for r, _ in self._execute_timed(specs)]
+
+    def _execute_timed(self, specs: Sequence[RunSpec]) -> List[Tuple[RunResult, int]]:
+        out: List[Tuple[RunResult, int]] = []
+        for s in specs:
+            timed = _timed_run_spec(s)
+            self._cell_finished(timed[1])
+            out.append(timed)
+        return out
 
 
 class ProcessPoolBackend(SweepExecutor):
@@ -165,8 +274,10 @@ class ProcessPoolBackend(SweepExecutor):
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         chunksize: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[ProgressReporter] = None,
     ) -> None:
-        super().__init__(cache=cache)
+        super().__init__(cache=cache, metrics=metrics, progress=progress)
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -175,24 +286,40 @@ class ProcessPoolBackend(SweepExecutor):
         self.chunksize = chunksize
 
     def _execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        return [r for r, _ in self._execute_timed(specs)]
+
+    def _execute_timed(self, specs: Sequence[RunSpec]) -> List[Tuple[RunResult, int]]:
         if len(specs) <= 1 or self.jobs == 1:
             # Not worth a pool; also keeps single-cell CLI runs fork-free.
-            return [run_spec(s) for s in specs]
+            out: List[Tuple[RunResult, int]] = []
+            for s in specs:
+                timed = _timed_run_spec(s)
+                self._cell_finished(timed[1])
+                out.append(timed)
+            return out
         chunk = self.chunksize
         if chunk is None:
             chunk = max(1, -(-len(specs) // (4 * self.jobs)))
         workers = min(self.jobs, len(specs))
+        out = []
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_spec, specs, chunksize=chunk))
+            # pool.map yields in submission order as results land, so
+            # progress ticks stream in while later chunks still run.
+            for timed in pool.map(_timed_run_spec, specs, chunksize=chunk):
+                self._cell_finished(timed[1])
+                out.append(timed)
+        return out
 
 
 def make_executor(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     max_entries: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> SweepExecutor:
     """CLI-flag-shaped factory: ``--jobs N`` / ``--cache-dir PATH``."""
     cache = ResultCache(cache_dir, max_entries=max_entries) if cache_dir else None
     if jobs <= 1:
-        return SerialBackend(cache=cache)
-    return ProcessPoolBackend(jobs=jobs, cache=cache)
+        return SerialBackend(cache=cache, metrics=metrics, progress=progress)
+    return ProcessPoolBackend(jobs=jobs, cache=cache, metrics=metrics, progress=progress)

@@ -41,6 +41,7 @@ __all__ = [
     "ScenarioSpec",
     "MonitorSpec",
     "KernelSpec",
+    "ObsSpec",
     "RunSpec",
 ]
 
@@ -214,6 +215,38 @@ class KernelSpec:
 
 
 @dataclass(frozen=True)
+class ObsSpec:
+    """Observability configuration for a run (:mod:`repro.obs`).
+
+    Observability is **result-neutral by construction** — tracers and
+    metrics only observe, they never alter scheduling decisions — so
+    this spec is deliberately *excluded* from the canonical JSON and
+    hence from the result-cache key: tracing a sweep does not
+    invalidate its cached cells, and two specs differing only in
+    ``obs`` are the same experiment.  (Note the corollary: a cell
+    served from the cache was not re-simulated, so it produces no
+    trace file.)
+
+    Attributes
+    ----------
+    trace_dir:
+        Write one JSONL event trace per simulated cell into this
+        directory (created on demand); ``None`` disables tracing.
+    trace_name:
+        File-name override for single-run use; the default is
+        ``run-<spec key prefix>.jsonl``.
+    """
+
+    trace_dir: Optional[str] = None
+    trace_name: Optional[str] = None
+
+    @property
+    def tracing(self) -> bool:
+        """Whether a trace file should be produced."""
+        return self.trace_dir is not None
+
+
+@dataclass(frozen=True)
 class RunSpec:
     """One sweep cell: everything that determines one ``RunResult``.
 
@@ -221,7 +254,9 @@ class RunSpec:
     it is :meth:`key` (sha256 of the canonical JSON, the result cache's
     address).  Simulation is deterministic given a spec — the only
     randomness is the task-set generator, whose seed the spec pins — so
-    equal keys mean bit-for-bit equal results.
+    equal keys mean bit-for-bit equal results.  The ``obs`` component
+    is observation-only and excluded from the hash (see
+    :class:`ObsSpec`).
     """
 
     taskset: TaskSetSpec
@@ -231,6 +266,7 @@ class RunSpec:
     horizon: float = 30.0
     confirm_window: float = 0.5
     level_c_budgets: bool = True
+    obs: ObsSpec = field(default_factory=ObsSpec)
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:

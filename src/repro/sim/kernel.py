@@ -30,7 +30,6 @@ comparison (monitors that change speed are rejected in that mode).
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -41,6 +40,9 @@ from repro.model.behavior import ConstantBehavior, ExecutionBehavior
 from repro.model.job import Job
 from repro.model.task import CriticalityLevel, Task
 from repro.model.taskset import TaskSet
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTimer
+from repro.obs.tracer import NULL_TRACER, EventName, Tracer
 from repro.schedulers.best_effort import pick_best_effort
 from repro.schedulers.gel_global import select_gel_jobs
 from repro.schedulers.pedf import pick_edf
@@ -75,7 +77,9 @@ class KernelConfig:
         userspace monitor; 0 models an instantaneous monitor.
     measure_overhead:
         Record wall-clock duration of every scheduler invocation
-        (Fig. 9); adds two ``perf_counter`` calls per event.
+        (Fig. 9) into the kernel's metrics registry via timing spans
+        (``kernel.pick_next.ns`` / ``kernel.change_speed.ns``); adds a
+        span per event.
     release_delay:
         Optional sporadic-jitter hook ``(task, job_index) -> extra
         separation`` applied to levels B/C/D (level A stays strictly
@@ -119,6 +123,8 @@ class MC2Kernel:
         taskset: TaskSet,
         behavior: Optional[ExecutionBehavior] = None,
         config: Optional[KernelConfig] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.taskset = taskset
         self.behavior: ExecutionBehavior = behavior if behavior is not None else ConstantBehavior()
@@ -126,6 +132,19 @@ class MC2Kernel:
         self.engine = Engine()
         self.trace = Trace(record_intervals=self.config.record_intervals)
         self.processors = [Processor(p) for p in range(taskset.m)]
+        #: Structured event stream (repro.obs); NULL_TRACER costs one
+        #: bool check per potential event.
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_on = self.tracer.enabled
+        #: Kernel metrics (counters + span histograms).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = SpanTimer(self.metrics, prefix="kernel")
+        # Hot-path fast binds: with measurement/tracing off, skip the
+        # wrapper layer so the per-event cost matches the pre-obs kernel.
+        if not self.config.measure_overhead:
+            self._reschedule = self._pick_next  # type: ignore[method-assign]
+        if not self._trace_on:
+            self._record_interval = self.trace.record_interval  # type: ignore[method-assign]
         self.monitor: Monitor = NullMonitor(self)
 
         # Virtual clock (Algorithm 1 initialize()).
@@ -148,8 +167,6 @@ class MC2Kernel:
         #: Level-C jobs completed at the current instant whose monitor
         #: reports are pending end-of-instant delivery (see _flush_reports).
         self._report_buffer: List[Job] = []
-        #: Scheduler-invocation wall-clock durations in ns (Fig. 9).
-        self.sched_overheads: List[int] = []
         #: Times a running job was descheduled while incomplete.
         self.preemptions: int = 0
         #: Times a job resumed on a different CPU than it last ran on.
@@ -170,6 +187,9 @@ class MC2Kernel:
                 "baseline only supports NullMonitor"
             )
         self.monitor = monitor
+        # The monitor shares the kernel's event stream (one trace file
+        # carries both kernel- and monitor-side events).
+        monitor.tracer = self.tracer
 
     def _arm_initial_releases(self) -> None:
         for t in self.taskset:
@@ -237,7 +257,7 @@ class MC2Kernel:
             if job is not None and job.remaining <= _COMPLETION_EPS:
                 job.remaining = 0.0
                 cpu = proc.cpu_id
-                self.trace.record_interval(cpu, job, self._run_start[cpu], now)
+                self._record_interval(cpu, job, self._run_start[cpu], now)
                 proc.assign(None, now)
                 job.running_on = None
                 job.last_cpu = cpu
@@ -266,12 +286,15 @@ class MC2Kernel:
         for proc in self.processors:
             proc.advance(now)
             if proc.current is not None:
-                self.trace.record_interval(
+                self._record_interval(
                     proc.cpu_id, proc.current, self._run_start[proc.cpu_id], now
                 )
         for pool in (*self.jobs_a, *self.jobs_b, self.jobs_c, self.jobs_d):
             for job in pool:
                 self.trace.record_job(job)
+        self.metrics.counter("kernel.events").inc(self.engine.events_processed)
+        self.metrics.counter("kernel.preemptions").inc(self.preemptions)
+        self.metrics.counter("kernel.migrations").inc(self.migrations)
 
     # ------------------------------------------------------------------
     # Releases
@@ -301,6 +324,8 @@ class MC2Kernel:
         job.virtual_pp = v_r + task.relative_pp
         job.actual_pp = None
         self.jobs_c.append(job)
+        if self._trace_on:
+            self._trace_release(job, now)
         self._notify_release(job, now)
         self._maybe_complete_zero(job, now)
         # schedule_pending_release() for the successor.
@@ -326,11 +351,26 @@ class MC2Kernel:
             self.jobs_b[task.cpu].append(job)  # type: ignore[index]
         else:
             self.jobs_d.append(job)
+        if self._trace_on:
+            self._trace_release(job, now)
         self._maybe_complete_zero(job, now)
         nxt = ctrl.next_release_actual(self.clock, now)
         gen = self._release_gen[task.task_id]
         self.engine.push(
             Event(time=nxt, kind=EventKind.RELEASE, payload=task.task_id, generation=gen)
+        )
+
+    def _trace_release(self, job: Job, now: float) -> None:
+        """Emit the job_release trace event (callers gate on _trace_on)."""
+        self.tracer.emit(
+            EventName.JOB_RELEASE,
+            now,
+            task=job.task.task_id,
+            job=job.index,
+            level=job.task.level.name,
+            exec_time=job.exec_time,
+            virtual_release=job.virtual_release,
+            virtual_pp=job.virtual_pp,
         )
 
     def _maybe_complete_zero(self, job: Job, now: float) -> None:
@@ -354,7 +394,7 @@ class MC2Kernel:
         if job.remaining > _COMPLETION_EPS:
             job.generation += 1
             cpu = job.running_on
-            self.trace.record_interval(cpu, job, self._run_start[cpu], now)
+            self._record_interval(cpu, job, self._run_start[cpu], now)
             job.running_on = None
             job.last_cpu = cpu
             self.processors[cpu].assign(None, now)
@@ -375,6 +415,17 @@ class MC2Kernel:
             # event has been applied (see _handle / _flush_reports).
             self._report_buffer.append(job)
         self.trace.record_job(job)
+        if self._trace_on:
+            self.tracer.emit(
+                EventName.JOB_COMPLETE,
+                now,
+                task=job.task.task_id,
+                job=job.index,
+                level=level.name,
+                release=job.release,
+                response=now - job.release,
+                actual_pp=job.actual_pp,
+            )
 
     def _flush_reports(self, now: float) -> None:
         """Deliver buffered completion reports with final instant state.
@@ -448,14 +499,22 @@ class MC2Kernel:
         """Install a new virtual-clock speed; called by the monitor."""
         if not self.config.use_virtual_time:
             raise RuntimeError("change_speed requires use_virtual_time=True")
+        if self.config.measure_overhead:
+            with self.spans.span("change_speed"):
+                self._change_speed(new_speed, now)
+        else:
+            self._change_speed(new_speed, now)
+
+    def _change_speed(self, new_speed: float, now: float) -> None:
         assert isinstance(self.clock, VirtualClock)
-        t0 = _time.perf_counter_ns() if self.config.measure_overhead else 0
         virt = self.clock.act_to_virt(now)  # lines 14-15
         for job in self.jobs_c:  # lines 16-17
             if job.actual_pp is None and job.virtual_pp is not None and job.virtual_pp < virt:
                 job.actual_pp = self.clock.virt_to_act(job.virtual_pp)
         self.clock.change_speed(new_speed, now)  # lines 18-20
         self.trace.record_speed_change(now, new_speed)
+        if self._trace_on:
+            self.tracer.emit(EventName.SPEED_CHANGE, now, speed=new_speed)
         # Lines 21-22: re-arm every pending level-C release timer.
         for t in self.taskset.level(CriticalityLevel.C):
             self._release_gen[t.task_id] += 1
@@ -465,14 +524,18 @@ class MC2Kernel:
             self.engine.push(
                 Event(time=nxt, kind=EventKind.RELEASE, payload=t.task_id, generation=gen)
             )
-        if self.config.measure_overhead:
-            self.sched_overheads.append(_time.perf_counter_ns() - t0)
 
     # ------------------------------------------------------------------
     # Dispatching (MC² architecture, Fig. 1)
     # ------------------------------------------------------------------
     def _reschedule(self, now: float) -> None:
-        t0 = _time.perf_counter_ns() if self.config.measure_overhead else 0
+        if self.config.measure_overhead:
+            with self.spans.span("pick_next"):
+                self._pick_next(now)
+        else:
+            self._pick_next(now)
+
+    def _pick_next(self, now: float) -> None:
         m = self.taskset.m
         assignment: List[Optional[Job]] = [None] * m
         # Level A claims its CPU first (highest priority, table order).
@@ -508,8 +571,6 @@ class MC2Kernel:
                     assignment[p] = nxt
                     pool.remove(nxt)  # type: ignore[arg-type]
         self._apply_assignment(assignment, now)
-        if self.config.measure_overhead:
-            self.sched_overheads.append(_time.perf_counter_ns() - t0)
 
     @staticmethod
     def _eligible(jobs: Sequence[Job]) -> List[Job]:
@@ -529,13 +590,18 @@ class MC2Kernel:
             if old is new:
                 continue
             if old is not None:
-                self.trace.record_interval(p, old, self._run_start[p], now)
+                self._record_interval(p, old, self._run_start[p], now)
                 old.generation += 1
                 old.running_on = None
                 old.last_cpu = p
                 proc.assign(None, now)
                 if old.remaining > _COMPLETION_EPS:
                     self.preemptions += 1
+                    if self._trace_on:
+                        self.tracer.emit(
+                            EventName.JOB_PREEMPT, now,
+                            task=old.task.task_id, job=old.index, cpu=p,
+                        )
         # Pass 2: start newly placed jobs and schedule their completions.
         for p, proc in enumerate(self.processors):
             new = assignment[p]
@@ -544,11 +610,17 @@ class MC2Kernel:
             if new.running_on is not None:
                 # Migrating without a pause: close the old interval.
                 old_cpu = new.running_on
-                self.trace.record_interval(old_cpu, new, self._run_start[old_cpu], now)
+                self._record_interval(old_cpu, new, self._run_start[old_cpu], now)
                 self.processors[old_cpu].assign(None, now)
                 new.generation += 1
             if new.last_cpu is not None and new.last_cpu != p:
                 self.migrations += 1
+                if self._trace_on:
+                    self.tracer.emit(
+                        EventName.JOB_MIGRATE, now,
+                        task=new.task.task_id, job=new.index,
+                        from_cpu=new.last_cpu, to_cpu=p,
+                    )
             proc.assign(new, now)
             new.running_on = p
             new.last_cpu = p
@@ -562,6 +634,26 @@ class MC2Kernel:
                 )
             )
 
+    def _record_interval(self, cpu: int, job: Job, start: float, end: float) -> None:
+        """Close one execution interval: in-memory trace + event stream.
+
+        The tracer sees intervals whenever tracing is on, independently
+        of ``record_intervals`` (which gates only the in-memory copy);
+        both apply the same empty-interval filter, so with both enabled
+        the counts match exactly.
+        """
+        self.trace.record_interval(cpu, job, start, end)
+        if self._trace_on and end > start:
+            self.tracer.emit(
+                EventName.EXEC_INTERVAL,
+                end,
+                cpu=cpu,
+                task=job.task.task_id,
+                job=job.index,
+                start=start,
+                end=end,
+            )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -569,6 +661,20 @@ class MC2Kernel:
     def now(self) -> float:
         """Current simulation time."""
         return self.engine.now
+
+    @property
+    def sched_overheads(self) -> List[int]:
+        """Scheduler-invocation wall-clock samples in ns (Fig. 9).
+
+        Backed by the metrics registry's span histograms
+        (``kernel.pick_next.ns`` + ``kernel.change_speed.ns``); populated
+        only when ``config.measure_overhead`` is set.
+        """
+        return [
+            int(v)
+            for name in ("kernel.pick_next.ns", "kernel.change_speed.ns")
+            for v in self.metrics.histogram(name).samples
+        ]
 
     def pending_level_c(self) -> List[Job]:
         """Incomplete released level-C jobs (the kernel's pending set)."""
@@ -582,12 +688,13 @@ def simulate(
     monitor_factory: Optional[Callable[[MC2Kernel], Monitor]] = None,
     config: Optional[KernelConfig] = None,
     stop: Optional[Callable[[MC2Kernel, Monitor], bool]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[Trace, MC2Kernel, Monitor]:
     """Convenience wrapper: build a kernel, attach a monitor, run.
 
     Parameters
     ----------
-    taskset, until, behavior, config:
+    taskset, until, behavior, config, tracer:
         Passed through to :class:`MC2Kernel`.
     monitor_factory:
         ``kernel -> Monitor``; defaults to a :class:`NullMonitor`.
@@ -598,7 +705,7 @@ def simulate(
     -------
     (trace, kernel, monitor)
     """
-    kernel = MC2Kernel(taskset, behavior=behavior, config=config)
+    kernel = MC2Kernel(taskset, behavior=behavior, config=config, tracer=tracer)
     monitor = monitor_factory(kernel) if monitor_factory else NullMonitor(kernel)
     kernel.attach_monitor(monitor)
     pred = (lambda: stop(kernel, monitor)) if stop else None

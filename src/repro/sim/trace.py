@@ -9,7 +9,7 @@ invariant property tests, and ASCII schedule rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.model.job import Job
 from repro.model.task import CriticalityLevel, Task
@@ -74,6 +74,13 @@ class Trace:
         self.intervals: List[ExecutionInterval] = []
         #: (time, speed) — every virtual-clock speed change the kernel applied.
         self.speed_changes: List[Tuple[float, float]] = []
+        # Lookup indexes over self.jobs (which stays in recording order):
+        # (task_id, index) -> position, and task_id -> positions.  Built
+        # lazily on first query so record_job stays a pure append (it is
+        # on the kernel's per-completion path).
+        self._by_job: Dict[Tuple[int, int], int] = {}
+        self._by_task: Dict[int, List[int]] = {}
+        self._indexed = 0
 
     # ------------------------------------------------------------------
     # Recording API (called by the kernel)
@@ -93,6 +100,14 @@ class Trace:
                 virtual_pp=job.virtual_pp,
             )
         )
+
+    def _reindex(self) -> None:
+        """Index any records appended since the last query."""
+        for pos in range(self._indexed, len(self.jobs)):
+            rec = self.jobs[pos]
+            self._by_job[(rec.task_id, rec.index)] = pos
+            self._by_task.setdefault(rec.task_id, []).append(pos)
+        self._indexed = len(self.jobs)
 
     def record_interval(
         self, cpu: int, job: Job, start: float, end: float
@@ -119,16 +134,21 @@ class Trace:
     # ------------------------------------------------------------------
     def jobs_of(self, task_id: int) -> List[JobRecord]:
         """All records of one task, ordered by job index."""
+        if self._indexed < len(self.jobs):
+            self._reindex()
         return sorted(
-            (j for j in self.jobs if j.task_id == task_id), key=lambda j: j.index
+            (self.jobs[i] for i in self._by_task.get(task_id, ())),
+            key=lambda j: j.index,
         )
 
     def job(self, task_id: int, index: int) -> JobRecord:
         """The record of one specific job (raises ``KeyError`` if absent)."""
-        for j in self.jobs:
-            if j.task_id == task_id and j.index == index:
-                return j
-        raise KeyError(f"no record for job ({task_id}, {index})")
+        if self._indexed < len(self.jobs):
+            self._reindex()
+        try:
+            return self.jobs[self._by_job[(task_id, index)]]
+        except KeyError:
+            raise KeyError(f"no record for job ({task_id}, {index})") from None
 
     def level_jobs(self, level: CriticalityLevel) -> List[JobRecord]:
         """All records at a criticality level."""
@@ -188,10 +208,19 @@ class Trace:
         cpus = sorted({iv.cpu for iv in self.intervals}) or [0]
         cols = min(int(round(t_end / resolution)), width_limit)
         lines = []
-        header = "     " + "".join(
-            f"{int(i * resolution):<5d}" if i % 5 == 0 else "" for i in range(cols)
-        )
-        lines.append(header)
+        # Time labels written at their exact column offsets (one data
+        # column = one character), so tick marks line up with the rows
+        # below regardless of label width; a label that would overwrite
+        # the previous one (or spill past the row) is skipped.
+        ticks = [" "] * cols
+        free = 0
+        for i in range(0, cols, 5):
+            label = f"{i * resolution:g}"
+            if i < free or i + len(label) > cols:
+                continue
+            ticks[i:i + len(label)] = label
+            free = i + len(label) + 1
+        lines.append("     " + "".join(ticks).rstrip())
         for cpu in cpus:
             cells = []
             ivs = self.busy_intervals(cpu)

@@ -1,0 +1,82 @@
+"""Chrome trace conversion, checked against a real Fig. 2 schedule."""
+
+import json
+
+import pytest
+
+from repro.obs.chrome_trace import (
+    PID_CPUS,
+    PID_EVENTS,
+    chrome_trace_events,
+    chrome_trace_from_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.tracer import EventName, JsonlTracer, read_trace
+
+from tests.obs.test_tracer import run_fig2
+
+
+@pytest.fixture(scope="module")
+def fig2_trace_path(tmp_path_factory):
+    """A JSONL trace of the Fig. 2(c) recovery schedule, plus its counts."""
+    path = tmp_path_factory.mktemp("traces") / "fig2.jsonl"
+    tracer = JsonlTracer(path, meta={"scenario": "FIG2"})
+    run_fig2(tracer=tracer)
+    tracer.close()
+    return path, tracer.counts
+
+
+class TestChromeConversion:
+    def test_exec_intervals_become_complete_events(self, fig2_trace_path):
+        path, counts = fig2_trace_path
+        events = chrome_trace_events(read_trace(path))
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == counts[EventName.EXEC_INTERVAL]
+        assert all(e["pid"] == PID_CPUS for e in xs)
+        assert {e["tid"] for e in xs} == {0, 1}  # the 2 CPUs of the example
+        assert all(e["dur"] > 0 for e in xs)
+
+    def test_speed_changes_become_counters(self, fig2_trace_path):
+        path, counts = fig2_trace_path
+        events = chrome_trace_events(read_trace(path))
+        cs = [e for e in events if e["ph"] == "C"]
+        assert len(cs) == counts[EventName.SPEED_CHANGE]
+        speeds = [e["args"]["speed"] for e in cs]
+        assert 0.5 in speeds  # the recovery slowdown
+        assert speeds[-1] == 1.0  # restoration
+
+    def test_recovery_episode_becomes_async_slice(self, fig2_trace_path):
+        path, counts = fig2_trace_path
+        events = chrome_trace_events(read_trace(path))
+        opens = [e for e in events if e["ph"] == "b"]
+        closes = [e for e in events if e["ph"] == "e"]
+        assert len(opens) == counts[EventName.RECOVERY_OPEN] == 1
+        assert len(closes) == counts[EventName.RECOVERY_CLOSE] == 1
+        assert opens[0]["id"] == closes[0]["id"]
+        assert opens[0]["ts"] < closes[0]["ts"]
+
+    def test_instants_for_releases_and_completions(self, fig2_trace_path):
+        path, counts = fig2_trace_path
+        events = chrome_trace_events(read_trace(path))
+        instants = [e for e in events if e["ph"] == "i" and e["cat"] == "job"]
+        assert len(instants) == (
+            counts[EventName.JOB_RELEASE] + counts[EventName.JOB_COMPLETE]
+        )
+        assert all(e["pid"] == PID_EVENTS for e in instants)
+
+    def test_time_scale(self, fig2_trace_path):
+        path, _ = fig2_trace_path
+        us = chrome_trace_events(read_trace(path), time_scale=1e6)
+        ms = chrome_trace_events(read_trace(path), time_scale=1e3)
+        x_us = [e for e in us if e["ph"] == "X"]
+        x_ms = [e for e in ms if e["ph"] == "X"]
+        assert x_us[0]["ts"] == pytest.approx(x_ms[0]["ts"] * 1e3)
+
+    def test_document_and_writer(self, fig2_trace_path, tmp_path):
+        path, _ = fig2_trace_path
+        doc = chrome_trace_from_jsonl(path)
+        assert doc["otherData"]["format"] == "repro-trace"
+        out = tmp_path / "chrome.json"
+        n = write_chrome_trace(path, out)
+        loaded = json.loads(out.read_text())
+        assert len(loaded["traceEvents"]) == n == len(doc["traceEvents"])

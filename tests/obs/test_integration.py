@@ -1,0 +1,109 @@
+"""Observability is observation-only, and traces are exact.
+
+The two acceptance properties of the obs layer:
+
+* tracing/metrics never change a result (same ``RunResult``, same spec
+  key, same canonical JSON with or without an ``ObsSpec``);
+* a JSONL trace's event counts match the run's :class:`Trace` records
+  exactly (releases = job records, completions = completed records,
+  intervals = interval records, speed changes = speed-change records).
+"""
+
+import json
+
+from repro.io.runspec_json import runspec_from_dict, runspec_to_dict, spec_key
+from repro.obs.tracer import EventName, JsonlTracer
+from repro.runtime.executor import make_executor, run_spec
+from repro.runtime.spec import MonitorSpec, ObsSpec, RunSpec, ScenarioSpec, TaskSetSpec
+from repro.workload.scenarios import SHORT
+
+from tests.obs.test_tracer import run_fig2
+
+
+def short_spec(**kw):
+    return RunSpec(
+        taskset=TaskSetSpec.generated(2015),
+        scenario=ScenarioSpec.from_scenario(SHORT),
+        monitor=MonitorSpec("simple", 0.6),
+        **kw,
+    )
+
+
+class TestEventCountsMatchTrace:
+    def test_counts_match_trace_records_exactly(self, tmp_path):
+        path = tmp_path / "fig2.jsonl"
+        tracer = JsonlTracer(path)
+        kernel, trace = run_fig2(tracer=tracer)
+        tracer.close()
+        counts = tracer.counts
+        assert counts[EventName.JOB_RELEASE] == len(trace.jobs)
+        assert counts[EventName.JOB_COMPLETE] == len(trace.completed())
+        assert counts[EventName.EXEC_INTERVAL] == len(trace.intervals)
+        assert counts[EventName.SPEED_CHANGE] == len(trace.speed_changes)
+        # Monitor-side events line up with the monitor's own accounting.
+        assert counts[EventName.MONITOR_MISS] == kernel.monitor.miss_count
+        assert counts[EventName.RECOVERY_OPEN] == len(kernel.monitor.episodes)
+
+
+class TestResultNeutrality:
+    def test_tracing_does_not_change_run_result(self, tmp_path):
+        plain = run_spec(short_spec())
+        traced = run_spec(short_spec(obs=ObsSpec(trace_dir=str(tmp_path))))
+        assert traced == plain
+        assert len(list(tmp_path.glob("run-*.jsonl"))) == 1
+
+    def test_obs_does_not_change_spec_key(self, tmp_path):
+        plain = short_spec()
+        traced = short_spec(obs=ObsSpec(trace_dir=str(tmp_path)))
+        assert spec_key(traced) == spec_key(plain)
+        assert traced.canonical_json() == plain.canonical_json()
+
+    def test_default_obs_keeps_document_unchanged(self):
+        doc = runspec_to_dict(short_spec())
+        assert "obs" not in doc
+
+    def test_non_default_obs_round_trips(self):
+        spec = short_spec(obs=ObsSpec(trace_dir="traces", trace_name="x.jsonl"))
+        doc = runspec_to_dict(spec)
+        assert doc["obs"] == {"trace_dir": "traces", "trace_name": "x.jsonl"}
+        assert runspec_from_dict(json.loads(json.dumps(doc))) == spec
+
+
+class TestExecutorObservability:
+    def test_sweep_report_and_cache_interaction(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        trace_dir = tmp_path / "traces"
+        spec = short_spec(obs=ObsSpec(trace_dir=str(trace_dir)))
+
+        ex = make_executor(jobs=1, cache_dir=cache_dir)
+        [first] = ex.run([spec])
+        assert ex.report.cells_total == 1
+        assert ex.report.cache_hits == 0
+        cell = ex.report.cells[0]
+        assert not cell.cached
+        assert cell.wall_ns > 0
+        assert cell.sim_end == first.sim_end
+        assert cell.events == first.events
+        assert cell.key == spec.key()[:12]
+        assert ex.metrics.histogram("executor.cell.ns").count == 1
+        assert len(list(trace_dir.glob("run-*.jsonl"))) == 1
+
+        # Re-run: served from cache (wall 0) and no new trace is written.
+        for f in trace_dir.glob("run-*.jsonl"):
+            f.unlink()
+        ex2 = make_executor(jobs=1, cache_dir=cache_dir)
+        [again] = ex2.run([spec])
+        assert again == first
+        assert ex2.report.cache_hits == 1
+        assert ex2.report.cells[0].cached
+        assert ex2.report.cells[0].wall_ns == 0
+        assert list(trace_dir.glob("run-*.jsonl")) == []
+
+    def test_report_json_document(self, tmp_path):
+        ex = make_executor(jobs=1)
+        ex.run([short_spec()])
+        doc = json.loads(ex.report.to_json())
+        assert doc["format"] == "repro-sweep-report"
+        assert doc["summary"]["cells_total"] == 1
+        assert doc["summary"]["truncated_cells"] == 0
+        assert doc["cells"][0]["monitor"] == "SIMPLE(s=0.6)"

@@ -1,0 +1,106 @@
+"""Metrics registry: counters, gauges, exact histogram percentiles."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram()
+        h.record_many([4, 1, 3, 2])
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.samples == [4, 1, 3, 2]  # recording order preserved
+
+    def test_percentiles_exact_interpolation(self):
+        h = Histogram()
+        h.record_many(range(1, 101))  # 1..100
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == 50.5
+        assert h.percentile(90) == pytest.approx(90.1)
+
+    def test_percentile_two_samples(self):
+        h = Histogram()
+        h.record_many([0.0, 10.0])
+        assert h.percentile(50) == 5.0
+        assert h.percentile(25) == 2.5
+
+    def test_percentile_unsorted_input(self):
+        h = Histogram()
+        h.record_many([30, 10, 20])
+        assert h.percentile(50) == 20.0
+        # Recording after a percentile query keeps answers correct.
+        h.record(5)
+        assert h.percentile(0) == 5.0
+
+    def test_empty_and_single(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+        h.record(7)
+        assert h.percentile(99) == 7.0
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError, match="percentile"):
+            Histogram().percentile(101)
+
+    def test_summary_keys(self):
+        h = Histogram()
+        h.record_many([1, 2, 3])
+        doc = h.summary()
+        assert doc["count"] == 3
+        assert doc["p50"] == 2.0
+        assert set(doc) == {"count", "sum", "mean", "min", "max", "p50", "p90", "p99"}
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.gauge("b") is m.gauge("b")
+        assert m.histogram("c") is m.histogram("c")
+
+    def test_names_sorted(self):
+        m = MetricsRegistry()
+        m.histogram("z.ns")
+        m.counter("a")
+        m.gauge("m")
+        assert m.names() == ["a", "m", "z.ns"]
+
+    def test_to_dict_and_json(self):
+        m = MetricsRegistry()
+        m.counter("kernel.events").inc(42)
+        m.gauge("speed").set(0.6)
+        m.histogram("cell.ns").record_many([100, 200])
+        doc = json.loads(m.to_json())
+        assert doc["counters"] == {"kernel.events": 42}
+        assert doc["gauges"] == {"speed": 0.6}
+        assert doc["histograms"]["cell.ns"]["count"] == 2

@@ -1,0 +1,67 @@
+"""ProgressReporter: throttling, cache hit-rate, final line."""
+
+import io
+
+from repro.obs.progress import ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make(min_interval=1.0):
+    buf = io.StringIO()
+    clock = FakeClock()
+    return ProgressReporter(stream=buf, min_interval_s=min_interval, clock=clock), buf, clock
+
+
+class TestProgressReporter:
+    def test_throttles_between_lines(self):
+        rep, buf, clock = make(min_interval=1.0)
+        rep.begin(100)
+        for _ in range(50):
+            clock.t += 0.001  # 50 cells in 50 ms: at most one line
+            rep.cell_done()
+        assert rep.lines_emitted == 1
+
+    def test_final_line_always_emitted(self):
+        rep, buf, clock = make(min_interval=1000.0)
+        rep.begin(3)
+        rep.cell_done()  # first one emits (last_emit starts at -inf)
+        rep.cell_done()
+        rep.cell_done()  # done == total -> forced final line
+        lines = buf.getvalue().splitlines()
+        assert lines[-1].startswith("[sweep] 3/3 cells (100%)")
+        rep.finish()  # already final: no extra line
+        assert buf.getvalue().splitlines() == lines
+
+    def test_finish_emits_when_incomplete(self):
+        rep, buf, clock = make(min_interval=1000.0)
+        rep.begin(10)
+        rep.finish()
+        assert "0/10" in buf.getvalue()
+
+    def test_cache_hit_rate(self):
+        rep, buf, clock = make()
+        rep.begin(4)
+        rep.cell_done(cached=True)
+        rep.cell_done(cached=True)
+        rep.cell_done(cached=True)
+        rep.cell_done(cached=False)
+        last = buf.getvalue().splitlines()[-1]
+        assert "cache 3 (75%)" in last
+
+    def test_eta_in_intermediate_lines(self):
+        rep, buf, clock = make(min_interval=0.0)
+        rep.begin(4)
+        clock.t = 1.0
+        rep.cell_done()  # 1 cell/s -> 3 remaining -> eta 3.0s
+        assert "eta 3.0s" in buf.getvalue().splitlines()[-1]
+        clock.t = 4.0
+        for _ in range(3):
+            rep.cell_done()
+        assert "eta" not in buf.getvalue().splitlines()[-1]

@@ -1,0 +1,55 @@
+"""SpanTimer: nesting produces dotted histogram paths."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTimer
+
+
+class TestSpanTimer:
+    def test_records_into_prefixed_histogram(self):
+        m = MetricsRegistry()
+        spans = SpanTimer(m, prefix="kernel")
+        with spans.span("pick_next"):
+            pass
+        h = m.histogram("kernel.pick_next.ns")
+        assert h.count == 1
+        assert h.samples[0] >= 0
+
+    def test_nesting_builds_dotted_paths(self):
+        m = MetricsRegistry()
+        spans = SpanTimer(m, prefix="x")
+        with spans.span("outer"):
+            assert spans.depth == 1
+            with spans.span("inner"):
+                assert spans.depth == 2
+        assert spans.depth == 0
+        assert m.histogram("x.outer.ns").count == 1
+        assert m.histogram("x.outer.inner.ns").count == 1
+        # The inner time is contained in the outer time.
+        assert m.histogram("x.outer.ns").max >= m.histogram("x.outer.inner.ns").max
+
+    def test_exception_still_records_and_unwinds(self):
+        m = MetricsRegistry()
+        spans = SpanTimer(m)
+        with pytest.raises(RuntimeError):
+            with spans.span("boom"):
+                raise RuntimeError("x")
+        assert spans.depth == 0
+        assert m.histogram("span.boom.ns").count == 1
+
+    def test_histogram_accessor(self):
+        m = MetricsRegistry()
+        spans = SpanTimer(m, prefix="kernel")
+        with spans.span("change_speed"):
+            pass
+        assert spans.histogram("change_speed") is m.histogram("kernel.change_speed.ns")
+        assert spans.histogram("change_speed").count == 1
+
+    def test_repeated_spans_accumulate(self):
+        m = MetricsRegistry()
+        spans = SpanTimer(m)
+        for _ in range(10):
+            with spans.span("tick"):
+                pass
+        assert m.histogram("span.tick.ns").count == 10

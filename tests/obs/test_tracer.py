@@ -1,0 +1,167 @@
+"""Tracer contract: NullTracer zero-emission, JsonlTracer schema round-trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.examples_fig2 import figure2_taskset, overload_behavior
+from repro.core.monitor import SimpleMonitor
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    EventName,
+    JsonlTracer,
+    NullTracer,
+    read_trace,
+    summarize_trace,
+)
+from repro.sim.kernel import KernelConfig, MC2Kernel
+
+
+class RecordingTracer:
+    """Test double that records every emit() it receives."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.events = []
+
+    def emit(self, ev, t, **fields):
+        self.events.append((ev, t, fields))
+
+
+def run_fig2(tracer=None, recovery_speed=0.5, until=72.0):
+    kernel = MC2Kernel(
+        figure2_taskset(),
+        behavior=overload_behavior(True),
+        config=KernelConfig(record_intervals=True),
+        tracer=tracer,
+    )
+    kernel.attach_monitor(SimpleMonitor(kernel, s=recovery_speed))
+    trace = kernel.run(until)
+    return kernel, trace
+
+
+class TestNullTracer:
+    def test_disabled_and_noop(self):
+        t = NullTracer()
+        assert t.enabled is False
+        t.emit("job_release", 1.0, task=1)  # must not raise
+        t.close()
+
+    def test_kernel_defaults_to_shared_null_tracer(self):
+        kernel = MC2Kernel(figure2_taskset())
+        assert kernel.tracer is NULL_TRACER
+
+    def test_disabled_tracer_receives_zero_events(self):
+        # The zero-cost contract: producers gate on tracer.enabled, so a
+        # disabled tracer sees no emissions at all during a full run.
+        tracer = RecordingTracer(enabled=False)
+        run_fig2(tracer=tracer)
+        assert tracer.events == []
+
+    def test_enabled_tracer_receives_events(self):
+        tracer = RecordingTracer(enabled=True)
+        run_fig2(tracer=tracer)
+        names = {ev for ev, _, _ in tracer.events}
+        assert EventName.JOB_RELEASE in names
+        assert EventName.JOB_COMPLETE in names
+        assert EventName.EXEC_INTERVAL in names
+        assert EventName.SPEED_CHANGE in names
+
+
+class TestJsonlTracer:
+    def test_header_is_first_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path, meta={"scenario": "X"}) as tr:
+            tr.emit(EventName.JOB_RELEASE, 1.5, task=7, job=0)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["ev"] == EventName.META
+        assert header["format"] == TRACE_FORMAT
+        assert header["version"] == TRACE_VERSION
+        assert header["scenario"] == "X"
+        assert header["seq"] == 0
+
+    def test_schema_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tr:
+            tr.emit(EventName.JOB_RELEASE, 1.5, task=7, job=0, level="C")
+            tr.emit(EventName.SPEED_CHANGE, 2.0, speed=0.5)
+        records = list(read_trace(path))
+        assert [r["ev"] for r in records] == [
+            EventName.META, EventName.JOB_RELEASE, EventName.SPEED_CHANGE,
+        ]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[1] == {
+            "seq": 1, "t": 1.5, "ev": "job_release",
+            "task": 7, "job": 0, "level": "C",
+        }
+        assert records[2]["speed"] == 0.5
+
+    def test_counts_match_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = JsonlTracer(path)
+        for _ in range(3):
+            tr.emit(EventName.JOB_RELEASE, 0.0, task=1, job=0)
+        tr.close()
+        assert tr.counts[EventName.JOB_RELEASE] == 3
+        assert tr.counts[EventName.META] == 1
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_stream_sink_left_open(self):
+        buf = io.StringIO()
+        tr = JsonlTracer(buf)
+        tr.emit(EventName.JOB_COMPLETE, 3.0, task=1, job=0)
+        tr.close()
+        assert not buf.closed
+        assert len(buf.getvalue().splitlines()) == 2
+
+
+class TestReadTrace:
+    def test_rejects_missing_header(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"seq": 0, "t": 0.0, "ev": "job_release"}\n')
+        with pytest.raises(ValueError, match="header"):
+            list(read_trace(p))
+
+    def test_rejects_wrong_format(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"seq": 0, "t": 0.0, "ev": "trace_meta", '
+                     '"format": "other", "version": 1}\n')
+        with pytest.raises(ValueError, match="format"):
+            list(read_trace(p))
+
+    def test_rejects_unknown_version(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"seq": 0, "t": 0.0, "ev": "trace_meta", '
+                     f'"format": "{TRACE_FORMAT}", "version": 99}}\n')
+        with pytest.raises(ValueError, match="version"):
+            list(read_trace(p))
+
+    def test_rejects_malformed_json(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"seq": 0, "t": 0.0, "ev": "trace_meta", '
+                     f'"format": "{TRACE_FORMAT}", "version": 1}}\n'
+                     "not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            list(read_trace(p))
+
+
+class TestSummarize:
+    def test_full_run_summary(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(path, meta={"scenario": "FIG2"})
+        kernel, trace = run_fig2(tracer=tracer)
+        tracer.close()
+        s = summarize_trace(path)
+        assert s.counts == tracer.counts
+        assert s.events == sum(tracer.counts.values())
+        assert s.meta == {"scenario": "FIG2"}
+        assert s.t_min >= 0.0
+        assert s.t_max <= 72.0
+        assert s.tasks == 5  # 2 level-A + 3 level-C tasks
+        assert s.speed_changes == trace.speed_changes
+        assert "events over" in s.render()
+        assert s.to_dict()["counts"] == s.counts

@@ -91,3 +91,67 @@ class TestParser:
         assert args.figure == "6"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figures", "--figure", "5"])
+
+
+class TestObservabilityFlags:
+    def test_trace_dir_and_metrics_out(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        metrics = tmp_path / "metrics.json"
+        assert main(["simulate", "--seed", "3", "--m", "2",
+                     "--trace-dir", str(trace_dir),
+                     "--metrics-out", str(metrics)]) == 0
+        traces = list(trace_dir.glob("run-*.jsonl"))
+        assert len(traces) == 1
+        doc = json.loads(metrics.read_text())
+        assert doc["format"] == "repro-sweep-report"
+        assert doc["summary"]["cells_simulated"] == 1
+        assert "executor.cell.ns" in doc["metrics"]["histograms"]
+
+    def test_truncation_warning(self, capsys):
+        # A horizon just past the overload window catches recovery open.
+        assert main(["simulate", "--seed", "3", "--m", "2",
+                     "--horizon", "0.6"]) == 0
+        err = capsys.readouterr().err
+        assert "recovery still open" in err
+
+    def test_no_warning_when_settled(self, capsys):
+        assert main(["simulate", "--seed", "3", "--m", "2"]) == 0
+        assert "recovery still open" not in capsys.readouterr().err
+
+    def test_progress_flag(self, capsys):
+        assert main(["simulate", "--seed", "3", "--m", "2", "--progress"]) == 0
+        assert "[sweep] 1/1 cells" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def _make_trace(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        main(["simulate", "--seed", "3", "--m", "2",
+              "--trace-dir", str(trace_dir)])
+        [path] = trace_dir.glob("run-*.jsonl")
+        return path
+
+    def test_summarize_text(self, tmp_path, capsys):
+        path = self._make_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "events over t=" in out
+        assert "job_release" in out
+
+    def test_summarize_json(self, tmp_path, capsys):
+        path = self._make_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["trace_meta"] == 1
+        assert doc["events"] == sum(doc["counts"].values())
+
+    def test_convert(self, tmp_path, capsys):
+        path = self._make_trace(tmp_path)
+        out = tmp_path / "chrome.json"
+        capsys.readouterr()
+        assert main(["trace", "convert", str(path), "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert "wrote" in capsys.readouterr().out
