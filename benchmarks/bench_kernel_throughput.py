@@ -1,0 +1,210 @@
+"""Kernel dispatch throughput: incremental vs. baseline dispatcher.
+
+The baseline dispatcher re-sorts the whole level-C pool (and rescans the
+A/B pools) at every scheduling point — O(n log n) per event.  The
+incremental dispatcher keeps lazy heaps and per-task heads, paying
+O(log n) per touched job.  This benchmark times identical runs under
+both on growing platforms and reports events/sec plus the speedup
+ratio; the two dispatchers' traces are also checked for equality, so a
+fast-but-wrong dispatcher cannot "win".
+
+Standalone (CI runs this; artifacts are uploaded)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_throughput.py \
+        --smoke --out kernel-throughput.json \
+        --check benchmarks/baseline_kernel_throughput.json
+
+``--check`` compares the measured *speedup ratios* (machine-independent,
+unlike raw events/sec) against a recorded baseline and fails if any cell
+regressed by more than 30 %.
+
+Also collectable as a pytest benchmark::
+
+    pytest benchmarks/bench_kernel_throughput.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Any, Dict, Tuple
+
+from repro.core.monitor import NullMonitor
+from repro.model.behavior import ConstantBehavior
+from repro.model.task import CriticalityLevel
+from repro.sim.diffcheck import fingerprint
+from repro.sim.kernel import KernelConfig, MC2Kernel
+from repro.workload.generator import GeneratorParams, generate_taskset
+
+#: Allowed drop in a cell's speedup ratio before --check fails.
+CHECK_TOLERANCE = 0.30
+
+#: (name, m, util_range) — both 8-CPU cells land >= 64 level-C tasks
+#: (light per-task utilizations pack many tasks into the fixed 65 %
+#: level-C share); "large" is where the baseline's per-event sort bites.
+CELLS: Tuple[Tuple[str, int, Tuple[float, float]], ...] = (
+    ("small-2cpu", 2, (0.1, 0.4)),
+    ("medium-8cpu", 8, (0.04, 0.1)),
+    ("large-8cpu", 8, (0.01, 0.03)),
+)
+
+
+def _run_once(ts, dispatcher: str, horizon: float):
+    kernel = MC2Kernel(
+        ts,
+        behavior=ConstantBehavior(),
+        config=KernelConfig(dispatcher=dispatcher),
+    )
+    monitor = NullMonitor(kernel)
+    kernel.attach_monitor(monitor)
+    t0 = time.perf_counter_ns()
+    trace = kernel.run(horizon)
+    elapsed_ns = time.perf_counter_ns() - t0
+    return elapsed_ns, kernel, trace, monitor
+
+
+def _measure_cell(
+    name: str,
+    m: int,
+    util_range: Tuple[float, float],
+    seed: int,
+    horizon: float,
+    reps: int,
+) -> Dict[str, Any]:
+    ts = generate_taskset(seed, GeneratorParams(m=m, util_range=util_range))
+    n_level_c = sum(1 for t in ts if t.level is CriticalityLevel.C)
+
+    prints = {}
+    rates = {}
+    for dispatcher in ("baseline", "incremental"):
+        _run_once(ts, dispatcher, min(horizon, 0.25))  # warm-up
+        best_ns, events = None, 0
+        for _ in range(reps):
+            elapsed_ns, kernel, trace, monitor = _run_once(ts, dispatcher, horizon)
+            if best_ns is None or elapsed_ns < best_ns:
+                best_ns = elapsed_ns
+            events = kernel.engine.events_processed
+        prints[dispatcher] = fingerprint(trace, kernel, monitor)
+        rates[dispatcher] = events / (best_ns / 1e9)
+
+    # A fast dispatcher that computes a different schedule is a bug,
+    # not a win.
+    assert prints["baseline"] == prints["incremental"], (
+        f"cell {name}: dispatchers diverged"
+    )
+
+    return {
+        "cell": name,
+        "m": m,
+        "util_range": list(util_range),
+        "level_c_tasks": n_level_c,
+        "tasks": len(ts),
+        "horizon": horizon,
+        "events": events,
+        "baseline_events_per_sec": rates["baseline"],
+        "incremental_events_per_sec": rates["incremental"],
+        "speedup": rates["incremental"] / rates["baseline"],
+    }
+
+
+def measure(
+    seed: int = 2015, horizon: float = 10.0, reps: int = 3
+) -> Dict[str, Any]:
+    """Time both dispatchers over every cell; return the comparison doc."""
+    return {
+        "format": "repro-kernel-throughput",
+        "version": 1,
+        "seed": seed,
+        "horizon": horizon,
+        "reps": reps,
+        "cells": [
+            _measure_cell(name, m, util, seed, horizon, reps)
+            for name, m, util in CELLS
+        ],
+    }
+
+
+def check_against(doc: Dict[str, Any], baseline: Dict[str, Any]) -> list:
+    """Speedup-ratio regressions vs. a recorded baseline (empty = pass).
+
+    Ratios of two runs on the same machine cancel the machine's absolute
+    speed, so a recorded baseline stays meaningful across CI runners; the
+    30 % tolerance absorbs scheduling noise.
+    """
+    recorded = {c["cell"]: c["speedup"] for c in baseline["cells"]}
+    problems = []
+    for cell in doc["cells"]:
+        want = recorded.get(cell["cell"])
+        if want is None:
+            continue
+        floor = want * (1.0 - CHECK_TOLERANCE)
+        if cell["speedup"] < floor:
+            problems.append(
+                f"{cell['cell']}: speedup {cell['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (recorded {want:.2f}x - {CHECK_TOLERANCE:.0%})"
+            )
+    return problems
+
+
+def bench_kernel_throughput(benchmark):
+    """pytest-benchmark wrapper around one measured comparison."""
+    doc = benchmark.pedantic(
+        lambda: measure(horizon=2.0, reps=1), rounds=1, iterations=1
+    )
+    print()
+    for cell in doc["cells"]:
+        print(
+            f"{cell['cell']:>12}: {cell['incremental_events_per_sec']:>12,.0f} ev/s "
+            f"incremental, {cell['baseline_events_per_sec']:>12,.0f} ev/s baseline "
+            f"({cell['speedup']:.2f}x, {cell['level_c_tasks']} level-C tasks)"
+        )
+        benchmark.extra_info[cell["cell"] + "_speedup"] = round(cell["speedup"], 2)
+    large = doc["cells"][-1]
+    assert large["level_c_tasks"] >= 64
+    assert large["speedup"] >= 1.5, "incremental dispatch lost its edge"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="fast CI mode: shorter horizon, fewer repetitions")
+    ap.add_argument("--reps", type=int, default=None,
+                    help="timed repetitions per cell (default 3; smoke 2)")
+    ap.add_argument("--seed", type=int, default=2015)
+    ap.add_argument("--out", metavar="FILE",
+                    help="write the comparison as JSON to FILE")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="fail if any cell's speedup regressed >30%% vs BASELINE")
+    args = ap.parse_args(argv)
+
+    reps = args.reps if args.reps is not None else (2 if args.smoke else 3)
+    horizon = 3.0 if args.smoke else 10.0
+    doc = measure(seed=args.seed, horizon=horizon, reps=reps)
+
+    for cell in doc["cells"]:
+        print(
+            f"{cell['cell']:>12}: {cell['incremental_events_per_sec']:>12,.0f} ev/s "
+            f"incremental, {cell['baseline_events_per_sec']:>12,.0f} ev/s baseline "
+            f"-> {cell['speedup']:.2f}x "
+            f"({cell['level_c_tasks']} level-C tasks, {cell['events']} events)"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = check_against(doc, baseline)
+        for p in problems:
+            print(f"REGRESSION: {p}")
+        if problems:
+            return 1
+        print(f"speedups within {CHECK_TOLERANCE:.0%} of {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,8 +103,9 @@ class ReleaseController:
             # Tolerate the float round-off inherent in firing a timer at
             # virt_to_act(next_point): the virtual separation constraint is
             # semantically met because the timer was armed at the earliest
-            # legal instant.
-            if point < self._next_point - 1e-9:
+            # legal instant.  The tolerance is relative (with an absolute
+            # floor) so it stays above one ulp at large virtual times.
+            if point < self._next_point - max(1e-9, self._next_point * 1e-15):
                 raise ValueError(
                     f"release of {self.task.label},{index} at virtual time {point} "
                     f"violates eq. 5 (earliest legal: {self._next_point})"
@@ -112,7 +113,7 @@ class ReleaseController:
             point = max(point, self._next_point)
         else:
             point = now
-            if point < self._next_point - 1e-12:
+            if point < self._next_point - max(1e-12, self._next_point * 1e-15):
                 raise ValueError(
                     f"release of {self.task.label},{index} at {point} violates the "
                     f"minimum separation (earliest legal: {self._next_point})"

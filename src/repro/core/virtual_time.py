@@ -33,6 +33,7 @@ comparisons.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Generic, List, Optional, Sequence, TypeVar
 
@@ -207,6 +208,14 @@ class SpeedProfile(Generic[N]):
                     f"inconsistent profile: change at {b.act!r} records virtual "
                     f"time {b.virt!r} but the previous segment implies {expected_virt!r}"
                 )
+        # Sorted keys for O(log n) segment lookup.  Duplicate-``act``
+        # records (two changes at the same instant, i.e. a zero-length
+        # segment) are legal; ``bisect_right`` lands *after* the last
+        # duplicate, so the LAST record at a tied instant wins — the
+        # profile is right-continuous, matching the kernel clock, whose
+        # state after two same-instant change_speed calls is the second.
+        self._acts: List[N] = [c.act for c in self._changes]
+        self._virts: List[N] = [c.virt for c in self._changes]
 
     @classmethod
     def from_segments(
@@ -234,26 +243,16 @@ class SpeedProfile(Generic[N]):
 
     # ------------------------------------------------------------------
     def _segment_for_act(self, act: N) -> SpeedChange[N]:
-        if act < self._changes[0].act:
+        if act < self._acts[0]:
             raise ValueError(f"time {act!r} precedes the profile origin")
-        seg = self._changes[0]
-        for change in self._changes[1:]:
-            if change.act <= act:
-                seg = change
-            else:
-                break
-        return seg
+        # Last record with ``change.act <= act`` (ties: last record wins).
+        return self._changes[bisect_right(self._acts, act) - 1]
 
     def _segment_for_virt(self, virt: N) -> SpeedChange[N]:
-        if virt < self._changes[0].virt:
+        if virt < self._virts[0]:
             raise ValueError(f"virtual time {virt!r} precedes the profile origin")
-        seg = self._changes[0]
-        for change in self._changes[1:]:
-            if change.virt <= virt:
-                seg = change
-            else:
-                break
-        return seg
+        # Last record with ``change.virt <= virt`` (ties: last record wins).
+        return self._changes[bisect_right(self._virts, virt) - 1]
 
     def v(self, act: N) -> N:
         """Evaluate ``v(act)`` (eq. 4) anywhere at/after the origin."""

@@ -28,7 +28,13 @@ from repro.model.task import CriticalityLevel, Task
 __all__ = ["Job"]
 
 
-@dataclass
+# eq=False: jobs are identity objects (one per release), and the kernel
+# removes them from its pools by identity.  The generated field-by-field
+# __eq__ made every ``list.remove`` an O(n) cascade of Python-level
+# comparisons over *mutable* state — a real cost on the per-completion
+# path — and left Job unhashable.  Identity semantics make removal a
+# C-speed pointer scan and restore hashability.
+@dataclass(eq=False)
 class Job:
     """One released instance of a :class:`~repro.model.task.Task`."""
 

@@ -18,7 +18,38 @@ from typing import Dict, Optional, Sequence
 from repro.core.gel import virtual_priority
 from repro.model.job import Job
 
-__all__ = ["select_gel_jobs"]
+__all__ = ["select_gel_jobs", "place_gel_jobs"]
+
+
+def place_gel_jobs(
+    chosen: Sequence[Job], free_cpus: Sequence[int]
+) -> Dict[int, Optional[Job]]:
+    """Place an already-selected priority-ordered job list onto CPUs.
+
+    *chosen* must hold at most ``len(free_cpus)`` jobs in ascending
+    priority order.  Placement is migration-averse: a selected job
+    already running on a free CPU stays put; the rest fill the remaining
+    CPUs in priority order.  Shared by :func:`select_gel_jobs` (which
+    sorts the whole pool) and the kernel's incremental dispatcher (which
+    pops the same jobs from its ready heap) so both produce bit-identical
+    placements.
+    """
+    assignment: Dict[int, Optional[Job]] = dict.fromkeys(free_cpus)
+    # First pass: keep running jobs in place; collect the rest in
+    # priority order.
+    rest = []
+    for job in chosen:
+        cpu = job.running_on
+        if cpu is not None and cpu in assignment and assignment[cpu] is None:
+            assignment[cpu] = job
+        else:
+            rest.append(job)
+    # Second pass: put the rest on the remaining CPUs in priority order.
+    if rest:
+        it = iter([cpu for cpu in free_cpus if assignment[cpu] is None])
+        for job in rest:
+            assignment[next(it)] = job
+    return assignment
 
 
 def select_gel_jobs(
@@ -42,23 +73,7 @@ def select_gel_jobs(
         jobs on their CPUs where possible.
     """
     k = len(free_cpus)
-    assignment: Dict[int, Optional[Job]] = {cpu: None for cpu in free_cpus}
     if k == 0 or not jobs:
-        return assignment
+        return {cpu: None for cpu in free_cpus}
     chosen = sorted(jobs, key=virtual_priority)[:k]
-    free = set(free_cpus)
-    placed = set()
-    # First pass: keep running jobs in place.
-    for job in chosen:
-        cpu = job.running_on
-        if cpu is not None and cpu in free and assignment[cpu] is None:
-            assignment[cpu] = job
-            placed.add(id(job))
-    # Second pass: put the rest on the remaining CPUs in priority order.
-    remaining = [cpu for cpu in free_cpus if assignment[cpu] is None]
-    it = iter(remaining)
-    for job in chosen:
-        if id(job) in placed:
-            continue
-        assignment[next(it)] = job
-    return assignment
+    return place_gel_jobs(chosen, free_cpus)

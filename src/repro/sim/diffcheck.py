@@ -1,0 +1,318 @@
+"""Differential equivalence harness: baseline vs. incremental dispatch.
+
+The kernel carries two dispatcher implementations (see
+:class:`~repro.sim.kernel.KernelConfig`): the original *baseline* path
+that re-sorts the full level-C pool at every scheduling point, and the
+*incremental* path built on lazy heaps and per-task head tracking.  The
+two are required to be **trace-equivalent**: run over the same scenario
+they must produce bit-identical job records, execution intervals, speed
+changes, preemption/migration counts, and event counts.
+
+This module is the gate for that requirement.  It
+
+* runs one scenario under both dispatchers
+  (:func:`run_dispatcher` / :func:`compare_dispatchers`),
+* reduces each run to a comparable :func:`fingerprint`,
+* generates randomized scenario grids spanning the interesting axes —
+  platform size, utilization, overload scenarios, recovery monitors,
+  monitor latency, zero-demand jobs, level-D background load
+  (:func:`random_scenarios`),
+* and sweeps them (:func:`check_many`), reporting every divergence.
+
+Fingerprints keep the kernel's own recording order (no sorting): the
+claim is event-for-event equivalence, not merely set equivalence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.monitor import AdaptiveMonitor, Monitor, NullMonitor, SimpleMonitor
+from repro.model.behavior import (
+    ConstantBehavior,
+    ExecutionBehavior,
+    PwcetFractionBehavior,
+)
+from repro.model.task import CriticalityLevel, Task
+from repro.model.taskset import TaskSet
+from repro.sim.kernel import KernelConfig, MC2Kernel
+from repro.sim.trace import Trace
+from repro.workload.generator import GeneratorParams, generate_taskset
+from repro.workload.scenarios import DOUBLE, LONG, SHORT, OverloadScenario
+
+__all__ = [
+    "DiffScenario",
+    "DiffResult",
+    "ZeroDemandEvery",
+    "build_kernel",
+    "fingerprint",
+    "run_dispatcher",
+    "compare_dispatchers",
+    "random_scenarios",
+    "check_many",
+    "main",
+]
+
+_SCENARIOS: Dict[str, OverloadScenario] = {s.name: s for s in (SHORT, LONG, DOUBLE)}
+
+#: Task-id offset for synthesized level-D background tasks (the Sec. 5
+#: generator only emits levels A-C with small ids).
+_LEVEL_D_BASE_ID = 10_000
+
+
+@dataclass(frozen=True)
+class ZeroDemandEvery:
+    """Wrap a behaviour, zeroing the demand of every ``k``-th job.
+
+    Zero-demand jobs complete at their own release instant — the nastiest
+    same-instant ordering case for the dispatcher (the job must never
+    occupy a CPU, and its successor becomes the task's head immediately).
+    The ``task_id + index`` phase spreads the zeros across tasks.
+    """
+
+    inner: ExecutionBehavior
+    every: int
+
+    def exec_time(self, task: Task, job_index: int, release: float) -> float:
+        if (task.task_id + job_index) % self.every == 0:
+            return 0.0
+        return self.inner.exec_time(task, job_index, release)
+
+
+@dataclass(frozen=True)
+class DiffScenario:
+    """One fully-determined differential test case."""
+
+    #: Task-set generator seed.
+    seed: int
+    #: Platform size.
+    m: int = 4
+    #: Per-task utilization range for the generator.
+    util_range: Tuple[float, float] = (0.1, 0.4)
+    #: Execution behaviour: an overload-scenario name ("SHORT", "LONG",
+    #: "DOUBLE"), "constant" (level-C PWCETs), or "overrun" (sustained
+    #: 1.25x level-C PWCETs).
+    behavior: str = "constant"
+    #: Recovery monitor: "null", "simple", or "adaptive".
+    monitor: str = "null"
+    #: SimpleMonitor speed ``s`` / AdaptiveMonitor aggressiveness ``a``.
+    monitor_arg: float = 0.5
+    #: Simulation horizon (seconds).
+    horizon: float = 1.5
+    use_virtual_time: bool = True
+    record_intervals: bool = True
+    monitor_latency: float = 0.0
+    #: If > 0, zero the demand of every k-th job (see ZeroDemandEvery).
+    zero_every: int = 0
+    #: Number of synthesized level-D background tasks.
+    level_d_tasks: int = 0
+
+    def label(self) -> str:
+        """Compact one-line description for failure reports."""
+        return (
+            f"seed={self.seed} m={self.m} util={self.util_range} "
+            f"behavior={self.behavior} monitor={self.monitor}({self.monitor_arg}) "
+            f"vt={self.use_virtual_time} lat={self.monitor_latency} "
+            f"zero={self.zero_every} d={self.level_d_tasks} h={self.horizon}"
+        )
+
+
+@dataclass(frozen=True)
+class DiffResult:
+    """Outcome of one baseline-vs-incremental comparison."""
+
+    scenario: DiffScenario
+    equal: bool
+    #: Names of the fingerprint fields that diverged (empty when equal).
+    mismatched: Tuple[str, ...]
+
+
+def _level_d_tasks(count: int, rng_seed: int) -> List[Task]:
+    """Synthesize *count* level-D background tasks (the generator emits none)."""
+    rng = random.Random(rng_seed)
+    out = []
+    for i in range(count):
+        period = rng.uniform(0.01, 0.1)
+        util = rng.uniform(0.1, 0.5)
+        out.append(
+            Task(
+                task_id=_LEVEL_D_BASE_ID + i,
+                level=CriticalityLevel.D,
+                period=period,
+                pwcets={CriticalityLevel.D: util * period},
+            )
+        )
+    return out
+
+
+def _behavior_for(sc: DiffScenario) -> ExecutionBehavior:
+    if sc.behavior in _SCENARIOS:
+        behavior: ExecutionBehavior = _SCENARIOS[sc.behavior].behavior()
+    elif sc.behavior == "constant":
+        behavior = ConstantBehavior()
+    elif sc.behavior == "overrun":
+        behavior = PwcetFractionBehavior(1.25)
+    else:
+        raise ValueError(f"unknown behavior {sc.behavior!r}")
+    if sc.zero_every:
+        behavior = ZeroDemandEvery(behavior, sc.zero_every)
+    return behavior
+
+
+def _monitor_for(sc: DiffScenario, kernel: MC2Kernel) -> Monitor:
+    if sc.monitor == "null":
+        return NullMonitor(kernel)
+    if sc.monitor == "simple":
+        return SimpleMonitor(kernel, s=sc.monitor_arg)
+    if sc.monitor == "adaptive":
+        return AdaptiveMonitor(kernel, a=sc.monitor_arg)
+    raise ValueError(f"unknown monitor {sc.monitor!r}")
+
+
+def build_kernel(sc: DiffScenario, dispatcher: str) -> Tuple[MC2Kernel, Monitor]:
+    """Construct the kernel + monitor for *sc* under *dispatcher*."""
+    ts = generate_taskset(
+        sc.seed, GeneratorParams(m=sc.m, util_range=sc.util_range)
+    )
+    if sc.level_d_tasks:
+        ts = TaskSet(
+            list(ts) + _level_d_tasks(sc.level_d_tasks, sc.seed), m=ts.m
+        )
+    config = KernelConfig(
+        use_virtual_time=sc.use_virtual_time,
+        record_intervals=sc.record_intervals,
+        monitor_latency=sc.monitor_latency,
+        dispatcher=dispatcher,
+    )
+    kernel = MC2Kernel(ts, behavior=_behavior_for(sc), config=config)
+    monitor = _monitor_for(sc, kernel)
+    kernel.attach_monitor(monitor)
+    return kernel, monitor
+
+
+def fingerprint(trace: Trace, kernel: MC2Kernel, monitor: Monitor) -> Dict[str, object]:
+    """Reduce one run to its comparable observable state.
+
+    Job records and intervals keep the kernel's recording order —
+    completion order is part of the equivalence claim.
+    """
+    return {
+        "jobs": [
+            (
+                r.task_id,
+                r.level.name,
+                r.index,
+                r.release,
+                r.exec_time,
+                r.completion,
+                r.actual_pp,
+                r.virtual_release,
+                r.virtual_pp,
+            )
+            for r in trace.jobs
+        ],
+        "intervals": [
+            (iv.cpu, iv.task_id, iv.job_index, iv.start, iv.end)
+            for iv in trace.intervals
+        ],
+        "speed_changes": list(trace.speed_changes),
+        "preemptions": kernel.preemptions,
+        "migrations": kernel.migrations,
+        "events_processed": kernel.engine.events_processed,
+        "misses": monitor.miss_count,
+        "episodes": [(ep.start, ep.end) for ep in monitor.episodes],
+    }
+
+
+def run_dispatcher(sc: DiffScenario, dispatcher: str) -> Dict[str, object]:
+    """Run *sc* to its horizon under *dispatcher*; return the fingerprint."""
+    kernel, monitor = build_kernel(sc, dispatcher)
+    trace = kernel.run(sc.horizon)
+    return fingerprint(trace, kernel, monitor)
+
+
+def compare_dispatchers(sc: DiffScenario) -> DiffResult:
+    """Run *sc* under both dispatchers and diff the fingerprints."""
+    base = run_dispatcher(sc, "baseline")
+    inc = run_dispatcher(sc, "incremental")
+    mismatched = tuple(k for k in base if base[k] != inc[k])
+    return DiffResult(scenario=sc, equal=not mismatched, mismatched=mismatched)
+
+
+def random_scenarios(count: int, base_seed: int = 2015) -> List[DiffScenario]:
+    """*count* randomized scenarios spanning the interesting axes.
+
+    Deterministic in *base_seed*.  Overload behaviours are weighted
+    heavily and always paired with an active monitor, so the sweep
+    exercises recovery (speed changes, PP actualization, timer re-arming)
+    rather than mostly steady-state runs.
+    """
+    rng = random.Random(base_seed)
+    out: List[DiffScenario] = []
+    for i in range(count):
+        behavior = rng.choice(
+            ["SHORT", "LONG", "DOUBLE", "SHORT", "LONG", "constant", "overrun"]
+        )
+        if behavior in _SCENARIOS or behavior == "overrun":
+            monitor = rng.choice(["simple", "adaptive"])
+            use_virtual_time = True
+        else:
+            monitor = rng.choice(["null", "simple", "adaptive"])
+            use_virtual_time = monitor != "null" or rng.random() < 0.5
+        out.append(
+            DiffScenario(
+                seed=base_seed + i,
+                m=rng.choice([2, 2, 4, 4, 8]),
+                util_range=rng.choice([(0.05, 0.2), (0.1, 0.4), (0.2, 0.5)]),
+                behavior=behavior,
+                monitor=monitor,
+                monitor_arg=(
+                    rng.choice([0.25, 0.5, 0.75])
+                    if monitor == "simple"
+                    else rng.choice([0.25, 0.5, 1.0])
+                ),
+                horizon=rng.choice([1.0, 1.5, 2.0]),
+                use_virtual_time=use_virtual_time,
+                record_intervals=rng.random() < 0.5,
+                monitor_latency=rng.choice([0.0, 0.0, 0.0, 0.001]),
+                zero_every=rng.choice([0, 0, 0, 3, 5]),
+                level_d_tasks=rng.choice([0, 0, 0, 2]),
+            )
+        )
+    return out
+
+
+def check_many(
+    scenarios: Sequence[DiffScenario],
+) -> Tuple[int, List[DiffResult]]:
+    """Compare every scenario; return ``(checked, failures)``."""
+    failures = [r for r in map(compare_dispatchers, scenarios) if not r.equal]
+    return len(scenarios), failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: sweep randomized scenarios, exit non-zero on any divergence."""
+    parser = argparse.ArgumentParser(
+        description="Differential check: baseline vs incremental dispatch"
+    )
+    parser.add_argument("--count", type=int, default=50, help="scenarios to run")
+    parser.add_argument("--base-seed", type=int, default=2015)
+    parser.add_argument(
+        "--horizon", type=float, default=None, help="override every scenario's horizon"
+    )
+    args = parser.parse_args(argv)
+    scenarios = random_scenarios(args.count, args.base_seed)
+    if args.horizon is not None:
+        scenarios = [replace(sc, horizon=args.horizon) for sc in scenarios]
+    checked, failures = check_many(scenarios)
+    for fail in failures:
+        print(f"DIVERGED [{', '.join(fail.mismatched)}]: {fail.scenario.label()}")
+    print(f"{checked - len(failures)}/{checked} scenarios trace-equivalent")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

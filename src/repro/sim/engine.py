@@ -11,7 +11,27 @@ from typing import Callable, Optional
 
 from repro.sim.events import Event, EventKind, EventQueue
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "past_tolerance"]
+
+#: Absolute floor of the past-event guard tolerance.
+_PAST_ABS_EPS = 1e-12
+#: Relative component: ~4.5 double ulps, so the tolerance never falls
+#: below representable round-off however large ``now`` grows.
+_PAST_REL_EPS = 1e-15
+
+
+def past_tolerance(now: float) -> float:
+    """How far before *now* an event may nominally lie and still be legal.
+
+    Timer arithmetic (e.g. ``virt_to_act(act_to_virt(now))``) can land a
+    same-instant event up to a few ulps in the past.  A fixed ``1e-12``
+    falls below one ulp of ``now`` once ``now`` exceeds ``~4.5e3`` (ulp
+    grows linearly with magnitude: at ``now = 1e6`` one ulp is already
+    ``~1.2e-10``), so legitimate events would trip the guard on long
+    horizons.  The tolerance is therefore relative with an absolute
+    floor: ``max(1e-12, now * 1e-15)``.
+    """
+    return max(_PAST_ABS_EPS, now * _PAST_REL_EPS)
 
 
 class Engine:
@@ -30,7 +50,7 @@ class Engine:
 
     def push(self, event: Event) -> None:
         """Schedule an event; it must not lie in the past."""
-        if event.time < self.now - 1e-12:
+        if event.time < self.now - past_tolerance(self.now):
             raise ValueError(
                 f"cannot schedule {event.kind.name} at {event.time}; now is {self.now}"
             )
@@ -72,7 +92,7 @@ class Engine:
                 self.now = until
                 break
             # Events never move time backwards; guard against handler bugs.
-            if ev.time < self.now - 1e-12:
+            if ev.time < self.now - past_tolerance(self.now):
                 raise RuntimeError(
                     f"event {ev.kind.name} at {ev.time} precedes now={self.now}"
                 )

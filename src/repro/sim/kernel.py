@@ -30,8 +30,11 @@ comparison (monitors that change speed are rejected in that mode).
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left, insort
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.monitor import CompletionReport, Monitor, NullMonitor
 from repro.core.svo import ReleaseController
@@ -44,7 +47,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanTimer
 from repro.obs.tracer import NULL_TRACER, EventName, Tracer
 from repro.schedulers.best_effort import pick_best_effort
-from repro.schedulers.gel_global import select_gel_jobs
+from repro.schedulers.gel_global import place_gel_jobs, select_gel_jobs
 from repro.schedulers.pedf import pick_edf
 from repro.schedulers.table_driven import pick_table_driven
 from repro.sim.engine import Engine
@@ -52,10 +55,27 @@ from repro.sim.events import Event, EventKind
 from repro.sim.processor import Processor
 from repro.sim.trace import Trace
 
-__all__ = ["KernelConfig", "MC2Kernel", "simulate"]
+__all__ = ["KernelConfig", "MC2Kernel", "simulate", "completion_eps"]
 
-#: Completion slack below which remaining execution counts as zero (1 ns).
+#: Absolute floor of the completion slack (1 ns).
 _COMPLETION_EPS = 1e-9
+#: Relative completion-slack component (~4.5 double ulps of ``now``).
+_COMPLETION_REL_EPS = 1e-15
+
+
+def completion_eps(now: float) -> float:
+    """Completion slack at simulated time *now*.
+
+    Remaining execution at or below this counts as zero.  A fixed
+    absolute epsilon falls below one double ulp of ``now`` once ``now``
+    exceeds ``~4.5e6`` (one ulp of 1e7 is ``~1.9e-9``), at which point a
+    completion event computed as ``start + remaining`` can pop with a
+    round-off residue the comparison cannot see — deferring the
+    completion to the next dispatch and perturbing the schedule.  The
+    slack is therefore relative with an absolute floor:
+    ``max(1e-9, now * 1e-15)``.
+    """
+    return max(_COMPLETION_EPS, now * _COMPLETION_REL_EPS)
 
 
 @dataclass(frozen=True)
@@ -86,6 +106,13 @@ class KernelConfig:
         time-triggered).  The extra separation is measured in virtual
         time for level-C tasks, keeping releases legal under eq. 5.
         ``None`` (default) gives the paper's periodic release pattern.
+    dispatcher:
+        ``"incremental"`` (default) dispatches from lazily-maintained
+        heaps and advances only the processors an event touches —
+        O(m + k log n) per event.  ``"baseline"`` is the original
+        O(m + n log n) advance-everything/sort-everything path, kept as
+        differential ground truth (:mod:`repro.sim.diffcheck` asserts the
+        two are trace-identical).
     """
 
     use_virtual_time: bool = True
@@ -93,14 +120,25 @@ class KernelConfig:
     monitor_latency: float = 0.0
     measure_overhead: bool = False
     release_delay: Optional[Callable[[Task, int], float]] = None
+    dispatcher: str = "incremental"
 
 
 class _IdentityClock:
-    """Degenerate clock for ``use_virtual_time=False``: v(t) == t always."""
+    """Degenerate clock for ``use_virtual_time=False``: v(t) == t always.
 
-    speed = 1.0
-    last_act = 0.0
-    last_virt = 0.0
+    State lives on the instance: an earlier revision exposed
+    ``last_act``/``last_virt``/``speed`` as *class* attributes, so any
+    code assigning through one kernel's ``clock`` (or mutating the class
+    by accident) could leak state into every other baseline kernel — a
+    hazard when a pool worker hosts many kernels back to back.
+    """
+
+    __slots__ = ("speed", "last_act", "last_virt")
+
+    def __init__(self) -> None:
+        self.speed = 1.0
+        self.last_act = 0.0
+        self.last_virt = 0.0
 
     @staticmethod
     def act_to_virt(act: float) -> float:
@@ -129,6 +167,12 @@ class MC2Kernel:
         self.taskset = taskset
         self.behavior: ExecutionBehavior = behavior if behavior is not None else ConstantBehavior()
         self.config = config if config is not None else KernelConfig()
+        if self.config.dispatcher not in ("incremental", "baseline"):
+            raise ValueError(
+                f"unknown dispatcher {self.config.dispatcher!r}; "
+                "expected 'incremental' or 'baseline'"
+            )
+        self._incremental = self.config.dispatcher == "incremental"
         self.engine = Engine()
         self.trace = Trace(record_intervals=self.config.record_intervals)
         self.processors = [Processor(p) for p in range(taskset.m)]
@@ -139,8 +183,12 @@ class MC2Kernel:
         #: Kernel metrics (counters + span histograms).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.spans = SpanTimer(self.metrics, prefix="kernel")
-        # Hot-path fast binds: with measurement/tracing off, skip the
-        # wrapper layer so the per-event cost matches the pre-obs kernel.
+        # Hot-path fast binds: the dispatcher strategy is resolved once
+        # here, and with measurement/tracing off the wrapper layer is
+        # skipped so the per-event cost matches the pre-obs kernel.
+        self._pick_next: Callable[[float], None] = (
+            self._pick_next_incremental if self._incremental else self._pick_next_baseline
+        )
         if not self.config.measure_overhead:
             self._reschedule = self._pick_next  # type: ignore[method-assign]
         if not self._trace_on:
@@ -158,6 +206,40 @@ class MC2Kernel:
         self.jobs_b: List[List[Job]] = [[] for _ in range(taskset.m)]
         self.jobs_c: List[Job] = []
         self.jobs_d: List[Job] = []
+
+        # --- Incremental-dispatcher index structures -------------------
+        # Maintained only when dispatcher == "incremental" (the baseline
+        # path intentionally shares nothing with them, so the diffcheck
+        # harness also validates this bookkeeping).  Invariants:
+        # * _pending_cd[tid] holds the task's incomplete released C/D
+        #   jobs in index order (releases append; completions remove the
+        #   head, or the tail for a zero-demand job completing at its own
+        #   release instant).
+        # * _head_c/_head_d map a task to its earliest incomplete job —
+        #   the only job eligible under intra-task precedence.
+        # * _ready_c is a bisect-sorted list with exactly one entry
+        #   (virtual_pp, tid, idx, job) per current level-C head — never
+        #   stale.  Eager maintenance is cheap because the sort key is
+        #   immutable (virtual_pp is fixed at release; speed changes move
+        #   actual_pp, not virtual_pp), so an outgoing head's entry is
+        #   found by bisecting for its exact key; in exchange, the top-k
+        #   peek every dispatch needs is a plain slice.
+        # * _heap_a/_heap_b hold (rm_key|edf_key, job) per released job;
+        #   completed entries are popped lazily when they surface.
+        self._pending_cd: Dict[int, Deque[Job]] = {
+            t.task_id: deque()
+            for t in taskset
+            if t.level is CriticalityLevel.C or t.level is CriticalityLevel.D
+        }
+        self._head_c: Dict[int, Job] = {}
+        self._head_d: Dict[int, Job] = {}
+        self._ready_c: List[Tuple[float, int, int, Job]] = []
+        self._heap_a: List[List[Tuple[float, int, int, Job]]] = [
+            [] for _ in range(taskset.m)
+        ]
+        self._heap_b: List[List[Tuple[float, int, int, Job]]] = [
+            [] for _ in range(taskset.m)
+        ]
 
         # Release bookkeeping.
         self.controllers: Dict[int, ReleaseController] = {}
@@ -227,7 +309,13 @@ class MC2Kernel:
         self.start()
         if self._finished:
             raise RuntimeError("cannot resume a finished kernel")
-        return self.engine.run(self._handle, until, stop)
+        out = self.engine.run(self._handle, until, stop)
+        # Bring lazily-advanced processors up to date (anchor-based
+        # advance makes this a pure recomputation), so callers inspecting
+        # job state between segments see consistent remaining demand.
+        for proc in self.processors:
+            proc.advance(self.engine.now)
+        return out
 
     def finish(self) -> Trace:
         """Close the trace (record still-running intervals and incomplete jobs)."""
@@ -245,24 +333,38 @@ class MC2Kernel:
 
     def _handle(self, ev: Event) -> None:
         now = self.engine.now
-        for proc in self.processors:
-            proc.advance(now)
+        eps = completion_eps(now)
         # Complete any job whose demand is exactly exhausted *before*
         # processing the event: a release at the same instant must not be
         # able to "preempt" a job with zero remaining work (its tentative
         # COMPLETION event would sort after the RELEASE and go stale,
         # deferring the completion to the next dispatch).
-        for proc in self.processors:
-            job = proc.current
-            if job is not None and job.remaining <= _COMPLETION_EPS:
-                job.remaining = 0.0
-                cpu = proc.cpu_id
-                self._record_interval(cpu, job, self._run_start[cpu], now)
-                proc.assign(None, now)
-                job.running_on = None
-                job.last_cpu = cpu
-                job.generation += 1
-                self._complete_job(job, now)
+        if self._incremental:
+            # Advance only the processors this event touches: the cheap
+            # dirty-set scan below finds same-instant completions without
+            # mutating untouched processors (remaining_at evaluates the
+            # exact expression an advance would store), and descheduling
+            # paths advance on demand.  Anchor-based accounting makes the
+            # deferred advances bit-identical to the baseline's
+            # advance-everything loop.
+            for proc in self.processors:
+                job = proc.current
+                # Inlined proc.remaining_at(now) <= eps (the max(0, .)
+                # clamp is redundant against a positive eps): this runs
+                # once per busy CPU per event, and the attribute reads
+                # measurably beat a method call.
+                if job is not None and (
+                    proc._anchor_remaining - (now - proc._anchor_time) <= eps
+                ):
+                    proc.advance(now)
+                    self._finish_running(proc, job, now)
+        else:
+            for proc in self.processors:
+                proc.advance(now)
+            for proc in self.processors:
+                job = proc.current
+                if job is not None and job.remaining <= eps:
+                    self._finish_running(proc, job, now)
         if ev.kind is EventKind.RELEASE:
             self._on_release_timer(ev, now)
         elif ev.kind is EventKind.COMPLETION:
@@ -324,6 +426,8 @@ class MC2Kernel:
         job.virtual_pp = v_r + task.relative_pp
         job.actual_pp = None
         self.jobs_c.append(job)
+        if self._incremental:
+            self._index_release(job)
         if self._trace_on:
             self._trace_release(job, now)
         self._notify_release(job, now)
@@ -351,6 +455,8 @@ class MC2Kernel:
             self.jobs_b[task.cpu].append(job)  # type: ignore[index]
         else:
             self.jobs_d.append(job)
+        if self._incremental:
+            self._index_release(job)
         if self._trace_on:
             self._trace_release(job, now)
         self._maybe_complete_zero(job, now)
@@ -381,6 +487,21 @@ class MC2Kernel:
     # ------------------------------------------------------------------
     # Completions
     # ------------------------------------------------------------------
+    def _finish_running(self, proc: Processor, job: Job, now: float) -> None:
+        """Complete *job*, currently running on *proc*, at *now*.
+
+        Shared by both dispatch modes' exhausted-job pre-pass; the caller
+        must have advanced *proc* to *now* first.
+        """
+        job.remaining = 0.0
+        cpu = proc.cpu_id
+        self._record_interval(cpu, job, self._run_start[cpu], now)
+        proc.assign(None, now)
+        job.running_on = None
+        job.last_cpu = cpu
+        job.generation += 1
+        self._complete_job(job, now)
+
     def _on_completion(self, ev: Event, now: float) -> None:
         # Completions are actually performed in the advance pre-pass of
         # _handle (so they cannot lose a same-instant ordering race with
@@ -391,13 +512,15 @@ class MC2Kernel:
         job: Job = ev.payload
         if ev.generation != job.generation or job.running_on is None:
             return  # stale, or already completed by the pre-pass
-        if job.remaining > _COMPLETION_EPS:
+        cpu = job.running_on
+        proc = self.processors[cpu]
+        proc.advance(now)  # no-op in baseline mode (already advanced)
+        if job.remaining > completion_eps(now):
             job.generation += 1
-            cpu = job.running_on
             self._record_interval(cpu, job, self._run_start[cpu], now)
             job.running_on = None
             job.last_cpu = cpu
-            self.processors[cpu].assign(None, now)
+            proc.assign(None, now)
 
     def _complete_job(self, job: Job, now: float) -> None:
         job.completion = now
@@ -435,9 +558,10 @@ class MC2Kernel:
         and completions have all been applied, matching the paper's
         pending semantics (``r <= t < t^c``).
         """
-        ready_remaining = any(
-            j.running_on is None for j in self._eligible(self.jobs_c)
+        eligible_c = (
+            self._head_c.values() if self._incremental else self._eligible(self.jobs_c)
         )
+        ready_remaining = any(j.running_on is None for j in eligible_c)
         buffered, self._report_buffer = self._report_buffer, []
         for job in buffered:
             report = CompletionReport(
@@ -469,6 +593,92 @@ class MC2Kernel:
             self.jobs_c.remove(job)
         else:
             self.jobs_d.remove(job)
+        if self._incremental:
+            self._deindex_complete(job)
+
+    # ------------------------------------------------------------------
+    # Incremental-dispatcher bookkeeping (see __init__ for invariants)
+    # ------------------------------------------------------------------
+    def _index_release(self, job: Job) -> None:
+        """Register a newly released job with the dispatch indexes."""
+        task = job.task
+        level = task.level
+        if level is CriticalityLevel.A:
+            heapq.heappush(
+                self._heap_a[task.cpu],  # type: ignore[index]
+                (task.period, task.task_id, job.index, job),
+            )
+        elif level is CriticalityLevel.B:
+            assert job.deadline is not None
+            heapq.heappush(
+                self._heap_b[task.cpu],  # type: ignore[index]
+                (job.deadline, task.task_id, job.index, job),
+            )
+        else:
+            q = self._pending_cd[task.task_id]
+            q.append(job)
+            if q[0] is job:  # no earlier incomplete job: this is the head
+                if level is CriticalityLevel.C:
+                    self._head_c[task.task_id] = job
+                    assert job.virtual_pp is not None
+                    insort(
+                        self._ready_c,
+                        (job.virtual_pp, task.task_id, job.index, job),
+                    )
+                else:
+                    self._head_d[task.task_id] = job
+
+    def _deindex_complete(self, job: Job) -> None:
+        """Drop a completed C/D job from the dispatch indexes.
+
+        Level-A/B heap entries are not removed here; they are popped
+        lazily when they surface at the top of their heap (their keys
+        grow monotonically per task, so they cannot linger below newer
+        entries forever).
+        """
+        level = job.task.level
+        if level is not CriticalityLevel.C and level is not CriticalityLevel.D:
+            return
+        tid = job.task.task_id
+        q = self._pending_cd[tid]
+        heads = self._head_c if level is CriticalityLevel.C else self._head_d
+        if q and q[0] is job:
+            q.popleft()
+            if level is CriticalityLevel.C:
+                self._remove_ready_c(job, tid)
+            if q:
+                head = q[0]
+                heads[tid] = head
+                if level is CriticalityLevel.C:
+                    assert head.virtual_pp is not None
+                    insort(self._ready_c, (head.virtual_pp, tid, head.index, head))
+            else:
+                del heads[tid]
+        elif q and q[-1] is job:
+            # A zero-demand job completing at its own release instant
+            # never became its task's head: drop it from the tail.
+            q.pop()
+        else:  # pragma: no cover - unreachable via kernel release paths
+            q.remove(job)
+
+    def _remove_ready_c(self, job: Job, tid: int) -> None:
+        """Remove *job*'s (unique, immutable-keyed) ready-list entry."""
+        entry = (job.virtual_pp, tid, job.index, job)
+        pos = bisect_left(self._ready_c, entry)
+        # (virtual_pp, tid, idx) is unique per job, so the probe lands
+        # exactly on the entry; tuple comparison never reaches the Job
+        # element (which has identity equality only).
+        assert self._ready_c[pos][3] is job
+        del self._ready_c[pos]
+
+    def _top_ready_c(self, k: int) -> List[Job]:
+        """The up-to-*k* highest-priority level-C heads, ascending.
+
+        The ready list is exact (one entry per head, eagerly removed on
+        head change), so the top-k peek is a slice — no validity checks,
+        no heap churn.
+        """
+        return [entry[3] for entry in self._ready_c[:k]]
 
     # ------------------------------------------------------------------
     # Monitor plumbing
@@ -535,7 +745,12 @@ class MC2Kernel:
         else:
             self._pick_next(now)
 
-    def _pick_next(self, now: float) -> None:
+    def _pick_next_baseline(self, now: float) -> None:
+        """The original advance-everything/sort-everything dispatch.
+
+        O(m + n log n) per event; kept verbatim as the differential
+        ground truth for the incremental path (``repro.sim.diffcheck``).
+        """
         m = self.taskset.m
         assignment: List[Optional[Job]] = [None] * m
         # Level A claims its CPU first (highest priority, table order).
@@ -557,20 +772,71 @@ class MC2Kernel:
         # Level D: background on whatever is left.
         left = [p for p in range(m) if assignment[p] is None]
         if left and self.jobs_d:
-            elig_d = self._eligible(self.jobs_d)
-            pool = [j for j in elig_d if j.running_on is None or j.running_on in left]
-            # Keep running D jobs in place, then fill FIFO.
-            for p in left:
-                cur = self.processors[p].current
-                if cur is not None and cur in pool:
-                    assignment[p] = cur
-                    pool.remove(cur)
-            for p in left:
-                if assignment[p] is None and pool:
-                    nxt = pick_best_effort(pool)
-                    assignment[p] = nxt
-                    pool.remove(nxt)  # type: ignore[arg-type]
+            self._dispatch_level_d(assignment, left, self._eligible(self.jobs_d))
         self._apply_assignment(assignment, now)
+
+    def _pick_next_incremental(self, now: float) -> None:
+        """Heap-backed dispatch: O(m + k log n) per event.
+
+        Selects exactly what :meth:`_pick_next_baseline` would — level-A
+        RM and level-B EDF minima come from per-CPU lazy heaps, the
+        level-C GEL-v top-k from the ready heap (same key, same
+        tie-break), and placement reuses the same migration-averse pass —
+        so the resulting assignment is bit-identical.
+        """
+        m = self.taskset.m
+        assignment: List[Optional[Job]] = [None] * m
+        free: List[int] = []
+        heaps_a, heaps_b = self._heap_a, self._heap_b
+        for p in range(m):
+            heap = heaps_a[p]
+            while heap and heap[0][3].completion is not None:
+                heapq.heappop(heap)  # lazily drop completed entries
+            if not heap:
+                heap = heaps_b[p]
+                while heap and heap[0][3].completion is not None:
+                    heapq.heappop(heap)
+            if heap:
+                assignment[p] = heap[0][3]
+            else:
+                free.append(p)
+        if free and self._ready_c:
+            chosen = self._top_ready_c(len(free))
+            for cpu, job in place_gel_jobs(chosen, free).items():
+                assignment[cpu] = job
+        left = [p for p in range(m) if assignment[p] is None]
+        if left and self._head_d:
+            self._dispatch_level_d(assignment, left, self._head_d.values())
+        self._apply_assignment(assignment, now)
+
+    def _dispatch_level_d(
+        self,
+        assignment: List[Optional[Job]],
+        left: List[int],
+        eligible: "Sequence[Job] | object",
+    ) -> None:
+        """Fill leftover CPUs with best-effort level-D work (in place).
+
+        Keeps running D jobs where they are, then fills FIFO; the result
+        does not depend on *eligible*'s iteration order (the FIFO key is
+        unique per job), so the baseline's list scan and the incremental
+        head registry produce identical assignments.
+        """
+        pool = [
+            j
+            for j in eligible  # type: ignore[union-attr]
+            if j.running_on is None or j.running_on in left
+        ]
+        for p in left:
+            cur = self.processors[p].current
+            if cur is not None and cur in pool:
+                assignment[p] = cur
+                pool.remove(cur)
+        for p in left:
+            if assignment[p] is None and pool:
+                nxt = pick_best_effort(pool)
+                assignment[p] = nxt
+                pool.remove(nxt)  # type: ignore[arg-type]
 
     @staticmethod
     def _eligible(jobs: Sequence[Job]) -> List[Job]:
@@ -583,6 +849,7 @@ class MC2Kernel:
         return list(head.values())
 
     def _apply_assignment(self, assignment: Sequence[Optional[Job]], now: float) -> None:
+        eps = completion_eps(now)
         # Pass 1: stop jobs that lost their CPU (or must migrate).
         for p, proc in enumerate(self.processors):
             old = proc.current
@@ -590,12 +857,13 @@ class MC2Kernel:
             if old is new:
                 continue
             if old is not None:
+                proc.advance(now)  # no-op unless lazily deferred
                 self._record_interval(p, old, self._run_start[p], now)
                 old.generation += 1
                 old.running_on = None
                 old.last_cpu = p
                 proc.assign(None, now)
-                if old.remaining > _COMPLETION_EPS:
+                if old.remaining > eps:
                     self.preemptions += 1
                     if self._trace_on:
                         self.tracer.emit(
@@ -610,6 +878,7 @@ class MC2Kernel:
             if new.running_on is not None:
                 # Migrating without a pause: close the old interval.
                 old_cpu = new.running_on
+                self.processors[old_cpu].advance(now)  # no-op unless deferred
                 self._record_interval(old_cpu, new, self._run_start[old_cpu], now)
                 self.processors[old_cpu].assign(None, now)
                 new.generation += 1

@@ -3,6 +3,22 @@
 A :class:`Processor` tracks which job currently occupies the CPU and
 since when, so the kernel can charge elapsed execution on every event
 ("advance"), and the trace can record contiguous execution intervals.
+
+Accounting is **anchor-based**: when a job is assigned, the processor
+records ``(anchor_time, anchor_remaining)`` and every subsequent
+:meth:`advance` recomputes ``remaining = anchor_remaining - (now -
+anchor_time)`` from that fixed pair, rather than decrementing the
+remaining demand step by step.  Two properties follow:
+
+* **No drift accumulation.**  A job advanced at every intermediate event
+  and a job advanced once at the end produce bit-identical ``remaining``
+  values — the error is bounded by one subtraction's round-off instead
+  of growing with the number of events.  This is what lets the
+  incremental dispatcher advance only the processors an event actually
+  touches while staying trace-identical to the advance-everything
+  baseline (see ``repro.sim.diffcheck``).
+* **Idempotence.**  ``advance(now)`` twice at the same instant is a
+  no-op, so shared code paths may advance defensively.
 """
 
 from __future__ import annotations
@@ -23,18 +39,35 @@ class Processor:
         self.current: Optional[Job] = None
         #: When the current job last started/resumed/was advanced here.
         self.since: float = 0.0
+        #: Accounting anchor: time the current job was installed ...
+        self._anchor_time: float = 0.0
+        #: ... and its remaining demand at that instant.
+        self._anchor_remaining: float = 0.0
 
     @property
     def is_idle(self) -> bool:
         """Whether no job occupies this CPU."""
         return self.current is None
 
+    def remaining_at(self, now: float) -> float:
+        """The current job's remaining demand at *now*, without mutating.
+
+        Exactly the value :meth:`advance` would store — the kernel's
+        same-instant completion scan uses this to find exhausted jobs
+        without advancing untouched processors.  Raises
+        :class:`ValueError` if the CPU is idle.
+        """
+        if self.current is None:
+            raise ValueError(f"cpu {self.cpu_id} is idle")
+        return max(0.0, self._anchor_remaining - (now - self._anchor_time))
+
     def advance(self, now: float) -> float:
         """Charge execution up to *now*; return the amount charged.
 
-        Decrements the running job's remaining execution by the elapsed
-        time since the last advance and moves the accounting point to
-        *now*.  Idle CPUs charge nothing.
+        Sets the running job's remaining execution from the assignment
+        anchor and moves the accounting point to *now*.  Idle CPUs charge
+        nothing.  Idempotent: advancing twice to the same *now* changes
+        nothing.
         """
         if self.current is None:
             self.since = now
@@ -45,9 +78,12 @@ class Processor:
                 f"cpu {self.cpu_id}: advance to {now} precedes accounting point {self.since}"
             )
         if elapsed:
-            # Clamp at zero: the elapsed time equals the remaining work at a
-            # completion event up to float round-off.
-            self.current.remaining = max(0.0, self.current.remaining - elapsed)
+            # Recompute from the anchor (not an incremental decrement):
+            # clamped at zero because the elapsed time equals the
+            # remaining work at a completion event up to float round-off.
+            self.current.remaining = max(
+                0.0, self._anchor_remaining - (now - self._anchor_time)
+            )
         self.since = now
         return elapsed
 
@@ -55,6 +91,8 @@ class Processor:
         """Install *job* (or idle the CPU) with accounting from *now*."""
         self.current = job
         self.since = now
+        self._anchor_time = now
+        self._anchor_remaining = job.remaining if job is not None else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - formatting only
         what = self.current.label if self.current else "idle"

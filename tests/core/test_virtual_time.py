@@ -188,3 +188,58 @@ class TestSpeedProfile:
         assert prof.v(25.0) == pytest.approx(22.0)
         assert prof.v(30.0) == pytest.approx(25.0)
         assert prof.minimum_speed() == 0.5
+
+
+class TestDuplicateInstantTies:
+    """Two speed changes at the same instant form a zero-length segment;
+    the LAST record must win everywhere (right-continuity), matching a
+    kernel clock that saw two same-instant change_speed calls."""
+
+    def twice_changed(self):
+        # Speed 1 on [0, 10); at t=10 a change to 0.5 is immediately
+        # superseded by a change to 0.25 at the same instant.
+        return SpeedProfile(
+            [
+                SpeedChange(act=0.0, virt=0.0, speed=1.0),
+                SpeedChange(act=10.0, virt=10.0, speed=0.5),
+                SpeedChange(act=10.0, virt=10.0, speed=0.25),
+            ]
+        )
+
+    def test_speed_at_tie_takes_last_record(self):
+        prof = self.twice_changed()
+        assert prof.speed_at(10.0) == 0.25
+        assert prof.speed_at(9.999) == 1.0
+        assert prof.speed_at(10.001) == 0.25
+
+    def test_v_uses_last_records_slope(self):
+        prof = self.twice_changed()
+        assert prof.v(10.0) == pytest.approx(10.0)
+        assert prof.v(14.0) == pytest.approx(11.0)  # 10 + 4 * 0.25
+
+    def test_inverse_uses_last_records_slope(self):
+        prof = self.twice_changed()
+        assert prof.inverse(10.0) == pytest.approx(10.0)
+        assert prof.inverse(11.0) == pytest.approx(14.0)
+
+    def test_matches_same_instant_kernel_clock(self):
+        """A clock with two same-instant change_speed calls and its
+        profile agree on everything after the tie."""
+        clk = VirtualClock(0.0)
+        clk.change_speed(0.5, 10.0)
+        clk.change_speed(0.25, 10.0)
+        prof = clk.profile()
+        for act in (10.0, 12.0, 20.0):
+            assert prof.v(act) == pytest.approx(clk.act_to_virt(act))
+        assert prof.speed_at(10.0) == clk.speed == 0.25
+
+    def test_exact_with_fractions(self):
+        prof = SpeedProfile(
+            [
+                SpeedChange(Fraction(0), Fraction(0), Fraction(1)),
+                SpeedChange(Fraction(10), Fraction(10), Fraction(1, 2)),
+                SpeedChange(Fraction(10), Fraction(10), Fraction(1, 4)),
+            ]
+        )
+        assert prof.v(Fraction(18)) == Fraction(12)
+        assert prof.inverse(Fraction(12)) == Fraction(18)

@@ -1,0 +1,203 @@
+"""Differential equivalence: incremental vs baseline dispatch.
+
+The incremental dispatcher (lazy heaps + per-task head tracking) must be
+trace-equivalent to the original sort-the-pool baseline — bit-identical
+job records, intervals, speed changes, counters, and event counts.
+These tests drive :mod:`repro.sim.diffcheck` over hand-built edge cases
+and a randomized scenario sweep.
+"""
+
+import pytest
+
+from repro.core.monitor import NullMonitor, SimpleMonitor
+from repro.model.behavior import ConstantBehavior, TraceBehavior
+from repro.model.task import CriticalityLevel as L
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.sim.diffcheck import (
+    DiffScenario,
+    ZeroDemandEvery,
+    check_many,
+    compare_dispatchers,
+    fingerprint,
+    random_scenarios,
+    run_dispatcher,
+)
+from repro.sim.kernel import KernelConfig, MC2Kernel
+from repro.workload.scenarios import SHORT
+from tests.conftest import make_a_task, make_b_task, make_c_task
+
+
+def fingerprints(make_taskset, behavior_factory, horizon, monitor=None, **cfg):
+    """Run both dispatchers over a hand-built scenario; return fingerprints."""
+    out = []
+    for dispatcher in ("baseline", "incremental"):
+        kernel = MC2Kernel(
+            make_taskset(),
+            behavior=behavior_factory(),
+            config=KernelConfig(dispatcher=dispatcher, **cfg),
+        )
+        mon = NullMonitor(kernel) if monitor is None else monitor(kernel)
+        kernel.attach_monitor(mon)
+        trace = kernel.run(horizon)
+        out.append(fingerprint(trace, kernel, mon))
+    return out
+
+
+def d_task(tid, period, exec_time, phase=0.0):
+    return Task(task_id=tid, level=L.D, period=period,
+                pwcets={L.D: exec_time}, phase=phase)
+
+
+class TestDispatcherConfig:
+    def test_unknown_dispatcher_rejected(self):
+        ts = TaskSet([make_c_task(0, 4.0, 1.0)], m=1)
+        with pytest.raises(ValueError, match="dispatcher"):
+            MC2Kernel(ts, config=KernelConfig(dispatcher="quadratic"))
+
+    def test_default_is_incremental(self):
+        assert KernelConfig().dispatcher == "incremental"
+
+
+class TestHandBuiltEquivalence:
+    def test_harmonic_same_instant_ties(self):
+        """Harmonic periods: releases, PPs and completions pile onto the
+        same instants; tie-breaks must match exactly."""
+
+        def ts():
+            return TaskSet(
+                [
+                    make_c_task(0, 2.0, 0.5, y=1.5),
+                    make_c_task(1, 2.0, 0.5, y=1.5),  # identical twin of 0
+                    make_c_task(2, 4.0, 1.0, y=3.0),
+                    make_c_task(3, 8.0, 2.0, y=6.0),
+                ],
+                m=2,
+            )
+
+        base, inc = fingerprints(ts, ConstantBehavior, 64.0, record_intervals=True)
+        assert base == inc
+
+    def test_all_levels_and_level_d(self):
+        """A/B partitions + global C + best-effort D in one platform."""
+
+        def ts():
+            return TaskSet(
+                [
+                    make_a_task(10, 4.0, 0.05, cpu=0),
+                    make_a_task(11, 8.0, 0.1, cpu=1),
+                    make_b_task(20, 6.0, 0.1, cpu=0),
+                    make_b_task(21, 12.0, 0.2, cpu=1),
+                    make_c_task(0, 4.0, 1.0, y=3.0),
+                    make_c_task(1, 6.0, 2.0, y=5.0),
+                    make_c_task(2, 10.0, 3.0, y=8.0),
+                    d_task(30, 3.0, 1.0),
+                    d_task(31, 5.0, 2.0, phase=0.5),
+                ],
+                m=2,
+            )
+
+        base, inc = fingerprints(ts, ConstantBehavior, 120.0, record_intervals=True)
+        assert base == inc
+
+    def test_zero_exec_jobs_complete_at_release(self):
+        """Zero-demand jobs complete at their own release instant; the
+        successor job becomes the head immediately."""
+
+        def ts():
+            return TaskSet(
+                [make_c_task(0, 2.0, 0.5, y=1.5), make_c_task(1, 3.0, 1.0, y=2.0)],
+                m=1,
+            )
+
+        base, inc = fingerprints(
+            ts,
+            lambda: ZeroDemandEvery(ConstantBehavior(), every=2),
+            48.0,
+            record_intervals=True,
+        )
+        assert base == inc
+        # Sanity: the wrapper really produced zero-demand jobs.
+        assert any(j[4] == 0.0 for j in inc["jobs"])
+
+    def test_consecutive_zero_exec_jobs(self):
+        """A run of zero-demand jobs of one task at one instant."""
+
+        def ts():
+            return TaskSet([make_c_task(0, 1.0, 0.25), make_c_task(1, 4.0, 2.0)], m=1)
+
+        def behavior():
+            return TraceBehavior(
+                overrides={(0, k): 0.0 for k in range(4, 12)},
+                default=ConstantBehavior(),
+            )
+
+        base, inc = fingerprints(ts, behavior, 20.0, record_intervals=True)
+        assert base == inc
+
+    def test_overload_with_simple_recovery(self):
+        """SVO recovery: speed changes, PP actualization, timer re-arming."""
+
+        def overloading_c(tid, period, pwcet_c, y, tolerance):
+            # Explicit level-B PWCET so SHORT's windows actually overrun
+            # (the paper's 10x pessimism ratio).
+            return Task(
+                task_id=tid, level=L.C, period=period,
+                pwcets={L.C: pwcet_c, L.B: 10.0 * pwcet_c},
+                relative_pp=y, tolerance=tolerance,
+            )
+
+        def ts():
+            return TaskSet(
+                [
+                    make_a_task(10, 4.0, 0.05, cpu=0),
+                    make_b_task(20, 6.0, 0.1, cpu=0),
+                    overloading_c(0, 4.0, 1.0, y=3.0, tolerance=2.0),
+                    overloading_c(1, 6.0, 2.0, y=5.0, tolerance=3.0),
+                ],
+                m=1,
+            )
+
+        base, inc = fingerprints(
+            ts,
+            SHORT.behavior,
+            30.0,
+            monitor=lambda k: SimpleMonitor(k, s=0.5),
+            record_intervals=True,
+        )
+        assert base == inc
+        assert base["speed_changes"], "scenario never triggered recovery"
+
+
+class TestRandomizedSweep:
+    def test_randomized_scenarios_trace_equivalent(self):
+        """>= 200 randomized scenarios: overload recovery, monitor
+        latency, zero-demand jobs, level-D load, 2-8 CPUs."""
+        checked, failures = check_many(random_scenarios(200, base_seed=2015))
+        assert checked >= 200
+        assert not failures, "\n".join(
+            f"[{', '.join(f.mismatched)}] {f.scenario.label()}" for f in failures
+        )
+
+    def test_sweep_covers_recovery_and_zero_exec(self):
+        """The generated grid actually exercises the interesting axes."""
+        scenarios = random_scenarios(200, base_seed=2015)
+        assert any(s.monitor == "simple" for s in scenarios)
+        assert any(s.monitor == "adaptive" for s in scenarios)
+        assert any(s.behavior in ("SHORT", "LONG", "DOUBLE") for s in scenarios)
+        assert any(s.zero_every for s in scenarios)
+        assert any(s.level_d_tasks for s in scenarios)
+        assert any(s.monitor_latency > 0 for s in scenarios)
+        assert any(not s.use_virtual_time for s in scenarios)
+        assert any(s.m == 8 for s in scenarios)
+
+    def test_compare_reports_mismatch_fields(self):
+        """A genuinely different pair of runs is reported, not masked."""
+        sc = DiffScenario(seed=2015, behavior="SHORT", monitor="simple")
+        a = run_dispatcher(sc, "incremental")
+        # Different horizon => different fingerprint; reuse the comparator
+        # internals by checking dict inequality the way compare does.
+        b = run_dispatcher(DiffScenario(seed=2016, behavior="SHORT", monitor="simple"), "incremental")
+        assert a != b
+        result = compare_dispatchers(sc)
+        assert result.equal and not result.mismatched
