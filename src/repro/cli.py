@@ -9,7 +9,9 @@ Subcommands:
   metrics (optionally as JSON);
 * ``figures``  — regenerate one of the paper's figures;
 * ``trace``    — summarize or convert JSONL event traces
-  (:mod:`repro.obs`).
+  (:mod:`repro.obs`);
+* ``faults``   — fault-injection campaigns, scorecards, failing-plan
+  shrinking and repro replay (:mod:`repro.faults`).
 
 Examples::
 
@@ -21,6 +23,11 @@ Examples::
     repro-mc2 figures --figure 7 --jobs 4 --cache-dir ~/.cache/repro-mc2
     repro-mc2 trace summarize traces/run-0123abcd4567.jsonl
     repro-mc2 trace convert traces/run-0123abcd4567.jsonl -o chrome.json
+    repro-mc2 faults run --cells 50 --jobs 4 -o scorecard.json
+    repro-mc2 faults run --fault-free --cells 200 --jobs 4
+    repro-mc2 faults report scorecard.json
+    repro-mc2 faults shrink scorecard.json -o repro.json
+    repro-mc2 faults replay repro.json
 
 ``simulate`` and ``figures`` build declarative
 :class:`~repro.runtime.spec.RunSpec` grids and submit them through a
@@ -190,6 +197,56 @@ def build_parser() -> argparse.ArgumentParser:
     tconv.add_argument("-o", "--output", required=True,
                        help="output path (open in Perfetto or chrome://tracing)")
 
+    fl = sub.add_parser("faults",
+                        help="fault-injection campaigns and repro tooling")
+    fsub = fl.add_subparsers(dest="faults_command", required=True)
+
+    fr = fsub.add_parser("run", help="run a seeded fault campaign")
+    fr.add_argument("--seed", type=int, default=2015,
+                    help="master campaign seed (grid + plans)")
+    fr.add_argument("--cells", type=int, default=50,
+                    help="campaign cells (faulted mode appends one "
+                         "fault-free baseline per distinct run spec)")
+    fr.add_argument("--fault-free", action="store_true",
+                    help="acceptance-gate mode: empty plans; exits "
+                         "non-zero on any invariant violation")
+    fr.add_argument("--tasksets", type=int, default=8,
+                    help="task sets in the underlying grid")
+    fr.add_argument("--m", type=int, default=4,
+                    help="platform size assumed by CpuStall plans")
+    fr.add_argument("--horizon", type=float, default=30.0)
+    fr.add_argument("--max-faults", type=int, default=3,
+                    help="maximum faults per random plan")
+    fr.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes (default: 1, serial)")
+    fr.add_argument("--trace-dir", metavar="DIR",
+                    help="stream one JSONL event trace per cell into DIR")
+    fr.add_argument("-o", "--out", metavar="FILE",
+                    help="write the scorecard JSON to FILE")
+    fr.add_argument("--progress", action="store_true",
+                    help="report live campaign progress on stderr")
+    fr.add_argument("--json", action="store_true",
+                    help="emit the scorecard summary as JSON")
+
+    fp = fsub.add_parser("report", help="render a saved scorecard")
+    fp.add_argument("scorecard", help="scorecard JSON (from faults run -o)")
+    fp.add_argument("--json", action="store_true",
+                    help="emit the summary as JSON")
+
+    fs = fsub.add_parser("shrink",
+                         help="shrink a violating campaign cell to a "
+                              "minimal replayable repro")
+    fs.add_argument("scorecard", help="scorecard JSON (from faults run -o)")
+    fs.add_argument("--cell", metavar="KEYPREFIX",
+                    help="cell key prefix (default: first violating cell)")
+    fs.add_argument("-o", "--out", metavar="FILE", required=True,
+                    help="write the repro artifact JSON to FILE")
+
+    fy = fsub.add_parser("replay", help="re-execute a repro artifact")
+    fy.add_argument("repro", help="repro JSON (from faults shrink -o)")
+    fy.add_argument("--json", action="store_true",
+                    help="emit the replay outcome as JSON")
+
     return ap
 
 
@@ -291,6 +348,90 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import (
+        CampaignConfig,
+        Scorecard,
+        build_campaign,
+        replay_repro,
+        run_campaign,
+        shrink_plan,
+        write_repro,
+    )
+
+    if args.faults_command == "run":
+        config = CampaignConfig(
+            seed=args.seed,
+            cells=args.cells,
+            fault_free=args.fault_free,
+            tasksets=args.tasksets,
+            m=args.m,
+            horizon=args.horizon,
+            max_faults=args.max_faults,
+            trace_dir=args.trace_dir,
+        )
+        progress = ProgressReporter() if args.progress else None
+        scorecard = run_campaign(build_campaign(config), jobs=args.jobs,
+                                 progress=progress)
+        if args.out:
+            scorecard.save(args.out)
+            print(f"wrote scorecard ({len(scorecard.outcomes)} cells) to {args.out}",
+                  file=sys.stderr)
+        if args.json:
+            print(json.dumps(scorecard.summary(), indent=2, sort_keys=True))
+        else:
+            print(scorecard.render())
+        # Only the fault-free campaign is a gate: a healthy simulator
+        # must be violation-free without faults, while a faulted
+        # campaign *producing* violations is working as intended.
+        return 1 if (args.fault_free and not scorecard.ok) else 0
+
+    if args.faults_command == "report":
+        scorecard = Scorecard.load(args.scorecard)
+        if args.json:
+            print(json.dumps(scorecard.summary(), indent=2, sort_keys=True))
+        else:
+            print(scorecard.render())
+        return 0
+
+    if args.faults_command == "shrink":
+        scorecard = Scorecard.load(args.scorecard)
+        if args.cell:
+            outcome = scorecard.find(args.cell)
+        else:
+            violating = scorecard.violating()
+            if not violating:
+                print("error: scorecard has no violating cells to shrink",
+                      file=sys.stderr)
+                return 1
+            outcome = violating[0]
+        result = shrink_plan(outcome.cell)
+        write_repro(result, args.out)
+        print(f"shrunk {len(result.original.plan.faults)} fault(s) to "
+              f"{len(result.plan.faults)} in {result.evaluations} evaluations "
+              f"(invariants: {', '.join(result.invariants)})")
+        for step in result.steps:
+            print(f"  {step}")
+        for f in result.plan.faults:
+            print(f"  keeps: {f}")
+        print(f"wrote repro artifact to {args.out}")
+        return 0
+
+    outcome, reproduced = replay_repro(args.repro)
+    if args.json:
+        print(json.dumps({
+            "reproduced": reproduced,
+            "violations": [v.to_dict() for v in outcome.violations],
+            "fingerprint": outcome.fingerprint,
+        }, indent=2, sort_keys=True))
+    else:
+        counts = ", ".join(f"{k}x{n}" for k, n in
+                           sorted(outcome.violation_counts().items()))
+        print(f"replay {'reproduced' if reproduced else 'DID NOT reproduce'} "
+              f"the failure ({counts or 'no violations'})")
+    return 0 if reproduced else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -300,6 +441,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "figures": _cmd_figures,
         "trace": _cmd_trace,
+        "faults": _cmd_faults,
     }
     try:
         return handlers[args.command](args)
@@ -307,8 +449,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Output piped into a pager/head that closed early: not an error.
         try:
             sys.stdout.close()
-        except Exception:
-            pass
+        except OSError as exc:
+            # Still not an error, but don't swallow it silently: a close
+            # failure here can hide a genuinely broken output path.
+            print(f"warning: closing stdout after broken pipe failed: {exc}",
+                  file=sys.stderr)
         return 0
 
 

@@ -62,9 +62,12 @@ class CompletionReport:
     comp_time:
         ``t^c_{i,k}``.
     queue_empty:
-        Whether the level-C ready queue was empty at completion, i.e. the
-        CPU that completed this job became idle — the signal Algorithm 2
-        uses to detect candidate idle instants.
+        Whether some processor idles at the completion instant (no
+        pending level-A/B work claims it and no eligible level-C job is
+        left to run on it) — the Def. 3 signal Algorithm 2 uses to
+        detect candidate idle instants.  An empty ready queue alone is
+        not sufficient: a freed CPU refilled from the queue in the same
+        instant leaves every processor busy.
     """
 
     task: Task

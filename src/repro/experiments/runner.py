@@ -17,7 +17,7 @@ horizon caps pathological runs (flagged ``truncated``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.monitor import Monitor
 from repro.core.virtual_time import VirtualClock
@@ -31,6 +31,9 @@ from repro.sim.budgets import BudgetEnforcedBehavior
 from repro.sim.kernel import KernelConfig, MC2Kernel
 from repro.sim.trace import Trace
 from repro.workload.scenarios import OverloadScenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> runner)
+    from repro.faults.plane import FaultPlane
 
 # MonitorSpec moved to repro.runtime.spec (registry-backed); re-exported
 # here because this was its historical home.
@@ -58,6 +61,7 @@ def run_overload_experiment(
     level_c_budgets: bool = True,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    fault_plane: Optional["FaultPlane"] = None,
 ) -> RunResult | ExperimentOutput:
     """Run one overload-recovery experiment.
 
@@ -96,6 +100,12 @@ def run_overload_experiment(
     metrics:
         Metrics registry shared with the kernel (counters + span
         histograms); defaults to a fresh per-kernel registry.
+    fault_plane:
+        Optional :class:`~repro.faults.plane.FaultPlane` injecting
+        environment degradations (dropped monitor reports, delayed speed
+        commands, clock skew, execution spikes, release jitter, CPU
+        stalls).  ``None`` (default) leaves the run untouched — no
+        wrapper objects, no extra branches on the hot path.
     """
     for t in ts.level(CriticalityLevel.C):
         if t.tolerance is None:
@@ -108,9 +118,16 @@ def run_overload_experiment(
         behavior = BudgetEnforcedBehavior(
             behavior, enforce_a=False, enforce_b=False, enforce_c=True
         )
+    if fault_plane is not None:
+        # Spikes wrap *outside* budget enforcement: an execution spike is
+        # extra demand beyond the PWCETs, so budgets must not clip it.
+        cfg = fault_plane.amend_config(cfg)
+        behavior = fault_plane.wrap_behavior(behavior)
     kernel = MC2Kernel(ts, behavior=behavior, config=cfg, tracer=tracer, metrics=metrics)
     monitor = spec.build(kernel)
     kernel.attach_monitor(monitor)
+    if fault_plane is not None:
+        fault_plane.install(kernel, monitor)
 
     end = scenario.last_overload_end
 

@@ -1,0 +1,86 @@
+"""Fault injection and resilience verification for the MC² simulator.
+
+The paper's recovery protocol (virtual time, SVO, the monitor of
+Algorithms 2-4) is designed for a *well-behaved* platform: monitor
+reports arrive, speed commands take effect immediately, the clock is
+read exactly, processors supply their full capacity.  This package asks
+what happens when those assumptions degrade:
+
+* :mod:`repro.faults.spec` — frozen, canonically-serializable fault
+  descriptions (:class:`~repro.faults.spec.FaultPlan`), hashable like a
+  :class:`~repro.runtime.spec.RunSpec` so campaigns cache like sweeps;
+* :mod:`repro.faults.plane` — the injector.  A
+  :class:`~repro.faults.plane.FaultPlane` attaches to the existing
+  seams (monitor delivery, the speed-command path, clock reads,
+  processor supply) via composable interceptors; the kernel itself has
+  no fault branches, and a run without a plane is untouched;
+* :mod:`repro.faults.invariants` — trace oracles for the paper's safety
+  claims (criticality isolation, speed bounds, dissipation termination,
+  GEL-v order, justified recovery exits);
+* :mod:`repro.faults.campaign` — seeded (scenario × plan) campaigns on
+  the sweep executor, scored into a resilience scorecard;
+* :mod:`repro.faults.shrink` — delta-debugging reduction of a violating
+  plan to a minimal replayable repro.
+
+CLI: ``repro-mc2 faults run|report|shrink|replay``.
+"""
+
+from repro.faults.spec import (
+    ClockSkew,
+    CpuStall,
+    ExecutionSpike,
+    FaultPlan,
+    MonitorOutage,
+    ReleaseJitter,
+    SpeedCommandDelay,
+    SpeedCommandDrop,
+    fault_from_dict,
+    random_plan,
+)
+from repro.faults.plane import FAULT_TASK_BASE_ID, FaultPlane
+from repro.faults.invariants import (
+    INVARIANT_NAMES,
+    InvariantReport,
+    Violation,
+    evaluate_invariants,
+)
+from repro.faults.campaign import (
+    CampaignCell,
+    CampaignConfig,
+    CellOutcome,
+    Scorecard,
+    build_campaign,
+    run_campaign,
+    run_cell,
+)
+from repro.faults.shrink import ShrinkResult, replay_repro, shrink_plan, write_repro
+
+__all__ = [
+    "ClockSkew",
+    "CpuStall",
+    "ExecutionSpike",
+    "FaultPlan",
+    "MonitorOutage",
+    "ReleaseJitter",
+    "SpeedCommandDelay",
+    "SpeedCommandDrop",
+    "fault_from_dict",
+    "random_plan",
+    "FAULT_TASK_BASE_ID",
+    "FaultPlane",
+    "INVARIANT_NAMES",
+    "InvariantReport",
+    "Violation",
+    "evaluate_invariants",
+    "CampaignCell",
+    "CampaignConfig",
+    "CellOutcome",
+    "Scorecard",
+    "build_campaign",
+    "run_campaign",
+    "run_cell",
+    "ShrinkResult",
+    "replay_repro",
+    "shrink_plan",
+    "write_repro",
+]

@@ -1,0 +1,566 @@
+"""Fault campaigns: many (run spec × fault plan) cells, scored.
+
+A campaign is the fault-injection analogue of a sweep: a seeded grid of
+:class:`CampaignCell`\\ s — each one a :class:`~repro.runtime.spec.RunSpec`
+paired with a :class:`~repro.faults.spec.FaultPlan` — executed serially
+or across a process pool, with every cell's finished run checked
+against the invariant oracles of :mod:`repro.faults.invariants` and
+reduced to a :class:`CellOutcome`.  The collected outcomes form a
+:class:`Scorecard`.
+
+Determinism is the load-bearing property: a cell's outcome (including
+its run :func:`~repro.sim.diffcheck.fingerprint` digest and the exact
+violation messages) depends only on the cell, never on the backend or
+worker count, so a campaign's scorecard JSON is byte-identical whether
+it ran serially or on a pool.  Parallel execution reuses
+:func:`~repro.runtime.executor.map_pool_resilient`, so a killed worker
+degrades the wall clock, not the scorecard.
+
+Campaign construction (:func:`build_campaign`) has two modes:
+
+* **fault-free** — the first *cells* grid cells with empty plans.  This
+  is the acceptance gate: a healthy simulator must report **zero**
+  violations across the whole grid.
+* **faulted** — *cells* grid cells drawn by a seeded RNG, each with a
+  :func:`~repro.faults.spec.random_plan` anchored at the scenario's
+  last overload end, plus one fault-free *baseline* cell per distinct
+  run spec (appended after the faulted cells, first-use order) so the
+  scorecard can report dissipation inflation and miss deltas.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.invariants import Violation, evaluate_invariants
+from repro.faults.plane import FaultPlane
+from repro.faults.spec import FaultPlan, random_plan
+from repro.runtime.executor import PoolDegradation, map_pool_resilient
+from repro.runtime.spec import (
+    KernelSpec,
+    MonitorSpec,
+    ObsSpec,
+    RunSpec,
+    ScenarioSpec,
+    TaskSetSpec,
+)
+from repro.sim.diffcheck import fingerprint, fingerprint_digest
+from repro.workload.generator import taskset_seeds
+from repro.workload.scenarios import standard_scenarios
+
+__all__ = [
+    "CAMPAIGN_CELL_FORMAT",
+    "SCORECARD_FORMAT",
+    "CampaignCell",
+    "CellOutcome",
+    "CampaignConfig",
+    "build_campaign",
+    "run_cell",
+    "run_campaign",
+    "Scorecard",
+]
+
+CAMPAIGN_CELL_FORMAT = "repro-faultcell"
+SCORECARD_FORMAT = "repro-scorecard"
+SCORECARD_VERSION = 1
+
+#: The default monitor panel: the paper's SIMPLE speeds and ADAPTIVE
+#: aggressiveness values (Sec. 5 sweeps s and a over these ranges).
+_MONITOR_PANEL: Tuple[Tuple[str, float], ...] = (
+    ("simple", 0.4),
+    ("simple", 0.5),
+    ("simple", 0.6),
+    ("simple", 0.7),
+    ("simple", 0.8),
+    ("adaptive", 0.6),
+    ("adaptive", 0.8),
+    ("adaptive", 0.9),
+    ("adaptive", 1.0),
+)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One campaign cell: a run spec plus the fault plan to inject."""
+
+    run: RunSpec
+    plan: FaultPlan
+
+    def key(self) -> str:
+        """sha256 over the combined canonical JSON of run and plan.
+
+        ``ObsSpec`` is excluded (via ``RunSpec.canonical_json``), so
+        tracing a campaign never changes its cell identities.
+        """
+        import hashlib
+
+        doc = {
+            "format": CAMPAIGN_CELL_FORMAT,
+            "version": 1,
+            "run": json.loads(self.run.canonical_json()),
+            "plan": self.plan.to_dict(),
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"), allow_nan=False)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.io.runspec_json import runspec_to_dict
+
+        return {"run": runspec_to_dict(self.run), "plan": self.plan.to_dict()}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "CampaignCell":
+        from repro.io.runspec_json import runspec_from_dict
+
+        return cls(
+            run=runspec_from_dict(doc["run"]),
+            plan=FaultPlan.from_dict(doc["plan"]),
+        )
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed cell: run figures, fingerprint, invariant verdicts.
+
+    Carries the full :class:`CampaignCell` so a scorecard alone is
+    enough to re-run, shrink, or replay any of its cells.
+    """
+
+    cell: CampaignCell
+    dissipation: float
+    truncated: bool
+    min_speed: float
+    miss_count: int
+    episodes: int
+    sim_end: float
+    events: int
+    fingerprint: str
+    checked: Tuple[str, ...]
+    violations: Tuple[Violation, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def key(self) -> str:
+        return self.cell.key()
+
+    @property
+    def run_key(self) -> str:
+        return self.cell.run.key()
+
+    @property
+    def faulted(self) -> bool:
+        return not self.cell.plan.is_empty
+
+    @property
+    def scenario(self) -> str:
+        return self.cell.run.scenario.name
+
+    @property
+    def monitor(self) -> str:
+        return self.cell.run.monitor.label
+
+    def violation_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for v in self.violations:
+            out[v.invariant] = out.get(v.invariant, 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell.to_dict(),
+            "key": self.key,
+            "dissipation": self.dissipation,
+            "truncated": self.truncated,
+            "min_speed": self.min_speed,
+            "miss_count": self.miss_count,
+            "episodes": self.episodes,
+            "sim_end": self.sim_end,
+            "events": self.events,
+            "fingerprint": self.fingerprint,
+            "checked": list(self.checked),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "CellOutcome":
+        return cls(
+            cell=CampaignCell.from_dict(doc["cell"]),
+            dissipation=float(doc["dissipation"]),
+            truncated=bool(doc["truncated"]),
+            min_speed=float(doc["min_speed"]),
+            miss_count=int(doc["miss_count"]),
+            episodes=int(doc["episodes"]),
+            sim_end=float(doc["sim_end"]),
+            events=int(doc["events"]),
+            fingerprint=doc["fingerprint"],
+            checked=tuple(doc["checked"]),
+            violations=tuple(Violation.from_dict(v) for v in doc["violations"]),
+        )
+
+
+def _s_min_for(monitor: MonitorSpec) -> Optional[float]:
+    """The monitor's known speed floor, when it has one.
+
+    SIMPLE (Algorithm 3) always requests exactly its fixed ``s``, so
+    any applied speed below it means the command path corrupted the
+    value.  ADAPTIVE's floor depends on runtime tardiness, so no static
+    floor is claimed.
+    """
+    return monitor.param if monitor.kind == "simple" else None
+
+
+def run_cell(cell: CampaignCell) -> CellOutcome:
+    """Execute one campaign cell and judge it against the invariants.
+
+    Module-level and importing lazily, like
+    :func:`repro.runtime.executor.run_spec`, so it pickles cleanly as a
+    process-pool task.  Tracing follows ``cell.run.obs`` with a
+    ``cell-<key prefix>.jsonl`` default name; it is observation-only —
+    the outcome is identical with or without it.
+    """
+    from repro.experiments.runner import run_overload_experiment
+
+    spec = cell.run
+    tracer = None
+    if spec.obs.tracing:
+        from repro.obs.tracer import JsonlTracer
+
+        os.makedirs(spec.obs.trace_dir, exist_ok=True)
+        name = spec.obs.trace_name or f"cell-{cell.key()[:12]}.jsonl"
+        tracer = JsonlTracer(
+            os.path.join(spec.obs.trace_dir, name),
+            meta={
+                "cell_key": cell.key(),
+                "plan_key": cell.plan.key(),
+                "scenario": spec.scenario.name,
+                "monitor": spec.monitor.label,
+            },
+        )
+    ts = spec.taskset.materialize()
+    plane = None if cell.plan.is_empty else FaultPlane(cell.plan)
+    try:
+        out = run_overload_experiment(
+            ts,
+            spec.scenario.build(),
+            spec.monitor,
+            horizon=spec.horizon,
+            confirm_window=spec.confirm_window,
+            config=spec.kernel.to_config(),
+            keep_artifacts=True,
+            level_c_budgets=spec.level_c_budgets,
+            tracer=tracer,
+            fault_plane=plane,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    report = evaluate_invariants(out, ts, s_min=_s_min_for(spec.monitor))
+    digest = fingerprint_digest(fingerprint(out.trace, out.kernel, out.monitor))
+    r = out.result
+    return CellOutcome(
+        cell=cell,
+        dissipation=r.dissipation,
+        truncated=r.truncated,
+        min_speed=r.min_speed,
+        miss_count=r.miss_count,
+        episodes=r.episodes,
+        sim_end=r.sim_end,
+        events=r.events,
+        fingerprint=digest,
+        checked=report.checked,
+        violations=report.violations,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Declarative campaign shape; :func:`build_campaign` expands it."""
+
+    #: Master seed: drives the task-set seed schedule, the cell→plan
+    #: assignment and every plan's internal randomness.
+    seed: int = 2015
+    #: Number of campaign cells (excluding appended baselines).
+    cells: int = 200
+    #: Zero-fault mode: empty plans, acceptance-gate semantics.
+    fault_free: bool = False
+    #: Task sets in the grid (consecutive seeds from ``seed``).
+    tasksets: int = 8
+    #: Platform size assumed by CpuStall plans (the generator default).
+    m: int = 4
+    #: Per-run horizon and confirmation window.
+    horizon: float = 30.0
+    confirm_window: float = 0.5
+    #: Maximum faults per random plan.
+    max_faults: int = 3
+    #: Optional per-cell JSONL event traces (observation only).
+    trace_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.cells < 1:
+            raise ValueError(f"cells must be >= 1, got {self.cells}")
+        if self.tasksets < 1:
+            raise ValueError(f"tasksets must be >= 1, got {self.tasksets}")
+
+
+def _grid(config: CampaignConfig) -> List[RunSpec]:
+    """The underlying run-spec grid: seeds × scenarios × monitor panel.
+
+    ``record_intervals`` is always on — the GEL-v order oracle needs
+    the execution intervals.
+    """
+    obs = ObsSpec(trace_dir=config.trace_dir)
+    kernel = KernelSpec(record_intervals=True)
+    specs: List[RunSpec] = []
+    for seed in taskset_seeds(config.tasksets, config.seed):
+        for sc in standard_scenarios():
+            for kind, param in _MONITOR_PANEL:
+                specs.append(
+                    RunSpec(
+                        taskset=TaskSetSpec.generated(seed),
+                        scenario=ScenarioSpec.from_scenario(sc),
+                        monitor=MonitorSpec(kind, param),
+                        kernel=kernel,
+                        horizon=config.horizon,
+                        confirm_window=config.confirm_window,
+                        obs=obs,
+                    )
+                )
+    return specs
+
+
+def build_campaign(config: CampaignConfig) -> List[CampaignCell]:
+    """Expand *config* into the ordered cell list (see module docstring)."""
+    grid = _grid(config)
+    if config.fault_free:
+        if config.cells > len(grid):
+            raise ValueError(
+                f"fault-free campaign asks for {config.cells} cells but the grid "
+                f"has only {len(grid)} (= {config.tasksets} task sets x 3 "
+                f"scenarios x {len(_MONITOR_PANEL)} monitors); raise tasksets="
+            )
+        empty = FaultPlan(seed=config.seed)
+        return [CampaignCell(run=spec, plan=empty) for spec in grid[: config.cells]]
+
+    rng = random.Random(f"campaign|{config.seed}")
+    cells: List[CampaignCell] = []
+    for i in range(config.cells):
+        spec = grid[rng.randrange(len(grid))]
+        anchor = max(end for _, end in spec.scenario.windows)
+        plan = random_plan(
+            seed=config.seed * 100_003 + i,
+            m=config.m,
+            anchor=anchor,
+            horizon=config.horizon,
+            max_faults=config.max_faults,
+        )
+        cells.append(CampaignCell(run=spec, plan=plan))
+    # Fault-free baselines, one per distinct run spec, first-use order:
+    # the scorecard diffs each faulted cell against its baseline.
+    empty = FaultPlan(seed=config.seed)
+    seen = set()
+    for c in list(cells):
+        rk = c.run.key()
+        if rk not in seen:
+            seen.add(rk)
+            cells.append(CampaignCell(run=c.run, plan=empty))
+    return cells
+
+
+def run_campaign(
+    cells: Sequence[CampaignCell],
+    jobs: int = 1,
+    progress=None,
+) -> "Scorecard":
+    """Execute *cells* (serially or on a pool) into a :class:`Scorecard`.
+
+    ``jobs > 1`` fans cells out over a process pool via
+    :func:`~repro.runtime.executor.map_pool_resilient`, so worker
+    deaths degrade to retry / in-process execution instead of losing
+    the campaign.  Outcomes keep submission order and are bit-identical
+    across backends (each cell is deterministic in itself).
+    """
+    cells = list(cells)
+    if progress is not None:
+        progress.begin(len(cells))
+
+    def tick(_outcome) -> None:
+        if progress is not None:
+            progress.cell_done(cached=False)
+
+    if jobs <= 1 or len(cells) <= 1:
+        outcomes: List[CellOutcome] = []
+        for c in cells:
+            o = run_cell(c)
+            outcomes.append(o)
+            tick(o)
+        degradation = PoolDegradation()
+    else:
+        workers = min(jobs, len(cells))
+        chunk = max(1, -(-len(cells) // (4 * workers)))
+        outcomes, degradation = map_pool_resilient(
+            run_cell, cells, workers, chunk, on_result=tick
+        )
+    if progress is not None:
+        progress.finish()
+    return Scorecard(outcomes=tuple(outcomes), degradation=degradation)
+
+
+@dataclass(frozen=True)
+class Scorecard:
+    """A campaign's verdict: every cell outcome plus degradation notes."""
+
+    outcomes: Tuple[CellOutcome, ...]
+    degradation: PoolDegradation = field(default_factory=PoolDegradation)
+
+    @property
+    def ok(self) -> bool:
+        """True when no cell violated any invariant."""
+        return all(o.ok for o in self.outcomes)
+
+    def violating(self) -> List[CellOutcome]:
+        """Outcomes with at least one violation, campaign order."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def find(self, key_prefix: str) -> CellOutcome:
+        """The unique outcome whose cell key starts with *key_prefix*."""
+        hits = [o for o in self.outcomes if o.key.startswith(key_prefix)]
+        if not hits:
+            raise KeyError(f"no campaign cell matches key prefix {key_prefix!r}")
+        if len(hits) > 1:
+            raise KeyError(
+                f"key prefix {key_prefix!r} is ambiguous ({len(hits)} cells)"
+            )
+        return hits[0]
+
+    def baseline_for(self, outcome: CellOutcome) -> Optional[CellOutcome]:
+        """The fault-free outcome sharing *outcome*'s run spec, if any."""
+        rk = outcome.run_key
+        for o in self.outcomes:
+            if not o.faulted and o.run_key == rk:
+                return o
+        return None
+
+    # -- aggregation ---------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Deterministic aggregate figures (what ``render`` prints)."""
+        faulted = [o for o in self.outcomes if o.faulted]
+        baselines = [o for o in self.outcomes if not o.faulted]
+        by_invariant: Dict[str, int] = {}
+        for o in self.outcomes:
+            for name, n in o.violation_counts().items():
+                by_invariant[name] = by_invariant.get(name, 0) + n
+        inflations: List[float] = []
+        miss_deltas: List[int] = []
+        for o in faulted:
+            base = self.baseline_for(o)
+            if base is None:
+                continue
+            inflations.append(o.dissipation - base.dissipation)
+            miss_deltas.append(o.miss_count - base.miss_count)
+        return {
+            "cells": len(self.outcomes),
+            "faulted": len(faulted),
+            "fault_free": len(baselines),
+            "violating_cells": sum(1 for o in self.outcomes if not o.ok),
+            "violations": {k: by_invariant[k] for k in sorted(by_invariant)},
+            "truncated": sum(1 for o in self.outcomes if o.truncated),
+            "max_dissipation_inflation": max(inflations) if inflations else 0.0,
+            "mean_dissipation_inflation": (
+                sum(inflations) / len(inflations) if inflations else 0.0
+            ),
+            "max_miss_delta": max(miss_deltas) if miss_deltas else 0,
+            "pool_breaks": self.degradation.breaks,
+            "pool_retried": self.degradation.retried,
+            "pool_serial_fallback": self.degradation.serial_fallback,
+        }
+
+    def render(self) -> str:
+        """Human-readable scorecard (summary + per-violating-cell lines)."""
+        s = self.summary()
+        lines = [
+            "fault campaign scorecard",
+            f"  cells: {s['cells']} ({s['faulted']} faulted, "
+            f"{s['fault_free']} fault-free baselines)",
+            f"  violating cells: {s['violating_cells']}",
+            f"  truncated runs: {s['truncated']}",
+        ]
+        if s["violations"]:
+            lines.append("  violations by invariant:")
+            for name, n in s["violations"].items():
+                lines.append(f"    {name}: {n}")
+        else:
+            lines.append("  violations: none")
+        if s["faulted"]:
+            lines.append(
+                f"  dissipation inflation vs baseline: "
+                f"max {s['max_dissipation_inflation']:.3f} s, "
+                f"mean {s['mean_dissipation_inflation']:.3f} s"
+            )
+            lines.append(f"  worst extra misses vs baseline: {s['max_miss_delta']}")
+        if self.degradation.breaks:
+            lines.append(
+                f"  pool degradation: {self.degradation.breaks} break(s), "
+                f"{self.degradation.retried} cell(s) retried, "
+                f"{self.degradation.serial_fallback} ran in-process"
+            )
+        for o in self.violating():
+            counts = ", ".join(f"{k}x{n}" for k, n in sorted(o.violation_counts().items()))
+            lines.append(
+                f"  FAIL {o.key[:12]}  {o.scenario:<6} {o.monitor:<16} "
+                f"faults={len(o.cell.plan.faults)}  {counts}"
+            )
+        return "\n".join(lines)
+
+    # -- persistence ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": SCORECARD_FORMAT,
+            "version": SCORECARD_VERSION,
+            "summary": self.summary(),
+            "degradation": {
+                "retried": self.degradation.retried,
+                "serial_fallback": self.degradation.serial_fallback,
+                "breaks": self.degradation.breaks,
+            },
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-identical for identical campaigns,
+        whatever backend executed them."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Scorecard":
+        if doc.get("format") != SCORECARD_FORMAT:
+            raise ValueError(f"not a {SCORECARD_FORMAT} document: {doc.get('format')!r}")
+        if doc.get("version") != SCORECARD_VERSION:
+            raise ValueError(f"unsupported scorecard version {doc.get('version')!r}")
+        deg = doc.get("degradation", {})
+        return cls(
+            outcomes=tuple(CellOutcome.from_dict(o) for o in doc["outcomes"]),
+            degradation=PoolDegradation(
+                retried=int(deg.get("retried", 0)),
+                serial_fallback=int(deg.get("serial_fallback", 0)),
+                breaks=int(deg.get("breaks", 0)),
+            ),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Scorecard":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

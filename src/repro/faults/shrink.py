@@ -1,0 +1,229 @@
+"""Failing-plan shrinker: reduce a violating fault plan to a minimal repro.
+
+Given a campaign cell whose run violates an invariant, the shrinker
+searches for a smaller plan that still violates one of the *same*
+invariants — classic delta debugging specialized to the fault model:
+
+1. **fault removal** to a fixed point — drop every fault whose absence
+   keeps the failure (one-at-a-time passes until none can go);
+2. **window halving** — shrink each surviving fault's ``[start, end)``
+   window by binary search (keep-left, then keep-right) down to a
+   minimum length;
+3. **magnitude halving** — walk each fault's scalar severity (spike
+   factor, skew/jitter magnitude, command delay) toward its validity
+   floor while the failure persists.
+
+Every candidate is judged by actually re-running the cell
+(:func:`repro.faults.campaign.run_cell` — deterministic, so the search
+never flip-flops).  The result round-trips through a small JSON
+artifact (``repro-faultrepro``) that :func:`replay_repro` re-executes,
+so a shrunk failure is reproducible from the file alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.faults.campaign import CampaignCell, CellOutcome, run_cell
+from repro.faults.spec import (
+    ClockSkew,
+    ExecutionSpike,
+    FaultPlan,
+    FaultSpec,
+    ReleaseJitter,
+    SpeedCommandDelay,
+)
+
+__all__ = [
+    "REPRO_FORMAT",
+    "ShrinkResult",
+    "shrink_plan",
+    "write_repro",
+    "replay_repro",
+]
+
+REPRO_FORMAT = "repro-faultrepro"
+REPRO_VERSION = 1
+
+#: Window halving stops once a fault window is this short (seconds).
+_MIN_WINDOW = 0.01
+#: Bisection passes per fault window (2^-6 of the original length).
+_MAX_HALVINGS = 6
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The shrinker's verdict: the minimal failing cell plus its trail."""
+
+    #: The original (unshrunk) cell.
+    original: CampaignCell
+    #: The shrunk cell: same run spec, minimal failing plan.
+    cell: CampaignCell
+    #: Outcome of the shrunk cell (still violating).
+    outcome: CellOutcome
+    #: Invariants the shrink preserved (subset of the original's).
+    invariants: Tuple[str, ...]
+    #: Total cell executions spent searching.
+    evaluations: int
+    #: Human-readable log of every accepted reduction.
+    steps: Tuple[str, ...]
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self.cell.plan
+
+
+def _violated(outcome: CellOutcome) -> Set[str]:
+    return set(outcome.violation_counts())
+
+
+def _halved_severity(fault: FaultSpec) -> Optional[FaultSpec]:
+    """*fault* at half severity, or ``None`` once at the validity floor."""
+    if isinstance(fault, ExecutionSpike):
+        factor = 1.0 + (fault.factor - 1.0) / 2.0
+        return replace(fault, factor=factor) if factor > 1.05 else None
+    if isinstance(fault, (ClockSkew, ReleaseJitter)):
+        mag = fault.magnitude / 2.0
+        return replace(fault, magnitude=mag) if mag > 1e-4 else None
+    if isinstance(fault, SpeedCommandDelay):
+        delay = fault.delay / 2.0
+        return replace(fault, delay=delay) if delay > 1e-3 else None
+    return None  # outages, drops and stalls have no scalar severity
+
+
+def shrink_plan(cell: CampaignCell) -> ShrinkResult:
+    """Shrink *cell*'s plan while it keeps violating the same invariants.
+
+    Raises :class:`ValueError` if the original cell does not violate
+    anything — there is nothing to shrink toward.
+    """
+    evaluations = 0
+    steps: List[str] = []
+
+    def execute(plan: FaultPlan) -> CellOutcome:
+        nonlocal evaluations
+        evaluations += 1
+        return run_cell(CampaignCell(run=cell.run, plan=plan))
+
+    original_outcome = execute(cell.plan)
+    target = _violated(original_outcome)
+    if not target:
+        raise ValueError(
+            f"cell {cell.key()[:12]} violates no invariant; nothing to shrink"
+        )
+
+    best_outcome = original_outcome
+
+    def fails(plan: FaultPlan) -> Optional[CellOutcome]:
+        """The plan's outcome if it reproduces a targeted violation."""
+        out = execute(plan)
+        return out if (_violated(out) & target) else None
+
+    plan = cell.plan
+
+    # Pass 1: remove faults to a fixed point.
+    changed = True
+    while changed and len(plan.faults) > 1:
+        changed = False
+        i = 0
+        while i < len(plan.faults) and len(plan.faults) > 1:
+            candidate = plan.without(i)
+            out = fails(candidate)
+            if out is not None:
+                steps.append(f"remove fault[{i}] {plan.faults[i].kind}")
+                plan, best_outcome, changed = candidate, out, True
+            else:
+                i += 1
+
+    # Pass 2: halve each fault's window (keep-left, then keep-right).
+    for i in range(len(plan.faults)):
+        for _ in range(_MAX_HALVINGS):
+            f = plan.faults[i]
+            if f.end - f.start <= _MIN_WINDOW:
+                break
+            mid = (f.start + f.end) / 2.0
+            narrowed = None
+            for lo, hi, side in ((f.start, mid, "left"), (mid, f.end, "right")):
+                candidate = plan.replacing(i, replace(f, start=lo, end=hi))
+                out = fails(candidate)
+                if out is not None:
+                    steps.append(
+                        f"narrow fault[{i}] {f.kind} window to [{lo:.6f}, {hi:.6f}) ({side})"
+                    )
+                    plan, best_outcome, narrowed = candidate, out, side
+                    break
+            if narrowed is None:
+                break
+
+    # Pass 3: halve scalar severities toward their floors.
+    for i in range(len(plan.faults)):
+        while True:
+            weaker = _halved_severity(plan.faults[i])
+            if weaker is None:
+                break
+            candidate = plan.replacing(i, weaker)
+            out = fails(candidate)
+            if out is None:
+                break
+            steps.append(f"weaken fault[{i}] {weaker.kind} to {weaker}")
+            plan, best_outcome = candidate, out
+
+    shrunk = CampaignCell(run=cell.run, plan=plan)
+    return ShrinkResult(
+        original=cell,
+        cell=shrunk,
+        outcome=best_outcome,
+        invariants=tuple(sorted(_violated(best_outcome) & target)),
+        evaluations=evaluations,
+        steps=tuple(steps),
+    )
+
+
+# ----------------------------------------------------------------------
+# Replayable repro artifact
+# ----------------------------------------------------------------------
+def repro_to_dict(result: ShrinkResult) -> Dict[str, Any]:
+    """The JSON document :func:`write_repro` persists."""
+    return {
+        "format": REPRO_FORMAT,
+        "version": REPRO_VERSION,
+        "cell": result.cell.to_dict(),
+        "invariants": list(result.invariants),
+        "violations": [v.to_dict() for v in result.outcome.violations],
+        "fingerprint": result.outcome.fingerprint,
+        "evaluations": result.evaluations,
+        "steps": list(result.steps),
+        "original_plan": result.original.plan.to_dict(),
+    }
+
+
+def write_repro(result: ShrinkResult, path: str) -> None:
+    """Persist *result* as a standalone replayable artifact."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(repro_to_dict(result), fh, sort_keys=True, indent=2)
+        fh.write("\n")
+
+
+def replay_repro(path: str) -> Tuple[CellOutcome, bool]:
+    """Re-execute a repro artifact.
+
+    Returns the fresh outcome plus whether it *reproduced*: violated at
+    least one of the invariants the artifact claims.  (The fingerprint
+    is also expected to match — simulation is deterministic — but the
+    reproduction verdict deliberately keys on the invariant set, so a
+    repro stays meaningful across refactors that legitimately change
+    low-level trace details.)
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("format") != REPRO_FORMAT:
+        raise ValueError(f"not a {REPRO_FORMAT} document: {doc.get('format')!r}")
+    if doc.get("version") != REPRO_VERSION:
+        raise ValueError(f"unsupported repro version {doc.get('version')!r}")
+    cell = CampaignCell.from_dict(doc["cell"])
+    outcome = run_cell(cell)
+    claimed = set(doc.get("invariants", ()))
+    reproduced = bool(_violated(outcome) & claimed)
+    return outcome, reproduced

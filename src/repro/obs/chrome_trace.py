@@ -15,7 +15,10 @@ Mapping (Chrome trace-event ``ph`` phases):
   completions) or the monitor row (decisions);
 * ``speed_change`` → counter events (``C``, "virtual speed");
 * ``recovery_open`` / ``recovery_close`` → async begin/end (``b``/``e``)
-  so each episode renders as one spanning slice.
+  so each episode renders as one spanning slice;
+* ``fault_inject`` → process-scoped instant events on ``pid 2``
+  ("faults"), so injected faults line up against the recovery spans
+  they provoke.
 
 Simulation time is unitless; the converter maps one simulation time
 unit to one Chrome microsecond tick scaled by *time_scale* (default
@@ -36,6 +39,8 @@ __all__ = ["chrome_trace_events", "chrome_trace_from_jsonl", "write_chrome_trace
 PID_CPUS = 0
 #: pid used for instant/marker tracks (per-task releases, monitor row).
 PID_EVENTS = 1
+#: pid used for injected-fault markers (repro.faults).
+PID_FAULTS = 2
 #: tid of the monitor-decision row within PID_EVENTS.
 TID_MONITOR = 0
 
@@ -60,6 +65,7 @@ def chrome_trace_events(
     ]
     cpus_seen: set = set()
     episode = 0
+    faults_named = False
     for record in records:
         ev = record["ev"]
         if ev == EventName.META:
@@ -137,6 +143,26 @@ def chrome_trace_events(
                     "id": episode,
                     "name": "recovery",
                     "cat": "recovery",
+                }
+            )
+        elif ev == EventName.FAULT_INJECT:
+            if not faults_named:
+                faults_named = True
+                out.append(
+                    {"ph": "M", "pid": PID_FAULTS, "name": "process_name",
+                     "args": {"name": "faults"}}
+                )
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": PID_FAULTS,
+                    "tid": 0,
+                    "ts": ts,
+                    "s": "p",
+                    "name": str(record.get("fault", "fault")),
+                    "cat": "fault",
+                    "args": {k: v for k, v in record.items()
+                             if k not in ("seq", "t", "ev")},
                 }
             )
         elif ev in (EventName.MONITOR_MISS, EventName.MONITOR_SPEED,

@@ -37,6 +37,7 @@ Event catalog (``docs/observability.md`` documents every field):
 ``monitor_exit``   idle-normal-instant recovery exit (Theorem 1)
 ``recovery_open``  a recovery episode opened (monitor)
 ``recovery_close`` a recovery episode closed (monitor)
+``fault_inject``   a fault plane perturbed the run (repro.faults)
 =================  ====================================================
 """
 
@@ -80,6 +81,7 @@ class EventName:
     MONITOR_EXIT = "monitor_exit"
     RECOVERY_OPEN = "recovery_open"
     RECOVERY_CLOSE = "recovery_close"
+    FAULT_INJECT = "fault_inject"
 
 
 class Tracer(Protocol):

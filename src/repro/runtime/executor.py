@@ -43,6 +43,8 @@ from repro.runtime.spec import RunSpec
 __all__ = [
     "run_spec",
     "SweepStats",
+    "PoolDegradation",
+    "map_pool_resilient",
     "SweepExecutor",
     "SerialBackend",
     "ProcessPoolBackend",
@@ -120,6 +122,74 @@ class SweepStats:
     cells_simulated: int = 0
     #: Cells served from the result cache.
     cache_hits: int = 0
+    #: Cells re-dispatched to a fresh pool after a worker death.
+    pool_retried: int = 0
+    #: Cells that fell back to in-process execution (the retry pool
+    #: broke too).
+    pool_serial_fallback: int = 0
+    #: ``BrokenProcessPool`` events absorbed while executing.
+    pool_breaks: int = 0
+
+
+@dataclass(frozen=True)
+class PoolDegradation:
+    """How far a pool execution had to degrade to finish (see
+    :func:`map_pool_resilient`)."""
+
+    retried: int = 0
+    serial_fallback: int = 0
+    breaks: int = 0
+
+
+def map_pool_resilient(
+    fn,
+    items: Sequence,
+    workers: int,
+    chunksize: int,
+    on_result=None,
+) -> Tuple[list, PoolDegradation]:
+    """``pool.map(fn, items)`` that survives worker death.
+
+    A killed worker (OOM, SIGKILL, interpreter crash) surfaces as
+    :class:`concurrent.futures.process.BrokenProcessPool`, which by
+    default poisons the whole sweep.  Because ``pool.map`` yields
+    results strictly in submission order, everything collected before
+    the break is valid — so the remainder is re-dispatched once on a
+    fresh pool, and if that pool breaks too, the stragglers run
+    in-process (``fn`` is deterministic, so a re-run is equivalent).
+    Returns the in-order results plus a :class:`PoolDegradation`
+    record of how far execution had to degrade.
+    """
+    items = list(items)
+    results: list = []
+    breaks = 0
+    retried = 0
+    for attempt in range(2):
+        remaining = items[len(results):]
+        if not remaining:
+            break
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(remaining))
+            ) as pool:
+                for res in pool.map(fn, remaining, chunksize=chunksize):
+                    results.append(res)
+                    if on_result is not None:
+                        on_result(res)
+            break
+        except concurrent.futures.process.BrokenProcessPool:
+            breaks += 1
+            if attempt == 0:
+                retried = len(items) - len(results)
+    serial_fallback = len(items) - len(results)
+    for item in items[len(results):]:
+        res = fn(item)
+        results.append(res)
+        if on_result is not None:
+            on_result(res)
+    return results, PoolDegradation(
+        retried=retried, serial_fallback=serial_fallback, breaks=breaks
+    )
 
 
 class SweepExecutor:
@@ -151,6 +221,9 @@ class SweepExecutor:
         self.stats = SweepStats()
         self.total = SweepStats()
         self.report = SweepReport()
+        #: How far the most recent backend execution degraded (set by
+        #: pool backends; stays pristine for serial execution).
+        self._degradation = PoolDegradation()
 
     def _execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         raise NotImplementedError
@@ -193,6 +266,7 @@ class SweepExecutor:
                 self.progress.cell_done(cached=True)
 
         wall: Dict[int, int] = {}
+        self._degradation = PoolDegradation()
         if miss_idx:
             timed = self._execute_timed([specs[i] for i in miss_idx])
             for i, (result, wall_ns) in zip(miss_idx, timed):
@@ -225,15 +299,22 @@ class SweepExecutor:
         self.metrics.counter("executor.cells").inc(len(specs))
         self.metrics.counter("executor.cache_hits").inc(len(specs) - len(miss_idx))
 
+        deg = self._degradation
         self.stats = SweepStats(
             cells_total=len(specs),
             cells_simulated=len(miss_idx),
             cache_hits=len(specs) - len(miss_idx),
+            pool_retried=deg.retried,
+            pool_serial_fallback=deg.serial_fallback,
+            pool_breaks=deg.breaks,
         )
         self.total = SweepStats(
             cells_total=self.total.cells_total + self.stats.cells_total,
             cells_simulated=self.total.cells_simulated + self.stats.cells_simulated,
             cache_hits=self.total.cache_hits + self.stats.cache_hits,
+            pool_retried=self.total.pool_retried + deg.retried,
+            pool_serial_fallback=self.total.pool_serial_fallback + deg.serial_fallback,
+            pool_breaks=self.total.pool_breaks + deg.breaks,
         )
         return results  # type: ignore[return-value]
 
@@ -301,13 +382,16 @@ class ProcessPoolBackend(SweepExecutor):
         if chunk is None:
             chunk = max(1, -(-len(specs) // (4 * self.jobs)))
         workers = min(self.jobs, len(specs))
-        out = []
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            # pool.map yields in submission order as results land, so
-            # progress ticks stream in while later chunks still run.
-            for timed in pool.map(_timed_run_spec, specs, chunksize=chunk):
-                self._cell_finished(timed[1])
-                out.append(timed)
+        # pool.map yields in submission order as results land, so
+        # progress ticks stream in while later chunks still run; the
+        # resilient wrapper absorbs worker deaths (retry, then serial).
+        out, self._degradation = map_pool_resilient(
+            _timed_run_spec,
+            specs,
+            workers,
+            chunk,
+            on_result=lambda timed: self._cell_finished(timed[1]),
+        )
         return out
 
 

@@ -26,6 +26,8 @@ claim is event-for-event equivalence, not merely set equivalence.
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import random
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -49,6 +51,7 @@ __all__ = [
     "ZeroDemandEvery",
     "build_kernel",
     "fingerprint",
+    "fingerprint_digest",
     "run_dispatcher",
     "compare_dispatchers",
     "random_scenarios",
@@ -225,6 +228,19 @@ def fingerprint(trace: Trace, kernel: MC2Kernel, monitor: Monitor) -> Dict[str, 
         "misses": monitor.miss_count,
         "episodes": [(ep.start, ep.end) for ep in monitor.episodes],
     }
+
+
+def fingerprint_digest(fp: Dict[str, object]) -> str:
+    """sha256 hex digest of a :func:`fingerprint`'s canonical JSON form.
+
+    Levels are already strings and episode ends may be ``None`` (open
+    episodes), both of which JSON carries natively; tuples collapse to
+    lists, which is fine because digests are only ever compared to
+    other digests.  Used by the fault campaigns to compare whole runs
+    across executor backends by a single stable token.
+    """
+    doc = json.dumps(fp, sort_keys=True, separators=(",", ":"), allow_nan=False)
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
 
 
 def run_dispatcher(sc: DiffScenario, dispatcher: str) -> Dict[str, object]:

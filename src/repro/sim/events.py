@@ -10,8 +10,9 @@ reproducibility and correctness:
 2. **Kind priority at equal times.**  Releases process before
    completions (a job releasing at the same instant another completes is
    already pending at that instant, per the paper's pending definition
-   ``r <= t < t^c``), completions before deferred monitor reports, and
-   the end-of-simulation marker last.
+   ``r <= t < t^c``), completions before deferred monitor reports,
+   reports before generic callbacks, and the end-of-simulation marker
+   last.
 3. **Cancellation.**  Release timers are re-armed on every virtual-clock
    speed change (Algorithm 1 lines 21-22) and tentative completion events
    die on preemption.  Rather than deleting from the heap, events carry a
@@ -39,8 +40,14 @@ class EventKind(enum.IntEnum):
     #: Deferred delivery of a completion report to the monitor
     #: (payload: CompletionReport) — used when monitor latency is modelled.
     MONITOR_REPORT = 2
+    #: A generic timer: the kernel invokes ``payload(now)``.  Used by
+    #: cross-cutting layers (e.g. fault injection) to schedule work at a
+    #: future instant without growing kernel-specific event kinds.
+    #: Processed after same-instant reports (the callback sees the
+    #: instant's final state) but before END.
+    CALLBACK = 3
     #: End of simulation.
-    END = 3
+    END = 4
 
 
 @dataclass(frozen=True)

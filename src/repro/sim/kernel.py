@@ -371,6 +371,11 @@ class MC2Kernel:
             self._on_completion(ev, now)
         elif ev.kind is EventKind.MONITOR_REPORT:
             self._deliver_report(ev.payload, now)
+        elif ev.kind is EventKind.CALLBACK:
+            # Generic timer (see EventKind.CALLBACK): the payload is a
+            # callable taking the current time.  The reschedule below
+            # runs after it, so a callback may mutate kernel state.
+            ev.payload(now)
         # End-of-instant: once no further event shares this timestamp,
         # the instant's state is final — deliver the completion reports.
         # (A job released at exactly t IS pending at t per Sec. 2, so
@@ -553,15 +558,25 @@ class MC2Kernel:
     def _flush_reports(self, now: float) -> None:
         """Deliver buffered completion reports with final instant state.
 
-        "Ready queue empty" means no eligible (precedence-wise) level-C
-        job is waiting for a CPU — evaluated once the instant's releases
-        and completions have all been applied, matching the paper's
-        pending semantics (``r <= t < t^c``).
+        The report's ``queue_empty`` flag carries Def. 3's "a processor
+        idles at *t*" signal: in the settled end-of-instant state (all
+        same-timestamp releases and completions applied, matching the
+        pending semantics ``r <= t < t^c``), the CPUs claimed by pending
+        level-A/B work plus the eligible (precedence-wise) level-C jobs
+        leave at least one processor with nothing to run.  Merely "no
+        eligible job waiting" is not enough: when a completion's freed
+        CPU is immediately refilled from the queue, the queue drains
+        while every processor stays busy, and such an instant must not
+        become an idle-instant candidate (Def. 2 would not hold).
         """
         eligible_c = (
             self._head_c.values() if self._incremental else self._eligible(self.jobs_c)
         )
-        ready_remaining = any(j.running_on is None for j in eligible_c)
+        m = self.taskset.m
+        busy_ab = sum(
+            1 for cpu in range(m) if self.jobs_a[cpu] or self.jobs_b[cpu]
+        )
+        processor_idle = busy_ab + len(eligible_c) < m
         buffered, self._report_buffer = self._report_buffer, []
         for job in buffered:
             report = CompletionReport(
@@ -570,7 +585,7 @@ class MC2Kernel:
                 release=job.release,
                 actual_pp=job.actual_pp,
                 comp_time=job.completion if job.completion is not None else now,
-                queue_empty=not ready_remaining,
+                queue_empty=processor_idle,
             )
             if self.config.monitor_latency > 0.0:
                 self.engine.push(

@@ -1,0 +1,59 @@
+"""Shared fixtures for the fault-injection suite: one small, fast cell.
+
+Everything here runs on a 2-CPU generated task set with a short horizon
+so individual fault experiments stay in the ~0.1 s range; the large
+seeded campaigns live behind the CLI (and CI's campaign smoke step),
+not in tier-1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.campaign import CampaignCell
+from repro.faults.spec import FaultPlan
+from repro.runtime.spec import (
+    KernelSpec,
+    MonitorSpec,
+    RunSpec,
+    ScenarioSpec,
+    TaskSetSpec,
+)
+from repro.workload.generator import GeneratorParams, generate_taskset
+from repro.workload.scenarios import SHORT
+
+PARAMS = GeneratorParams(m=2)
+SEED = 11
+HORIZON = 20.0
+
+
+@pytest.fixture(scope="session")
+def small_ts():
+    return generate_taskset(SEED, PARAMS)
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    """A small overload run with interval recording (gel_order needs it)."""
+    return RunSpec(
+        taskset=TaskSetSpec.generated(SEED, PARAMS),
+        scenario=ScenarioSpec.from_scenario(SHORT),
+        monitor=MonitorSpec("simple", 0.6),
+        kernel=KernelSpec(record_intervals=True),
+        horizon=HORIZON,
+    )
+
+
+@pytest.fixture(scope="session")
+def empty_cell(small_spec):
+    return CampaignCell(run=small_spec, plan=FaultPlan())
+
+
+@pytest.fixture(scope="session")
+def make_cell():
+    """Factory: a cell over *spec* with the given faults."""
+
+    def build(spec: RunSpec, *faults, seed: int = 5) -> CampaignCell:
+        return CampaignCell(run=spec, plan=FaultPlan(faults=tuple(faults), seed=seed))
+
+    return build

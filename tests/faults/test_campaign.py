@@ -1,0 +1,134 @@
+"""Campaign construction, execution (serial and pool) and scorecards.
+
+The backend byte-identity test here is the determinism contract: the
+same cells produce byte-identical scorecard JSON whether they ran in
+this process or across a process pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults.campaign import (
+    CampaignCell,
+    CampaignConfig,
+    CellOutcome,
+    Scorecard,
+    build_campaign,
+    run_campaign,
+)
+from repro.faults.spec import CpuStall, FaultPlan
+from repro.runtime.spec import MonitorSpec
+
+@pytest.fixture(scope="module")
+def cells(small_spec, make_cell):
+    """Three tiny cells: two clean monitors plus one stalled (violating)."""
+    return [
+        CampaignCell(run=small_spec, plan=FaultPlan()),
+        CampaignCell(
+            run=replace(small_spec, monitor=MonitorSpec("simple", 0.5)),
+            plan=FaultPlan(),
+        ),
+        make_cell(small_spec, CpuStall(cpu=0, start=1.0, end=4.0)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial(cells):
+    return run_campaign(cells, jobs=1)
+
+
+class TestBuildCampaign:
+    def test_fault_free_mode(self):
+        config = CampaignConfig(seed=5, cells=10, fault_free=True, tasksets=1)
+        built = build_campaign(config)
+        assert len(built) == 10
+        assert all(c.plan.is_empty for c in built)
+
+    def test_fault_free_over_grid_rejected(self):
+        config = CampaignConfig(seed=5, cells=1000, fault_free=True, tasksets=1)
+        with pytest.raises(ValueError, match="grid"):
+            build_campaign(config)
+
+    def test_faulted_mode_appends_baselines(self):
+        config = CampaignConfig(seed=5, cells=6, tasksets=1)
+        built = build_campaign(config)
+        faulted, baselines = built[:6], built[6:]
+        assert all(not c.plan.is_empty for c in faulted)
+        assert all(c.plan.is_empty for c in baselines)
+        # One baseline per distinct run spec among the faulted cells.
+        assert len(baselines) == len({c.run.key() for c in faulted})
+
+    def test_build_is_seed_deterministic(self):
+        config = CampaignConfig(seed=5, cells=6, tasksets=1)
+        a = [c.key() for c in build_campaign(config)]
+        b = [c.key() for c in build_campaign(config)]
+        assert a == b
+        other = CampaignConfig(seed=6, cells=6, tasksets=1)
+        assert a != [c.key() for c in build_campaign(other)]
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(cells=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(tasksets=0)
+
+
+class TestBackendEquivalence:
+    def test_pool_scorecard_is_byte_identical(self, cells, serial):
+        pooled = run_campaign(cells, jobs=2)
+        assert pooled.to_json() == serial.to_json()
+
+    def test_outcomes_keep_submission_order(self, cells, serial):
+        assert [o.key for o in serial.outcomes] == [c.key() for c in cells]
+
+
+class TestScorecard:
+    def test_violating_and_ok(self, serial):
+        assert not serial.ok
+        bad = serial.violating()
+        assert len(bad) == 1
+        assert bad[0].faulted
+        assert "ab_isolation" in bad[0].violation_counts()
+
+    def test_find_by_prefix(self, cells, serial):
+        key = cells[2].key()
+        assert serial.find(key[:12]).key == key
+        with pytest.raises(KeyError, match="no campaign cell"):
+            serial.find("ffffffffffff")
+        with pytest.raises(KeyError, match="ambiguous"):
+            serial.find("")
+
+    def test_baseline_lookup(self, serial):
+        bad = serial.violating()[0]
+        base = serial.baseline_for(bad)
+        assert base is not None
+        assert not base.faulted
+        assert base.run_key == bad.run_key
+
+    def test_summary_fields(self, serial):
+        s = serial.summary()
+        assert s["cells"] == 3
+        assert s["faulted"] == 1
+        assert s["fault_free"] == 2
+        assert s["violating_cells"] == 1
+        assert s["violations"].get("ab_isolation", 0) >= 1
+        assert s["pool_breaks"] == 0
+
+    def test_render_mentions_failures(self, serial):
+        text = serial.render()
+        assert "FAIL" in text
+        assert "ab_isolation" in text
+
+    def test_save_load_roundtrip(self, serial, tmp_path):
+        path = tmp_path / "scorecard.json"
+        serial.save(str(path))
+        again = Scorecard.load(str(path))
+        assert again.to_json() == serial.to_json()
+
+    def test_outcome_dict_roundtrip(self, serial):
+        for o in serial.outcomes:
+            again = CellOutcome.from_dict(o.to_dict())
+            assert again == o

@@ -1,0 +1,123 @@
+"""Pure-logic tests for fault specs and plans (no simulation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.spec import (
+    ClockSkew,
+    CpuStall,
+    ExecutionSpike,
+    FaultPlan,
+    MonitorOutage,
+    ReleaseJitter,
+    SpeedCommandDelay,
+    SpeedCommandDrop,
+    fault_from_dict,
+    fault_to_dict,
+    random_plan,
+    unit_rand,
+)
+
+ALL_KINDS = [
+    MonitorOutage(1.0, 2.0),
+    MonitorOutage(1.0, 2.0, mode="queue"),
+    SpeedCommandDelay(1.0, 2.0, delay=0.25),
+    SpeedCommandDrop(1.0, 2.0),
+    ClockSkew(1.0, 2.0, magnitude=0.01),
+    ExecutionSpike(1.0, 2.0, factor=2.0, prob=0.5, level="B"),
+    ReleaseJitter(1.0, 2.0, magnitude=0.005),
+    CpuStall(cpu=1, start=1.0, end=2.0),
+]
+
+
+class TestValidation:
+    def test_window_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            SpeedCommandDrop(2.0, 2.0)
+        with pytest.raises(ValueError):
+            SpeedCommandDrop(-0.5, 1.0)
+
+    def test_monitor_outage_mode(self):
+        with pytest.raises(ValueError):
+            MonitorOutage(0.0, 1.0, mode="mangle")
+
+    def test_spike_bounds(self):
+        with pytest.raises(ValueError):
+            ExecutionSpike(0.0, 1.0, factor=1.0)
+        with pytest.raises(ValueError):
+            ExecutionSpike(0.0, 1.0, factor=2.0, prob=0.0)
+        with pytest.raises(ValueError):
+            ExecutionSpike(0.0, 1.0, factor=2.0, level="E")
+
+    def test_positive_magnitudes(self):
+        with pytest.raises(ValueError):
+            ClockSkew(0.0, 1.0, magnitude=0.0)
+        with pytest.raises(ValueError):
+            ReleaseJitter(0.0, 1.0, magnitude=-0.1)
+        with pytest.raises(ValueError):
+            SpeedCommandDelay(0.0, 1.0, delay=0.0)
+        with pytest.raises(ValueError):
+            CpuStall(cpu=-1, start=0.0, end=1.0)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("fault", ALL_KINDS, ids=lambda f: f.kind)
+    def test_fault_dict_roundtrip(self, fault):
+        assert fault_from_dict(fault_to_dict(fault)) == fault
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            fault_from_dict({"kind": "gamma_ray", "start": 0.0, "end": 1.0})
+
+    def test_plan_roundtrip_and_key_stability(self):
+        plan = FaultPlan(faults=tuple(ALL_KINDS), seed=7)
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert again.key() == plan.key()
+        # key covers the seed, not just the faults
+        assert FaultPlan(faults=tuple(ALL_KINDS), seed=8).key() != plan.key()
+
+    def test_bad_format_rejected(self):
+        doc = FaultPlan().to_dict()
+        doc["format"] = "something-else"
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict(doc)
+
+
+class TestPlanEditing:
+    def test_without_and_replacing(self):
+        plan = FaultPlan(faults=(ALL_KINDS[0], ALL_KINDS[3], ALL_KINDS[4]), seed=3)
+        assert plan.without(1).faults == (ALL_KINDS[0], ALL_KINDS[4])
+        sub = plan.replacing(2, ALL_KINDS[6])
+        assert sub.faults == (ALL_KINDS[0], ALL_KINDS[3], ALL_KINDS[6])
+        assert sub.seed == 3
+
+    def test_is_empty(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(faults=(ALL_KINDS[0],)).is_empty
+
+
+class TestDeterminism:
+    def test_unit_rand_is_stable_and_keyed(self):
+        a = unit_rand(1, "job", 5)
+        assert a == unit_rand(1, "job", 5)
+        assert 0.0 <= a < 1.0
+        assert a != unit_rand(1, "job", 6)
+        assert a != unit_rand(2, "job", 5)
+
+    def test_random_plan_is_seed_deterministic(self):
+        p1 = random_plan(seed=42, m=4, anchor=6.0, horizon=30.0)
+        p2 = random_plan(seed=42, m=4, anchor=6.0, horizon=30.0)
+        assert p1 == p2
+        assert p1.key() == p2.key()
+        assert p1 != random_plan(seed=43, m=4, anchor=6.0, horizon=30.0)
+
+    def test_random_plan_respects_bounds(self):
+        for seed in range(30):
+            plan = random_plan(seed=seed, m=2, anchor=6.0, horizon=30.0, max_faults=3)
+            assert 1 <= len(plan.faults) <= 3
+            for f in plan.faults:
+                assert 0.0 <= f.start < f.end <= 30.0
+                if isinstance(f, CpuStall):
+                    assert 0 <= f.cpu < 2

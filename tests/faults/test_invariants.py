@@ -1,0 +1,178 @@
+"""Unit tests for the invariant oracles against synthetic run artifacts
+(the end-to-end pairing with real faults lives in test_plane.py)."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.faults.invariants import (
+    INVARIANT_NAMES,
+    Violation,
+    _Collector,
+    _MAX_PER_INVARIANT,
+    _check_ab_isolation,
+    _check_gel_order,
+    _check_speed_bounds,
+)
+from repro.faults.plane import FAULT_TASK_BASE_ID
+from repro.model.task import CriticalityLevel
+
+
+def _job(level, task_id, index, release, completion, virtual_pp=None):
+    return SimpleNamespace(
+        level=level,
+        task_id=task_id,
+        index=index,
+        release=release,
+        completion=completion,
+        virtual_pp=virtual_pp,
+    )
+
+
+class _FakeTS:
+    """Minimal TaskSet stand-in: indexable by task id, fixed period."""
+
+    def __init__(self, period=1.0):
+        self._period = period
+
+    def __getitem__(self, task_id):
+        return SimpleNamespace(period=self._period)
+
+
+class TestViolation:
+    def test_dict_roundtrip(self):
+        v = Violation("ab_isolation", 1.5, "late", task=3, job=7)
+        assert Violation.from_dict(v.to_dict()) == v
+
+    def test_optional_fields_omitted(self):
+        doc = Violation("speed_bounds", 0.0, "bad").to_dict()
+        assert "task" not in doc and "job" not in doc
+
+
+class TestCollectorCap:
+    def test_per_invariant_cap(self):
+        sink = _Collector()
+        for i in range(_MAX_PER_INVARIANT + 10):
+            sink.add(Violation("ab_isolation", float(i), f"v{i}"))
+        assert len(sink.violations) == _MAX_PER_INVARIANT
+        assert "suppressed" in sink.violations[-1].message
+
+    def test_cap_is_per_invariant(self):
+        sink = _Collector()
+        sink.add(Violation("ab_isolation", 0.0, "a"))
+        sink.add(Violation("speed_bounds", 0.0, "b"))
+        assert len(sink.violations) == 2
+
+
+class TestAbIsolation:
+    def test_miss_and_never_completed_flagged(self):
+        trace = SimpleNamespace(
+            jobs=[
+                _job(CriticalityLevel.A, 1, 0, release=0.0, completion=1.5),
+                _job(CriticalityLevel.B, 2, 0, release=0.0, completion=None),
+                _job(CriticalityLevel.A, 3, 0, release=0.0, completion=0.9),
+            ]
+        )
+        sink = _Collector()
+        _check_ab_isolation(trace, _FakeTS(period=1.0), sim_end=10.0, sink=sink)
+        assert len(sink.violations) == 2
+        assert {v.task for v in sink.violations} == {1, 2}
+
+    def test_level_c_and_stall_hogs_exempt(self):
+        trace = SimpleNamespace(
+            jobs=[
+                _job(CriticalityLevel.C, 1, 0, release=0.0, completion=5.0),
+                _job(
+                    CriticalityLevel.A,
+                    FAULT_TASK_BASE_ID,
+                    0,
+                    release=0.0,
+                    completion=5.0,
+                ),
+            ]
+        )
+        sink = _Collector()
+        _check_ab_isolation(trace, _FakeTS(period=1.0), sim_end=10.0, sink=sink)
+        assert sink.violations == []
+
+    def test_incomplete_job_inside_horizon_is_fine(self):
+        trace = SimpleNamespace(
+            jobs=[_job(CriticalityLevel.A, 1, 0, release=9.5, completion=None)]
+        )
+        sink = _Collector()
+        _check_ab_isolation(trace, _FakeTS(period=1.0), sim_end=10.0, sink=sink)
+        assert sink.violations == []
+
+
+class TestSpeedBounds:
+    def test_out_of_range_and_order(self):
+        trace = SimpleNamespace(
+            speed_changes=[(1.0, 0.5), (0.5, 0.7), (2.0, 1.5)]
+        )
+        sink = _Collector()
+        _check_speed_bounds(trace, None, sink)
+        msgs = [v.message for v in sink.violations]
+        assert any("precedes" in m for m in msgs)
+        assert any("outside" in m for m in msgs)
+
+    def test_monitor_floor(self):
+        trace = SimpleNamespace(speed_changes=[(1.0, 0.3), (2.0, 1.0)])
+        sink = _Collector()
+        _check_speed_bounds(trace, 0.6, sink)
+        assert len(sink.violations) == 1
+        assert "floor" in sink.violations[0].message
+
+    def test_clean_sequence(self):
+        trace = SimpleNamespace(speed_changes=[(1.0, 0.6), (2.0, 1.0)])
+        sink = _Collector()
+        _check_speed_bounds(trace, 0.6, sink)
+        assert sink.violations == []
+
+
+class TestGelOrder:
+    def _trace(self, jobs, intervals):
+        return SimpleNamespace(jobs=jobs, intervals=intervals)
+
+    def _interval(self, task_id, job_index, start, end):
+        return SimpleNamespace(
+            task_id=task_id, job_index=job_index, start=start, end=end
+        )
+
+    def test_priority_inversion_detected(self):
+        # Job (1,0) has the smaller GEL-v key and waits over (2, 3)
+        # while lower-priority (2,0) runs: an inversion.
+        jobs = [
+            _job(CriticalityLevel.C, 1, 0, 2.0, 5.0, virtual_pp=1.0),
+            _job(CriticalityLevel.C, 2, 0, 0.0, 4.0, virtual_pp=9.0),
+        ]
+        intervals = [
+            self._interval(2, 0, 0.0, 4.0),
+            self._interval(1, 0, 3.0, 5.0),
+        ]
+        sink = _Collector()
+        _check_gel_order(self._trace(jobs, intervals), sink)
+        assert len(sink.violations) >= 1
+        assert sink.violations[0].task == 1
+
+    def test_correct_order_is_clean(self):
+        jobs = [
+            _job(CriticalityLevel.C, 1, 0, 0.0, 2.0, virtual_pp=1.0),
+            _job(CriticalityLevel.C, 2, 0, 0.0, 4.0, virtual_pp=9.0),
+        ]
+        intervals = [
+            self._interval(1, 0, 0.0, 2.0),
+            self._interval(2, 0, 2.0, 4.0),
+        ]
+        sink = _Collector()
+        _check_gel_order(self._trace(jobs, intervals), sink)
+        assert sink.violations == []
+
+
+def test_invariant_names_are_stable():
+    assert INVARIANT_NAMES == (
+        "ab_isolation",
+        "speed_bounds",
+        "recovery_closure",
+        "gel_order",
+        "recovery_exit",
+    )

@@ -1,0 +1,76 @@
+"""Shrinker behaviour: minimality, target preservation, replayable
+repro artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.shrink import (
+    REPRO_FORMAT,
+    replay_repro,
+    shrink_plan,
+    write_repro,
+)
+from repro.faults.spec import CpuStall, ReleaseJitter
+
+@pytest.fixture(scope="module")
+def violating_cell(small_spec, make_cell):
+    """A 2-fault plan where only the stall causes the violation — the
+    jitter is noise the shrinker should remove."""
+    return make_cell(
+        small_spec,
+        CpuStall(cpu=0, start=1.0, end=4.0),
+        ReleaseJitter(5.0, 6.0, magnitude=0.005),
+    )
+
+
+@pytest.fixture(scope="module")
+def shrunk(violating_cell):
+    return shrink_plan(violating_cell)
+
+
+class TestShrink:
+    def test_clean_cell_rejected(self, empty_cell):
+        with pytest.raises(ValueError, match="nothing to shrink"):
+            shrink_plan(empty_cell)
+
+    def test_noise_fault_removed(self, shrunk):
+        assert len(shrunk.plan.faults) == 1
+        assert isinstance(shrunk.plan.faults[0], CpuStall)
+
+    def test_shrunk_plan_still_violates_target(self, shrunk):
+        assert "ab_isolation" in shrunk.invariants
+        assert not shrunk.outcome.ok
+
+    def test_window_narrowed(self, shrunk, violating_cell):
+        orig = violating_cell.plan.faults[0]
+        kept = shrunk.plan.faults[0]
+        assert kept.end - kept.start <= orig.end - orig.start
+
+    def test_search_trail_recorded(self, shrunk):
+        assert shrunk.evaluations >= 2
+        assert any("remove" in s for s in shrunk.steps)
+
+    def test_shrink_is_deterministic(self, shrunk, violating_cell):
+        again = shrink_plan(violating_cell)
+        assert again.plan == shrunk.plan
+        assert again.evaluations == shrunk.evaluations
+
+
+class TestReproArtifact:
+    def test_write_and_replay(self, shrunk, tmp_path):
+        path = tmp_path / "repro.json"
+        write_repro(shrunk, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["format"] == REPRO_FORMAT
+        outcome, reproduced = replay_repro(str(path))
+        assert reproduced
+        assert outcome.fingerprint == shrunk.outcome.fingerprint
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "not-a-repro", "version": 1}))
+        with pytest.raises(ValueError, match="not a repro-faultrepro"):
+            replay_repro(str(path))
