@@ -11,7 +11,10 @@ Subcommands:
 * ``trace``    — summarize or convert JSONL event traces
   (:mod:`repro.obs`);
 * ``faults``   — fault-injection campaigns, scorecards, failing-plan
-  shrinking and repro replay (:mod:`repro.faults`).
+  shrinking and repro replay (:mod:`repro.faults`);
+* ``sweep``    — checkpointed-campaign management: ``resume`` drives any
+  interrupted campaign under a directory to completion, ``status``
+  reports per-shard progress (:mod:`repro.runtime.shard`).
 
 Examples::
 
@@ -25,16 +28,25 @@ Examples::
     repro-mc2 trace convert traces/run-0123abcd4567.jsonl -o chrome.json
     repro-mc2 faults run --cells 50 --jobs 4 -o scorecard.json
     repro-mc2 faults run --fault-free --cells 200 --jobs 4
+    repro-mc2 faults run --cells 50 --checkpoint-dir ckpt/ --jobs 4
+    repro-mc2 faults resume ckpt/ --jobs 4
     repro-mc2 faults report scorecard.json
     repro-mc2 faults shrink scorecard.json -o repro.json
     repro-mc2 faults replay repro.json
+    repro-mc2 figures --figure 7 --jobs 4 --checkpoint-dir ckpt/
+    repro-mc2 sweep status ckpt/
+    repro-mc2 sweep resume ckpt/ --jobs 4
 
 ``simulate`` and ``figures`` build declarative
 :class:`~repro.runtime.spec.RunSpec` grids and submit them through a
 :mod:`repro.runtime.executor` backend: ``--jobs N`` fans the sweep out
 over N worker processes, ``--cache-dir`` reuses previously simulated
 cells by content address (a re-run of an unchanged grid simulates
-nothing).  Observability flags are observation-only: ``--trace-dir``
+nothing), and ``--checkpoint-dir`` makes the sweep *durable* — cells
+are executed in content-addressed shards whose results land atomically
+on disk, so a killed run (any signal, any worker) is resumed from its
+completed shards by ``repro-mc2 sweep resume``.  Observability flags
+are observation-only: ``--trace-dir``
 streams one JSONL event trace per simulated cell, ``--metrics-out``
 archives the per-cell sweep report, ``--progress`` reports live sweep
 progress on stderr — none of them changes any result or cache key.
@@ -117,11 +129,19 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--progress", action="store_true",
                         help="report live sweep progress (done/total, cache "
                              "hit rate, ETA) on stderr")
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="checkpoint the sweep into content-addressed "
+                             "shards under DIR; a killed run resumes from "
+                             "completed shards (repro-mc2 sweep resume DIR)")
+    parser.add_argument("--shard-size", type=int, default=16, metavar="N",
+                        help="cells per checkpoint shard (default: 16)")
 
 
 def _make_executor(args: argparse.Namespace) -> SweepExecutor:
     progress = ProgressReporter() if args.progress else None
-    return make_executor(jobs=args.jobs, cache_dir=args.cache_dir, progress=progress)
+    return make_executor(jobs=args.jobs, cache_dir=args.cache_dir, progress=progress,
+                         checkpoint_dir=args.checkpoint_dir,
+                         shard_size=args.shard_size)
 
 
 def _obs_spec(args: argparse.Namespace) -> ObsSpec:
@@ -227,6 +247,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="report live campaign progress on stderr")
     fr.add_argument("--json", action="store_true",
                     help="emit the scorecard summary as JSON")
+    fr.add_argument("--checkpoint-dir", metavar="DIR",
+                    help="checkpoint the campaign into durable shards under "
+                         "DIR; resume a killed run with faults resume DIR")
+    fr.add_argument("--shard-size", type=int, default=16, metavar="N",
+                    help="cells per checkpoint shard (default: 16)")
+
+    fres = fsub.add_parser("resume",
+                           help="re-attach to a checkpointed fault campaign "
+                                "and drive it to completion")
+    fres.add_argument("dir", help="checkpoint directory (or its root)")
+    fres.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes (default: 1)")
+    fres.add_argument("--lease-ttl", type=float, default=60.0, metavar="SEC",
+                      help="seconds after which a dead worker's shard lease "
+                           "is stolen (default: 60)")
+    fres.add_argument("--progress", action="store_true",
+                      help="report live campaign progress on stderr")
+    fres.add_argument("-o", "--out", metavar="FILE",
+                      help="also write the merged scorecard JSON to FILE")
+    fres.add_argument("--json", action="store_true",
+                      help="emit the scorecard summary as JSON")
 
     fp = fsub.add_parser("report", help="render a saved scorecard")
     fp.add_argument("scorecard", help="scorecard JSON (from faults run -o)")
@@ -246,6 +287,30 @@ def build_parser() -> argparse.ArgumentParser:
     fy.add_argument("repro", help="repro JSON (from faults shrink -o)")
     fy.add_argument("--json", action="store_true",
                     help="emit the replay outcome as JSON")
+
+    sw = sub.add_parser("sweep",
+                        help="manage checkpointed campaigns "
+                             "(resume interrupted runs, inspect shards)")
+    swsub = sw.add_subparsers(dest="sweep_command", required=True)
+    swr = swsub.add_parser("resume",
+                           help="drive every unfinished campaign under a "
+                                "directory to completion and merge")
+    swr.add_argument("dir", help="campaign directory or checkpoint root")
+    swr.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (default: 1)")
+    swr.add_argument("--lease-ttl", type=float, default=60.0, metavar="SEC",
+                     help="seconds after which a dead worker's shard lease "
+                          "is stolen (default: 60)")
+    swr.add_argument("--cache-dir", metavar="DIR",
+                     help="content-addressed result cache for sweep cells")
+    swr.add_argument("--progress", action="store_true",
+                     help="report live progress on stderr")
+    sws = swsub.add_parser("status",
+                           help="per-shard completion/ownership of every "
+                                "campaign under a directory")
+    sws.add_argument("dir", help="campaign directory or checkpoint root")
+    sws.add_argument("--json", action="store_true",
+                     help="emit the status as JSON")
 
     return ap
 
@@ -371,8 +436,19 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             trace_dir=args.trace_dir,
         )
         progress = ProgressReporter() if args.progress else None
-        scorecard = run_campaign(build_campaign(config), jobs=args.jobs,
-                                 progress=progress)
+        if args.checkpoint_dir:
+            from repro.runtime.shard import run_sharded_campaign
+
+            scorecard, cdir, stats = run_sharded_campaign(
+                build_campaign(config), args.checkpoint_dir, jobs=args.jobs,
+                shard_size=args.shard_size, progress=progress,
+                meta={"fault_free": args.fault_free})
+            print(f"checkpointed campaign {cdir} "
+                  f"({stats.shards_claimed} shard(s) executed, "
+                  f"{stats.shards_skipped} already done)", file=sys.stderr)
+        else:
+            scorecard = run_campaign(build_campaign(config), jobs=args.jobs,
+                                     progress=progress)
         if args.out:
             scorecard.save(args.out)
             print(f"wrote scorecard ({len(scorecard.outcomes)} cells) to {args.out}",
@@ -385,6 +461,43 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         # must be violation-free without faults, while a faulted
         # campaign *producing* violations is working as intended.
         return 1 if (args.fault_free and not scorecard.ok) else 0
+
+    if args.faults_command == "resume":
+        from repro.runtime.shard import (
+            CampaignStore,
+            iter_campaign_dirs,
+            merge_scorecard,
+            resume_campaign,
+        )
+
+        dirs = [d for d in iter_campaign_dirs(args.dir)
+                if CampaignStore(d).load().kind == "faults"]
+        if not dirs:
+            print(f"error: no fault campaigns under {args.dir}", file=sys.stderr)
+            return 1
+        progress = ProgressReporter() if args.progress else None
+        exit_code = 0
+        for cdir in dirs:
+            campaign = CampaignStore(cdir).load()
+            stats = resume_campaign(cdir, jobs=args.jobs,
+                                    lease_ttl=args.lease_ttl,
+                                    progress=progress)
+            print(f"resumed {cdir} ({stats.shards_claimed} shard(s) executed, "
+                  f"{stats.shards_skipped} already done)", file=sys.stderr)
+            scorecard = merge_scorecard(cdir)
+            if args.out:
+                scorecard.save(args.out)
+                print(f"wrote scorecard ({len(scorecard.outcomes)} cells) "
+                      f"to {args.out}", file=sys.stderr)
+            if args.json:
+                print(json.dumps(scorecard.summary(), indent=2, sort_keys=True))
+            else:
+                print(scorecard.render())
+            # Same gate semantics as `faults run`: the campaign manifest
+            # remembers whether it was a fault-free acceptance run.
+            if campaign.meta.get("fault_free") and not scorecard.ok:
+                exit_code = 1
+        return exit_code
 
     if args.faults_command == "report":
         scorecard = Scorecard.load(args.scorecard)
@@ -432,6 +545,58 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if reproduced else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_shard_table
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.shard import (
+        CampaignStore,
+        campaign_status,
+        iter_campaign_dirs,
+        resume_campaign,
+    )
+
+    dirs = iter_campaign_dirs(args.dir)
+    if not dirs:
+        print(f"error: no campaigns under {args.dir} "
+              "(expected campaign.json manifests)", file=sys.stderr)
+        return 1
+
+    if args.sweep_command == "status":
+        docs = []
+        for cdir in dirs:
+            campaign = CampaignStore(cdir).load()
+            shards = campaign_status(cdir)
+            if args.json:
+                docs.append({
+                    "dir": str(cdir),
+                    "kind": campaign.kind,
+                    "key": campaign.campaign_key,
+                    "cells": len(campaign.cells),
+                    "shards": [s.to_dict() for s in shards],
+                })
+            else:
+                print(f"{cdir} [{campaign.kind}] "
+                      f"key={campaign.campaign_key[:12]} "
+                      f"cells={len(campaign.cells)}")
+                print(render_shard_table(shards))
+        if args.json:
+            print(json.dumps(docs, indent=2))
+        return 0
+
+    # resume: drive every campaign (sweep or faults) to completion + merge.
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    progress = ProgressReporter() if args.progress else None
+    for cdir in dirs:
+        campaign = CampaignStore(cdir).load()
+        stats = resume_campaign(cdir, jobs=args.jobs, cache=cache,
+                                lease_ttl=args.lease_ttl, progress=progress)
+        print(f"resumed {cdir} [{campaign.kind}]: "
+              f"{stats.shards_claimed} shard(s) executed, "
+              f"{stats.shards_skipped} already done; "
+              f"merged -> {CampaignStore(cdir).merged_path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -442,6 +607,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "trace": _cmd_trace,
         "faults": _cmd_faults,
+        "sweep": _cmd_sweep,
     }
     try:
         return handlers[args.command](args)

@@ -103,6 +103,7 @@ def full_reproduction(
     executor: Optional[SweepExecutor] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> ReproductionReport:
     """Regenerate Figs. 6-9 and return them as a report.
 
@@ -129,6 +130,13 @@ def full_reproduction(
         whose spec changed are simulated).  Fig. 9 measures wall-clock
         scheduler overhead and therefore always runs serially and
         uncached.
+    checkpoint_dir:
+        Checkpoint the Fig. 6-8 sweeps into durable content-addressed
+        shards under this directory
+        (:class:`~repro.runtime.shard.ShardedBackend`): a reproduction
+        killed partway — machine reboot, OOM, ``kill -9`` — picks up
+        from its completed shards on the next call (or via
+        ``repro-mc2 sweep resume``) instead of starting over.
     """
     if prebuilt is not None:
         refs: List[TaskSetSpec] = [TaskSetSpec.from_taskset(ts) for ts in prebuilt]
@@ -139,7 +147,8 @@ def full_reproduction(
         refs = [TaskSetSpec.generated(seed, params)
                 for seed in taskset_seeds(tasksets, base_seed)]
         sets = [r.materialize() for r in refs]
-    ex = executor if executor is not None else make_executor(jobs=jobs, cache_dir=cache_dir)
+    ex = executor if executor is not None else make_executor(
+        jobs=jobs, cache_dir=cache_dir, checkpoint_dir=checkpoint_dir)
     scen = tuple(scenarios) if scenarios is not None else standard_scenarios()
     fig6 = figure6(refs, s_values=sweep_values, scenarios=scen, horizon=horizon,
                    executor=ex)

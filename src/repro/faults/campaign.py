@@ -62,6 +62,7 @@ __all__ = [
     "run_cell",
     "run_campaign",
     "Scorecard",
+    "ScorecardSummaryAccumulator",
 ]
 
 CAMPAIGN_CELL_FORMAT = "repro-faultcell"
@@ -556,11 +557,83 @@ class Scorecard:
         )
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json())
-            fh.write("\n")
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: str) -> "Scorecard":
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_dict(json.load(fh))
+
+
+class ScorecardSummaryAccumulator:
+    """Streaming :meth:`Scorecard.summary` over outcomes fed one at a time.
+
+    The sharded campaign orchestrator (:mod:`repro.runtime.shard`) merges
+    shard manifests without ever materializing the whole outcome list, so
+    the summary has to be computed incrementally.  Feed every outcome (in
+    campaign order) through :meth:`add`; :meth:`summary` then returns a
+    dict equal — key for key, value for value — to what
+    ``Scorecard(outcomes).summary()`` would report for an undegraded
+    (serial / checkpointed) execution of the same cells.
+
+    Memory: O(faulted cells) small tuples plus one baseline entry per
+    distinct run spec — never the outcomes themselves (each of which
+    drags a full RunSpec + FaultPlan along).
+    """
+
+    def __init__(self) -> None:
+        self._cells = 0
+        self._violating = 0
+        self._truncated = 0
+        self._by_invariant: Dict[str, int] = {}
+        #: (run_key, dissipation, miss_count) per faulted cell, in order.
+        self._faulted: List[Tuple[str, float, int]] = []
+        #: First fault-free outcome per run spec (campaign order wins).
+        self._baselines: Dict[str, Tuple[float, int]] = {}
+        self._fault_free = 0
+
+    def add(self, outcome: CellOutcome) -> None:
+        self._cells += 1
+        if not outcome.ok:
+            self._violating += 1
+        if outcome.truncated:
+            self._truncated += 1
+        for name, n in outcome.violation_counts().items():
+            self._by_invariant[name] = self._by_invariant.get(name, 0) + n
+        if outcome.faulted:
+            self._faulted.append(
+                (outcome.run_key, outcome.dissipation, outcome.miss_count)
+            )
+        else:
+            self._fault_free += 1
+            self._baselines.setdefault(
+                outcome.run_key, (outcome.dissipation, outcome.miss_count)
+            )
+
+    def summary(self) -> Dict[str, Any]:
+        inflations: List[float] = []
+        miss_deltas: List[int] = []
+        for run_key, dissipation, misses in self._faulted:
+            base = self._baselines.get(run_key)
+            if base is None:
+                continue
+            inflations.append(dissipation - base[0])
+            miss_deltas.append(misses - base[1])
+        return {
+            "cells": self._cells,
+            "faulted": len(self._faulted),
+            "fault_free": self._fault_free,
+            "violating_cells": self._violating,
+            "violations": {k: self._by_invariant[k] for k in sorted(self._by_invariant)},
+            "truncated": self._truncated,
+            "max_dissipation_inflation": max(inflations) if inflations else 0.0,
+            "mean_dissipation_inflation": (
+                sum(inflations) / len(inflations) if inflations else 0.0
+            ),
+            "max_miss_delta": max(miss_deltas) if miss_deltas else 0,
+            "pool_breaks": 0,
+            "pool_retried": 0,
+            "pool_serial_fallback": 0,
+        }

@@ -47,6 +47,8 @@ class ProgressReporter:
         self.total = 0
         self.done = 0
         self.cache_hits = 0
+        self.shards_done = 0
+        self.shards_executed = 0
         self._t0 = 0.0
         self._last_emit = float("-inf")
         self.lines_emitted = 0
@@ -56,6 +58,8 @@ class ProgressReporter:
         self.total = total
         self.done = 0
         self.cache_hits = 0
+        self.shards_done = 0
+        self.shards_executed = 0
         self._t0 = self._clock()
         self._last_emit = float("-inf")
 
@@ -66,6 +70,36 @@ class ProgressReporter:
             self.cache_hits += 1
         now = self._clock()
         if self.done < self.total and now - self._last_emit < self.min_interval_s:
+            return
+        self._emit(now, final=self.done >= self.total)
+
+    def shard_done(self, executed: bool = True) -> None:
+        """Record one finished shard of a checkpointed campaign.
+
+        ``executed=False`` means the shard's manifest already existed
+        (resume skipping completed work) — it still counts toward
+        completion, which is what the status line reports.
+        """
+        self.shards_done += 1
+        if executed:
+            self.shards_executed += 1
+
+    def set_completed_cells(self, done: int) -> None:
+        """Pool-mode progress: the parent observed *done* cells complete.
+
+        Unlike :meth:`cell_done` this is level-triggered — it is fed the
+        absolute completion count read off durable shard manifests, so a
+        parent polling a campaign directory can report progress for work
+        it did not execute itself.  Emission stays throttled.
+        """
+        if done < self.done:
+            return  # stale read (another poller raced ahead); keep max
+        advanced = done > self.done
+        self.done = done
+        now = self._clock()
+        if not advanced or (
+            self.done < self.total and now - self._last_emit < self.min_interval_s
+        ):
             return
         self._emit(now, final=self.done >= self.total)
 

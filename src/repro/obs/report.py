@@ -16,7 +16,7 @@ from typing import Any, Dict, List
 
 from repro.obs.metrics import Histogram
 
-__all__ = ["CellReport", "SweepReport"]
+__all__ = ["CellReport", "SweepReport", "ShardReport", "render_shard_table"]
 
 REPORT_FORMAT = "repro-sweep-report"
 REPORT_VERSION = 1
@@ -58,6 +58,59 @@ class CellReport:
             "events": self.events,
             "truncated": self.truncated,
         }
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One shard of a checkpointed campaign, as seen on disk.
+
+    Built by :func:`repro.runtime.shard.campaign_status` from the
+    campaign directory alone — manifests and lease files — so it reports
+    the durable truth, not any process's in-memory view.
+    """
+
+    #: Position in the campaign's shard list.
+    index: int
+    #: Content address of the shard (campaign key + cell slice).
+    shard_id: str
+    #: Cells in this shard.
+    cells: int
+    #: ``"done"`` (manifest present), ``"leased"`` (a worker owns it),
+    #: or ``"pending"`` (unowned, no manifest).
+    state: str
+    #: Manifest writer (done) or current lease holder (leased); "" else.
+    owner: str
+    #: Wall-clock nanoseconds the owning worker spent (done shards only).
+    wall_ns: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "shard_id": self.shard_id,
+            "cells": self.cells,
+            "state": self.state,
+            "owner": self.owner,
+            "wall_ns": self.wall_ns,
+        }
+
+
+def render_shard_table(shards: List[ShardReport]) -> str:
+    """Human-readable per-shard status (``repro-mc2 sweep status``)."""
+    done = sum(1 for s in shards if s.state == "done")
+    cells_done = sum(s.cells for s in shards if s.state == "done")
+    cells_total = sum(s.cells for s in shards)
+    lines = [
+        f"{done}/{len(shards)} shards done "
+        f"({cells_done}/{cells_total} cells)",
+        f"{'shard':<7}{'id':<14}{'cells':>6}  {'state':<8}{'wall':>9}  owner",
+    ]
+    for s in shards:
+        wall = f"{s.wall_ns / 1e6:.0f}ms" if s.wall_ns else "-"
+        lines.append(
+            f"{s.index:<7}{s.shard_id[:12]:<14}{s.cells:>6}  "
+            f"{s.state:<8}{wall:>9}  {s.owner}"
+        )
+    return "\n".join(lines)
 
 
 @dataclass

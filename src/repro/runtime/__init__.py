@@ -16,7 +16,12 @@ many of them:
   keyed by the sha256 of a spec's canonical JSON;
 * :mod:`repro.runtime.executor` — ``SerialBackend`` and
   ``ProcessPoolBackend`` sweep executors that check the cache, simulate
-  only the missing cells, and report how much work they actually did.
+  only the missing cells, and report how much work they actually did;
+* :mod:`repro.runtime.shard` — the checkpointed, sharded campaign
+  orchestrator (``ShardedBackend``, ``run_sharded_campaign``,
+  ``resume_campaign``): content-addressed shards, lease files, atomic
+  per-shard manifests and streaming merges, so a killed sweep resumes
+  from its completed shards instead of restarting.
 """
 
 from repro.runtime.cache import ResultCache
@@ -33,6 +38,17 @@ from repro.runtime.registry import (
     Registry,
     monitor_registry,
     scheduler_registry,
+)
+from repro.runtime.shard import (
+    CampaignStore,
+    ShardedBackend,
+    ShardedCampaign,
+    WorkStats,
+    campaign_status,
+    iter_campaign_dirs,
+    prepare_campaign,
+    resume_campaign,
+    run_sharded_campaign,
 )
 from repro.runtime.spec import (
     KernelSpec,
@@ -61,4 +77,13 @@ __all__ = [
     "ProcessPoolBackend",
     "make_executor",
     "run_spec",
+    "ShardedCampaign",
+    "CampaignStore",
+    "ShardedBackend",
+    "WorkStats",
+    "prepare_campaign",
+    "iter_campaign_dirs",
+    "campaign_status",
+    "run_sharded_campaign",
+    "resume_campaign",
 ]

@@ -8,9 +8,12 @@ entry.  Because simulation is deterministic given a spec, a hit is
 exactly the result a fresh run would produce; re-running a sweep whose
 grid did not change performs zero simulations.
 
-Writes are atomic (temp file + ``os.replace``) so concurrent sweeps
-sharing a cache directory can only ever observe complete entries, and a
-torn/corrupt file is treated as a miss, never an error.
+Writes are atomic (temp file + ``os.replace`` + fsync, via
+:mod:`repro.util.atomicio`) so concurrent sweeps sharing a cache
+directory can only ever observe complete entries — a writer killed at
+any instant (including ``kill -9`` mid-write) leaves at most a stray
+``*.tmp`` next to the entry, and a torn/corrupt file is treated as a
+miss, never an error.
 """
 
 from __future__ import annotations
@@ -18,10 +21,10 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-import tempfile
 from typing import Optional, Union
 
 from repro.experiments.metrics import RunResult
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["ResultCache", "default_cache_dir"]
 
@@ -83,8 +86,6 @@ class ResultCache:
         """Store *result* under *key*, evicting past ``max_entries``."""
         from repro.io.results_json import run_result_to_dict
 
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         doc = {
             "format": _FORMAT,
             "version": _VERSION,
@@ -92,17 +93,7 @@ class ResultCache:
             "spec": spec_doc,
             "result": run_result_to_dict(result),
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(json.dumps(doc, indent=2) + "\n")
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(self._path(key), json.dumps(doc, indent=2) + "\n")
         if self.max_entries is not None:
             self.prune(self.max_entries)
 

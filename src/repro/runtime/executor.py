@@ -401,9 +401,30 @@ def make_executor(
     max_entries: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
     progress: Optional[ProgressReporter] = None,
+    checkpoint_dir: Optional[str] = None,
+    shard_size: int = 16,
 ) -> SweepExecutor:
-    """CLI-flag-shaped factory: ``--jobs N`` / ``--cache-dir PATH``."""
+    """CLI-flag-shaped factory: ``--jobs N`` / ``--cache-dir PATH``.
+
+    ``--checkpoint-dir`` selects the checkpointed
+    :class:`~repro.runtime.shard.ShardedBackend`: the sweep is split
+    into durable shards under *checkpoint_dir* and a killed run resumes
+    from its completed shards (``repro-mc2 sweep resume``).
+    """
     cache = ResultCache(cache_dir, max_entries=max_entries) if cache_dir else None
+    if checkpoint_dir:
+        # Imported lazily: shard builds on this module (and on
+        # repro.faults), so a top-level import would be circular.
+        from repro.runtime.shard import ShardedBackend
+
+        return ShardedBackend(
+            checkpoint_dir,
+            jobs=jobs,
+            shard_size=shard_size,
+            cache=cache,
+            metrics=metrics,
+            progress=progress,
+        )
     if jobs <= 1:
         return SerialBackend(cache=cache, metrics=metrics, progress=progress)
     return ProcessPoolBackend(jobs=jobs, cache=cache, metrics=metrics, progress=progress)

@@ -1,0 +1,1129 @@
+"""Checkpointed, sharded campaign execution with crash-safe resume.
+
+The sweeps behind the paper's evaluation (Figs. 6-9 grids, the fault
+campaigns of :mod:`repro.faults`) are long: hundreds to thousands of
+deterministic cells.  The process-pool backends parallelize them, but a
+killed process loses every in-flight cell and an interrupted campaign
+must restart from whatever the :class:`~repro.runtime.cache.ResultCache`
+happened to retain.  This module makes campaign execution *durable*:
+
+* **Content-addressed shards.**  A cell list (``RunSpec`` sweep cells or
+  :class:`~repro.faults.campaign.CampaignCell` fault cells) is split
+  into fixed-size shards; the campaign key is the sha256 of the ordered
+  cell keys, and each shard's id is the sha256 of the campaign key plus
+  its slice.  The same cell list always maps to the same shards, so a
+  re-attached run agrees with the original about what the work *is*.
+
+* **File-based work queue with lease/heartbeat ownership.**  Workers —
+  threads of one process, separate processes, even separate invocations
+  of the CLI — claim shards by atomically creating a lease file
+  (``O_CREAT | O_EXCL``), heartbeat it after every cell, and release it
+  when the shard's result manifest lands.  A lease whose heartbeat is
+  older than the TTL is presumed dead and reclaimed.  Leases are a
+  *performance* mechanism, not a correctness one: cells are
+  deterministic, so the rare double execution after a lease steal just
+  writes the same manifest twice.
+
+* **Atomic per-shard result manifests.**  Each completed shard is one
+  JSON file written via temp-file + ``os.replace``
+  (:mod:`repro.util.atomicio`); a crash mid-write leaves a stray
+  ``*.tmp``, never a torn manifest.  A campaign is complete exactly when
+  every shard has a valid manifest, and *resume* is nothing more than
+  executing the shards that don't.
+
+* **Streaming reduce.**  Merging walks shard manifests in order and
+  feeds results one at a time into incremental accumulators
+  (:func:`write_merged_results`,
+  :func:`~repro.faults.campaign.ScorecardSummaryAccumulator`), so the
+  final artifact is produced without ever holding the whole campaign's
+  results in memory — and it is byte-identical to what an uninterrupted
+  in-memory run would have saved.
+
+Directory layout (one campaign)::
+
+    <dir>/
+      campaign.json        # manifest: kind, cells, shard size, key
+      shards/<id>.json     # one atomic result manifest per shard
+      leases/<id>.json     # live ownership (deleted on completion)
+      merged.json          # streamed final artifact
+
+:func:`prepare_campaign` nests each campaign under a key-prefixed
+subdirectory of a shared root, so the same root can host many grids and
+``repro-mc2 sweep resume <root>`` / ``faults resume <root>`` re-attach
+to whatever is unfinished.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.metrics import RunResult
+from repro.faults.campaign import (
+    SCORECARD_FORMAT,
+    SCORECARD_VERSION,
+    CampaignCell,
+    CellOutcome,
+    Scorecard,
+    ScorecardSummaryAccumulator,
+    run_cell,
+)
+from repro.obs.report import ShardReport
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor, SweepStats, run_spec
+from repro.runtime.spec import RunSpec
+from repro.util.atomicio import atomic_write_text, atomic_writer
+
+__all__ = [
+    "CAMPAIGN_FORMAT",
+    "SHARD_RESULT_FORMAT",
+    "MERGED_SWEEP_FORMAT",
+    "CampaignMismatchError",
+    "IncompleteCampaignError",
+    "ShardSpec",
+    "ShardedCampaign",
+    "CampaignStore",
+    "WorkStats",
+    "work",
+    "run_workers",
+    "prepare_campaign",
+    "iter_campaign_dirs",
+    "campaign_status",
+    "iter_result_docs",
+    "merge_results",
+    "write_merged_results",
+    "merge_scorecard",
+    "write_merged_scorecard",
+    "run_sharded_campaign",
+    "resume_campaign",
+    "ShardedBackend",
+]
+
+CAMPAIGN_FORMAT = "repro-shard-campaign"
+CAMPAIGN_VERSION = 1
+SHARD_RESULT_FORMAT = "repro-shard-result"
+SHARD_RESULT_VERSION = 1
+LEASE_FORMAT = "repro-shard-lease"
+MERGED_SWEEP_FORMAT = "repro-sweep-results"
+MERGED_SWEEP_VERSION = 1
+
+Pathish = Union[str, "os.PathLike[str]"]
+
+_CANON = dict(sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+class CampaignMismatchError(ValueError):
+    """The directory already holds a *different* campaign."""
+
+
+class IncompleteCampaignError(RuntimeError):
+    """A merge was requested while shards are still missing."""
+
+    def __init__(self, missing: Sequence[int]) -> None:
+        self.missing = tuple(missing)
+        super().__init__(
+            f"campaign is incomplete: {len(self.missing)} shard(s) missing "
+            f"(indices {list(self.missing)[:8]}{'...' if len(self.missing) > 8 else ''})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Kind adapters: what a "cell" is and how to run one.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Kind:
+    """How the orchestrator handles one campaign flavour."""
+
+    name: str
+    cell_key: Callable[[Any], str]
+    cell_to_dict: Callable[[Any], Dict[str, Any]]
+    cell_from_dict: Callable[[Dict[str, Any]], Any]
+    #: Execute one cell, returning its JSON-ready result document.
+    execute: Callable[[Any], Dict[str, Any]]
+    #: Whether cells can be served from / written to a ResultCache.
+    cacheable: bool
+
+
+def _sweep_cell_to_dict(spec: RunSpec) -> Dict[str, Any]:
+    from repro.io.runspec_json import runspec_to_dict
+
+    return runspec_to_dict(spec)
+
+
+def _sweep_cell_from_dict(doc: Dict[str, Any]) -> RunSpec:
+    from repro.io.runspec_json import runspec_from_dict
+
+    return runspec_from_dict(doc)
+
+
+def _sweep_execute(spec: RunSpec) -> Dict[str, Any]:
+    from repro.io.results_json import run_result_to_dict
+
+    return run_result_to_dict(run_spec(spec))
+
+
+def _faults_execute(cell: CampaignCell) -> Dict[str, Any]:
+    return run_cell(cell).to_dict()
+
+
+_KINDS: Dict[str, _Kind] = {
+    "sweep": _Kind(
+        name="sweep",
+        cell_key=lambda spec: spec.key(),
+        cell_to_dict=_sweep_cell_to_dict,
+        cell_from_dict=_sweep_cell_from_dict,
+        execute=_sweep_execute,
+        cacheable=True,
+    ),
+    "faults": _Kind(
+        name="faults",
+        cell_key=lambda cell: cell.key(),
+        cell_to_dict=lambda cell: cell.to_dict(),
+        cell_from_dict=CampaignCell.from_dict,
+        execute=_faults_execute,
+        cacheable=False,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Campaign identity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """One content-addressed slice of a campaign's cell list."""
+
+    index: int
+    shard_id: str
+    #: Cell positions in the campaign's cell list (contiguous slice).
+    start: int
+    stop: int
+
+    @property
+    def cells(self) -> int:
+        return self.stop - self.start
+
+
+class ShardedCampaign:
+    """An immutable cell list plus its sharding, content-addressed.
+
+    Parameters
+    ----------
+    kind:
+        ``"sweep"`` (cells are :class:`~repro.runtime.spec.RunSpec`) or
+        ``"faults"`` (cells are
+        :class:`~repro.faults.campaign.CampaignCell`).
+    cells:
+        The ordered cell list.  Order is part of the campaign's identity
+        — merged artifacts restore it exactly.
+    shard_size:
+        Cells per shard (the last shard may be short).
+    meta:
+        Free-form JSON-able metadata carried in the manifest (e.g. the
+        fault campaign's ``fault_free`` flag, so ``resume`` can apply
+        acceptance-gate semantics without re-supplying flags).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        cells: Sequence[Any],
+        shard_size: int = 16,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown campaign kind {kind!r} (have {sorted(_KINDS)})")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if not cells:
+            raise ValueError("a campaign needs at least one cell")
+        self.kind = kind
+        self.cells: Tuple[Any, ...] = tuple(cells)
+        self.shard_size = shard_size
+        self.meta: Dict[str, Any] = dict(meta or {})
+        k = _KINDS[kind]
+        self.cell_keys: Tuple[str, ...] = tuple(k.cell_key(c) for c in self.cells)
+        self.campaign_key = self._compute_key()
+        self.shards: Tuple[ShardSpec, ...] = tuple(self._compute_shards())
+
+    def _compute_key(self) -> str:
+        doc = {
+            "format": CAMPAIGN_FORMAT,
+            "version": CAMPAIGN_VERSION,
+            "kind": self.kind,
+            "shard_size": self.shard_size,
+            "cell_keys": list(self.cell_keys),
+        }
+        blob = json.dumps(doc, **_CANON)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _compute_shards(self) -> List[ShardSpec]:
+        out: List[ShardSpec] = []
+        for idx, start in enumerate(range(0, len(self.cells), self.shard_size)):
+            stop = min(start + self.shard_size, len(self.cells))
+            blob = json.dumps(
+                {
+                    "campaign": self.campaign_key,
+                    "index": idx,
+                    "cell_keys": list(self.cell_keys[start:stop]),
+                },
+                **_CANON,
+            )
+            shard_id = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+            out.append(ShardSpec(index=idx, shard_id=shard_id, start=start, stop=stop))
+        return out
+
+    # -- persistence ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        k = _KINDS[self.kind]
+        return {
+            "format": CAMPAIGN_FORMAT,
+            "version": CAMPAIGN_VERSION,
+            "kind": self.kind,
+            "key": self.campaign_key,
+            "shard_size": self.shard_size,
+            "meta": self.meta,
+            "cells": [k.cell_to_dict(c) for c in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ShardedCampaign":
+        if doc.get("format") != CAMPAIGN_FORMAT:
+            raise ValueError(f"not a {CAMPAIGN_FORMAT} document: {doc.get('format')!r}")
+        kind = doc["kind"]
+        k = _KINDS[kind]
+        campaign = cls(
+            kind=kind,
+            cells=[k.cell_from_dict(c) for c in doc["cells"]],
+            shard_size=int(doc["shard_size"]),
+            meta=dict(doc.get("meta", {})),
+        )
+        recorded = doc.get("key")
+        if recorded is not None and recorded != campaign.campaign_key:
+            raise ValueError(
+                f"campaign manifest key {recorded[:12]} does not match its "
+                f"reconstructed cells ({campaign.campaign_key[:12]}); the "
+                "manifest is corrupt or from an incompatible version"
+            )
+        return campaign
+
+
+# ----------------------------------------------------------------------
+# On-disk store
+# ----------------------------------------------------------------------
+class CampaignStore:
+    """Directory layout + atomic IO for one campaign."""
+
+    def __init__(self, directory: Pathish) -> None:
+        self.root = pathlib.Path(directory)
+
+    @property
+    def campaign_path(self) -> pathlib.Path:
+        return self.root / "campaign.json"
+
+    @property
+    def merged_path(self) -> pathlib.Path:
+        return self.root / "merged.json"
+
+    def shard_path(self, shard_id: str) -> pathlib.Path:
+        return self.root / "shards" / f"{shard_id}.json"
+
+    def lease_path(self, shard_id: str) -> pathlib.Path:
+        return self.root / "leases" / f"{shard_id}.json"
+
+    # -- campaign manifest ---------------------------------------------
+    def initialize(self, campaign: ShardedCampaign) -> None:
+        """Write the campaign manifest, or verify an existing one matches."""
+        if self.campaign_path.exists():
+            existing = self.load()
+            if existing.campaign_key != campaign.campaign_key:
+                raise CampaignMismatchError(
+                    f"{self.root} already holds campaign "
+                    f"{existing.campaign_key[:12]} ({len(existing.cells)} cells), "
+                    f"not {campaign.campaign_key[:12]} ({len(campaign.cells)} "
+                    "cells); use a fresh directory per cell list"
+                )
+            return
+        atomic_write_text(
+            self.campaign_path, json.dumps(campaign.to_dict(), indent=2) + "\n"
+        )
+
+    def load(self) -> ShardedCampaign:
+        with open(self.campaign_path, "r", encoding="utf-8") as fh:
+            return ShardedCampaign.from_dict(json.load(fh))
+
+    # -- shard manifests -----------------------------------------------
+    def read_manifest(self, shard: ShardSpec) -> Optional[Dict[str, Any]]:
+        """The shard's result manifest, or ``None`` if absent/torn."""
+        try:
+            doc = json.loads(self.shard_path(shard.shard_id).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if doc.get("format") != SHARD_RESULT_FORMAT or doc.get("shard") != shard.shard_id:
+            return None
+        if len(doc.get("results", ())) != shard.cells:
+            return None
+        return doc
+
+    def shard_done(self, shard: ShardSpec) -> bool:
+        return self.read_manifest(shard) is not None
+
+    def write_manifest(
+        self,
+        campaign: ShardedCampaign,
+        shard: ShardSpec,
+        results: Sequence[Dict[str, Any]],
+        cached: Sequence[bool],
+        wall_ns: Sequence[int],
+        owner: str,
+        shard_wall_ns: int,
+    ) -> None:
+        doc = {
+            "format": SHARD_RESULT_FORMAT,
+            "version": SHARD_RESULT_VERSION,
+            "campaign": campaign.campaign_key,
+            "shard": shard.shard_id,
+            "index": shard.index,
+            "cell_keys": list(campaign.cell_keys[shard.start : shard.stop]),
+            "results": list(results),
+            "cached": list(cached),
+            "wall_ns": list(wall_ns),
+            "owner": owner,
+            "shard_wall_ns": shard_wall_ns,
+        }
+        atomic_write_text(
+            self.shard_path(shard.shard_id), json.dumps(doc, indent=2) + "\n"
+        )
+
+    # -- leases --------------------------------------------------------
+    def _lease_doc(self, owner: str, acquired: float, heartbeat: float) -> str:
+        return json.dumps(
+            {
+                "format": LEASE_FORMAT,
+                "owner": owner,
+                "acquired": acquired,
+                "heartbeat": heartbeat,
+            }
+        )
+
+    def read_lease(self, shard_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            doc = json.loads(self.lease_path(shard_id).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if doc.get("format") != LEASE_FORMAT:
+            return None
+        return doc
+
+    def try_acquire(
+        self,
+        shard_id: str,
+        owner: str,
+        lease_ttl: float,
+        clock: Callable[[], float] = time.time,
+    ) -> bool:
+        """Claim *shard_id*: fresh lease, or steal one whose heartbeat expired.
+
+        Best-effort mutual exclusion — see the module docstring; a lost
+        race costs a redundant (deterministic) shard execution, never a
+        wrong result.
+        """
+        path = self.lease_path(shard_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        now = clock()
+        payload = self._lease_doc(owner, now, now)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            existing = self.read_lease(shard_id)
+            if existing is not None:
+                if existing.get("owner") == owner:
+                    return True
+                beat = float(existing.get("heartbeat", 0.0))
+                if now - beat <= lease_ttl:
+                    return False
+            # Expired (or torn) lease: steal it atomically and confirm.
+            atomic_write_text(path, payload, fsync=False)
+            stolen = self.read_lease(shard_id)
+            return stolen is not None and stolen.get("owner") == owner
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+        except BaseException:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def heartbeat(
+        self, shard_id: str, owner: str, clock: Callable[[], float] = time.time
+    ) -> None:
+        existing = self.read_lease(shard_id)
+        if existing is None or existing.get("owner") != owner:
+            return  # lost the lease; the executing work is still valid
+        atomic_write_text(
+            self.lease_path(shard_id),
+            self._lease_doc(owner, float(existing.get("acquired", 0.0)), clock()),
+            fsync=False,
+        )
+
+    def release(self, shard_id: str, owner: str) -> None:
+        existing = self.read_lease(shard_id)
+        if existing is None or existing.get("owner") != owner:
+            return
+        try:
+            os.unlink(self.lease_path(shard_id))
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker loop
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkStats:
+    """What one :func:`work` (or :func:`run_workers`) call did."""
+
+    shards_total: int = 0
+    #: Shards this call executed (claimed, ran, wrote the manifest).
+    shards_claimed: int = 0
+    #: Shards whose manifest already existed when visited.
+    shards_skipped: int = 0
+    #: Cells actually simulated by this call.
+    cells_run: int = 0
+    #: Cells served from the result cache (sweep kind only).
+    cache_hits: int = 0
+    #: Process-pool breaks absorbed (pool driver only).
+    pool_breaks: int = 0
+
+    def merged(self, other: "WorkStats") -> "WorkStats":
+        return WorkStats(
+            shards_total=max(self.shards_total, other.shards_total),
+            shards_claimed=self.shards_claimed + other.shards_claimed,
+            shards_skipped=self.shards_skipped + other.shards_skipped,
+            cells_run=self.cells_run + other.cells_run,
+            cache_hits=self.cache_hits + other.cache_hits,
+            pool_breaks=self.pool_breaks + other.pool_breaks,
+        )
+
+
+def _default_owner() -> str:
+    return f"{os.uname().nodename}:{os.getpid()}"
+
+
+def _execute_shard(
+    store: CampaignStore,
+    campaign: ShardedCampaign,
+    shard: ShardSpec,
+    owner: str,
+    cache: Optional[ResultCache],
+    clock: Callable[[], float],
+    on_cell: Optional[Callable[[bool], None]] = None,
+) -> Tuple[int, int]:
+    """Run one claimed shard to its manifest; returns (cells_run, hits)."""
+    kind = _KINDS[campaign.kind]
+    results: List[Dict[str, Any]] = []
+    cached_flags: List[bool] = []
+    wall: List[int] = []
+    cells_run = 0
+    hits = 0
+    t_shard = time.perf_counter_ns()
+    for pos in range(shard.start, shard.stop):
+        cell = campaign.cells[pos]
+        key = campaign.cell_keys[pos]
+        t0 = time.perf_counter_ns()
+        doc: Optional[Dict[str, Any]] = None
+        was_cached = False
+        if kind.cacheable and cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                from repro.io.results_json import run_result_to_dict
+
+                doc = run_result_to_dict(hit)
+                was_cached = True
+                hits += 1
+        if doc is None:
+            doc = kind.execute(cell)
+            cells_run += 1
+            if kind.cacheable and cache is not None:
+                from repro.io.results_json import run_result_from_dict
+
+                cache.put(key, kind.cell_to_dict(cell), run_result_from_dict(doc))
+        results.append(doc)
+        cached_flags.append(was_cached)
+        wall.append(time.perf_counter_ns() - t0)
+        store.heartbeat(shard.shard_id, owner, clock)
+        if on_cell is not None:
+            on_cell(was_cached)
+    store.write_manifest(
+        campaign,
+        shard,
+        results,
+        cached_flags,
+        wall,
+        owner,
+        time.perf_counter_ns() - t_shard,
+    )
+    return cells_run, hits
+
+
+def work(
+    directory: Pathish,
+    owner: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
+    lease_ttl: float = 60.0,
+    poll_interval: float = 0.05,
+    wait: bool = True,
+    max_shards: Optional[int] = None,
+    progress=None,
+    metrics=None,
+    clock: Callable[[], float] = time.time,
+) -> WorkStats:
+    """Drive one campaign directory toward completion from this process.
+
+    Repeatedly scans the shard list in index order, claims unowned
+    incomplete shards, executes them, and writes their manifests.  With
+    ``wait=True`` (default) the call returns only when **every** shard
+    has a manifest — shards held by live foreign leases are polled until
+    their owners finish or their leases expire (TTL), at which point
+    they are reclaimed and executed here.  ``wait=False`` returns as
+    soon as no shard is claimable.  ``max_shards`` stops after this call
+    has executed that many shards (used by tests and incremental runs).
+
+    Safe to run concurrently from any number of processes against the
+    same directory; the lease files partition the work.
+    """
+    store = CampaignStore(directory)
+    campaign = store.load()
+    who = owner if owner is not None else _default_owner()
+    spans = None
+    if metrics is not None:
+        from repro.obs.spans import SpanTimer
+
+        spans = SpanTimer(metrics, "shard")
+    claimed = 0
+    skipped = 0
+    cells_run = 0
+    hits = 0
+    seen_done: set = set()
+
+    def note_done(shard: ShardSpec, mine: bool) -> None:
+        if shard.shard_id in seen_done:
+            return
+        seen_done.add(shard.shard_id)
+        if progress is not None and hasattr(progress, "shard_done"):
+            progress.shard_done(executed=mine)
+
+    while True:
+        pending = [s for s in campaign.shards if s.shard_id not in seen_done]
+        progressed = False
+        for shard in pending:
+            if store.shard_done(shard):
+                if shard.shard_id not in seen_done:
+                    skipped += 1
+                note_done(shard, mine=False)
+                progressed = True
+                continue
+            if max_shards is not None and claimed >= max_shards:
+                continue
+            if not store.try_acquire(shard.shard_id, who, lease_ttl, clock):
+                continue
+            # Re-check under the lease: a racing worker may have finished
+            # the shard between our scan and the acquire.
+            if store.shard_done(shard):
+                store.release(shard.shard_id, who)
+                skipped += 1
+                note_done(shard, mine=False)
+                progressed = True
+                continue
+            on_cell = None
+            if progress is not None and hasattr(progress, "cell_done"):
+                on_cell = lambda cached: progress.cell_done(cached=cached)  # noqa: E731
+            try:
+                if spans is not None:
+                    with spans.span("execute"):
+                        ran, h = _execute_shard(
+                            store, campaign, shard, who, cache, clock, on_cell
+                        )
+                else:
+                    ran, h = _execute_shard(
+                        store, campaign, shard, who, cache, clock, on_cell
+                    )
+            finally:
+                store.release(shard.shard_id, who)
+            claimed += 1
+            cells_run += ran
+            hits += h
+            note_done(shard, mine=True)
+            progressed = True
+        remaining = [s for s in campaign.shards if s.shard_id not in seen_done]
+        if not remaining:
+            break
+        if max_shards is not None and claimed >= max_shards:
+            break
+        if not progressed:
+            if not wait:
+                break
+            time.sleep(poll_interval)
+    return WorkStats(
+        shards_total=len(campaign.shards),
+        shards_claimed=claimed,
+        shards_skipped=skipped,
+        cells_run=cells_run,
+        cache_hits=hits,
+    )
+
+
+def _work_entry(
+    directory: str, owner: str, cache_dir: Optional[str], lease_ttl: float
+) -> WorkStats:
+    """Module-level pool entry point (picklable)."""
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return work(directory, owner=owner, cache=cache, lease_ttl=lease_ttl, wait=False)
+
+
+def run_workers(
+    directory: Pathish,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    lease_ttl: float = 60.0,
+    progress=None,
+    metrics=None,
+    max_shards: Optional[int] = None,
+) -> WorkStats:
+    """Drive a campaign with *jobs* worker processes (1 = in-process).
+
+    Worker processes coordinate purely through the campaign directory's
+    lease files, so a SIGKILLed worker costs only its in-flight shard:
+    the resulting ``BrokenProcessPool`` is absorbed and the survivors'
+    completed manifests stand.  After the pool returns (or breaks), a
+    final in-process :func:`work` pass executes whatever is left —
+    including shards orphaned behind expired leases — so this function
+    returns only when the campaign is complete (unless ``max_shards``
+    cut it short).
+    """
+    if jobs <= 1 or max_shards is not None:
+        return work(
+            directory,
+            cache=cache,
+            lease_ttl=lease_ttl,
+            progress=progress,
+            metrics=metrics,
+            max_shards=max_shards,
+        )
+    store = CampaignStore(directory)
+    campaign = store.load()
+    cache_dir = str(cache.directory) if cache is not None else None
+    breaks = 0
+    stats = WorkStats(shards_total=len(campaign.shards))
+    workers = min(jobs, len(campaign.shards))
+    try:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futs = [
+                pool.submit(
+                    _work_entry,
+                    str(directory),
+                    f"{_default_owner()}:w{i}",
+                    cache_dir,
+                    lease_ttl,
+                )
+                for i in range(workers)
+            ]
+            pending = set(futs)
+            while pending:
+                done, pending = concurrent.futures.wait(pending, timeout=0.2)
+                for fut in done:
+                    stats = stats.merged(fut.result())
+                _poll_progress(store, campaign, progress)
+    except concurrent.futures.process.BrokenProcessPool:
+        breaks = 1
+    # Finish (or verify) in-process: reclaims expired leases and blocks
+    # until every shard has a manifest.
+    tail = work(
+        directory,
+        cache=cache,
+        lease_ttl=lease_ttl,
+        progress=progress,
+        metrics=metrics,
+    )
+    merged = stats.merged(tail)
+    return WorkStats(
+        shards_total=merged.shards_total,
+        shards_claimed=merged.shards_claimed,
+        shards_skipped=merged.shards_skipped,
+        cells_run=merged.cells_run,
+        cache_hits=merged.cache_hits,
+        pool_breaks=breaks,
+    )
+
+
+def _poll_progress(store: CampaignStore, campaign: ShardedCampaign, progress) -> None:
+    """Pool-mode progress: the parent reads completion off the manifests."""
+    if progress is None or not hasattr(progress, "set_completed_cells"):
+        return
+    done_cells = sum(s.cells for s in campaign.shards if store.shard_done(s))
+    progress.set_completed_cells(done_cells)
+
+
+# ----------------------------------------------------------------------
+# Campaign roots: many campaigns under one directory
+# ----------------------------------------------------------------------
+def prepare_campaign(root: Pathish, campaign: ShardedCampaign) -> pathlib.Path:
+    """Initialize (or re-attach to) *campaign* under *root*; returns its dir.
+
+    Campaigns nest under a key-prefixed subdirectory, so one root can
+    host every grid a reproduction touches and resume finds them all.
+    """
+    cdir = pathlib.Path(root) / campaign.campaign_key[:16]
+    CampaignStore(cdir).initialize(campaign)
+    return cdir
+
+
+def iter_campaign_dirs(root: Pathish) -> List[pathlib.Path]:
+    """Campaign directories under *root* (or *root* itself), sorted."""
+    rootp = pathlib.Path(root)
+    if (rootp / "campaign.json").is_file():
+        return [rootp]
+    if not rootp.is_dir():
+        return []
+    return sorted(
+        p for p in rootp.iterdir() if p.is_dir() and (p / "campaign.json").is_file()
+    )
+
+
+def campaign_status(directory: Pathish) -> List[ShardReport]:
+    """Per-shard completion/ownership, in shard order."""
+    store = CampaignStore(directory)
+    campaign = store.load()
+    out: List[ShardReport] = []
+    for shard in campaign.shards:
+        manifest = store.read_manifest(shard)
+        if manifest is not None:
+            out.append(
+                ShardReport(
+                    index=shard.index,
+                    shard_id=shard.shard_id,
+                    cells=shard.cells,
+                    state="done",
+                    owner=str(manifest.get("owner", "")),
+                    wall_ns=int(manifest.get("shard_wall_ns", 0)),
+                )
+            )
+            continue
+        lease = store.read_lease(shard.shard_id)
+        if lease is not None:
+            out.append(
+                ShardReport(
+                    index=shard.index,
+                    shard_id=shard.shard_id,
+                    cells=shard.cells,
+                    state="leased",
+                    owner=str(lease.get("owner", "")),
+                    wall_ns=0,
+                )
+            )
+        else:
+            out.append(
+                ShardReport(
+                    index=shard.index,
+                    shard_id=shard.shard_id,
+                    cells=shard.cells,
+                    state="pending",
+                    owner="",
+                    wall_ns=0,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Streaming reduce
+# ----------------------------------------------------------------------
+def iter_result_docs(directory: Pathish) -> Iterator[Dict[str, Any]]:
+    """Yield per-cell result documents in campaign cell order.
+
+    Holds at most one shard's manifest in memory at a time.  Raises
+    :class:`IncompleteCampaignError` (listing the missing shard indices)
+    if any shard has no valid manifest.
+    """
+    store = CampaignStore(directory)
+    campaign = store.load()
+    missing = [s.index for s in campaign.shards if not store.shard_done(s)]
+    if missing:
+        raise IncompleteCampaignError(missing)
+    for shard in campaign.shards:
+        manifest = store.read_manifest(shard)
+        if manifest is None:  # deleted between the check and the read
+            raise IncompleteCampaignError([shard.index])
+        yield from manifest["results"]
+
+
+def merge_results(directory: Pathish) -> List[RunResult]:
+    """A completed sweep campaign's results, in submission order."""
+    from repro.io.results_json import run_result_from_dict
+
+    return [run_result_from_dict(doc) for doc in iter_result_docs(directory)]
+
+
+def write_merged_results(
+    directory: Pathish, out: Optional[Pathish] = None
+) -> pathlib.Path:
+    """Stream a completed sweep campaign into its merged artifact.
+
+    The document is canonical JSON (sorted keys, compact separators)
+    over the campaign key and the ordered result list plus a small
+    aggregate summary, written atomically.  Because every cell is
+    deterministic, the bytes depend only on the campaign — not on which
+    workers ran it, in how many attempts, or how it was interrupted.
+    """
+    store = CampaignStore(directory)
+    campaign = store.load()
+    dest = pathlib.Path(out) if out is not None else store.merged_path
+    cells = 0
+    truncated = 0
+    events_total = 0
+    with atomic_writer(dest) as fh:
+        fh.write(
+            '{"campaign":"%s","format":"%s","results":['
+            % (campaign.campaign_key, MERGED_SWEEP_FORMAT)
+        )
+        for doc in iter_result_docs(directory):
+            if cells:
+                fh.write(",")
+            fh.write(json.dumps(doc, **_CANON))
+            cells += 1
+            truncated += 1 if doc.get("truncated") else 0
+            events_total += int(doc.get("events", 0))
+        summary = {"cells": cells, "truncated": truncated, "events_total": events_total}
+        fh.write(
+            '],"summary":%s,"version":%d}\n'
+            % (json.dumps(summary, **_CANON), MERGED_SWEEP_VERSION)
+        )
+    return dest
+
+
+def merge_scorecard(directory: Pathish) -> Scorecard:
+    """A completed faults campaign's :class:`Scorecard` (in memory)."""
+    outcomes = tuple(
+        CellOutcome.from_dict(doc) for doc in iter_result_docs(directory)
+    )
+    return Scorecard(outcomes=outcomes)
+
+
+def write_merged_scorecard(
+    directory: Pathish, out: Optional[Pathish] = None
+) -> pathlib.Path:
+    """Stream a completed faults campaign into scorecard JSON.
+
+    Byte-identical to ``Scorecard.save()`` of an uninterrupted serial
+    :func:`~repro.faults.campaign.run_campaign` over the same cells: the
+    outcome documents are streamed shard by shard in campaign order, and
+    the summary is computed incrementally by
+    :class:`~repro.faults.campaign.ScorecardSummaryAccumulator` — the
+    whole outcome list is never resident at once.
+    """
+    store = CampaignStore(directory)
+    dest = pathlib.Path(out) if out is not None else store.merged_path
+    acc = ScorecardSummaryAccumulator()
+    degradation = {"breaks": 0, "retried": 0, "serial_fallback": 0}
+    with atomic_writer(dest) as fh:
+        fh.write(
+            '{"degradation":%s,"format":"%s","outcomes":['
+            % (json.dumps(degradation, **_CANON), SCORECARD_FORMAT)
+        )
+        first = True
+        for doc in iter_result_docs(directory):
+            outcome = CellOutcome.from_dict(doc)
+            acc.add(outcome)
+            if not first:
+                fh.write(",")
+            first = False
+            fh.write(json.dumps(outcome.to_dict(), **_CANON))
+        fh.write(
+            '],"summary":%s,"version":%d}\n'
+            % (json.dumps(acc.summary(), **_CANON), SCORECARD_VERSION)
+        )
+    return dest
+
+
+# ----------------------------------------------------------------------
+# High-level drivers
+# ----------------------------------------------------------------------
+def run_sharded_campaign(
+    cells: Sequence[CampaignCell],
+    root: Pathish,
+    jobs: int = 1,
+    shard_size: int = 16,
+    lease_ttl: float = 60.0,
+    progress=None,
+    metrics=None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Tuple[Scorecard, pathlib.Path, WorkStats]:
+    """Checkpointed fault campaign: execute (or resume) *cells* under *root*.
+
+    Returns the merged scorecard, the campaign directory and the work
+    stats.  Interrupt it at any point — including ``kill -9`` of any
+    worker — and calling it again with the same cells (or running
+    ``repro-mc2 faults resume <root>``) completes only the missing
+    shards and merges to the identical artifact.
+    """
+    campaign = ShardedCampaign("faults", cells, shard_size=shard_size, meta=meta)
+    cdir = prepare_campaign(root, campaign)
+    if progress is not None and hasattr(progress, "begin"):
+        progress.begin(len(campaign.cells))
+    stats = run_workers(
+        cdir, jobs=jobs, lease_ttl=lease_ttl, progress=progress, metrics=metrics
+    )
+    if progress is not None and hasattr(progress, "finish"):
+        progress.finish()
+    write_merged_scorecard(cdir)
+    return merge_scorecard(cdir), cdir, stats
+
+
+def resume_campaign(
+    directory: Pathish,
+    jobs: int = 1,
+    lease_ttl: float = 60.0,
+    cache: Optional[ResultCache] = None,
+    progress=None,
+    metrics=None,
+) -> WorkStats:
+    """Re-attach to one campaign directory and drive it to completion.
+
+    Expired leases are reclaimed, completed shards are skipped, the
+    merged artifact is (re)written.  Works for both kinds; the caller
+    can inspect ``CampaignStore(directory).load().kind`` to decide how
+    to present the merged artifact.
+    """
+    store = CampaignStore(directory)
+    campaign = store.load()
+    if progress is not None and hasattr(progress, "begin"):
+        progress.begin(len(campaign.cells))
+    stats = run_workers(
+        directory,
+        jobs=jobs,
+        cache=cache,
+        lease_ttl=lease_ttl,
+        progress=progress,
+        metrics=metrics,
+    )
+    if progress is not None and hasattr(progress, "finish"):
+        progress.finish()
+    if campaign.kind == "faults":
+        write_merged_scorecard(directory)
+    else:
+        write_merged_results(directory)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Sweep executor backend
+# ----------------------------------------------------------------------
+class ShardedBackend(SweepExecutor):
+    """A :class:`~repro.runtime.executor.SweepExecutor` that checkpoints.
+
+    ``run(specs)`` content-addresses the spec list into a campaign under
+    ``directory``, drives it with ``jobs`` workers, and merges — so a
+    sweep killed at any point (including SIGKILL of the whole process
+    tree) resumes from its completed shards on the next identical
+    ``run()`` call, or via ``repro-mc2 sweep resume``.
+
+    Unlike the pool backend, the campaign covers the *full* spec list
+    (its identity must not depend on cache warmth); the per-cell result
+    cache is consulted inside the workers instead of up front.
+    """
+
+    def __init__(
+        self,
+        directory: Pathish,
+        jobs: int = 1,
+        shard_size: int = 16,
+        cache: Optional[ResultCache] = None,
+        lease_ttl: float = 60.0,
+        metrics=None,
+        progress=None,
+    ) -> None:
+        super().__init__(cache=cache, metrics=metrics, progress=progress)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.directory = pathlib.Path(directory)
+        self.jobs = jobs
+        self.shard_size = shard_size
+        self.lease_ttl = lease_ttl
+        #: Campaign directory of the most recent run() (for resume/status).
+        self.last_campaign_dir: Optional[pathlib.Path] = None
+
+    def _execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        raise NotImplementedError  # run() is overridden wholesale
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        from repro.obs.report import CellReport, SweepReport
+
+        specs = list(specs)
+        campaign = ShardedCampaign("sweep", specs, shard_size=self.shard_size)
+        cdir = prepare_campaign(self.directory, campaign)
+        self.last_campaign_dir = cdir
+        if self.progress is not None:
+            self.progress.begin(len(specs))
+        stats = run_workers(
+            cdir,
+            jobs=self.jobs,
+            cache=self.cache,
+            lease_ttl=self.lease_ttl,
+            progress=self.progress,
+            metrics=self.metrics,
+        )
+        if self.progress is not None:
+            self.progress.finish()
+        results = merge_results(cdir)
+        write_merged_results(cdir)
+
+        store = CampaignStore(cdir)
+        cells: List[CellReport] = []
+        for shard in campaign.shards:
+            manifest = store.read_manifest(shard) or {}
+            cached = manifest.get("cached", [False] * shard.cells)
+            wall = manifest.get("wall_ns", [0] * shard.cells)
+            for off, pos in enumerate(range(shard.start, shard.stop)):
+                spec = campaign.cells[pos]
+                result = results[pos]
+                cells.append(
+                    CellReport(
+                        index=pos,
+                        key=campaign.cell_keys[pos][:12],
+                        scenario=spec.scenario.name,
+                        monitor=spec.monitor.label,
+                        cached=bool(cached[off]),
+                        wall_ns=int(wall[off]),
+                        sim_end=result.sim_end,
+                        events=result.events,
+                        truncated=result.truncated,
+                    )
+                )
+                self.metrics.histogram("executor.cell.ns").record(int(wall[off]))
+        self.report = SweepReport(cells=cells)
+        self.metrics.counter("executor.cells").inc(len(specs))
+        self.metrics.counter("executor.cache_hits").inc(len(specs) - stats.cells_run)
+        self.stats = SweepStats(
+            cells_total=len(specs),
+            cells_simulated=stats.cells_run,
+            cache_hits=len(specs) - stats.cells_run,
+            pool_breaks=stats.pool_breaks,
+        )
+        self.total = SweepStats(
+            cells_total=self.total.cells_total + self.stats.cells_total,
+            cells_simulated=self.total.cells_simulated + self.stats.cells_simulated,
+            cache_hits=self.total.cache_hits + self.stats.cache_hits,
+            pool_retried=self.total.pool_retried,
+            pool_serial_fallback=self.total.pool_serial_fallback,
+            pool_breaks=self.total.pool_breaks + stats.pool_breaks,
+        )
+        return results

@@ -1,0 +1,101 @@
+"""Atomic file writes: temp file + ``os.replace``, with optional fsync.
+
+Several layers persist JSON artifacts that other processes read
+concurrently — the content-addressed result cache, the sharded campaign
+orchestrator's shard manifests and lease files, saved scorecards.  All
+of them share the same durability contract, implemented once here:
+
+* a reader can only ever observe a **complete** file (``os.replace`` is
+  atomic on POSIX within one filesystem, and the temp file lives in the
+  destination directory to guarantee that);
+* an interrupted writer (exception, SIGKILL, power loss) leaves at most
+  a stray ``*.tmp`` file next to the destination, never a torn
+  destination — strays are ignored by readers and harmless to re-write;
+* with ``fsync=True`` (default) the data hits the disk before the
+  rename, so a crash immediately after a successful write cannot roll
+  the content back to an empty or partial file.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Iterator, TextIO, Union
+
+__all__ = ["atomic_write_text", "atomic_write_json", "atomic_writer"]
+
+Pathish = Union[str, "os.PathLike[str]"]
+
+
+def atomic_write_text(path: Pathish, text: str, *, fsync: bool = True) -> None:
+    """Write *text* to *path* atomically (all-or-nothing).
+
+    The temp file is created in ``path``'s directory (same filesystem,
+    so the final ``os.replace`` is atomic) with a ``.tmp`` suffix so
+    directory scans can recognize and skip strays from crashed writers.
+    """
+    dest = pathlib.Path(path)
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=dest.parent, prefix=dest.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, dest)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@contextlib.contextmanager
+def atomic_writer(path: Pathish, *, fsync: bool = True) -> Iterator[TextIO]:
+    """Context manager: stream text into *path*, atomically.
+
+    Yields a text handle onto a same-directory temp file; on clean exit
+    the temp file is (optionally fsynced and) renamed over *path* in one
+    ``os.replace``.  On any exception the temp file is removed and the
+    destination is untouched.  This is the streaming complement of
+    :func:`atomic_write_text` — large merged artifacts are produced
+    record by record without ever holding the whole document in memory,
+    with the same all-or-nothing guarantee.
+    """
+    dest = pathlib.Path(path)
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=dest.parent, prefix=dest.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            yield fh
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, dest)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: Pathish,
+    doc: Any,
+    *,
+    indent: int | None = 2,
+    sort_keys: bool = False,
+    fsync: bool = True,
+) -> None:
+    """:func:`atomic_write_text` of ``json.dumps(doc) + "\\n"``."""
+    atomic_write_text(
+        path,
+        json.dumps(doc, indent=indent, sort_keys=sort_keys) + "\n",
+        fsync=fsync,
+    )

@@ -1,0 +1,216 @@
+"""Property tests for the stateful VirtualClock (Algorithm 1).
+
+`test_virtual_time_props.py` exercises :class:`SpeedProfile` — the
+*historical* map.  This suite drives the three-word kernel state machine
+itself through arbitrary piecewise speed schedules and pins:
+
+* ``act_to_virt`` / ``virt_to_act`` are mutual inverses on the live
+  clock (exact over ``Fraction``, tight over ``float``);
+* the actual->virtual map stays strictly monotone across any sequence
+  of speed changes;
+* re-installing the current speed is *idempotent*: it never moves the
+  map, no matter how often or when it happens;
+* ``change_speed`` is continuous: the virtual time it returns is
+  exactly ``v`` at the change instant, and the clock's history always
+  replays into a self-consistent :class:`SpeedProfile`.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.virtual_time import VirtualClock
+
+# Arbitrary piecewise schedules: (time delta, new speed) pairs with
+# recovery-range speeds 0 < s <= 1.  Zero deltas are legal (two changes
+# at the same instant) and exercise the right-continuity tie-break.
+float_schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+fraction_schedules = st.lists(
+    st.tuples(
+        st.fractions(min_value=Fraction(0), max_value=Fraction(40)),
+        st.fractions(min_value=Fraction(1, 16), max_value=Fraction(1)),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+def replay(schedule, zero):
+    """Drive a fresh clock through *schedule*; returns (clock, end time)."""
+    clk = VirtualClock(zero)
+    t = zero
+    for dt, s in schedule:
+        t = t + dt
+        clk.change_speed(s, t)
+    return clk, t
+
+
+# ----------------------------------------------------------------------
+# Roundtrip
+# ----------------------------------------------------------------------
+@given(float_schedules, st.floats(min_value=0.0, max_value=100.0))
+def test_roundtrip_act_virt_act(schedule, dt):
+    clk, t = replay(schedule, 0.0)
+    act = t + dt
+    assert clk.virt_to_act(clk.act_to_virt(act)) == pytest.approx(act, abs=1e-6)
+
+
+@given(float_schedules, st.floats(min_value=0.0, max_value=100.0))
+def test_roundtrip_virt_act_virt(schedule, dv):
+    clk, _ = replay(schedule, 0.0)
+    virt = clk.last_virt + dv
+    assert clk.act_to_virt(clk.virt_to_act(virt)) == pytest.approx(virt, abs=1e-6)
+
+
+@given(fraction_schedules, st.integers(min_value=0, max_value=400))
+def test_roundtrip_is_exact_over_fractions(schedule, num):
+    """The kernel equations are algebraic identities, not approximations."""
+    clk, t = replay(schedule, Fraction(0))
+    act = t + Fraction(num, 7)
+    assert clk.virt_to_act(clk.act_to_virt(act)) == act
+    virt = clk.last_virt + Fraction(num, 11)
+    assert clk.act_to_virt(clk.virt_to_act(virt)) == virt
+
+
+# ----------------------------------------------------------------------
+# Monotonicity
+# ----------------------------------------------------------------------
+@given(fraction_schedules,
+       st.fractions(min_value=Fraction(0), max_value=Fraction(100)),
+       st.fractions(min_value=Fraction(1, 1000), max_value=Fraction(10)))
+def test_act_to_virt_strictly_monotone(schedule, offset, gap):
+    clk, t = replay(schedule, Fraction(0))
+    a = t + offset
+    assert clk.act_to_virt(a + gap) > clk.act_to_virt(a)
+
+
+@given(fraction_schedules)
+def test_virtual_time_never_decreases_across_changes(schedule):
+    """last_virt is non-decreasing through any legal replay."""
+    clk = VirtualClock(Fraction(0))
+    t = Fraction(0)
+    prev_virt = clk.last_virt
+    for dt, s in schedule:
+        t += dt
+        virt = clk.change_speed(s, t)
+        assert virt >= prev_virt
+        prev_virt = virt
+
+
+@given(fraction_schedules,
+       st.fractions(min_value=Fraction(0), max_value=Fraction(100)))
+def test_speed_bounds_sandwich_the_map(schedule, offset):
+    """Between any two instants, dv/dt lies within [min speed, 1]."""
+    clk, t = replay(schedule, Fraction(0))
+    lo = min([Fraction(1)] + [s for _, s in schedule])
+    a, b = t, t + offset
+    dv = clk.act_to_virt(b) - clk.act_to_virt(a)
+    assert lo * (b - a) <= dv <= (b - a)
+
+
+# ----------------------------------------------------------------------
+# Speed-change idempotence
+# ----------------------------------------------------------------------
+@given(fraction_schedules,
+       st.fractions(min_value=Fraction(0), max_value=Fraction(20)),
+       st.integers(min_value=1, max_value=4))
+def test_reinstalling_current_speed_never_moves_the_map(schedule, dt, repeats):
+    """change_speed(current_speed, now) is a no-op on the mapping."""
+    clk, t = replay(schedule, Fraction(0))
+    now = t + dt
+    probes = [now, now + Fraction(3, 2), now + 40]
+    before = [clk.act_to_virt(p) for p in probes]
+    for _ in range(repeats):
+        clk.change_speed(clk.speed, now)
+    assert [clk.act_to_virt(p) for p in probes] == before
+
+
+@given(fraction_schedules,
+       st.fractions(min_value=Fraction(1, 16), max_value=Fraction(1)))
+def test_same_instant_changes_last_one_wins(schedule, s_final):
+    """N changes at one instant == just the final change, for the future."""
+    clk_many, t = replay(schedule, Fraction(0))
+    for s in (Fraction(1, 2), Fraction(1, 3), s_final):
+        clk_many.change_speed(s, t)
+    clk_once, _ = replay(schedule, Fraction(0))
+    clk_once.change_speed(s_final, t)
+    for probe in (t, t + Fraction(5, 4), t + 9):
+        assert clk_many.act_to_virt(probe) == clk_once.act_to_virt(probe)
+
+
+@given(fraction_schedules, st.fractions(min_value=Fraction(0), max_value=Fraction(20)))
+def test_change_speed_is_continuous(schedule, dt):
+    """The returned virtual time equals v just before the change."""
+    clk, t = replay(schedule, Fraction(0))
+    now = t + dt
+    v_before = clk.act_to_virt(now)
+    v_change = clk.change_speed(Fraction(1, 3), now)
+    assert v_change == v_before
+    assert clk.act_to_virt(now) == v_before  # v is continuous at the knot
+
+
+# ----------------------------------------------------------------------
+# History / profile consistency
+# ----------------------------------------------------------------------
+@given(fraction_schedules,
+       st.fractions(min_value=Fraction(0), max_value=Fraction(100)))
+def test_history_replays_to_consistent_profile(schedule, offset):
+    """profile() validates (internal consistency) and agrees with the clock."""
+    clk, t = replay(schedule, Fraction(0))
+    prof = clk.profile()  # SpeedProfile.__init__ re-checks every knot
+    probe = t + offset
+    assert prof.v(probe) == clk.act_to_virt(probe)
+    assert prof.inverse(clk.act_to_virt(probe)) == probe
+    assert prof.speed_at(probe) == clk.speed
+    assert prof.minimum_speed() == min([Fraction(1)] + [s for _, s in schedule])
+
+
+@given(float_schedules)
+def test_history_records_every_change(schedule):
+    clk, _ = replay(schedule, 0.0)
+    assert len(clk.history) == len(schedule) + 1  # +1 for initialization
+    assert clk.history[0].speed == 1.0
+    assert [c.speed for c in clk.history[1:]] == [s for _, s in schedule]
+    assert clk.is_normal_speed == (clk.speed == 1.0)
+
+
+# ----------------------------------------------------------------------
+# Guard rails
+# ----------------------------------------------------------------------
+@given(fraction_schedules)
+def test_past_queries_and_backward_changes_raise(schedule):
+    clk, t = replay(schedule, Fraction(1))
+    eps = Fraction(1, 1000)
+    with pytest.raises(ValueError, match="predates"):
+        clk.act_to_virt(clk.last_act - eps)
+    with pytest.raises(ValueError, match="predates"):
+        clk.virt_to_act(clk.last_virt - eps)
+    with pytest.raises(ValueError, match="backwards"):
+        clk.change_speed(Fraction(1, 2), clk.last_act - eps)
+
+
+@given(st.fractions(min_value=Fraction(101, 100), max_value=Fraction(5)))
+def test_speedup_rejected_unless_explicitly_allowed(speed):
+    clk = VirtualClock(Fraction(0))
+    with pytest.raises(ValueError, match="must be <= 1"):
+        clk.change_speed(speed, Fraction(1))
+    permissive = VirtualClock(Fraction(0), allow_speedup=True)
+    permissive.change_speed(speed, Fraction(1))
+    assert permissive.speed == speed
+
+
+@given(st.fractions(min_value=Fraction(-3), max_value=Fraction(0)))
+def test_nonpositive_speed_rejected(speed):
+    clk = VirtualClock(Fraction(0))
+    with pytest.raises(ValueError, match="must be > 0"):
+        clk.change_speed(speed, Fraction(1))

@@ -91,6 +91,44 @@ class TestResultCache:
         assert default_cache_dir() == tmp_path / "repro-mc2"
 
 
+class TestCrashSafety:
+    """Writes are atomic: a crash at any point never corrupts the cache."""
+
+    def test_crash_before_replace_leaves_entry_absent(self, tmp_path, monkeypatch):
+        """Simulate kill -9 between the temp-file write and os.replace."""
+        cache = ResultCache(tmp_path)
+
+        def crash(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr("repro.util.atomicio.os.replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            cache.put(KEY, {}, result())
+        monkeypatch.undo()
+        # The interrupted write is a miss, never an error or a torn read.
+        assert cache.get(KEY) is None
+        assert KEY not in cache
+        # And the cache remains fully usable afterwards.
+        cache.put(KEY, {}, result())
+        assert cache.get(KEY) == result()
+
+    def test_stray_tmp_files_invisible_to_reads_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, result())
+        # A crashed writer's leftover, next to a good entry.
+        stray = tmp_path / KEY[:2] / f"{KEY}.json.1234.tmp"
+        stray.write_text('{"format": "repro-runcache", "partial', encoding="utf-8")
+        assert len(cache) == 1
+        assert cache.get(KEY) == result()
+
+    def test_concurrent_overwrite_is_last_writer_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, result(dissipation=1.0))
+        cache.put(KEY, {}, result(dissipation=2.0))
+        assert cache.get(KEY) == result(dissipation=2.0)
+        assert len(cache) == 1
+
+
 class TestEviction:
     def _age(self, cache, key, age_seconds):
         path = cache._path(key)
