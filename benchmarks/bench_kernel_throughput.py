@@ -1,12 +1,21 @@
-"""Kernel dispatch throughput: incremental vs. baseline dispatcher.
+"""Kernel throughput: dispatcher variants and kernel backends, one harness.
 
-The baseline dispatcher re-sorts the whole level-C pool (and rescans the
-A/B pools) at every scheduling point — O(n log n) per event.  The
-incremental dispatcher keeps lazy heaps and per-task heads, paying
-O(log n) per touched job.  This benchmark times identical runs under
-both on growing platforms and reports events/sec plus the speedup
-ratio; the two dispatchers' traces are also checked for equality, so a
-fast-but-wrong dispatcher cannot "win".
+Two comparisons ride the same cells:
+
+* **Dispatcher** (within the reference backend): the baseline
+  dispatcher re-sorts the whole level-C pool at every scheduling point
+  — O(n log n) per event — while the incremental dispatcher keeps lazy
+  heaps and per-task heads, paying O(log n) per touched job.
+* **Backend**: the struct-of-arrays core (``KernelConfig(backend="soa")``)
+  replaces per-job/event/processor objects with flat parallel arrays and
+  a fused event loop; its gate is **>= 2x** the reference backend's
+  events/sec on the 8-CPU cells.
+
+Every variant's trace fingerprint is checked for equality, so a
+fast-but-wrong kernel cannot "win".  Repetitions are interleaved across
+variants (rep 1 of every variant, then rep 2, ...) so slow drift in
+machine load cancels out of the ratios instead of biasing whichever
+variant ran last.
 
 Standalone (CI runs this; artifacts are uploaded)::
 
@@ -16,7 +25,7 @@ Standalone (CI runs this; artifacts are uploaded)::
 
 ``--check`` compares the measured *speedup ratios* (machine-independent,
 unlike raw events/sec) against a recorded baseline and fails if any cell
-regressed by more than 30 %.
+regressed by more than 30 %; it also enforces the absolute soa gate.
 
 Also collectable as a pytest benchmark::
 
@@ -33,12 +42,16 @@ from typing import Any, Dict, Tuple
 from repro.core.monitor import NullMonitor
 from repro.model.behavior import ConstantBehavior
 from repro.model.task import CriticalityLevel
+from repro.sim.backend import create_kernel
 from repro.sim.diffcheck import fingerprint
-from repro.sim.kernel import KernelConfig, MC2Kernel
+from repro.sim.kernel import KernelConfig
 from repro.workload.generator import GeneratorParams, generate_taskset
 
 #: Allowed drop in a cell's speedup ratio before --check fails.
 CHECK_TOLERANCE = 0.30
+
+#: Required soa-vs-reference throughput ratio on the 8-CPU cells.
+SOA_GATE = 2.0
 
 #: (name, m, util_range) — both 8-CPU cells land >= 64 level-C tasks
 #: (light per-task utilizations pack many tasks into the fixed 65 %
@@ -49,12 +62,20 @@ CELLS: Tuple[Tuple[str, int, Tuple[float, float]], ...] = (
     ("large-8cpu", 8, (0.01, 0.03)),
 )
 
+#: (label, dispatcher, backend) — the timed variants.  "incremental" on
+#: the reference backend is the pivot both speedups are measured against.
+VARIANTS: Tuple[Tuple[str, str, str], ...] = (
+    ("baseline", "baseline", "reference"),
+    ("incremental", "incremental", "reference"),
+    ("soa", "incremental", "soa"),
+)
 
-def _run_once(ts, dispatcher: str, horizon: float):
-    kernel = MC2Kernel(
+
+def _run_once(ts, dispatcher: str, horizon: float, backend: str = "reference"):
+    kernel = create_kernel(
         ts,
         behavior=ConstantBehavior(),
-        config=KernelConfig(dispatcher=dispatcher),
+        config=KernelConfig(dispatcher=dispatcher, backend=backend),
     )
     monitor = NullMonitor(kernel)
     kernel.attach_monitor(monitor)
@@ -75,24 +96,28 @@ def _measure_cell(
     ts = generate_taskset(seed, GeneratorParams(m=m, util_range=util_range))
     n_level_c = sum(1 for t in ts if t.level is CriticalityLevel.C)
 
-    prints = {}
-    rates = {}
-    for dispatcher in ("baseline", "incremental"):
-        _run_once(ts, dispatcher, min(horizon, 0.25))  # warm-up
-        best_ns, events = None, 0
-        for _ in range(reps):
-            elapsed_ns, kernel, trace, monitor = _run_once(ts, dispatcher, horizon)
-            if best_ns is None or elapsed_ns < best_ns:
-                best_ns = elapsed_ns
-            events = kernel.engine.events_processed
-        prints[dispatcher] = fingerprint(trace, kernel, monitor)
-        rates[dispatcher] = events / (best_ns / 1e9)
+    prints: Dict[str, Any] = {}
+    best: Dict[str, int] = {}
+    events: Dict[str, int] = {}
+    for label, dispatcher, backend in VARIANTS:  # warm-up
+        _run_once(ts, dispatcher, min(horizon, 0.25), backend)
+    for _ in range(reps):  # interleaved: one rep of each variant per pass
+        for label, dispatcher, backend in VARIANTS:
+            elapsed_ns, kernel, trace, monitor = _run_once(
+                ts, dispatcher, horizon, backend
+            )
+            if label not in best or elapsed_ns < best[label]:
+                best[label] = elapsed_ns
+            events[label] = kernel.events_processed
+            prints[label] = fingerprint(trace, kernel, monitor)
+    rates = {label: events[label] / (best[label] / 1e9) for label in best}
 
-    # A fast dispatcher that computes a different schedule is a bug,
-    # not a win.
-    assert prints["baseline"] == prints["incremental"], (
-        f"cell {name}: dispatchers diverged"
-    )
+    # A fast variant that computes a different schedule is a bug, not a
+    # win — this pins all three to one behaviour.
+    for label in ("incremental", "soa"):
+        assert prints["baseline"] == prints[label], (
+            f"cell {name}: {label} diverged from baseline"
+        )
 
     return {
         "cell": name,
@@ -101,20 +126,22 @@ def _measure_cell(
         "level_c_tasks": n_level_c,
         "tasks": len(ts),
         "horizon": horizon,
-        "events": events,
+        "events": events["incremental"],
         "baseline_events_per_sec": rates["baseline"],
         "incremental_events_per_sec": rates["incremental"],
+        "soa_events_per_sec": rates["soa"],
         "speedup": rates["incremental"] / rates["baseline"],
+        "soa_speedup": rates["soa"] / rates["incremental"],
     }
 
 
 def measure(
     seed: int = 2015, horizon: float = 10.0, reps: int = 3
 ) -> Dict[str, Any]:
-    """Time both dispatchers over every cell; return the comparison doc."""
+    """Time every variant over every cell; return the comparison doc."""
     return {
         "format": "repro-kernel-throughput",
-        "version": 1,
+        "version": 2,
         "seed": seed,
         "horizon": horizon,
         "reps": reps,
@@ -126,43 +153,84 @@ def measure(
 
 
 def check_against(doc: Dict[str, Any], baseline: Dict[str, Any]) -> list:
-    """Speedup-ratio regressions vs. a recorded baseline (empty = pass).
+    """Regressions vs. a recorded baseline (empty = pass).
 
     Ratios of two runs on the same machine cancel the machine's absolute
     speed, so a recorded baseline stays meaningful across CI runners; the
-    30 % tolerance absorbs scheduling noise.
+    30 % tolerance absorbs scheduling noise.  Two families of checks:
+
+    * the incremental-vs-baseline dispatcher speedup per cell (parity
+      with the recorded reference figures);
+    * the soa-vs-reference backend speedup per cell, plus the absolute
+      >= 2x gate on the 8-CPU cells.
     """
-    recorded = {c["cell"]: c["speedup"] for c in baseline["cells"]}
+    recorded = {c["cell"]: c for c in baseline["cells"]}
     problems = []
     for cell in doc["cells"]:
         want = recorded.get(cell["cell"])
-        if want is None:
-            continue
-        floor = want * (1.0 - CHECK_TOLERANCE)
-        if cell["speedup"] < floor:
+        if want is not None:
+            floor = want["speedup"] * (1.0 - CHECK_TOLERANCE)
+            if cell["speedup"] < floor:
+                problems.append(
+                    f"{cell['cell']}: speedup {cell['speedup']:.2f}x fell below "
+                    f"{floor:.2f}x (recorded {want['speedup']:.2f}x - "
+                    f"{CHECK_TOLERANCE:.0%})"
+                )
+            want_soa = want.get("soa_speedup")
+            if want_soa is not None:
+                floor = want_soa * (1.0 - CHECK_TOLERANCE)
+                if cell["soa_speedup"] < floor:
+                    problems.append(
+                        f"{cell['cell']}: soa speedup {cell['soa_speedup']:.2f}x "
+                        f"fell below {floor:.2f}x (recorded {want_soa:.2f}x - "
+                        f"{CHECK_TOLERANCE:.0%})"
+                    )
+        if cell["m"] >= 8 and cell["soa_speedup"] < SOA_GATE:
             problems.append(
-                f"{cell['cell']}: speedup {cell['speedup']:.2f}x fell below "
-                f"{floor:.2f}x (recorded {want:.2f}x - {CHECK_TOLERANCE:.0%})"
+                f"{cell['cell']}: soa backend at {cell['soa_speedup']:.2f}x "
+                f"reference, below the {SOA_GATE:.1f}x gate"
             )
     return problems
+
+
+def _print_cells(doc: Dict[str, Any]) -> None:
+    for cell in doc["cells"]:
+        print(
+            f"{cell['cell']:>12}: "
+            f"{cell['baseline_events_per_sec']:>11,.0f} ev/s baseline, "
+            f"{cell['incremental_events_per_sec']:>11,.0f} ev/s incremental "
+            f"({cell['speedup']:.2f}x), "
+            f"{cell['soa_events_per_sec']:>11,.0f} ev/s soa "
+            f"({cell['soa_speedup']:.2f}x) "
+            f"[{cell['level_c_tasks']} level-C tasks, {cell['events']} events]"
+        )
 
 
 def bench_kernel_throughput(benchmark):
     """pytest-benchmark wrapper around one measured comparison."""
     doc = benchmark.pedantic(
-        lambda: measure(horizon=2.0, reps=1), rounds=1, iterations=1
+        lambda: measure(horizon=3.0, reps=2), rounds=1, iterations=1
     )
     print()
+    _print_cells(doc)
     for cell in doc["cells"]:
-        print(
-            f"{cell['cell']:>12}: {cell['incremental_events_per_sec']:>12,.0f} ev/s "
-            f"incremental, {cell['baseline_events_per_sec']:>12,.0f} ev/s baseline "
-            f"({cell['speedup']:.2f}x, {cell['level_c_tasks']} level-C tasks)"
-        )
         benchmark.extra_info[cell["cell"] + "_speedup"] = round(cell["speedup"], 2)
+        benchmark.extra_info[cell["cell"] + "_soa_speedup"] = round(
+            cell["soa_speedup"], 2
+        )
     large = doc["cells"][-1]
     assert large["level_c_tasks"] >= 64
     assert large["speedup"] >= 1.5, "incremental dispatch lost its edge"
+    # The strict SOA_GATE is enforced by --check over the full-horizon
+    # measurement; the short smoke run here gets the usual noise margin.
+    for cell in doc["cells"]:
+        if cell["m"] >= 8:
+            floor = SOA_GATE * (1.0 - CHECK_TOLERANCE)
+            assert cell["soa_speedup"] >= floor, (
+                f"{cell['cell']}: soa backend at {cell['soa_speedup']:.2f}x, "
+                f"below the smoke floor {floor:.2f}x ({SOA_GATE:.1f}x gate - "
+                f"{CHECK_TOLERANCE:.0%})"
+            )
 
 
 def main(argv=None) -> int:
@@ -175,20 +243,15 @@ def main(argv=None) -> int:
     ap.add_argument("--out", metavar="FILE",
                     help="write the comparison as JSON to FILE")
     ap.add_argument("--check", metavar="BASELINE",
-                    help="fail if any cell's speedup regressed >30%% vs BASELINE")
+                    help="fail if any cell's speedup regressed >30%% vs "
+                         "BASELINE, or the soa 8-CPU gate is missed")
     args = ap.parse_args(argv)
 
     reps = args.reps if args.reps is not None else (2 if args.smoke else 3)
     horizon = 3.0 if args.smoke else 10.0
     doc = measure(seed=args.seed, horizon=horizon, reps=reps)
 
-    for cell in doc["cells"]:
-        print(
-            f"{cell['cell']:>12}: {cell['incremental_events_per_sec']:>12,.0f} ev/s "
-            f"incremental, {cell['baseline_events_per_sec']:>12,.0f} ev/s baseline "
-            f"-> {cell['speedup']:.2f}x "
-            f"({cell['level_c_tasks']} level-C tasks, {cell['events']} events)"
-        )
+    _print_cells(doc)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
@@ -202,7 +265,8 @@ def main(argv=None) -> int:
             print(f"REGRESSION: {p}")
         if problems:
             return 1
-        print(f"speedups within {CHECK_TOLERANCE:.0%} of {args.check}")
+        print(f"speedups within {CHECK_TOLERANCE:.0%} of {args.check}; "
+              f"soa gate ({SOA_GATE:.1f}x on 8-CPU cells) held")
     return 0
 
 

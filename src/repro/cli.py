@@ -75,7 +75,15 @@ from repro.model.task import CriticalityLevel
 from repro.model.taskset import TaskSet
 from repro.obs.progress import ProgressReporter
 from repro.runtime.executor import SweepExecutor, make_executor
-from repro.runtime.spec import MonitorSpec, ObsSpec, RunSpec, ScenarioSpec, TaskSetSpec
+from repro.runtime.spec import (
+    KernelSpec,
+    MonitorSpec,
+    ObsSpec,
+    RunSpec,
+    ScenarioSpec,
+    TaskSetSpec,
+)
+from repro.sim.backend import kernel_backend_registry
 from repro.workload.generator import (
     GeneratorParams,
     generate_taskset,
@@ -135,13 +143,18 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                              "completed shards (repro-mc2 sweep resume DIR)")
     parser.add_argument("--shard-size", type=int, default=16, metavar="N",
                         help="cells per checkpoint shard (default: 16)")
+    parser.add_argument("--batch-cells", action="store_true",
+                        help="simulate whole slices of the grid per process, "
+                             "materializing each distinct task set once per "
+                             "slice (identical results, less regeneration)")
 
 
 def _make_executor(args: argparse.Namespace) -> SweepExecutor:
     progress = ProgressReporter() if args.progress else None
     return make_executor(jobs=args.jobs, cache_dir=args.cache_dir, progress=progress,
                          checkpoint_dir=args.checkpoint_dir,
-                         shard_size=args.shard_size)
+                         shard_size=args.shard_size,
+                         batch_cells=args.batch_cells)
 
 
 def _obs_spec(args: argparse.Namespace) -> ObsSpec:
@@ -196,6 +209,11 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--horizon", type=float, default=30.0)
     s.add_argument("--no-budgets", action="store_true",
                    help="disable level-C execution budgets (harsher overload)")
+    s.add_argument("--kernel-backend", choices=sorted(kernel_backend_registry.keys()),
+                   default="reference",
+                   help="simulator core (default: reference; soa is the "
+                        "struct-of-arrays hot path, gated to byte-identical "
+                        "traces). Part of the cache key when non-default.")
     s.add_argument("--json", action="store_true", help="emit the result as JSON")
     _add_executor_flags(s)
 
@@ -353,6 +371,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         taskset=_taskset_spec(args.taskset, args.seed, args.m),
         scenario=ScenarioSpec.from_scenario(_SCENARIOS[args.scenario]),
         monitor=parse_monitor(args.monitor),
+        kernel=KernelSpec(backend=args.kernel_backend),
         horizon=args.horizon,
         level_c_budgets=not args.no_budgets,
         obs=_obs_spec(args),

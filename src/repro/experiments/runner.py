@@ -27,6 +27,7 @@ from repro.model.taskset import TaskSet
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.runtime.spec import MonitorSpec
+from repro.sim.backend import create_kernel
 from repro.sim.budgets import BudgetEnforcedBehavior
 from repro.sim.kernel import KernelConfig, MC2Kernel
 from repro.sim.trace import Trace
@@ -42,11 +43,17 @@ __all__ = ["MonitorSpec", "run_overload_experiment", "ExperimentOutput"]
 
 @dataclass(frozen=True)
 class ExperimentOutput:
-    """A :class:`RunResult` plus the raw trace/kernel/monitor for inspection."""
+    """A :class:`RunResult` plus the raw trace/kernel/monitor for inspection.
+
+    ``kernel`` is whichever backend ``config.backend`` selected — the
+    object-based :class:`MC2Kernel` or the struct-of-arrays
+    :class:`~repro.sim.soa.SoAKernel`; both expose the backend-neutral
+    surface documented in :mod:`repro.sim.backend`.
+    """
 
     result: RunResult
     trace: Trace
-    kernel: MC2Kernel
+    kernel: "MC2Kernel | object"
     monitor: Monitor
 
 
@@ -121,9 +128,14 @@ def run_overload_experiment(
     if fault_plane is not None:
         # Spikes wrap *outside* budget enforcement: an execution spike is
         # extra demand beyond the PWCETs, so budgets must not clip it.
+        if cfg.backend != "reference":
+            raise ValueError(
+                "fault injection hooks into MC2Kernel internals; "
+                f"backend {cfg.backend!r} does not support a fault plane"
+            )
         cfg = fault_plane.amend_config(cfg)
         behavior = fault_plane.wrap_behavior(behavior)
-    kernel = MC2Kernel(ts, behavior=behavior, config=cfg, tracer=tracer, metrics=metrics)
+    kernel = create_kernel(ts, behavior=behavior, config=cfg, tracer=tracer, metrics=metrics)
     monitor = spec.build(kernel)
     kernel.attach_monitor(monitor)
     if fault_plane is not None:
@@ -140,7 +152,7 @@ def run_overload_experiment(
             return False
         # Jobs released during (or before) the overload must be gone:
         # their late completions can still trigger recovery.
-        return not any(j.release < end for j in kernel.jobs_c)
+        return not kernel.pending_c_released_before(end)
 
     kernel.start()
     while True:
@@ -166,7 +178,7 @@ def run_overload_experiment(
         episodes=len(monitor.episodes),
         max_response_c=trace.max_response_time(CriticalityLevel.C),
         sim_end=kernel.now,
-        events=kernel.engine.events_processed,
+        events=kernel.events_processed,
     )
     if keep_artifacts:
         return ExperimentOutput(result=result, trace=trace, kernel=kernel, monitor=monitor)

@@ -77,6 +77,17 @@ def runspec_to_dict(spec: RunSpec) -> Dict[str, Any]:
 
 def _runspec_core_dict(spec: RunSpec) -> Dict[str, Any]:
     """The hashed (result-determining) portion of *spec* — never ``obs``."""
+    kernel: Dict[str, Any] = {
+        "use_virtual_time": spec.kernel.use_virtual_time,
+        "record_intervals": spec.kernel.record_intervals,
+        "monitor_latency": spec.kernel.monitor_latency,
+        "measure_overhead": spec.kernel.measure_overhead,
+    }
+    # Emitted only when non-default: reference-backend documents (and
+    # hence their cache keys) stay byte-identical to the pre-backend
+    # format, while any other backend gets its own key space.
+    if spec.kernel.backend != "reference":
+        kernel["backend"] = spec.kernel.backend
     return {
         "format": FORMAT,
         "version": VERSION,
@@ -99,12 +110,7 @@ def _runspec_core_dict(spec: RunSpec) -> Dict[str, Any]:
             "param": spec.monitor.param,
             "extra": spec.monitor.extra,
         },
-        "kernel": {
-            "use_virtual_time": spec.kernel.use_virtual_time,
-            "record_intervals": spec.kernel.record_intervals,
-            "monitor_latency": spec.kernel.monitor_latency,
-            "measure_overhead": spec.kernel.measure_overhead,
-        },
+        "kernel": kernel,
         "horizon": spec.horizon,
         "confirm_window": spec.confirm_window,
         "level_c_budgets": spec.level_c_budgets,
@@ -145,6 +151,7 @@ def runspec_from_dict(doc: Dict[str, Any]) -> RunSpec:
             record_intervals=bool(ker.get("record_intervals", False)),
             monitor_latency=float(ker.get("monitor_latency", 0.0)),
             measure_overhead=bool(ker.get("measure_overhead", False)),
+            backend=str(ker.get("backend", "reference")),
         ),
         horizon=float(doc["horizon"]),
         confirm_window=float(doc.get("confirm_window", 0.5)),

@@ -23,6 +23,17 @@ drives to zero.
 Determinism: a cell's result depends only on its spec (the task-set
 seed pins the single source of randomness), so backend choice and job
 count never change the aggregated figures — only the wall clock.
+
+**Batched cell execution** (``batch_cells=True``): sweep grids usually
+share a handful of task-set specs (the seed axis) across many cells
+(the scenario x monitor axes), and for short-horizon cells task-set
+generation is a large fraction of the cost.  In batch mode a whole
+slice of cells is simulated in one process by
+:func:`run_specs_batch`, which materializes each distinct
+``TaskSetSpec`` once and reuses it — safe because
+:class:`~repro.model.taskset.TaskSet` is immutable and simulation
+never mutates it.  Results are bit-for-bit identical to per-cell
+execution; only the wall clock changes.
 """
 
 from __future__ import annotations
@@ -34,14 +45,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.metrics import RunResult
+from repro.model.taskset import TaskSet
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import ProgressReporter
 from repro.obs.report import CellReport, SweepReport
 from repro.runtime.cache import ResultCache
-from repro.runtime.spec import RunSpec
+from repro.runtime.spec import RunSpec, TaskSetSpec
 
 __all__ = [
     "run_spec",
+    "run_specs_batch",
     "SweepStats",
     "PoolDegradation",
     "map_pool_resilient",
@@ -52,19 +65,13 @@ __all__ = [
 ]
 
 
-def run_spec(spec: RunSpec) -> RunResult:
-    """Execute one cell: materialize the task set, simulate, return the result.
+def _run_spec_on(spec: RunSpec, ts: TaskSet) -> RunResult:
+    """Simulate *spec* against an already-materialized task set.
 
-    Module-level (and importing nothing exotic) so it pickles cleanly as
-    a process-pool task.  Custom monitor kinds must be registered at
-    *import* time of a module the worker also imports — with the default
-    ``fork`` start method on Linux, anything registered in the parent is
-    simply inherited.
-
-    When ``spec.obs`` requests tracing, a
-    :class:`~repro.obs.tracer.JsonlTracer` streams the run's events to
-    ``<trace_dir>/run-<key prefix>.jsonl``.  Tracing is observation
-    only: the returned :class:`RunResult` is identical either way.
+    The shared body of :func:`run_spec` and :func:`run_specs_batch`:
+    everything downstream of task-set materialization, so the batch
+    path can reuse one :class:`~repro.model.taskset.TaskSet` across
+    every cell that references the same :class:`TaskSetSpec`.
     """
     from repro.experiments.runner import run_overload_experiment
 
@@ -84,7 +91,7 @@ def run_spec(spec: RunSpec) -> RunResult:
         )
     try:
         result = run_overload_experiment(
-            spec.taskset.materialize(),
+            ts,
             spec.scenario.build(),
             spec.monitor,
             horizon=spec.horizon,
@@ -100,6 +107,23 @@ def run_spec(spec: RunSpec) -> RunResult:
     return result
 
 
+def run_spec(spec: RunSpec) -> RunResult:
+    """Execute one cell: materialize the task set, simulate, return the result.
+
+    Module-level (and importing nothing exotic) so it pickles cleanly as
+    a process-pool task.  Custom monitor kinds must be registered at
+    *import* time of a module the worker also imports — with the default
+    ``fork`` start method on Linux, anything registered in the parent is
+    simply inherited.
+
+    When ``spec.obs`` requests tracing, a
+    :class:`~repro.obs.tracer.JsonlTracer` streams the run's events to
+    ``<trace_dir>/run-<key prefix>.jsonl``.  Tracing is observation
+    only: the returned :class:`RunResult` is identical either way.
+    """
+    return _run_spec_on(spec, spec.taskset.materialize())
+
+
 def _timed_run_spec(spec: RunSpec) -> Tuple[RunResult, int]:
     """:func:`run_spec` plus its wall-clock cost in nanoseconds.
 
@@ -110,6 +134,52 @@ def _timed_run_spec(spec: RunSpec) -> Tuple[RunResult, int]:
     t0 = time.perf_counter_ns()
     result = run_spec(spec)
     return result, time.perf_counter_ns() - t0
+
+
+def _iter_timed_batch(specs: Sequence[RunSpec]):
+    """Yield ``(result, wall_ns)`` per cell, sharing materialized task sets.
+
+    Each distinct ``TaskSetSpec`` (frozen, hashable) is materialized at
+    most once per batch; every later cell referencing it reuses the same
+    :class:`~repro.model.taskset.TaskSet` instance.  Safe because task
+    sets are immutable and simulation never mutates them — the results
+    are bit-for-bit identical to per-cell execution.  A generator so
+    streaming consumers (shard heartbeats, progress ticks) see each
+    cell as it finishes, not the whole batch at the end.
+
+    The first cell of a task set pays the materialization inside its
+    wall time (matching :func:`_timed_run_spec`); later cells of the
+    same task set don't — per-cell wall times are diagnostics, not part
+    of any result artifact.
+    """
+    ts_cache: Dict[TaskSetSpec, TaskSet] = {}
+    for spec in specs:
+        t0 = time.perf_counter_ns()
+        ts = ts_cache.get(spec.taskset)
+        if ts is None:
+            ts = ts_cache[spec.taskset] = spec.taskset.materialize()
+        result = _run_spec_on(spec, ts)
+        yield result, time.perf_counter_ns() - t0
+
+
+def _timed_run_specs_batch(specs: Sequence[RunSpec]) -> List[Tuple[RunResult, int]]:
+    """Batched :func:`_timed_run_spec`: one pool task simulates many cells.
+
+    Module-level and list-returning so it pickles cleanly as a
+    process-pool task (generators don't cross the process boundary).
+    """
+    return list(_iter_timed_batch(specs))
+
+
+def run_specs_batch(specs: Sequence[RunSpec]) -> List[RunResult]:
+    """Simulate *specs* in order in this process, sharing task sets.
+
+    The "many short runs" entry point: a whole shard of sweep cells is
+    simulated in one process, with each distinct task-set spec
+    materialized once (see :func:`_iter_timed_batch`).  Results are
+    identical to ``[run_spec(s) for s in specs]``.
+    """
+    return [result for result, _ in _iter_timed_batch(specs)]
 
 
 @dataclass(frozen=True)
@@ -320,13 +390,34 @@ class SweepExecutor:
 
 
 class SerialBackend(SweepExecutor):
-    """Simulate cells one after another in the calling process."""
+    """Simulate cells one after another in the calling process.
+
+    ``batch_cells=True`` runs the whole miss list through
+    :func:`_iter_timed_batch`, materializing each distinct task set
+    once instead of once per cell — same results, fewer generator
+    invocations.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[ProgressReporter] = None,
+        batch_cells: bool = False,
+    ) -> None:
+        super().__init__(cache=cache, metrics=metrics, progress=progress)
+        self.batch_cells = batch_cells
 
     def _execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         return [r for r, _ in self._execute_timed(specs)]
 
     def _execute_timed(self, specs: Sequence[RunSpec]) -> List[Tuple[RunResult, int]]:
         out: List[Tuple[RunResult, int]] = []
+        if self.batch_cells:
+            for timed in _iter_timed_batch(specs):
+                self._cell_finished(timed[1])
+                out.append(timed)
+            return out
         for s in specs:
             timed = _timed_run_spec(s)
             self._cell_finished(timed[1])
@@ -348,6 +439,14 @@ class ProcessPoolBackend(SweepExecutor):
     cache:
         Optional shared result cache (consulted in the parent; workers
         never touch the disk cache).
+    batch_cells:
+        Ship whole *slices* of the spec list to each worker
+        (:func:`_timed_run_specs_batch`) instead of mapping cells
+        one-by-one, so a worker materializes each distinct task set
+        once per slice.  Batch chunks default to ``ceil(n / jobs)`` —
+        larger than the cell-mode default, trading load balancing for
+        task-set reuse (``chunksize`` overrides either way).  Results
+        are identical; only the wall clock changes.
     """
 
     def __init__(
@@ -357,6 +456,7 @@ class ProcessPoolBackend(SweepExecutor):
         chunksize: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[ProgressReporter] = None,
+        batch_cells: bool = False,
     ) -> None:
         super().__init__(cache=cache, metrics=metrics, progress=progress)
         if jobs is not None and jobs < 1:
@@ -365,6 +465,7 @@ class ProcessPoolBackend(SweepExecutor):
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.chunksize = chunksize
+        self.batch_cells = batch_cells
 
     def _execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         return [r for r, _ in self._execute_timed(specs)]
@@ -373,15 +474,40 @@ class ProcessPoolBackend(SweepExecutor):
         if len(specs) <= 1 or self.jobs == 1:
             # Not worth a pool; also keeps single-cell CLI runs fork-free.
             out: List[Tuple[RunResult, int]] = []
+            if self.batch_cells:
+                for timed in _iter_timed_batch(specs):
+                    self._cell_finished(timed[1])
+                    out.append(timed)
+                return out
             for s in specs:
                 timed = _timed_run_spec(s)
                 self._cell_finished(timed[1])
                 out.append(timed)
             return out
+        workers = min(self.jobs, len(specs))
+        if self.batch_cells:
+            per = self.chunksize
+            if per is None:
+                per = max(1, -(-len(specs) // workers))
+            slices = [specs[i : i + per] for i in range(0, len(specs), per)]
+
+            def _batch_done(timed_slice: List[Tuple[RunResult, int]]) -> None:
+                for timed in timed_slice:
+                    self._cell_finished(timed[1])
+
+            # Each pool task is one contiguous slice; map yields slices in
+            # submission order, so flattening restores the cell order.
+            nested, self._degradation = map_pool_resilient(
+                _timed_run_specs_batch,
+                slices,
+                min(workers, len(slices)),
+                1,
+                on_result=_batch_done,
+            )
+            return [timed for timed_slice in nested for timed in timed_slice]
         chunk = self.chunksize
         if chunk is None:
             chunk = max(1, -(-len(specs) // (4 * self.jobs)))
-        workers = min(self.jobs, len(specs))
         # pool.map yields in submission order as results land, so
         # progress ticks stream in while later chunks still run; the
         # resilient wrapper absorbs worker deaths (retry, then serial).
@@ -403,6 +529,7 @@ def make_executor(
     progress: Optional[ProgressReporter] = None,
     checkpoint_dir: Optional[str] = None,
     shard_size: int = 16,
+    batch_cells: bool = False,
 ) -> SweepExecutor:
     """CLI-flag-shaped factory: ``--jobs N`` / ``--cache-dir PATH``.
 
@@ -410,6 +537,11 @@ def make_executor(
     :class:`~repro.runtime.shard.ShardedBackend`: the sweep is split
     into durable shards under *checkpoint_dir* and a killed run resumes
     from its completed shards (``repro-mc2 sweep resume``).
+
+    ``--batch-cells`` turns on batched cell execution on every backend:
+    each process simulates whole slices of the grid, materializing each
+    distinct task set once per slice (identical results, less task-set
+    regeneration; see the module docstring).
     """
     cache = ResultCache(cache_dir, max_entries=max_entries) if cache_dir else None
     if checkpoint_dir:
@@ -424,7 +556,16 @@ def make_executor(
             cache=cache,
             metrics=metrics,
             progress=progress,
+            batch_cells=batch_cells,
         )
     if jobs <= 1:
-        return SerialBackend(cache=cache, metrics=metrics, progress=progress)
-    return ProcessPoolBackend(jobs=jobs, cache=cache, metrics=metrics, progress=progress)
+        return SerialBackend(
+            cache=cache, metrics=metrics, progress=progress, batch_cells=batch_cells
+        )
+    return ProcessPoolBackend(
+        jobs=jobs,
+        cache=cache,
+        metrics=metrics,
+        progress=progress,
+        batch_cells=batch_cells,
+    )

@@ -148,6 +148,10 @@ class _Kind:
     execute: Callable[[Any], Dict[str, Any]]
     #: Whether cells can be served from / written to a ResultCache.
     cacheable: bool
+    #: Optional batched execution: lazily yield ``(doc, wall_ns)`` per
+    #: cell, in order, sharing per-batch state (e.g. materialized task
+    #: sets).  ``None`` means the kind only executes cell-by-cell.
+    execute_batch: Optional[Callable[[Sequence[Any]], Iterator[Tuple[Dict[str, Any], int]]]] = None
 
 
 def _sweep_cell_to_dict(spec: RunSpec) -> Dict[str, Any]:
@@ -168,6 +172,22 @@ def _sweep_execute(spec: RunSpec) -> Dict[str, Any]:
     return run_result_to_dict(run_spec(spec))
 
 
+def _sweep_execute_batch(
+    specs: Sequence[RunSpec],
+) -> Iterator[Tuple[Dict[str, Any], int]]:
+    """Simulate a slice of sweep cells in-process, sharing task sets.
+
+    Streams ``(result_doc, wall_ns)`` as each cell finishes, so the
+    shard loop keeps its per-cell heartbeat/progress cadence.  Results
+    are bit-for-bit identical to :func:`_sweep_execute` per cell.
+    """
+    from repro.io.results_json import run_result_to_dict
+    from repro.runtime.executor import _iter_timed_batch
+
+    for result, wall_ns in _iter_timed_batch(specs):
+        yield run_result_to_dict(result), wall_ns
+
+
 def _faults_execute(cell: CampaignCell) -> Dict[str, Any]:
     return run_cell(cell).to_dict()
 
@@ -180,6 +200,7 @@ _KINDS: Dict[str, _Kind] = {
         cell_from_dict=_sweep_cell_from_dict,
         execute=_sweep_execute,
         cacheable=True,
+        execute_batch=_sweep_execute_batch,
     ),
     "faults": _Kind(
         name="faults",
@@ -527,9 +548,12 @@ def _execute_shard(
     cache: Optional[ResultCache],
     clock: Callable[[], float],
     on_cell: Optional[Callable[[bool], None]] = None,
+    batch: bool = False,
 ) -> Tuple[int, int]:
     """Run one claimed shard to its manifest; returns (cells_run, hits)."""
     kind = _KINDS[campaign.kind]
+    if batch and kind.execute_batch is not None:
+        return _execute_shard_batched(store, campaign, shard, owner, cache, clock, on_cell)
     results: List[Dict[str, Any]] = []
     cached_flags: List[bool] = []
     wall: List[int] = []
@@ -575,6 +599,84 @@ def _execute_shard(
     return cells_run, hits
 
 
+def _execute_shard_batched(
+    store: CampaignStore,
+    campaign: ShardedCampaign,
+    shard: ShardSpec,
+    owner: str,
+    cache: Optional[ResultCache],
+    clock: Callable[[], float],
+    on_cell: Optional[Callable[[bool], None]] = None,
+) -> Tuple[int, int]:
+    """Batched twin of :func:`_execute_shard` (same manifest semantics).
+
+    Cache hits are collected first, then every miss in the shard is
+    simulated by one streaming ``execute_batch`` call — so per-batch
+    state (materialized task sets) is shared across the whole shard.
+    The manifest lists results/flags/walls in cell order exactly as the
+    per-cell path would; result documents are byte-identical, so the
+    merged campaign artifact is too.  Heartbeats still land after every
+    simulated cell (the batch executor streams), keeping lease liveness
+    on the same cadence.
+    """
+    kind = _KINDS[campaign.kind]
+    n = shard.cells
+    results: List[Optional[Dict[str, Any]]] = [None] * n
+    cached_flags = [False] * n
+    wall = [0] * n
+    hits = 0
+    miss_off: List[int] = []
+    t_shard = time.perf_counter_ns()
+    for off in range(n):
+        pos = shard.start + off
+        t0 = time.perf_counter_ns()
+        doc: Optional[Dict[str, Any]] = None
+        if kind.cacheable and cache is not None:
+            hit = cache.get(campaign.cell_keys[pos])
+            if hit is not None:
+                from repro.io.results_json import run_result_to_dict
+
+                doc = run_result_to_dict(hit)
+        if doc is not None:
+            results[off] = doc
+            cached_flags[off] = True
+            wall[off] = time.perf_counter_ns() - t0
+            hits += 1
+            store.heartbeat(shard.shard_id, owner, clock)
+            if on_cell is not None:
+                on_cell(True)
+        else:
+            miss_off.append(off)
+    if miss_off:
+        cells = [campaign.cells[shard.start + off] for off in miss_off]
+        assert kind.execute_batch is not None
+        for off, (doc, wall_ns) in zip(miss_off, kind.execute_batch(cells)):
+            results[off] = doc
+            wall[off] = wall_ns
+            if kind.cacheable and cache is not None:
+                from repro.io.results_json import run_result_from_dict
+
+                cell = campaign.cells[shard.start + off]
+                cache.put(
+                    campaign.cell_keys[shard.start + off],
+                    kind.cell_to_dict(cell),
+                    run_result_from_dict(doc),
+                )
+            store.heartbeat(shard.shard_id, owner, clock)
+            if on_cell is not None:
+                on_cell(False)
+    store.write_manifest(
+        campaign,
+        shard,
+        results,  # type: ignore[arg-type]  # every slot filled above
+        cached_flags,
+        wall,
+        owner,
+        time.perf_counter_ns() - t_shard,
+    )
+    return len(miss_off), hits
+
+
 def work(
     directory: Pathish,
     owner: Optional[str] = None,
@@ -586,6 +688,7 @@ def work(
     progress=None,
     metrics=None,
     clock: Callable[[], float] = time.time,
+    batch: bool = False,
 ) -> WorkStats:
     """Drive one campaign directory toward completion from this process.
 
@@ -597,6 +700,9 @@ def work(
     they are reclaimed and executed here.  ``wait=False`` returns as
     soon as no shard is claimable.  ``max_shards`` stops after this call
     has executed that many shards (used by tests and incremental runs).
+    ``batch=True`` executes each shard's cache misses as one streaming
+    batch (sweep kind only — identical manifests, shared task-set
+    materialization; other kinds fall back to cell-by-cell).
 
     Safe to run concurrently from any number of processes against the
     same directory; the lease files partition the work.
@@ -651,11 +757,11 @@ def work(
                 if spans is not None:
                     with spans.span("execute"):
                         ran, h = _execute_shard(
-                            store, campaign, shard, who, cache, clock, on_cell
+                            store, campaign, shard, who, cache, clock, on_cell, batch
                         )
                 else:
                     ran, h = _execute_shard(
-                        store, campaign, shard, who, cache, clock, on_cell
+                        store, campaign, shard, who, cache, clock, on_cell, batch
                     )
             finally:
                 store.release(shard.shard_id, who)
@@ -683,11 +789,22 @@ def work(
 
 
 def _work_entry(
-    directory: str, owner: str, cache_dir: Optional[str], lease_ttl: float
+    directory: str,
+    owner: str,
+    cache_dir: Optional[str],
+    lease_ttl: float,
+    batch: bool = False,
 ) -> WorkStats:
     """Module-level pool entry point (picklable)."""
     cache = ResultCache(cache_dir) if cache_dir else None
-    return work(directory, owner=owner, cache=cache, lease_ttl=lease_ttl, wait=False)
+    return work(
+        directory,
+        owner=owner,
+        cache=cache,
+        lease_ttl=lease_ttl,
+        wait=False,
+        batch=batch,
+    )
 
 
 def run_workers(
@@ -698,6 +815,7 @@ def run_workers(
     progress=None,
     metrics=None,
     max_shards: Optional[int] = None,
+    batch: bool = False,
 ) -> WorkStats:
     """Drive a campaign with *jobs* worker processes (1 = in-process).
 
@@ -718,6 +836,7 @@ def run_workers(
             progress=progress,
             metrics=metrics,
             max_shards=max_shards,
+            batch=batch,
         )
     store = CampaignStore(directory)
     campaign = store.load()
@@ -734,6 +853,7 @@ def run_workers(
                     f"{_default_owner()}:w{i}",
                     cache_dir,
                     lease_ttl,
+                    batch,
                 )
                 for i in range(workers)
             ]
@@ -753,6 +873,7 @@ def run_workers(
         lease_ttl=lease_ttl,
         progress=progress,
         metrics=metrics,
+        batch=batch,
     )
     merged = stats.merged(tail)
     return WorkStats(
@@ -1050,6 +1171,7 @@ class ShardedBackend(SweepExecutor):
         lease_ttl: float = 60.0,
         metrics=None,
         progress=None,
+        batch_cells: bool = False,
     ) -> None:
         super().__init__(cache=cache, metrics=metrics, progress=progress)
         if jobs < 1:
@@ -1058,6 +1180,9 @@ class ShardedBackend(SweepExecutor):
         self.jobs = jobs
         self.shard_size = shard_size
         self.lease_ttl = lease_ttl
+        #: Execute each shard's misses as one streaming batch (task-set
+        #: reuse within the shard; manifests stay byte-identical).
+        self.batch_cells = batch_cells
         #: Campaign directory of the most recent run() (for resume/status).
         self.last_campaign_dir: Optional[pathlib.Path] = None
 
@@ -1080,6 +1205,7 @@ class ShardedBackend(SweepExecutor):
             lease_ttl=self.lease_ttl,
             progress=self.progress,
             metrics=self.metrics,
+            batch=self.batch_cells,
         )
         if self.progress is not None:
             self.progress.finish()

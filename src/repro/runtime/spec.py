@@ -184,12 +184,25 @@ class KernelSpec:
     ``release_delay`` (an arbitrary callable) has no canonical JSON form
     and is deliberately absent: sporadic-jitter experiments go through
     :func:`~repro.experiments.runner.run_overload_experiment` directly.
+
+    ``backend`` selects the simulator core
+    (:data:`repro.sim.backend.kernel_backend_registry`); it is part of
+    the canonical JSON whenever it differs from ``"reference"``, so
+    results produced by different backends never share a result-cache
+    key.  (Backends are gated to byte-identical traces, but the cache
+    must stay honest about *what produced* an entry.)
     """
 
     use_virtual_time: bool = True
     record_intervals: bool = False
     monitor_latency: float = 0.0
     measure_overhead: bool = False
+    backend: str = "reference"
+
+    def __post_init__(self) -> None:
+        from repro.sim.backend import kernel_backend_registry
+
+        kernel_backend_registry.get(self.backend)  # raises listing known kinds
 
     @classmethod
     def from_config(cls, config: KernelConfig) -> "KernelSpec":
@@ -203,6 +216,7 @@ class KernelSpec:
             record_intervals=config.record_intervals,
             monitor_latency=config.monitor_latency,
             measure_overhead=config.measure_overhead,
+            backend=config.backend,
         )
 
     def to_config(self) -> KernelConfig:
@@ -211,6 +225,7 @@ class KernelSpec:
             record_intervals=self.record_intervals,
             monitor_latency=self.monitor_latency,
             measure_overhead=self.measure_overhead,
+            backend=self.backend,
         )
 
 

@@ -40,6 +40,7 @@ from repro.model.behavior import (
 )
 from repro.model.task import CriticalityLevel, Task
 from repro.model.taskset import TaskSet
+from repro.sim.backend import create_kernel
 from repro.sim.kernel import KernelConfig, MC2Kernel
 from repro.sim.trace import Trace
 from repro.workload.generator import GeneratorParams, generate_taskset
@@ -54,8 +55,10 @@ __all__ = [
     "fingerprint_digest",
     "run_dispatcher",
     "compare_dispatchers",
+    "compare_backends",
     "random_scenarios",
     "check_many",
+    "check_many_backends",
     "main",
 ]
 
@@ -175,8 +178,10 @@ def _monitor_for(sc: DiffScenario, kernel: MC2Kernel) -> Monitor:
     raise ValueError(f"unknown monitor {sc.monitor!r}")
 
 
-def build_kernel(sc: DiffScenario, dispatcher: str) -> Tuple[MC2Kernel, Monitor]:
-    """Construct the kernel + monitor for *sc* under *dispatcher*."""
+def build_kernel(
+    sc: DiffScenario, dispatcher: str, backend: str = "reference"
+) -> Tuple[MC2Kernel, Monitor]:
+    """Construct the kernel + monitor for *sc* under *dispatcher*/*backend*."""
     ts = generate_taskset(
         sc.seed, GeneratorParams(m=sc.m, util_range=sc.util_range)
     )
@@ -189,8 +194,9 @@ def build_kernel(sc: DiffScenario, dispatcher: str) -> Tuple[MC2Kernel, Monitor]
         record_intervals=sc.record_intervals,
         monitor_latency=sc.monitor_latency,
         dispatcher=dispatcher,
+        backend=backend,
     )
-    kernel = MC2Kernel(ts, behavior=_behavior_for(sc), config=config)
+    kernel = create_kernel(ts, behavior=_behavior_for(sc), config=config)
     monitor = _monitor_for(sc, kernel)
     kernel.attach_monitor(monitor)
     return kernel, monitor
@@ -224,7 +230,7 @@ def fingerprint(trace: Trace, kernel: MC2Kernel, monitor: Monitor) -> Dict[str, 
         "speed_changes": list(trace.speed_changes),
         "preemptions": kernel.preemptions,
         "migrations": kernel.migrations,
-        "events_processed": kernel.engine.events_processed,
+        "events_processed": kernel.events_processed,
         "misses": monitor.miss_count,
         "episodes": [(ep.start, ep.end) for ep in monitor.episodes],
     }
@@ -243,9 +249,11 @@ def fingerprint_digest(fp: Dict[str, object]) -> str:
     return hashlib.sha256(doc.encode("utf-8")).hexdigest()
 
 
-def run_dispatcher(sc: DiffScenario, dispatcher: str) -> Dict[str, object]:
+def run_dispatcher(
+    sc: DiffScenario, dispatcher: str, backend: str = "reference"
+) -> Dict[str, object]:
     """Run *sc* to its horizon under *dispatcher*; return the fingerprint."""
-    kernel, monitor = build_kernel(sc, dispatcher)
+    kernel, monitor = build_kernel(sc, dispatcher, backend)
     trace = kernel.run(sc.horizon)
     return fingerprint(trace, kernel, monitor)
 
@@ -255,6 +263,14 @@ def compare_dispatchers(sc: DiffScenario) -> DiffResult:
     base = run_dispatcher(sc, "baseline")
     inc = run_dispatcher(sc, "incremental")
     mismatched = tuple(k for k in base if base[k] != inc[k])
+    return DiffResult(scenario=sc, equal=not mismatched, mismatched=mismatched)
+
+
+def compare_backends(sc: DiffScenario) -> DiffResult:
+    """Run *sc* under the reference and SoA backends; diff the fingerprints."""
+    ref = run_dispatcher(sc, "incremental", "reference")
+    soa = run_dispatcher(sc, "incremental", "soa")
+    mismatched = tuple(k for k in ref if ref[k] != soa[k])
     return DiffResult(scenario=sc, equal=not mismatched, mismatched=mismatched)
 
 
@@ -309,21 +325,37 @@ def check_many(
     return len(scenarios), failures
 
 
+def check_many_backends(
+    scenarios: Sequence[DiffScenario],
+) -> Tuple[int, List[DiffResult]]:
+    """reference-vs-soa twin of :func:`check_many`."""
+    failures = [r for r in map(compare_backends, scenarios) if not r.equal]
+    return len(scenarios), failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI: sweep randomized scenarios, exit non-zero on any divergence."""
     parser = argparse.ArgumentParser(
-        description="Differential check: baseline vs incremental dispatch"
+        description="Differential check: baseline vs incremental dispatch, "
+        "or reference vs soa kernel backend"
     )
     parser.add_argument("--count", type=int, default=50, help="scenarios to run")
     parser.add_argument("--base-seed", type=int, default=2015)
     parser.add_argument(
         "--horizon", type=float, default=None, help="override every scenario's horizon"
     )
+    parser.add_argument(
+        "--mode",
+        choices=("dispatchers", "backends"),
+        default="dispatchers",
+        help="what to diff: the two dispatchers (default) or the two kernel backends",
+    )
     args = parser.parse_args(argv)
     scenarios = random_scenarios(args.count, args.base_seed)
     if args.horizon is not None:
         scenarios = [replace(sc, horizon=args.horizon) for sc in scenarios]
-    checked, failures = check_many(scenarios)
+    check = check_many if args.mode == "dispatchers" else check_many_backends
+    checked, failures = check(scenarios)
     for fail in failures:
         print(f"DIVERGED [{', '.join(fail.mismatched)}]: {fail.scenario.label()}")
     print(f"{checked - len(failures)}/{checked} scenarios trace-equivalent")

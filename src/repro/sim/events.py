@@ -25,7 +25,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Callable, List, Optional
 
 __all__ = ["EventKind", "Event", "EventQueue"]
 
@@ -86,6 +86,27 @@ class EventQueue:
         Raises :class:`IndexError` when empty.
         """
         return heapq.heappop(self._heap)[3]
+
+    def compact(self, is_stale: Callable[[Event], bool]) -> int:
+        """Drop every event for which ``is_stale(event)`` is true.
+
+        Lazy cancellation (generation stamps) normally leaves dead
+        entries in the heap until they pop; when a workload re-arms
+        timers much faster than the dead entries drain (e.g. rapid
+        virtual-clock speed changes re-arming every level-C release
+        timer), the heap grows without bound.  Compaction filters the
+        dead entries out in one O(n) pass, preserving the original
+        ``(time, kind, seq)`` keys of the survivors so the total order
+        (and therefore every future pop) is unchanged.
+
+        Returns the number of entries removed.
+        """
+        kept = [entry for entry in self._heap if not is_stale(entry[3])]
+        removed = len(self._heap) - len(kept)
+        if removed:
+            heapq.heapify(kept)
+            self._heap = kept
+        return removed
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest event, or ``None`` if empty."""

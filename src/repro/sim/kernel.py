@@ -55,12 +55,28 @@ from repro.sim.events import Event, EventKind
 from repro.sim.processor import Processor
 from repro.sim.trace import Trace
 
-__all__ = ["KernelConfig", "MC2Kernel", "simulate", "completion_eps"]
+__all__ = [
+    "KernelConfig",
+    "MC2Kernel",
+    "simulate",
+    "completion_eps",
+    "COMPACT_STALE_RATIO",
+]
 
 #: Absolute floor of the completion slack (1 ns).
 _COMPLETION_EPS = 1e-9
 #: Relative completion-slack component (~4.5 double ulps of ``now``).
 _COMPLETION_REL_EPS = 1e-15
+
+#: Compact the event heap when stale (re-armed) release-timer entries
+#: outnumber live release timers by this factor.  Every speed change
+#: re-arms every level-C timer (Algorithm 1 lines 21-22), and under
+#: rapid speed changes the superseded entries can accumulate faster
+#: than they drain; compaction bounds the heap at
+#: ``(1 + ratio) * live + transient`` entries.  Module-level so tests
+#: can monkeypatch it; both kernel backends read it at the trigger
+#: point, keeping their event counts (and thus fingerprints) aligned.
+COMPACT_STALE_RATIO = 2
 
 
 def completion_eps(now: float) -> float:
@@ -113,6 +129,13 @@ class KernelConfig:
         O(m + n log n) advance-everything/sort-everything path, kept as
         differential ground truth (:mod:`repro.sim.diffcheck` asserts the
         two are trace-identical).
+    backend:
+        Kernel implementation to instantiate: ``"reference"`` (this
+        module's object-based :class:`MC2Kernel`) or ``"soa"`` (the
+        struct-of-arrays hot path in :mod:`repro.sim.soa`).  Resolved by
+        :func:`repro.sim.backend.create_kernel`; constructing
+        :class:`MC2Kernel` directly ignores the field.  The SoA backend
+        is gated to byte-identical traces against the reference.
     """
 
     use_virtual_time: bool = True
@@ -121,6 +144,7 @@ class KernelConfig:
     measure_overhead: bool = False
     release_delay: Optional[Callable[[Task, int], float]] = None
     dispatcher: str = "incremental"
+    backend: str = "reference"
 
 
 class _IdentityClock:
@@ -244,6 +268,12 @@ class MC2Kernel:
         # Release bookkeeping.
         self.controllers: Dict[int, ReleaseController] = {}
         self._release_gen: Dict[int, int] = {}
+        #: Superseded release-timer events still sitting in the heap
+        #: (incremented per re-armed timer, decremented when a stale
+        #: entry pops or is compacted away).  Every task always has
+        #: exactly one *live* pending release timer, so the live count
+        #: is ``len(taskset)``.
+        self._stale_releases: int = 0
         #: Start of the current contiguous run per CPU (interval recording).
         self._run_start: List[float] = [0.0] * taskset.m
         #: Level-C jobs completed at the current instant whose monitor
@@ -409,6 +439,7 @@ class MC2Kernel:
     def _on_release_timer(self, ev: Event, now: float) -> None:
         task_id = ev.payload
         if ev.generation != self._release_gen[task_id]:
+            self._stale_releases -= 1
             return  # re-armed timer superseded this one (Algorithm 1 line 22)
         task = self.taskset[task_id]
         if task.level is CriticalityLevel.C:
@@ -749,6 +780,29 @@ class MC2Kernel:
             self.engine.push(
                 Event(time=nxt, kind=EventKind.RELEASE, payload=t.task_id, generation=gen)
             )
+            self._stale_releases += 1
+        if self._stale_releases > COMPACT_STALE_RATIO * len(self.taskset):
+            self._compact_release_timers()
+
+    def _compact_release_timers(self) -> None:
+        """Drop superseded release-timer entries from the event heap.
+
+        Generation-stamped cancellation leaves each re-armed timer's old
+        entry in the heap until it pops; when speed changes re-arm
+        timers faster than the dead entries drain (slow virtual speeds
+        push re-armed fire times far out while the dead entries' times
+        recede into the past only as fast as simulated time advances),
+        the heap — and the event count spent discarding stale pops —
+        grows with every recovery episode.  Filtering them out here
+        keeps the heap at O(live timers).  Survivors keep their original
+        keys, so the pop order of everything else is untouched.
+        """
+        gens = self._release_gen
+        self.engine.queue.compact(
+            lambda ev: ev.kind is EventKind.RELEASE
+            and ev.generation != gens[ev.payload]
+        )
+        self._stale_releases = 0
 
     # ------------------------------------------------------------------
     # Dispatching (MC² architecture, Fig. 1)
@@ -947,6 +1001,19 @@ class MC2Kernel:
         return self.engine.now
 
     @property
+    def events_processed(self) -> int:
+        """Events handled so far (backend-neutral; see also ``engine``)."""
+        return self.engine.events_processed
+
+    def pending_c_released_before(self, end: float) -> bool:
+        """True if any incomplete level-C job was released before *end*.
+
+        Backend-neutral accessor for settling predicates (the SoA
+        backend has no ``Job`` objects to iterate).
+        """
+        return any(j.release < end for j in self.jobs_c)
+
+    @property
     def sched_overheads(self) -> List[int]:
         """Scheduler-invocation wall-clock samples in ns (Fig. 9).
 
@@ -979,7 +1046,8 @@ def simulate(
     Parameters
     ----------
     taskset, until, behavior, config, tracer:
-        Passed through to :class:`MC2Kernel`.
+        Passed through to the kernel backend selected by
+        ``config.backend`` (default ``"reference"``).
     monitor_factory:
         ``kernel -> Monitor``; defaults to a :class:`NullMonitor`.
     stop:
@@ -989,7 +1057,9 @@ def simulate(
     -------
     (trace, kernel, monitor)
     """
-    kernel = MC2Kernel(taskset, behavior=behavior, config=config, tracer=tracer)
+    from repro.sim.backend import create_kernel
+
+    kernel = create_kernel(taskset, behavior=behavior, config=config, tracer=tracer)
     monitor = monitor_factory(kernel) if monitor_factory else NullMonitor(kernel)
     kernel.attach_monitor(monitor)
     pred = (lambda: stop(kernel, monitor)) if stop else None

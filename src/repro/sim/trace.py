@@ -109,6 +109,42 @@ class Trace:
             self._by_task.setdefault(rec.task_id, []).append(pos)
         self._indexed = len(self.jobs)
 
+    def record_job_values(
+        self,
+        task_id: int,
+        level: CriticalityLevel,
+        index: int,
+        release: float,
+        exec_time: float,
+        completion: Optional[float],
+        actual_pp: Optional[float],
+        virtual_release: Optional[float] = None,
+        virtual_pp: Optional[float] = None,
+    ) -> None:
+        """Record a job's final state from plain values.
+
+        The struct-of-arrays kernel backend has no :class:`Job` objects;
+        it records through this method, producing records identical to
+        :meth:`record_job`'s.  The record is built by filling the
+        instance dict directly: the frozen dataclass ``__init__`` pays
+        one ``object.__setattr__`` call per field, which is measurable
+        on the kernel's per-completion path (JobRecord has no
+        ``__post_init__``, so nothing is skipped).
+        """
+        rec = object.__new__(JobRecord)
+        rec.__dict__.update(
+            task_id=task_id,
+            level=level,
+            index=index,
+            release=release,
+            exec_time=exec_time,
+            completion=completion,
+            actual_pp=actual_pp,
+            virtual_release=virtual_release,
+            virtual_pp=virtual_pp,
+        )
+        self.jobs.append(rec)
+
     def record_interval(
         self, cpu: int, job: Job, start: float, end: float
     ) -> None:
@@ -122,6 +158,18 @@ class Trace:
                 job_index=job.index,
                 start=start,
                 end=end,
+            )
+        )
+
+    def record_interval_values(
+        self, cpu: int, task_id: int, job_index: int, start: float, end: float
+    ) -> None:
+        """Value-based twin of :meth:`record_interval` (same filters)."""
+        if not self.record_intervals or end <= start:
+            return
+        self.intervals.append(
+            ExecutionInterval(
+                cpu=cpu, task_id=task_id, job_index=job_index, start=start, end=end
             )
         )
 

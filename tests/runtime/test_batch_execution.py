@@ -1,0 +1,173 @@
+"""Batched "many short runs" execution: byte-identity and task-set reuse.
+
+Batch mode (``batch_cells=True`` / ``--batch-cells``) simulates whole
+slices of a sweep in one process, materializing each distinct task-set
+spec once per slice.  Its contract is strict: results — and for the
+checkpointed backend, the merged campaign artifact — are byte-identical
+to per-cell execution; only the wall clock changes.
+"""
+
+import pathlib
+
+import pytest
+
+import repro.runtime.executor as executor_mod
+from repro.io.results_json import run_result_to_dict
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import (
+    ProcessPoolBackend,
+    SerialBackend,
+    make_executor,
+    run_spec,
+    run_specs_batch,
+)
+from repro.runtime.shard import ShardedBackend
+from repro.runtime.spec import (
+    KernelSpec,
+    MonitorSpec,
+    RunSpec,
+    ScenarioSpec,
+    TaskSetSpec,
+)
+
+
+def grid(backends=("reference",), seeds=(2015, 2016)):
+    """A small sweep grid: seeds x monitors (x kernel backends)."""
+    specs = []
+    for seed in seeds:
+        for kind, param in (("simple", 0.6), ("adaptive", 0.5), ("none", 1.0)):
+            for backend in backends:
+                specs.append(RunSpec(
+                    taskset=TaskSetSpec.generated(seed),
+                    scenario=ScenarioSpec(name="single", windows=((1.0, 2.0),)),
+                    monitor=MonitorSpec(kind=kind, param=param),
+                    kernel=KernelSpec(backend=backend),
+                    horizon=6.0,
+                ))
+    return specs
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return grid()
+
+
+@pytest.fixture(scope="module")
+def per_cell_docs(specs):
+    return [run_result_to_dict(run_spec(s)) for s in specs]
+
+
+class TestRunSpecsBatch:
+    def test_identical_to_per_cell(self, specs, per_cell_docs):
+        docs = [run_result_to_dict(r) for r in run_specs_batch(specs)]
+        assert docs == per_cell_docs
+
+    def test_identical_across_kernel_backends(self):
+        specs = grid(backends=("reference", "soa"), seeds=(2015,))
+        docs = [run_result_to_dict(r) for r in run_specs_batch(specs)]
+        assert docs == [run_result_to_dict(run_spec(s)) for s in specs]
+
+    def test_materializes_each_taskset_once(self, specs, monkeypatch):
+        calls = []
+        orig = TaskSetSpec.materialize
+
+        def counting(self):
+            calls.append(self)
+            return orig(self)
+
+        monkeypatch.setattr(TaskSetSpec, "materialize", counting)
+        run_specs_batch(specs)
+        distinct = {s.taskset for s in specs}
+        assert len(calls) == len(distinct), (
+            f"expected one materialization per distinct task set "
+            f"({len(distinct)}), saw {len(calls)}"
+        )
+
+
+class TestBackendsBatchMode:
+    def test_serial_batch(self, specs, per_cell_docs):
+        ex = SerialBackend(batch_cells=True)
+        assert [run_result_to_dict(r) for r in ex.run(specs)] == per_cell_docs
+        assert ex.stats.cells_simulated == len(specs)
+
+    def test_pool_batch(self, specs, per_cell_docs):
+        ex = ProcessPoolBackend(jobs=2, batch_cells=True)
+        assert [run_result_to_dict(r) for r in ex.run(specs)] == per_cell_docs
+        assert ex.stats.cells_simulated == len(specs)
+        assert ex.stats.pool_breaks == 0
+
+    def test_pool_batch_chunksize_one(self, specs, per_cell_docs):
+        # Degenerate slicing (one cell per batch) still preserves order.
+        ex = ProcessPoolBackend(jobs=2, batch_cells=True, chunksize=1)
+        assert [run_result_to_dict(r) for r in ex.run(specs)] == per_cell_docs
+
+    def test_batch_with_cache(self, specs, per_cell_docs, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        ex = SerialBackend(cache=cache, batch_cells=True)
+        first = [run_result_to_dict(r) for r in ex.run(specs)]
+        assert first == per_cell_docs
+        again = [run_result_to_dict(r) for r in ex.run(specs)]
+        assert again == per_cell_docs
+        assert ex.stats.cache_hits == len(specs)
+        assert ex.stats.cells_simulated == 0
+
+    def test_make_executor_threads_flag(self, tmp_path):
+        assert make_executor(jobs=1, batch_cells=True).batch_cells
+        assert make_executor(jobs=4, batch_cells=True).batch_cells
+        sharded = make_executor(
+            jobs=1, batch_cells=True, checkpoint_dir=str(tmp_path / "cp")
+        )
+        assert isinstance(sharded, ShardedBackend) and sharded.batch_cells
+        assert not make_executor(jobs=1).batch_cells
+
+
+class TestShardedBatchMode:
+    def test_full_shard_byte_identical(self, specs, per_cell_docs, tmp_path):
+        """Acceptance: batched sweep execution over a full shard produces
+        a byte-identical merged artifact to per-cell execution."""
+        a = ShardedBackend(tmp_path / "cell", shard_size=4)
+        docs_a = [run_result_to_dict(r) for r in a.run(specs)]
+        b = ShardedBackend(tmp_path / "batch", shard_size=4, batch_cells=True)
+        docs_b = [run_result_to_dict(r) for r in b.run(specs)]
+        assert docs_a == per_cell_docs
+        assert docs_b == per_cell_docs
+        merged_a = (a.last_campaign_dir / "merged.json").read_bytes()
+        merged_b = (b.last_campaign_dir / "merged.json").read_bytes()
+        assert merged_a == merged_b
+
+    def test_batch_manifest_with_warm_cache(self, specs, per_cell_docs, tmp_path):
+        """Hits and misses interleave in the manifest exactly as the
+        per-cell path records them (cell order, cached flags)."""
+        cache = ResultCache(tmp_path / "cache")
+        for s in specs[::2]:
+            cache.put(s.key(), {}, run_spec(s))
+        ex = ShardedBackend(
+            tmp_path / "cp", shard_size=4, batch_cells=True, cache=cache
+        )
+        docs = [run_result_to_dict(r) for r in ex.run(specs)]
+        assert docs == per_cell_docs
+        assert ex.stats.cache_hits == len(specs[::2])
+        assert ex.stats.cells_simulated == len(specs) - len(specs[::2])
+        report_flags = [c.cached for c in ex.report.cells]
+        assert report_flags == [i % 2 == 0 for i in range(len(specs))]
+
+    def test_batch_resume_after_partial_run(self, specs, tmp_path):
+        """Batch workers interoperate with the lease/manifest fabric:
+        a partial batch run resumes to the same merged artifact."""
+        from repro.runtime.shard import (
+            ShardedCampaign,
+            prepare_campaign,
+            run_workers,
+            write_merged_results,
+        )
+
+        campaign = ShardedCampaign("sweep", specs, shard_size=4)
+        cdir = prepare_campaign(tmp_path / "resume", campaign)
+        run_workers(cdir, max_shards=1, batch=True)
+        stats = run_workers(cdir, batch=True)
+        assert stats.shards_skipped == 1
+        merged = write_merged_results(cdir).read_bytes()
+
+        ref = ShardedBackend(tmp_path / "ref", shard_size=4)
+        ref.run(specs)
+        assert merged == (ref.last_campaign_dir / "merged.json").read_bytes()

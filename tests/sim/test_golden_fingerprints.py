@@ -90,9 +90,9 @@ CORPUS = [
 ]
 
 
-def compute_digests() -> dict:
+def compute_digests(backend: str = "reference") -> dict:
     return {
-        sc.label(): fingerprint_digest(run_dispatcher(sc, "incremental"))
+        sc.label(): fingerprint_digest(run_dispatcher(sc, "incremental", backend))
         for sc in CORPUS
     }
 
@@ -125,4 +125,29 @@ def test_golden_fingerprints_match():
         f"{len(mismatched)}/{len(digests)} golden scenarios:\n  "
         + "\n  ".join(mismatched)
         + "\nIf intentional, re-pin with REPRO_REGEN_GOLDEN=1 and review the diff."
+    )
+
+
+def test_golden_fingerprints_match_soa():
+    """The ``"soa"`` backend is pinned to the *same* golden digests.
+
+    The struct-of-arrays core's contract is byte-identical traces, so
+    there is no separate soa golden file: every corpus scenario must
+    hash to the reference digest.  A mismatch here with a passing
+    reference test means the soa backend diverged; a mismatch in both
+    means the simulator's behaviour changed (re-pin as above, and this
+    test follows automatically).
+    """
+    if REGEN:
+        pytest.skip("regeneration pins the reference backend; soa follows it")
+    assert GOLDEN_PATH.is_file(), (
+        f"{GOLDEN_PATH} is missing; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    digests = compute_digests(backend="soa")
+    assert set(golden) == set(digests)
+    mismatched = [label for label in digests if digests[label] != golden[label]]
+    assert not mismatched, (
+        "soa backend diverged from the golden (reference) fingerprints on "
+        f"{len(mismatched)}/{len(digests)} scenarios:\n  " + "\n  ".join(mismatched)
     )
