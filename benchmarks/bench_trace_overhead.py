@@ -1,4 +1,4 @@
-"""Tracing overhead: NullTracer (default) vs. JsonlTracer (streaming).
+"""Tracing + telemetry overhead: the observability zero/low-cost gates.
 
 The observability layer's zero-cost-when-disabled claim is a measurable
 property: with the default :class:`~repro.obs.tracer.NullTracer`, a run
@@ -8,10 +8,19 @@ must cost the same as before the layer existed (producers check one
 event.  This benchmark times identical overload runs under both and
 reports the ratio.
 
+It also gates **kernel phase profiling**
+(:func:`repro.obs.telemetry.enable_phase_profiling`, the hot part of
+campaign telemetry): profiling-on runs are interleaved with
+profiling-off runs on the same task set and compared min-to-min, the
+results are asserted identical (telemetry is observation only), and
+``--check`` fails the process unless the overhead ratio is ≤ 1.02 —
+the ≤2% budget counts ride on existing loop variables and 1-in-128
+wall-clock sampling were designed to meet.
+
 Standalone (CI runs this; artifacts are uploaded)::
 
     PYTHONPATH=src python benchmarks/bench_trace_overhead.py \
-        --smoke --out trace-overhead.json --trace-out sample-trace.jsonl
+        --smoke --check --out trace-overhead.json --trace-out sample-trace.jsonl
 
 Also collectable as a pytest benchmark::
 
@@ -104,6 +113,67 @@ def measure(
     }
 
 
+#: Telemetry-on wall-clock budget relative to telemetry-off (the ≤2% gate).
+PHASE_OVERHEAD_BUDGET = 1.02
+
+
+def measure_phase_overhead(
+    reps: int = 7, seed: int = 2015, horizon: float = 5.0
+) -> Dict[str, Any]:
+    """Phase profiling off vs. on, interleaved, min-to-min.
+
+    Interleaving the two variants cancels machine drift (thermal,
+    background load) and comparing minima discards scheduler noise —
+    the minimum is the run least perturbed by the OS, which is what the
+    instrumentation cost should be judged against.  Also proves
+    result-neutrality: every profiled run must produce a
+    :class:`~repro.experiments.metrics.RunResult` equal to the
+    unprofiled one.
+    """
+    from repro.obs.telemetry import PHASE_PROFILER, enable_phase_profiling
+
+    ts = generate_taskset(seed)
+    enable_phase_profiling(True)
+    _run_once(ts, horizon=horizon)  # warm-up both code paths
+    enable_phase_profiling(False)
+    _run_once(ts, horizon=horizon)
+
+    off_ns, on_ns = [], []
+    off_result = on_result = None
+    PHASE_PROFILER.reset()
+    try:
+        for _ in range(reps):
+            enable_phase_profiling(False)
+            t0 = time.perf_counter_ns()
+            off_result = _run_once(ts, horizon=horizon)
+            off_ns.append(time.perf_counter_ns() - t0)
+            enable_phase_profiling(True)
+            t0 = time.perf_counter_ns()
+            on_result = _run_once(ts, horizon=horizon)
+            on_ns.append(time.perf_counter_ns() - t0)
+    finally:
+        enable_phase_profiling(False)
+
+    # Telemetry is observation only: identical results either way.
+    assert on_result == off_result, "phase profiling changed the RunResult"
+
+    phases = PHASE_PROFILER.snapshot()
+    PHASE_PROFILER.reset()
+    return {
+        "format": "repro-phase-overhead",
+        "version": 1,
+        "reps": reps,
+        "seed": seed,
+        "horizon": horizon,
+        "off_min_ms": min(off_ns) / 1e6,
+        "on_min_ms": min(on_ns) / 1e6,
+        "overhead_ratio": min(on_ns) / min(off_ns),
+        "budget_ratio": PHASE_OVERHEAD_BUDGET,
+        "events_processed": off_result.events,
+        "phases": phases,
+    }
+
+
 def bench_trace_overhead(benchmark):
     """pytest-benchmark wrapper around one measured comparison."""
     doc = benchmark.pedantic(lambda: measure(reps=3), rounds=1, iterations=1)
@@ -127,22 +197,37 @@ def main(argv=None) -> int:
                     help="write the comparison as JSON to FILE")
     ap.add_argument("--trace-out", metavar="FILE",
                     help="keep the sample JSONL trace at FILE")
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero if telemetry (phase profiling) "
+                         f"overhead exceeds {PHASE_OVERHEAD_BUDGET:.2f}x")
     args = ap.parse_args(argv)
 
     reps = args.reps if args.reps is not None else (3 if args.smoke else 5)
     horizon = 2.0 if args.smoke else 5.0
     doc = measure(reps=reps, seed=args.seed, horizon=horizon,
                   trace_out=args.trace_out)
+    phase_doc = measure_phase_overhead(
+        reps=max(reps, 5), seed=args.seed, horizon=horizon
+    )
+    doc["phase_profiling"] = phase_doc
 
     print(f"null tracer : {doc['null_tracer']['mean_ms']:8.1f} ms/run")
     print(f"jsonl tracer: {doc['jsonl_tracer']['mean_ms']:8.1f} ms/run "
           f"({doc['trace_events']} events -> {doc['trace_path']})")
     print(f"overhead    : {doc['overhead_ratio']:.2f}x")
+    print(f"phase off   : {phase_doc['off_min_ms']:8.1f} ms/run (min)")
+    print(f"phase on    : {phase_doc['on_min_ms']:8.1f} ms/run (min)")
+    print(f"telemetry   : {phase_doc['overhead_ratio']:.3f}x "
+          f"(budget {PHASE_OVERHEAD_BUDGET:.2f}x)")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.out}")
+    if args.check and phase_doc["overhead_ratio"] > PHASE_OVERHEAD_BUDGET:
+        print(f"FAIL: telemetry overhead {phase_doc['overhead_ratio']:.3f}x "
+              f"exceeds the {PHASE_OVERHEAD_BUDGET:.2f}x budget")
+        return 1
     return 0
 
 

@@ -14,7 +14,12 @@ Subcommands:
   shrinking and repro replay (:mod:`repro.faults`);
 * ``sweep``    — checkpointed-campaign management: ``resume`` drives any
   interrupted campaign under a directory to completion, ``status``
-  reports per-shard progress (:mod:`repro.runtime.shard`).
+  reports per-shard progress (:mod:`repro.runtime.shard`);
+* ``status`` / ``top`` — live fleet dashboards over a campaign
+  directory's telemetry streams (:mod:`repro.obs.telemetry`), rendered
+  from the files alone — no coordinator process; ``--watch`` refreshes,
+  ``--prom-out`` / ``--snapshot-out`` export Prometheus / canonical
+  JSON.
 
 Examples::
 
@@ -36,6 +41,10 @@ Examples::
     repro-mc2 figures --figure 7 --jobs 4 --checkpoint-dir ckpt/
     repro-mc2 sweep status ckpt/
     repro-mc2 sweep resume ckpt/ --jobs 4
+    repro-mc2 faults run --cells 50 --checkpoint-dir ckpt/ --jobs 4 --telemetry
+    repro-mc2 status ckpt/ --watch
+    repro-mc2 top ckpt/
+    repro-mc2 status ckpt/ --prom-out metrics.prom --snapshot-out telemetry.json
 
 ``simulate`` and ``figures`` build declarative
 :class:`~repro.runtime.spec.RunSpec` grids and submit them through a
@@ -147,6 +156,11 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="simulate whole slices of the grid per process, "
                              "materializing each distinct task set once per "
                              "slice (identical results, less regeneration)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable kernel phase profiling and (with "
+                             "--checkpoint-dir) per-worker NDJSON telemetry "
+                             "streams readable by repro-mc2 status/top "
+                             "(observation only; results are identical)")
 
 
 def _make_executor(args: argparse.Namespace) -> SweepExecutor:
@@ -154,7 +168,8 @@ def _make_executor(args: argparse.Namespace) -> SweepExecutor:
     return make_executor(jobs=args.jobs, cache_dir=args.cache_dir, progress=progress,
                          checkpoint_dir=args.checkpoint_dir,
                          shard_size=args.shard_size,
-                         batch_cells=args.batch_cells)
+                         batch_cells=args.batch_cells,
+                         telemetry=args.telemetry)
 
 
 def _obs_spec(args: argparse.Namespace) -> ObsSpec:
@@ -270,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "DIR; resume a killed run with faults resume DIR")
     fr.add_argument("--shard-size", type=int, default=16, metavar="N",
                     help="cells per checkpoint shard (default: 16)")
+    fr.add_argument("--telemetry", action="store_true",
+                    help="enable kernel phase profiling and (with "
+                         "--checkpoint-dir) per-worker telemetry streams "
+                         "for repro-mc2 status/top (observation only)")
 
     fres = fsub.add_parser("resume",
                            help="re-attach to a checkpointed fault campaign "
@@ -286,6 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also write the merged scorecard JSON to FILE")
     fres.add_argument("--json", action="store_true",
                       help="emit the scorecard summary as JSON")
+    fres.add_argument("--telemetry", action="store_true",
+                      help="write per-worker telemetry streams while resuming "
+                           "(observation only)")
 
     fp = fsub.add_parser("report", help="render a saved scorecard")
     fp.add_argument("scorecard", help="scorecard JSON (from faults run -o)")
@@ -323,12 +345,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="content-addressed result cache for sweep cells")
     swr.add_argument("--progress", action="store_true",
                      help="report live progress on stderr")
+    swr.add_argument("--telemetry", action="store_true",
+                     help="write per-worker telemetry streams while resuming "
+                          "(observation only)")
     sws = swsub.add_parser("status",
                            help="per-shard completion/ownership of every "
                                 "campaign under a directory")
     sws.add_argument("dir", help="campaign directory or checkpoint root")
     sws.add_argument("--json", action="store_true",
                      help="emit the status as JSON")
+
+    st = sub.add_parser("status",
+                        help="live campaign dashboard (shards + telemetry), "
+                             "reconstructed from the campaign files alone")
+    st.add_argument("dir", help="campaign directory or checkpoint root")
+    st.add_argument("--watch", action="store_true",
+                    help="refresh the dashboard until interrupted")
+    st.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                    help="--watch refresh interval (default: 2.0)")
+    st.add_argument("--ttl", type=float, default=15.0, metavar="SEC",
+                    help="seconds of telemetry silence before a worker "
+                         "counts as stale (default: 15)")
+    st.add_argument("--json", action="store_true",
+                    help="emit the telemetry aggregate as JSON")
+    st.add_argument("--prom-out", metavar="FILE",
+                    help="also write a Prometheus textfile export to FILE")
+    st.add_argument("--snapshot-out", metavar="FILE",
+                    help="also write the canonical JSON aggregate to FILE")
+
+    tp = sub.add_parser("top",
+                        help="per-worker telemetry table (cells/s, events/s, "
+                             "RSS) for a campaign directory")
+    tp.add_argument("dir", help="campaign directory or checkpoint root")
+    tp.add_argument("--watch", action="store_true",
+                    help="refresh the table until interrupted")
+    tp.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                    help="--watch refresh interval (default: 2.0)")
+    tp.add_argument("--ttl", type=float, default=15.0, metavar="SEC",
+                    help="staleness threshold in seconds (default: 15)")
 
     return ap
 
@@ -461,11 +515,16 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             scorecard, cdir, stats = run_sharded_campaign(
                 build_campaign(config), args.checkpoint_dir, jobs=args.jobs,
                 shard_size=args.shard_size, progress=progress,
-                meta={"fault_free": args.fault_free})
+                meta={"fault_free": args.fault_free},
+                telemetry=args.telemetry)
             print(f"checkpointed campaign {cdir} "
                   f"({stats.shards_claimed} shard(s) executed, "
                   f"{stats.shards_skipped} already done)", file=sys.stderr)
         else:
+            if args.telemetry:
+                from repro.obs.telemetry import enable_phase_profiling
+
+                enable_phase_profiling(True)
             scorecard = run_campaign(build_campaign(config), jobs=args.jobs,
                                      progress=progress)
         if args.out:
@@ -500,7 +559,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             campaign = CampaignStore(cdir).load()
             stats = resume_campaign(cdir, jobs=args.jobs,
                                     lease_ttl=args.lease_ttl,
-                                    progress=progress)
+                                    progress=progress,
+                                    telemetry=args.telemetry)
             print(f"resumed {cdir} ({stats.shards_claimed} shard(s) executed, "
                   f"{stats.shards_skipped} already done)", file=sys.stderr)
             scorecard = merge_scorecard(cdir)
@@ -608,11 +668,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for cdir in dirs:
         campaign = CampaignStore(cdir).load()
         stats = resume_campaign(cdir, jobs=args.jobs, cache=cache,
-                                lease_ttl=args.lease_ttl, progress=progress)
+                                lease_ttl=args.lease_ttl, progress=progress,
+                                telemetry=args.telemetry)
         print(f"resumed {cdir} [{campaign.kind}]: "
               f"{stats.shards_claimed} shard(s) executed, "
               f"{stats.shards_skipped} already done; "
               f"merged -> {CampaignStore(cdir).merged_path}")
+    return 0
+
+
+def _campaign_aggregate(dirs) -> dict:
+    """One deterministic telemetry aggregate over every campaign in *dirs*."""
+    from repro.obs.telemetry import TelemetryAggregator
+
+    agg = TelemetryAggregator()
+    for cdir in dirs:
+        agg.add_campaign(cdir)
+    return agg.aggregate()
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.export import write_json_snapshot, write_prometheus_textfile
+    from repro.obs.telemetry import render_status
+    from repro.runtime.shard import iter_campaign_dirs
+
+    dirs = iter_campaign_dirs(args.dir)
+    if not dirs:
+        print(f"error: no campaigns under {args.dir} "
+              "(expected campaign.json manifests)", file=sys.stderr)
+        return 1
+
+    def emit_once() -> None:
+        if args.json:
+            print(json.dumps(_campaign_aggregate(dirs), indent=2, sort_keys=True))
+        else:
+            for cdir in dirs:
+                print(str(cdir))
+                print(render_status(cdir, ttl=args.ttl))
+        if args.prom_out or args.snapshot_out:
+            agg = _campaign_aggregate(dirs)
+            if args.prom_out:
+                write_prometheus_textfile(agg, args.prom_out)
+            if args.snapshot_out:
+                write_json_snapshot(agg, args.snapshot_out)
+
+    try:
+        while True:
+            if args.watch:
+                print("\x1b[2J\x1b[H", end="")
+            emit_once()
+            if not args.watch:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.telemetry import render_top
+    from repro.runtime.shard import iter_campaign_dirs
+
+    dirs = iter_campaign_dirs(args.dir)
+    if not dirs:
+        print(f"error: no campaigns under {args.dir} "
+              "(expected campaign.json manifests)", file=sys.stderr)
+        return 1
+    try:
+        while True:
+            if args.watch:
+                print("\x1b[2J\x1b[H", end="")
+            for cdir in dirs:
+                print(str(cdir))
+                print(render_top(cdir, ttl=args.ttl))
+            if not args.watch:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -627,6 +764,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "faults": _cmd_faults,
         "sweep": _cmd_sweep,
+        "status": _cmd_status,
+        "top": _cmd_top,
     }
     try:
         return handlers[args.command](args)

@@ -378,6 +378,7 @@ def run_campaign(
     cells: Sequence[CampaignCell],
     jobs: int = 1,
     progress=None,
+    telemetry=None,
 ) -> "Scorecard":
     """Execute *cells* (serially or on a pool) into a :class:`Scorecard`.
 
@@ -386,14 +387,21 @@ def run_campaign(
     deaths degrade to retry / in-process execution instead of losing
     the campaign.  Outcomes keep submission order and are bit-identical
     across backends (each cell is deterministic in itself).
+
+    *telemetry* (an optional
+    :class:`~repro.obs.telemetry.TelemetryWriter`) receives one
+    ``cell_done`` per outcome — observation only, the scorecard is
+    identical either way.
     """
     cells = list(cells)
     if progress is not None:
         progress.begin(len(cells))
 
-    def tick(_outcome) -> None:
+    def tick(outcome) -> None:
         if progress is not None:
             progress.cell_done(cached=False)
+        if telemetry is not None:
+            telemetry.cell_done(False, events=outcome.events)
 
     if jobs <= 1 or len(cells) <= 1:
         outcomes: List[CellOutcome] = []

@@ -26,6 +26,14 @@ Pieces:
 * :mod:`repro.obs.report` — per-cell sweep accounting
   (:class:`~repro.obs.report.SweepReport`) exported by the runtime
   executors.
+* :mod:`repro.obs.telemetry` — fleet-level campaign telemetry: workers
+  append NDJSON time-series records (throughput, leases, RSS, kernel
+  phase timings) next to their heartbeat files, aggregated
+  deterministically from the files alone; plus the process-global
+  :class:`~repro.obs.telemetry.PhaseProfiler` both kernel backends
+  report into.
+* :mod:`repro.obs.export` — Prometheus textfile + canonical JSON
+  exporters over the telemetry aggregate.
 """
 
 from repro.obs.chrome_trace import (
@@ -33,10 +41,27 @@ from repro.obs.chrome_trace import (
     chrome_trace_from_jsonl,
     write_chrome_trace,
 )
+from repro.obs.export import (
+    prometheus_lines,
+    write_json_snapshot,
+    write_prometheus_textfile,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.progress import ProgressReporter
 from repro.obs.report import CellReport, SweepReport
 from repro.obs.spans import SpanTimer
+from repro.obs.telemetry import (
+    PHASE_PROFILER,
+    PhaseProfiler,
+    TelemetryAggregator,
+    TelemetryWriter,
+    aggregate_campaign,
+    enable_phase_profiling,
+    read_telemetry,
+    render_status,
+    render_top,
+    worker_statuses,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     EventName,
@@ -68,4 +93,17 @@ __all__ = [
     "chrome_trace_events",
     "chrome_trace_from_jsonl",
     "write_chrome_trace",
+    "PhaseProfiler",
+    "PHASE_PROFILER",
+    "enable_phase_profiling",
+    "TelemetryWriter",
+    "TelemetryAggregator",
+    "aggregate_campaign",
+    "read_telemetry",
+    "worker_statuses",
+    "render_status",
+    "render_top",
+    "prometheus_lines",
+    "write_prometheus_textfile",
+    "write_json_snapshot",
 ]

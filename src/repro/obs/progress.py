@@ -9,15 +9,31 @@ rate — without ever flooding the output (at most one line per
 The reporter writes plain ``\\n``-terminated lines (no carriage-return
 tricks) so output stays readable when redirected to a log file or CI
 console.
+
+The ETA smooths the completion rate over a **sliding window** of recent
+``(time, done)`` samples rather than dividing total done by total
+elapsed: under ``--batch-cells`` cells complete in per-slice bursts
+(a slice's first cell pays task-set materialization, later cells are
+nearly free), and under checkpointed resume a run may start with a
+burst of already-done cells — an instantaneous or cumulative rate
+whipsaws in both cases, while the windowed rate tracks the current
+regime.  Batch-slice boundaries (:meth:`batch_slice`) are reported in
+the progress line so bursty pacing is legible rather than mysterious.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Callable, Optional, TextIO
+from collections import deque
+from typing import Callable, Deque, Optional, TextIO, Tuple
 
 __all__ = ["ProgressReporter"]
+
+#: Sliding-window span (seconds) for the smoothed completion rate.
+RATE_WINDOW_S = 20.0
+#: Maximum samples retained in the window (bounds memory on fast sweeps).
+RATE_WINDOW_SAMPLES = 64
 
 
 class ProgressReporter:
@@ -49,8 +65,10 @@ class ProgressReporter:
         self.cache_hits = 0
         self.shards_done = 0
         self.shards_executed = 0
+        self.batch_slices = 0
         self._t0 = 0.0
         self._last_emit = float("-inf")
+        self._window: Deque[Tuple[float, int]] = deque()
         self.lines_emitted = 0
 
     def begin(self, total: int) -> None:
@@ -60,8 +78,10 @@ class ProgressReporter:
         self.cache_hits = 0
         self.shards_done = 0
         self.shards_executed = 0
+        self.batch_slices = 0
         self._t0 = self._clock()
         self._last_emit = float("-inf")
+        self._window = deque([(self._t0, 0)])
 
     def cell_done(self, cached: bool = False) -> None:
         """Record one finished cell; maybe emit a progress line."""
@@ -69,9 +89,19 @@ class ProgressReporter:
         if cached:
             self.cache_hits += 1
         now = self._clock()
+        self._observe(now)
         if self.done < self.total and now - self._last_emit < self.min_interval_s:
             return
         self._emit(now, final=self.done >= self.total)
+
+    def batch_slice(self) -> None:
+        """Record one batch-slice boundary (``--batch-cells`` execution).
+
+        Cells complete in per-slice bursts under batched execution; the
+        slice count in the progress line tells the reader which regime
+        the (windowed) rate is tracking.
+        """
+        self.batch_slices += 1
 
     def shard_done(self, executed: bool = True) -> None:
         """Record one finished shard of a checkpointed campaign.
@@ -97,6 +127,8 @@ class ProgressReporter:
         advanced = done > self.done
         self.done = done
         now = self._clock()
+        if advanced:
+            self._observe(now)
         if not advanced or (
             self.done < self.total and now - self._last_emit < self.min_interval_s
         ):
@@ -109,6 +141,29 @@ class ProgressReporter:
             self._emit(self._clock(), final=True)
 
     # ------------------------------------------------------------------
+    def _observe(self, now: float) -> None:
+        """Record a ``(time, done)`` sample into the sliding rate window."""
+        window = self._window
+        window.append((now, self.done))
+        # Keep the oldest retained sample just *outside* the span so the
+        # rate always covers at least RATE_WINDOW_S once enough history
+        # exists; cap the sample count so fast sweeps stay O(1).
+        while len(window) > 2 and now - window[1][0] > RATE_WINDOW_S:
+            window.popleft()
+        while len(window) > RATE_WINDOW_SAMPLES:
+            window.popleft()
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Cells/second smoothed over the sliding window."""
+        if not self._window:
+            return 0.0
+        t = self._clock() if now is None else now
+        t0, d0 = self._window[0]
+        span = t - t0
+        if span <= 0:
+            return 0.0
+        return (self.done - d0) / span
+
     def _emit(self, now: float, final: bool) -> None:
         elapsed = max(now - self._t0, 0.0)
         pct = 100.0 * self.done / self.total if self.total else 100.0
@@ -117,8 +172,10 @@ class ProgressReporter:
             f"[sweep] {self.done}/{self.total} cells ({pct:.0f}%)  "
             f"cache {self.cache_hits} ({hit_rate:.0f}%)  elapsed {elapsed:.1f}s"
         )
+        if self.batch_slices:
+            line += f"  slice {self.batch_slices}"
         if not final and self.done:
-            rate = self.done / elapsed if elapsed > 0 else 0.0
+            rate = self.rate(now)
             if rate > 0:
                 line += f"  eta {(self.total - self.done) / rate:.1f}s"
         self._stream.write(line + "\n")

@@ -45,6 +45,15 @@ class CellReport:
     #: Recovery episode still open at the horizon (dissipation is a
     #: lower bound, not a measurement).
     truncated: bool
+    #: Kernel backend that produced the result (``KernelSpec.backend``),
+    #: so reports and telemetry rollups slice by backend without
+    #: re-parsing RunSpecs.  Defaults match :class:`KernelSpec` /
+    #: :class:`~repro.sim.kernel.KernelConfig` defaults.
+    backend: str = "reference"
+    #: Dispatcher strategy ("incremental" or "baseline").
+    dispatcher: str = "incremental"
+    #: Executed through the batched (task-set-sharing) path.
+    batched: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -57,6 +66,9 @@ class CellReport:
             "sim_end": self.sim_end,
             "events": self.events,
             "truncated": self.truncated,
+            "backend": self.backend,
+            "dispatcher": self.dispatcher,
+            "batched": self.batched,
         }
 
 
@@ -152,6 +164,31 @@ class SweepReport:
                 h.record(c.wall_ns)
         return h
 
+    def by_backend(self) -> Dict[str, Dict[str, Any]]:
+        """Per-backend rollup: cells/events/wall sliced by kernel backend.
+
+        Keys are ``"<backend>/<dispatcher>"`` (plus ``"+batch"`` when the
+        batched path ran), so a mixed sweep — e.g. a soa-vs-reference
+        comparison grid — reads off its per-core throughput without
+        re-parsing RunSpecs.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for c in self.cells:
+            label = f"{c.backend}/{c.dispatcher}" + ("+batch" if c.batched else "")
+            agg = out.setdefault(
+                label,
+                {"cells": 0, "simulated": 0, "events": 0, "wall_ns": 0},
+            )
+            agg["cells"] += 1
+            if not c.cached:
+                agg["simulated"] += 1
+                agg["wall_ns"] += c.wall_ns
+            agg["events"] += c.events
+        for agg in out.values():
+            wall_s = agg["wall_ns"] / 1e9
+            agg["events_per_sec"] = agg["events"] / wall_s if wall_s > 0 else 0.0
+        return dict(sorted(out.items()))
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready document (``--metrics-out`` payload)."""
         return {
@@ -165,6 +202,7 @@ class SweepReport:
                 "wall_ns_total": self.wall_ns_total,
                 "events_total": self.events_total,
                 "cell_wall_ns": self.wall_histogram().summary(),
+                "by_backend": self.by_backend(),
             },
             "cells": [c.to_dict() for c in self.cells],
         }

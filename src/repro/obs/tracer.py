@@ -223,8 +223,12 @@ class TraceSummary:
     t_max: float = 0.0
     #: Distinct task ids seen on job events.
     tasks: int = 0
-    #: (t, speed) of every ``speed_change`` event, in order.
+    #: (t, speed) of the first ``max_speed_changes`` ``speed_change``
+    #: events, in order (a bounded sample — see ``speed_changes_total``).
     speed_changes: List[Tuple[float, float]] = field(default_factory=list)
+    #: Total ``speed_change`` events in the trace (>= len(speed_changes);
+    #: strictly greater when the retained list was capped).
+    speed_changes_total: int = 0
     #: Provenance fields from the header (minus format/version plumbing).
     meta: Dict[str, Any] = field(default_factory=dict)
 
@@ -238,6 +242,11 @@ class TraceSummary:
             lines.append(f"  {name:<16}{self.counts[name]:>8d}")
         if self.speed_changes:
             changes = ", ".join(f"{s:g}@{t:g}" for t, s in self.speed_changes)
+            if self.speed_changes_total > len(self.speed_changes):
+                changes += (
+                    f", ... ({self.speed_changes_total} total, "
+                    f"first {len(self.speed_changes)} shown)"
+                )
             lines.append(f"  speed changes: {changes}")
         return "\n".join(lines)
 
@@ -249,12 +258,30 @@ class TraceSummary:
             "t_max": self.t_max,
             "tasks": self.tasks,
             "speed_changes": [[t, s] for t, s in self.speed_changes],
+            "speed_changes_total": self.speed_changes_total,
             "meta": self.meta,
         }
 
 
-def summarize_trace(path: Union[str, pathlib.Path]) -> TraceSummary:
-    """Summarize a JSONL trace file (event counts, time range, speeds)."""
+#: Default cap on speed-change samples retained by :func:`summarize_trace`.
+MAX_SPEED_CHANGES = 1000
+
+
+def summarize_trace(
+    path: Union[str, pathlib.Path], max_speed_changes: int = MAX_SPEED_CHANGES
+) -> TraceSummary:
+    """Summarize a JSONL trace file (event counts, time range, speeds).
+
+    Streams the trace in **constant memory**: records are consumed one
+    at a time off the :func:`read_trace` generator, and the only
+    per-event state retained is fixed-size aggregates — counts by name,
+    the time range, the distinct-task set (bounded by the task count,
+    not the event count), and at most *max_speed_changes* retained
+    ``speed_change`` samples (the first ones, with the full count in
+    ``speed_changes_total``).  A multi-gigabyte, >100k-event trace
+    summarizes in the same footprint as a tiny one
+    (``tests/obs/test_trace_stream.py``).
+    """
     summary = TraceSummary()
     tasks = set()
     t_min: Optional[float] = None
@@ -276,7 +303,9 @@ def summarize_trace(path: Union[str, pathlib.Path]) -> TraceSummary:
         if "task" in record:
             tasks.add(record["task"])
         if ev == EventName.SPEED_CHANGE:
-            summary.speed_changes.append((t, float(record["speed"])))
+            summary.speed_changes_total += 1
+            if len(summary.speed_changes) < max_speed_changes:
+                summary.speed_changes.append((t, float(record["speed"])))
     summary.tasks = len(tasks)
     summary.t_min = t_min if t_min is not None else 0.0
     summary.t_max = t_max if t_max is not None else 0.0

@@ -313,6 +313,12 @@ class SweepExecutor:
         if self.progress is not None:
             self.progress.cell_done(cached=False)
 
+    def _slice_finished(self) -> None:
+        """Backend hook: one batched slice of cells just finished."""
+        self.metrics.counter("executor.batch_slices").inc()
+        if self.progress is not None:
+            self.progress.batch_slice()
+
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Results for *specs*, in the same order."""
         specs = list(specs)
@@ -350,6 +356,7 @@ class SweepExecutor:
         if self.progress is not None:
             self.progress.finish()
 
+        batched = bool(getattr(self, "batch_cells", False))
         self.report = SweepReport(
             cells=[
                 CellReport(
@@ -362,6 +369,8 @@ class SweepExecutor:
                     sim_end=result.sim_end,
                     events=result.events,
                     truncated=result.truncated,
+                    backend=spec.kernel.backend,
+                    batched=batched and i in wall,
                 )
                 for i, (spec, result) in enumerate(zip(specs, results))
             ]
@@ -417,6 +426,8 @@ class SerialBackend(SweepExecutor):
             for timed in _iter_timed_batch(specs):
                 self._cell_finished(timed[1])
                 out.append(timed)
+            if out:
+                self._slice_finished()
             return out
         for s in specs:
             timed = _timed_run_spec(s)
@@ -478,6 +489,8 @@ class ProcessPoolBackend(SweepExecutor):
                 for timed in _iter_timed_batch(specs):
                     self._cell_finished(timed[1])
                     out.append(timed)
+                if out:
+                    self._slice_finished()
                 return out
             for s in specs:
                 timed = _timed_run_spec(s)
@@ -494,6 +507,7 @@ class ProcessPoolBackend(SweepExecutor):
             def _batch_done(timed_slice: List[Tuple[RunResult, int]]) -> None:
                 for timed in timed_slice:
                     self._cell_finished(timed[1])
+                self._slice_finished()
 
             # Each pool task is one contiguous slice; map yields slices in
             # submission order, so flattening restores the cell order.
@@ -530,6 +544,7 @@ def make_executor(
     checkpoint_dir: Optional[str] = None,
     shard_size: int = 16,
     batch_cells: bool = False,
+    telemetry: bool = False,
 ) -> SweepExecutor:
     """CLI-flag-shaped factory: ``--jobs N`` / ``--cache-dir PATH``.
 
@@ -542,7 +557,16 @@ def make_executor(
     each process simulates whole slices of the grid, materializing each
     distinct task set once per slice (identical results, less task-set
     regeneration; see the module docstring).
+
+    ``--telemetry`` turns on kernel phase profiling
+    (:mod:`repro.obs.telemetry`) and, on the sharded backend, per-worker
+    NDJSON telemetry streams next to the heartbeat files.  Observation
+    only: results and cache keys are identical either way.
     """
+    if telemetry:
+        from repro.obs.telemetry import enable_phase_profiling
+
+        enable_phase_profiling(True)
     cache = ResultCache(cache_dir, max_entries=max_entries) if cache_dir else None
     if checkpoint_dir:
         # Imported lazily: shard builds on this module (and on
@@ -557,6 +581,7 @@ def make_executor(
             metrics=metrics,
             progress=progress,
             batch_cells=batch_cells,
+            telemetry=telemetry,
         )
     if jobs <= 1:
         return SerialBackend(

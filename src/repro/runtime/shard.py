@@ -549,11 +549,14 @@ def _execute_shard(
     clock: Callable[[], float],
     on_cell: Optional[Callable[[bool], None]] = None,
     batch: bool = False,
+    telemetry=None,
 ) -> Tuple[int, int]:
     """Run one claimed shard to its manifest; returns (cells_run, hits)."""
     kind = _KINDS[campaign.kind]
     if batch and kind.execute_batch is not None:
-        return _execute_shard_batched(store, campaign, shard, owner, cache, clock, on_cell)
+        return _execute_shard_batched(
+            store, campaign, shard, owner, cache, clock, on_cell, telemetry
+        )
     results: List[Dict[str, Any]] = []
     cached_flags: List[bool] = []
     wall: List[int] = []
@@ -587,6 +590,10 @@ def _execute_shard(
         store.heartbeat(shard.shard_id, owner, clock)
         if on_cell is not None:
             on_cell(was_cached)
+        if telemetry is not None:
+            telemetry.cell_done(
+                was_cached, events=int(doc.get("events", 0)), wall_ns=wall[-1]
+            )
     store.write_manifest(
         campaign,
         shard,
@@ -607,6 +614,7 @@ def _execute_shard_batched(
     cache: Optional[ResultCache],
     clock: Callable[[], float],
     on_cell: Optional[Callable[[bool], None]] = None,
+    telemetry=None,
 ) -> Tuple[int, int]:
     """Batched twin of :func:`_execute_shard` (same manifest semantics).
 
@@ -645,6 +653,8 @@ def _execute_shard_batched(
             store.heartbeat(shard.shard_id, owner, clock)
             if on_cell is not None:
                 on_cell(True)
+            if telemetry is not None:
+                telemetry.cell_done(True, wall_ns=wall[off])
         else:
             miss_off.append(off)
     if miss_off:
@@ -665,6 +675,12 @@ def _execute_shard_batched(
             store.heartbeat(shard.shard_id, owner, clock)
             if on_cell is not None:
                 on_cell(False)
+            if telemetry is not None:
+                telemetry.cell_done(
+                    False, events=int(doc.get("events", 0)), wall_ns=wall_ns
+                )
+        if telemetry is not None:
+            telemetry.batch_slice()
     store.write_manifest(
         campaign,
         shard,
@@ -689,6 +705,7 @@ def work(
     metrics=None,
     clock: Callable[[], float] = time.time,
     batch: bool = False,
+    telemetry: bool = False,
 ) -> WorkStats:
     """Drive one campaign directory toward completion from this process.
 
@@ -703,6 +720,10 @@ def work(
     ``batch=True`` executes each shard's cache misses as one streaming
     batch (sweep kind only — identical manifests, shared task-set
     materialization; other kinds fall back to cell-by-cell).
+    ``telemetry=True`` appends an NDJSON telemetry stream under
+    ``<dir>/telemetry/<owner>.ndjson`` (:mod:`repro.obs.telemetry`) and
+    enables kernel phase profiling — observation only, results and
+    manifests are byte-identical either way.
 
     Safe to run concurrently from any number of processes against the
     same directory; the lease files partition the work.
@@ -715,6 +736,26 @@ def work(
         from repro.obs.spans import SpanTimer
 
         spans = SpanTimer(metrics, "shard")
+    tele = None
+    if telemetry:
+        from repro.obs.telemetry import (
+            TelemetryWriter,
+            enable_phase_profiling,
+            telemetry_path,
+        )
+
+        enable_phase_profiling(True)
+        backend = ""
+        if campaign.kind == "sweep" and campaign.cells:
+            backend = campaign.cells[0].kernel.backend
+        tele = TelemetryWriter(
+            telemetry_path(directory, who),
+            owner=who,
+            campaign=campaign.campaign_key,
+            backend=backend,
+            batch=batch,
+            clock=clock,
+        )
     claimed = 0
     skipped = 0
     cells_run = 0
@@ -728,57 +769,75 @@ def work(
         if progress is not None and hasattr(progress, "shard_done"):
             progress.shard_done(executed=mine)
 
-    while True:
-        pending = [s for s in campaign.shards if s.shard_id not in seen_done]
-        progressed = False
-        for shard in pending:
-            if store.shard_done(shard):
-                if shard.shard_id not in seen_done:
-                    skipped += 1
-                note_done(shard, mine=False)
-                progressed = True
-                continue
-            if max_shards is not None and claimed >= max_shards:
-                continue
-            if not store.try_acquire(shard.shard_id, who, lease_ttl, clock):
-                continue
-            # Re-check under the lease: a racing worker may have finished
-            # the shard between our scan and the acquire.
-            if store.shard_done(shard):
-                store.release(shard.shard_id, who)
-                skipped += 1
-                note_done(shard, mine=False)
-                progressed = True
-                continue
-            on_cell = None
-            if progress is not None and hasattr(progress, "cell_done"):
-                on_cell = lambda cached: progress.cell_done(cached=cached)  # noqa: E731
-            try:
-                if spans is not None:
-                    with spans.span("execute"):
-                        ran, h = _execute_shard(
-                            store, campaign, shard, who, cache, clock, on_cell, batch
-                        )
-                else:
-                    ran, h = _execute_shard(
-                        store, campaign, shard, who, cache, clock, on_cell, batch
+    try:
+        while True:
+            pending = [s for s in campaign.shards if s.shard_id not in seen_done]
+            progressed = False
+            for shard in pending:
+                if store.shard_done(shard):
+                    if shard.shard_id not in seen_done:
+                        skipped += 1
+                    note_done(shard, mine=False)
+                    progressed = True
+                    continue
+                if max_shards is not None and claimed >= max_shards:
+                    continue
+                prior_owner = None
+                if tele is not None:
+                    prior = store.read_lease(shard.shard_id)
+                    prior_owner = prior.get("owner") if prior else None
+                if not store.try_acquire(shard.shard_id, who, lease_ttl, clock):
+                    continue
+                if tele is not None:
+                    tele.lease_acquired(
+                        stolen=prior_owner is not None and prior_owner != who
                     )
-            finally:
-                store.release(shard.shard_id, who)
-            claimed += 1
-            cells_run += ran
-            hits += h
-            note_done(shard, mine=True)
-            progressed = True
-        remaining = [s for s in campaign.shards if s.shard_id not in seen_done]
-        if not remaining:
-            break
-        if max_shards is not None and claimed >= max_shards:
-            break
-        if not progressed:
-            if not wait:
+                # Re-check under the lease: a racing worker may have finished
+                # the shard between our scan and the acquire.
+                if store.shard_done(shard):
+                    store.release(shard.shard_id, who)
+                    skipped += 1
+                    note_done(shard, mine=False)
+                    progressed = True
+                    continue
+                if tele is not None:
+                    tele.shard_claimed()
+                on_cell = None
+                if progress is not None and hasattr(progress, "cell_done"):
+                    on_cell = lambda cached: progress.cell_done(cached=cached)  # noqa: E731
+                try:
+                    if spans is not None:
+                        with spans.span("execute"):
+                            ran, h = _execute_shard(
+                                store, campaign, shard, who, cache, clock,
+                                on_cell, batch, tele,
+                            )
+                    else:
+                        ran, h = _execute_shard(
+                            store, campaign, shard, who, cache, clock,
+                            on_cell, batch, tele,
+                        )
+                finally:
+                    store.release(shard.shard_id, who)
+                claimed += 1
+                cells_run += ran
+                hits += h
+                note_done(shard, mine=True)
+                if tele is not None:
+                    tele.shard_finished()
+                progressed = True
+            remaining = [s for s in campaign.shards if s.shard_id not in seen_done]
+            if not remaining:
                 break
-            time.sleep(poll_interval)
+            if max_shards is not None and claimed >= max_shards:
+                break
+            if not progressed:
+                if not wait:
+                    break
+                time.sleep(poll_interval)
+    finally:
+        if tele is not None:
+            tele.close()
     return WorkStats(
         shards_total=len(campaign.shards),
         shards_claimed=claimed,
@@ -794,6 +853,7 @@ def _work_entry(
     cache_dir: Optional[str],
     lease_ttl: float,
     batch: bool = False,
+    telemetry: bool = False,
 ) -> WorkStats:
     """Module-level pool entry point (picklable)."""
     cache = ResultCache(cache_dir) if cache_dir else None
@@ -804,6 +864,7 @@ def _work_entry(
         lease_ttl=lease_ttl,
         wait=False,
         batch=batch,
+        telemetry=telemetry,
     )
 
 
@@ -816,6 +877,7 @@ def run_workers(
     metrics=None,
     max_shards: Optional[int] = None,
     batch: bool = False,
+    telemetry: bool = False,
 ) -> WorkStats:
     """Drive a campaign with *jobs* worker processes (1 = in-process).
 
@@ -837,6 +899,7 @@ def run_workers(
             metrics=metrics,
             max_shards=max_shards,
             batch=batch,
+            telemetry=telemetry,
         )
     store = CampaignStore(directory)
     campaign = store.load()
@@ -854,6 +917,7 @@ def run_workers(
                     cache_dir,
                     lease_ttl,
                     batch,
+                    telemetry,
                 )
                 for i in range(workers)
             ]
@@ -874,6 +938,7 @@ def run_workers(
         progress=progress,
         metrics=metrics,
         batch=batch,
+        telemetry=telemetry,
     )
     merged = stats.merged(tail)
     return WorkStats(
@@ -1087,6 +1152,7 @@ def run_sharded_campaign(
     progress=None,
     metrics=None,
     meta: Optional[Dict[str, Any]] = None,
+    telemetry: bool = False,
 ) -> Tuple[Scorecard, pathlib.Path, WorkStats]:
     """Checkpointed fault campaign: execute (or resume) *cells* under *root*.
 
@@ -1101,7 +1167,12 @@ def run_sharded_campaign(
     if progress is not None and hasattr(progress, "begin"):
         progress.begin(len(campaign.cells))
     stats = run_workers(
-        cdir, jobs=jobs, lease_ttl=lease_ttl, progress=progress, metrics=metrics
+        cdir,
+        jobs=jobs,
+        lease_ttl=lease_ttl,
+        progress=progress,
+        metrics=metrics,
+        telemetry=telemetry,
     )
     if progress is not None and hasattr(progress, "finish"):
         progress.finish()
@@ -1116,6 +1187,7 @@ def resume_campaign(
     cache: Optional[ResultCache] = None,
     progress=None,
     metrics=None,
+    telemetry: bool = False,
 ) -> WorkStats:
     """Re-attach to one campaign directory and drive it to completion.
 
@@ -1135,6 +1207,7 @@ def resume_campaign(
         lease_ttl=lease_ttl,
         progress=progress,
         metrics=metrics,
+        telemetry=telemetry,
     )
     if progress is not None and hasattr(progress, "finish"):
         progress.finish()
@@ -1172,6 +1245,7 @@ class ShardedBackend(SweepExecutor):
         metrics=None,
         progress=None,
         batch_cells: bool = False,
+        telemetry: bool = False,
     ) -> None:
         super().__init__(cache=cache, metrics=metrics, progress=progress)
         if jobs < 1:
@@ -1183,6 +1257,9 @@ class ShardedBackend(SweepExecutor):
         #: Execute each shard's misses as one streaming batch (task-set
         #: reuse within the shard; manifests stay byte-identical).
         self.batch_cells = batch_cells
+        #: Write per-worker telemetry streams + kernel phase profiles
+        #: (observation only; results are byte-identical either way).
+        self.telemetry = telemetry
         #: Campaign directory of the most recent run() (for resume/status).
         self.last_campaign_dir: Optional[pathlib.Path] = None
 
@@ -1206,6 +1283,7 @@ class ShardedBackend(SweepExecutor):
             progress=self.progress,
             metrics=self.metrics,
             batch=self.batch_cells,
+            telemetry=self.telemetry,
         )
         if self.progress is not None:
             self.progress.finish()
@@ -1232,6 +1310,8 @@ class ShardedBackend(SweepExecutor):
                         sim_end=result.sim_end,
                         events=result.events,
                         truncated=result.truncated,
+                        backend=spec.kernel.backend,
+                        batched=self.batch_cells and not bool(cached[off]),
                     )
                 )
                 self.metrics.histogram("executor.cell.ns").record(int(wall[off]))

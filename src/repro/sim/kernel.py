@@ -34,6 +34,7 @@ import heapq
 from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.monitor import CompletionReport, Monitor, NullMonitor
@@ -45,6 +46,7 @@ from repro.model.task import CriticalityLevel, Task
 from repro.model.taskset import TaskSet
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanTimer
+from repro.obs.telemetry import PHASE_PROFILER, PHASE_SAMPLE_MASK
 from repro.obs.tracer import NULL_TRACER, EventName, Tracer
 from repro.schedulers.best_effort import pick_best_effort
 from repro.schedulers.gel_global import place_gel_jobs, select_gel_jobs
@@ -204,6 +206,19 @@ class MC2Kernel:
         #: bool check per potential event.
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self._trace_on = self.tracer.enabled
+        #: Phase profiling (repro.obs.telemetry): resolved once here,
+        #: like _trace_on — a process-global toggle, never a spec field,
+        #: so enabling it cannot perturb RunSpec keys or results.  When
+        #: off, the hot path pays one attribute load + branch per event.
+        self._phase_on = PHASE_PROFILER.enabled
+        self._ph_dispatch_ns = 0
+        self._ph_dispatch_samples = 0
+        self._ph_monitor = 0
+        self._ph_monitor_ns = 0
+        self._ph_monitor_samples = 0
+        self._ph_rearm = 0
+        self._ph_rearm_ns = 0
+        self._ph_rearm_calls = 0
         #: Kernel metrics (counters + span histograms).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.spans = SpanTimer(self.metrics, prefix="kernel")
@@ -413,6 +428,30 @@ class MC2Kernel:
         # any earlier would let the monitor accept a non-idle instant as
         # a candidate.)
         nxt = self.engine.queue.peek_time()
+        if self._phase_on:
+            # Counts are exact; wall-clock is sampled every
+            # (PHASE_SAMPLE_MASK+1)-th event so profiling stays inside
+            # the <=2% overhead gate (bench_trace_overhead.py).  The
+            # engine pop phase needs no bookkeeping here: its count IS
+            # events_processed, flushed in _finalize.
+            sample = (self.engine.events_processed & PHASE_SAMPLE_MASK) == 0
+            if self._report_buffer and (nxt is None or nxt > now):
+                self._ph_monitor += len(self._report_buffer)
+                if sample:
+                    t0 = perf_counter_ns()
+                    self._flush_reports(now)
+                    self._ph_monitor_ns += perf_counter_ns() - t0
+                    self._ph_monitor_samples += 1
+                else:
+                    self._flush_reports(now)
+            if sample:
+                t0 = perf_counter_ns()
+                self._reschedule(now)
+                self._ph_dispatch_ns += perf_counter_ns() - t0
+                self._ph_dispatch_samples += 1
+            else:
+                self._reschedule(now)
+            return
         if self._report_buffer and (nxt is None or nxt > now):
             self._flush_reports(now)
         self._reschedule(now)
@@ -432,6 +471,28 @@ class MC2Kernel:
         self.metrics.counter("kernel.events").inc(self.engine.events_processed)
         self.metrics.counter("kernel.preemptions").inc(self.preemptions)
         self.metrics.counter("kernel.migrations").inc(self.migrations)
+        if self._phase_on:
+            self._flush_phases()
+
+    def _flush_phases(self) -> None:
+        """Surface the phase profile: this kernel's metrics + the global
+        profiler (which the campaign telemetry stream samples).
+
+        The reference kernel dispatches on every event, so its dispatch
+        count equals the engine pop count; the soa backend's dirty-flag
+        skip makes the two diverge there.
+        """
+        events = self.engine.events_processed
+        for name, count, ns, samples in (
+            ("engine_pop", events, 0, 0),
+            ("dispatch", events, self._ph_dispatch_ns, self._ph_dispatch_samples),
+            ("monitor", self._ph_monitor, self._ph_monitor_ns, self._ph_monitor_samples),
+            ("timer_rearm", self._ph_rearm, self._ph_rearm_ns, self._ph_rearm_calls),
+        ):
+            self.metrics.counter(f"kernel.phase.{name}.count").inc(count)
+            self.metrics.counter(f"kernel.phase.{name}.sampled_ns").inc(ns)
+            self.metrics.counter(f"kernel.phase.{name}.samples").inc(samples)
+            PHASE_PROFILER.add(name, count=count, ns=ns, samples=samples)
 
     # ------------------------------------------------------------------
     # Releases
@@ -772,6 +833,10 @@ class MC2Kernel:
         if self._trace_on:
             self.tracer.emit(EventName.SPEED_CHANGE, now, speed=new_speed)
         # Lines 21-22: re-arm every pending level-C release timer.
+        # Speed changes are rare (a handful per recovery episode), so
+        # the phase profile times every re-arm pass in full.
+        t0 = perf_counter_ns() if self._phase_on else 0
+        stale_before = self._stale_releases
         for t in self.taskset.level(CriticalityLevel.C):
             self._release_gen[t.task_id] += 1
             gen = self._release_gen[t.task_id]
@@ -781,6 +846,10 @@ class MC2Kernel:
                 Event(time=nxt, kind=EventKind.RELEASE, payload=t.task_id, generation=gen)
             )
             self._stale_releases += 1
+        if self._phase_on:
+            self._ph_rearm_ns += perf_counter_ns() - t0
+            self._ph_rearm += self._stale_releases - stale_before
+            self._ph_rearm_calls += 1
         if self._stale_releases > COMPACT_STALE_RATIO * len(self.taskset):
             self._compact_release_timers()
 

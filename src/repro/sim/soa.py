@@ -44,6 +44,7 @@ from __future__ import annotations
 import heapq
 from bisect import bisect_left, insort
 from collections import deque
+from time import perf_counter_ns
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.monitor import CompletionReport, Monitor, NullMonitor
@@ -54,6 +55,7 @@ from repro.model.task import CriticalityLevel
 from repro.model.taskset import TaskSet
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanTimer
+from repro.obs.telemetry import PHASE_PROFILER, PHASE_SAMPLE_MASK
 from repro.obs.tracer import NULL_TRACER, EventName, Tracer
 from repro.sim import kernel as _kernel_mod
 from repro.sim.kernel import KernelConfig, _IdentityClock
@@ -108,6 +110,19 @@ class SoAKernel:
         self._trace_on = self.tracer.enabled
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.spans = SpanTimer(self.metrics, prefix="kernel")
+        # Phase profiling (repro.obs.telemetry): process-global toggle
+        # read once, like _trace_on.  Counts ride on fused-loop locals;
+        # wall-clock is sampled every (PHASE_SAMPLE_MASK+1)-th event.
+        self._phase_on = PHASE_PROFILER.enabled
+        self._ph_dispatch = 0
+        self._ph_dispatch_ns = 0
+        self._ph_dispatch_samples = 0
+        self._ph_monitor = 0
+        self._ph_monitor_ns = 0
+        self._ph_monitor_samples = 0
+        self._ph_rearm = 0
+        self._ph_rearm_ns = 0
+        self._ph_rearm_calls = 0
         self.monitor: Monitor = NullMonitor(self)
         if self.config.use_virtual_time:
             self.clock: VirtualClock | _IdentityClock = VirtualClock(0.0)
@@ -317,6 +332,10 @@ class SoAKernel:
         measure = self._measure
         monitor = self.monitor
         events = self.events_processed
+        phase_on = self._phase_on
+        ph_dispatch = 0
+        ph_dispatch_ns = 0
+        ph_dispatch_samples = 0
         while heap:
             entry = heappop_(heap)
             time = entry[0]
@@ -428,7 +447,17 @@ class SoAKernel:
             # End-of-instant: deliver completion reports once no further
             # event shares this timestamp.
             if self._report_buffer and (not heap or heap[0][0] > now):
-                self._flush_reports(now)
+                if phase_on:
+                    self._ph_monitor += len(self._report_buffer)
+                    if events & PHASE_SAMPLE_MASK == 0:
+                        t0 = perf_counter_ns()
+                        self._flush_reports(now)
+                        self._ph_monitor_ns += perf_counter_ns() - t0
+                        self._ph_monitor_samples += 1
+                    else:
+                        self._flush_reports(now)
+                else:
+                    self._flush_reports(now)
             # Dispatch — skipped when provably a no-op: no mutation of a
             # dispatch input (pools, indexes, run state) since the last
             # dispatch means the same assignment, and re-applying an
@@ -440,12 +469,25 @@ class SoAKernel:
                 if measure:
                     with self.spans.span("pick_next"):
                         self._dispatch(now, eps)
+                elif phase_on:
+                    ph_dispatch += 1
+                    if events & PHASE_SAMPLE_MASK == 0:
+                        t0 = perf_counter_ns()
+                        self._dispatch(now, eps)
+                        ph_dispatch_ns += perf_counter_ns() - t0
+                        ph_dispatch_samples += 1
+                    else:
+                        self._dispatch(now, eps)
                 else:
                     self._dispatch(now, eps)
             if stop is not None and stop():
                 break
         self._now = now
         self.events_processed = events
+        if phase_on:
+            self._ph_dispatch += ph_dispatch
+            self._ph_dispatch_ns += ph_dispatch_ns
+            self._ph_dispatch_samples += ph_dispatch_samples
         # Between-segment advance (MC2Kernel.run_until): bring lazily
         # advanced run state up to date for outside inspection.
         for p in cpus:
@@ -775,7 +817,10 @@ class SoAKernel:
             self.tracer.emit(EventName.SPEED_CHANGE, now, speed=new_speed)
         # Lines 21-22: re-arm every pending level-C release timer.  The
         # guard time is the kernel's current time, matching the
-        # reference engine's push guard.
+        # reference engine's push guard.  Rare path, so the phase
+        # profile times every re-arm pass in full.
+        t0 = perf_counter_ns() if self._phase_on else 0
+        stale_before = self._stale_releases
         guard_now = self._now
         for t in self.taskset.level(CriticalityLevel.C):
             tid = t.task_id
@@ -783,6 +828,10 @@ class SoAKernel:
             nxt = self.controllers[tid].next_release_actual(clock, now)
             self._push_event(nxt, _RELEASE, tid, self._release_gen[tid], None, guard_now)
             self._stale_releases += 1
+        if self._phase_on:
+            self._ph_rearm_ns += perf_counter_ns() - t0
+            self._ph_rearm += self._stale_releases - stale_before
+            self._ph_rearm_calls += 1
         # Same trigger as MC2Kernel._change_speed (shared module-level
         # ratio), so both backends compact at identical instants and
         # their event counts stay aligned.
@@ -1052,6 +1101,28 @@ class SoAKernel:
         self.metrics.counter("kernel.events").inc(self.events_processed)
         self.metrics.counter("kernel.preemptions").inc(self.preemptions)
         self.metrics.counter("kernel.migrations").inc(self.migrations)
+        if self._phase_on:
+            self._flush_phases()
+
+    def _flush_phases(self) -> None:
+        """Publish phase counters to the registry and the global profiler.
+
+        ``engine_pop`` count is ``events_processed`` (the fused loop pops
+        exactly one event per iteration); ``dispatch`` uses its own
+        counter because the dirty-flag skip makes dispatches strictly
+        fewer than events on this backend.
+        """
+        phases = (
+            ("engine_pop", self.events_processed, 0, 0),
+            ("dispatch", self._ph_dispatch, self._ph_dispatch_ns, self._ph_dispatch_samples),
+            ("monitor", self._ph_monitor, self._ph_monitor_ns, self._ph_monitor_samples),
+            ("timer_rearm", self._ph_rearm, self._ph_rearm_ns, self._ph_rearm_calls),
+        )
+        for name, count, ns, samples in phases:
+            self.metrics.counter(f"kernel.phase.{name}.count").inc(count)
+            self.metrics.counter(f"kernel.phase.{name}.sampled_ns").inc(ns)
+            self.metrics.counter(f"kernel.phase.{name}.samples").inc(samples)
+            PHASE_PROFILER.add(name, count=count, ns=ns, samples=samples)
 
     # ------------------------------------------------------------------
     # Introspection (backend-neutral surface)

@@ -25,7 +25,7 @@ import pathlib
 import tempfile
 from typing import Any, Iterator, TextIO, Union
 
-__all__ = ["atomic_write_text", "atomic_write_json", "atomic_writer"]
+__all__ = ["atomic_write_text", "atomic_write_json", "atomic_writer", "append_line"]
 
 Pathish = Union[str, "os.PathLike[str]"]
 
@@ -83,6 +83,31 @@ def atomic_writer(path: Pathish, *, fsync: bool = True) -> Iterator[TextIO]:
         except OSError:
             pass
         raise
+
+
+def append_line(path: Pathish, line: str) -> None:
+    """Append one ``\\n``-terminated record to *path* in a single write.
+
+    The complement of the temp-file/rename pattern for *append-only*
+    NDJSON streams (telemetry, logs): ``os.replace`` cannot express an
+    append, so instead the record is written with ``O_APPEND`` as one
+    ``os.write`` call.  On POSIX local filesystems an ``O_APPEND``
+    write lands at the end of the file as a unit with respect to other
+    appenders; a crash mid-write leaves at most one torn *final* line,
+    which stream readers (e.g.
+    :func:`repro.obs.telemetry.read_telemetry`) must skip — mirroring
+    how torn shard manifests read as missing.
+    """
+    dest = pathlib.Path(path)
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    data = line.encode("utf-8")
+    if not data.endswith(b"\n"):
+        data += b"\n"
+    fd = os.open(dest, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
 
 
 def atomic_write_json(

@@ -1,0 +1,120 @@
+"""Prometheus textfile + JSON snapshot exporters over telemetry aggregates."""
+
+import json
+
+from repro.obs.export import (
+    prometheus_escape,
+    prometheus_lines,
+    write_json_snapshot,
+    write_prometheus_textfile,
+)
+from repro.obs.telemetry import TelemetryWriter, aggregate_campaign, telemetry_path
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def make_aggregate(tmp_path):
+    clock = FakeClock()
+    writer = TelemetryWriter(
+        telemetry_path(tmp_path, "host:1:w0"), owner="host:1:w0",
+        campaign="deadbeef", backend="soa", clock=clock,
+        rss_fn=lambda: 2 << 20,
+    )
+    writer.lease_acquired()
+    writer.shard_claimed()
+    for j in range(4):
+        clock.t += 0.5
+        writer.cell_done(j % 2 == 0, events=250)
+    writer.shard_finished()
+    writer.close()
+    return aggregate_campaign(tmp_path)
+
+
+def parse_prometheus(text):
+    """Minimal textfile-format parser: {(name, labelstring): value}."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        head, value = line.rsplit(" ", 1)
+        if "{" in head:
+            name, labels = head.split("{", 1)
+            labels = "{" + labels
+        else:
+            name, labels = head, ""
+        out[(name, labels)] = float(value)
+    return out
+
+
+class TestPrometheusLines:
+    def test_escape(self):
+        assert prometheus_escape('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_campaign_and_worker_series(self, tmp_path):
+        agg = make_aggregate(tmp_path)
+        text = "\n".join(prometheus_lines(agg))
+        metrics = parse_prometheus(text)
+        campaign = '{campaign="deadbeef"}'
+        assert metrics[("repro_campaign_cells_done", campaign)] == 4.0
+        assert metrics[("repro_campaign_cache_hits", campaign)] == 2.0
+        assert metrics[("repro_campaign_events", campaign)] == 1000.0
+        worker = '{campaign="deadbeef",worker="host:1:w0"}'
+        assert metrics[("repro_worker_cells_done", worker)] == 4.0
+        assert metrics[("repro_worker_rss_bytes", worker)] == float(2 << 20)
+
+    def test_every_metric_has_help_and_type(self, tmp_path):
+        agg = make_aggregate(tmp_path)
+        lines = prometheus_lines(agg)
+        names = {
+            line.split("{", 1)[0].split(" ", 1)[0]
+            for line in lines
+            if line and not line.startswith("#")
+        }
+        helped = {l.split()[2] for l in lines if l.startswith("# HELP")}
+        typed = {l.split()[2] for l in lines if l.startswith("# TYPE")}
+        assert names <= helped
+        assert names <= typed
+
+    def test_phase_series_present_when_profiled(self, tmp_path):
+        agg = make_aggregate(tmp_path)
+        # Inject phase counters the way a profiled worker reports them.
+        agg["phases"] = {
+            "dispatch": {"count": 10, "sampled_ns": 400, "samples": 2},
+            "engine_pop": {"count": 12, "sampled_ns": 0, "samples": 0},
+            "monitor": {"count": 0, "sampled_ns": 0, "samples": 0},
+            "timer_rearm": {"count": 0, "sampled_ns": 0, "samples": 0},
+        }
+        metrics = parse_prometheus("\n".join(prometheus_lines(agg)))
+        phase = '{campaign="deadbeef",phase="dispatch"}'
+        assert metrics[("repro_phase_count", phase)] == 10.0
+        assert metrics[("repro_phase_sampled_ns", phase)] == 400.0
+        assert metrics[("repro_phase_samples", phase)] == 2.0
+
+
+class TestFileExporters:
+    def test_textfile_roundtrip_and_determinism(self, tmp_path):
+        agg = make_aggregate(tmp_path)
+        out1 = tmp_path / "a.prom"
+        out2 = tmp_path / "b.prom"
+        write_prometheus_textfile(agg, out1)
+        write_prometheus_textfile(agg, out2)
+        assert out1.read_bytes() == out2.read_bytes()
+        assert out1.read_text().endswith("\n")
+        parse_prometheus(out1.read_text())  # must parse cleanly
+
+    def test_json_snapshot_is_canonical(self, tmp_path):
+        agg = make_aggregate(tmp_path)
+        out1 = tmp_path / "a.json"
+        out2 = tmp_path / "b.json"
+        write_json_snapshot(agg, out1)
+        write_json_snapshot(agg, out2)
+        assert out1.read_bytes() == out2.read_bytes()
+        doc = json.loads(out1.read_text())
+        assert doc["format"] == "repro-telemetry-aggregate"
+        assert doc["totals"]["cells_done"] == 4

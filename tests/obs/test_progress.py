@@ -65,3 +65,84 @@ class TestProgressReporter:
         for _ in range(3):
             rep.cell_done()
         assert "eta" not in buf.getvalue().splitlines()[-1]
+
+
+class TestWindowedRate:
+    def test_rate_tracks_recent_window_not_lifetime(self):
+        rep, buf, clock = make(min_interval=0.0)
+        rep.begin(1000)
+        # Fast burst: 100 cells in 1 s...
+        for _ in range(100):
+            clock.t += 0.01
+            rep.cell_done()
+        # ...then a slow regime: 1 cell every 2 s for 40 s.  The 20 s
+        # sliding window forgets the burst entirely.
+        for _ in range(20):
+            clock.t += 2.0
+            rep.cell_done()
+        rate = rep.rate(clock.t)
+        assert abs(rate - 0.5) < 0.1, rate
+        # Cumulative average would claim ~2.9 cells/s; the ETA on the
+        # last line must reflect the windowed rate (880 left at 0.5/s).
+        last = buf.getvalue().splitlines()[-1]
+        assert "eta" in last
+        eta = float(last.split("eta ")[1].rstrip("s"))
+        assert 1500 < eta < 2100, eta
+
+    def test_rate_speedup_detected(self):
+        rep, buf, clock = make(min_interval=0.0)
+        rep.begin(1000)
+        for _ in range(10):
+            clock.t += 2.0  # slow start: 0.5 cells/s
+            rep.cell_done()
+        for _ in range(100):
+            clock.t += 0.1  # speedup: 10 cells/s
+            rep.cell_done()
+        assert rep.rate(clock.t) > 5.0
+
+    def test_window_is_bounded(self):
+        rep, buf, clock = make(min_interval=1000.0)
+        rep.begin(100_000)
+        for _ in range(10_000):
+            clock.t += 0.001
+            rep.cell_done()
+        from repro.obs.progress import RATE_WINDOW_SAMPLES
+
+        assert len(rep._window) <= RATE_WINDOW_SAMPLES
+
+    def test_rate_zero_before_any_cells(self):
+        rep, buf, clock = make()
+        rep.begin(10)
+        assert rep.rate(clock.t) == 0.0
+
+
+class TestBatchSlices:
+    def test_slice_count_appears_in_lines(self):
+        rep, buf, clock = make(min_interval=0.0)
+        rep.begin(8)
+        for _ in range(4):
+            clock.t += 1.0
+            rep.cell_done()
+        rep.batch_slice()
+        clock.t += 1.0
+        rep.cell_done()
+        assert "slice 1" in buf.getvalue().splitlines()[-1]
+        rep.batch_slice()
+        clock.t += 1.0
+        rep.cell_done()
+        assert "slice 2" in buf.getvalue().splitlines()[-1]
+
+    def test_no_slice_marker_without_batching(self):
+        rep, buf, clock = make(min_interval=0.0)
+        rep.begin(2)
+        clock.t += 1.0
+        rep.cell_done()
+        assert "slice" not in buf.getvalue()
+
+    def test_begin_resets_slices(self):
+        rep, buf, clock = make(min_interval=0.0)
+        rep.begin(2)
+        rep.batch_slice()
+        assert rep.batch_slices == 1
+        rep.begin(2)
+        assert rep.batch_slices == 0

@@ -1,0 +1,79 @@
+"""Constant-memory trace summarization over a >100k-event synthetic trace."""
+
+import json
+
+from repro.obs.tracer import (
+    MAX_SPEED_CHANGES,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    summarize_trace,
+)
+
+N_EVENTS = 120_000
+N_SPEED_CHANGES = 5_000
+N_TASKS = 16
+
+
+def write_big_trace(path):
+    """Write a synthetic JSONL trace directly (no kernel run needed)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {"seq": 0, "t": 0.0, "ev": "trace_meta",
+                 "format": TRACE_FORMAT, "version": TRACE_VERSION,
+                 "scenario": "synthetic"}
+            )
+            + "\n"
+        )
+        for i in range(N_EVENTS):
+            t = i * 1e-4
+            if i % (N_EVENTS // N_SPEED_CHANGES) == 0:
+                rec = {"seq": i + 1, "t": t, "ev": "speed_change",
+                       "speed": 1.0 + (i % 3) * 0.25}
+            elif i % 2 == 0:
+                rec = {"seq": i + 1, "t": t, "ev": "job_release",
+                       "task": i % N_TASKS}
+            else:
+                rec = {"seq": i + 1, "t": t, "ev": "job_complete",
+                       "task": i % N_TASKS}
+            fh.write(json.dumps(rec) + "\n")
+
+
+class TestBigTraceSummarize:
+    def test_counts_all_retains_bounded(self, tmp_path):
+        path = tmp_path / "big.jsonl"
+        write_big_trace(path)
+        summary = summarize_trace(path)
+        assert summary.events == N_EVENTS + 1  # + meta record
+        assert summary.speed_changes_total == N_SPEED_CHANGES
+        # Retention is bounded regardless of how many occurred...
+        assert len(summary.speed_changes) == MAX_SPEED_CHANGES
+        assert MAX_SPEED_CHANGES < N_SPEED_CHANGES
+        # ...and keeps the *first* ones, in order.
+        assert summary.speed_changes[0] == (0.0, 1.0)
+        times = [t for t, _ in summary.speed_changes]
+        assert times == sorted(times)
+        assert summary.tasks == N_TASKS
+        assert summary.t_min == 0.0
+        assert abs(summary.t_max - (N_EVENTS - 1) * 1e-4) < 1e-9
+
+    def test_custom_cap(self, tmp_path):
+        path = tmp_path / "big.jsonl"
+        write_big_trace(path)
+        summary = summarize_trace(path, max_speed_changes=7)
+        assert len(summary.speed_changes) == 7
+        assert summary.speed_changes_total == N_SPEED_CHANGES
+
+    def test_render_notes_truncation(self, tmp_path):
+        path = tmp_path / "big.jsonl"
+        write_big_trace(path)
+        summary = summarize_trace(path, max_speed_changes=3)
+        text = summary.render()
+        assert f"({N_SPEED_CHANGES} total, first 3 shown)" in text
+
+    def test_to_dict_carries_total(self, tmp_path):
+        path = tmp_path / "big.jsonl"
+        write_big_trace(path)
+        doc = summarize_trace(path, max_speed_changes=5).to_dict()
+        assert doc["speed_changes_total"] == N_SPEED_CHANGES
+        assert len(doc["speed_changes"]) == 5
