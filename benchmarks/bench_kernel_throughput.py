@@ -46,6 +46,13 @@ from repro.sim.backend import create_kernel
 from repro.sim.diffcheck import fingerprint
 from repro.sim.kernel import KernelConfig
 from repro.workload.generator import GeneratorParams, generate_taskset
+from repro.workload.traffic import (
+    MMPPSource,
+    PoissonSource,
+    ServerSpec,
+    TrafficFlow,
+    TrafficSpec,
+)
 
 #: Allowed drop in a cell's speedup ratio before --check fails.
 CHECK_TOLERANCE = 0.30
@@ -53,14 +60,36 @@ CHECK_TOLERANCE = 0.30
 #: Required soa-vs-reference throughput ratio on the 8-CPU cells.
 SOA_GATE = 2.0
 
-#: (name, m, util_range) — both 8-CPU cells land >= 64 level-C tasks
-#: (light per-task utilizations pack many tasks into the fixed 65 %
-#: level-C share); "large" is where the baseline's per-event sort bites.
-CELLS: Tuple[Tuple[str, int, Tuple[float, float]], ...] = (
-    ("small-2cpu", 2, (0.1, 0.4)),
-    ("medium-8cpu", 8, (0.04, 0.1)),
-    ("large-8cpu", 8, (0.01, 0.03)),
+#: (name, m, util_range, traffic) — both 8-CPU cells land >= 64 level-C
+#: tasks (light per-task utilizations pack many tasks into the fixed
+#: 65 % level-C share); "large" is where the baseline's per-event sort
+#: bites.  "aperiodic-4cpu" layers open-system traffic (Poisson + MMPP
+#: flows through polling/deferrable server banks) on top of the
+#: periodic workload — short server periods make it release-heavy, the
+#: regime where grant lookups ride the hot path.  It must not be the
+#: last cell: the pytest wrapper pins the final cell to "large-8cpu".
+CELLS: Tuple[Tuple[str, int, Tuple[float, float], bool], ...] = (
+    ("small-2cpu", 2, (0.1, 0.4), False),
+    ("medium-8cpu", 8, (0.04, 0.1), False),
+    ("aperiodic-4cpu", 4, (0.1, 0.4), True),
+    ("large-8cpu", 8, (0.01, 0.03), False),
 )
+
+
+def _aperiodic_traffic(m: int) -> TrafficSpec:
+    """A heavy aperiodic plane: saturating Poisson + bursty MMPP flows."""
+    return TrafficSpec(flows=(
+        TrafficFlow(
+            PoissonSource(rate=150.0 * m, mean_demand=0.002, seed=5),
+            ServerSpec(period=0.02, budget=0.004, count=2 * m),
+        ),
+        TrafficFlow(
+            MMPPSource(rates=(20.0 * m, 400.0 * m), dwells=(0.4, 0.1),
+                       mean_demand=0.002, seed=7),
+            ServerSpec(period=0.025, budget=0.005, level="D",
+                       policy="deferrable", count=m),
+        ),
+    ))
 
 #: (label, dispatcher, backend) — the timed variants.  "incremental" on
 #: the reference backend is the pivot both speedups are measured against.
@@ -71,10 +100,16 @@ VARIANTS: Tuple[Tuple[str, str, str], ...] = (
 )
 
 
-def _run_once(ts, dispatcher: str, horizon: float, backend: str = "reference"):
+def _run_once(ts, dispatcher: str, horizon: float, backend: str = "reference",
+              traffic: TrafficSpec = None):
+    # TrafficBehavior carries per-run grant state: build it fresh per
+    # run (sharing one across repetitions would corrupt the grants).
+    behavior = ConstantBehavior()
+    if traffic is not None:
+        behavior = traffic.build_behavior(behavior, horizon)
     kernel = create_kernel(
         ts,
-        behavior=ConstantBehavior(),
+        behavior=behavior,
         config=KernelConfig(dispatcher=dispatcher, backend=backend),
     )
     monitor = NullMonitor(kernel)
@@ -92,19 +127,23 @@ def _measure_cell(
     seed: int,
     horizon: float,
     reps: int,
+    traffic: bool = False,
 ) -> Dict[str, Any]:
     ts = generate_taskset(seed, GeneratorParams(m=m, util_range=util_range))
+    tspec = _aperiodic_traffic(m) if traffic else None
+    if tspec is not None:
+        ts = tspec.augment(ts)
     n_level_c = sum(1 for t in ts if t.level is CriticalityLevel.C)
 
     prints: Dict[str, Any] = {}
     best: Dict[str, int] = {}
     events: Dict[str, int] = {}
     for label, dispatcher, backend in VARIANTS:  # warm-up
-        _run_once(ts, dispatcher, min(horizon, 0.25), backend)
+        _run_once(ts, dispatcher, min(horizon, 0.25), backend, tspec)
     for _ in range(reps):  # interleaved: one rep of each variant per pass
         for label, dispatcher, backend in VARIANTS:
             elapsed_ns, kernel, trace, monitor = _run_once(
-                ts, dispatcher, horizon, backend
+                ts, dispatcher, horizon, backend, tspec
             )
             if label not in best or elapsed_ns < best[label]:
                 best[label] = elapsed_ns
@@ -146,8 +185,8 @@ def measure(
         "horizon": horizon,
         "reps": reps,
         "cells": [
-            _measure_cell(name, m, util, seed, horizon, reps)
-            for name, m, util in CELLS
+            _measure_cell(name, m, util, seed, horizon, reps, traffic)
+            for name, m, util, traffic in CELLS
         ],
     }
 

@@ -238,6 +238,28 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--seed", type=int, default=2015)
     _add_executor_flags(f)
 
+    tr = sub.add_parser(
+        "traffic",
+        help="open-system traffic sweep: overload from Poisson/MMPP "
+             "request sources served by level-C/D server tasks",
+    )
+    tr.add_argument("--figure", choices=["load", "burst"], required=True,
+                    help="load: dissipation vs offered load (Poisson); "
+                         "burst: minimum s(t) vs burst size (MMPP)")
+    tr.add_argument("--tasksets", type=int, default=5)
+    tr.add_argument("--seed", type=int, default=2015)
+    tr.add_argument("--m", type=int, default=8,
+                    help="platform size in CPUs, 6-64 (default: 8); axes "
+                         "are per-CPU so sweeps compare across sizes")
+    tr.add_argument("--horizon", type=float, default=10.0)
+    tr.add_argument("--traffic-seed", type=int, default=0,
+                    help="seed for the arrival sources (default: 0)")
+    tr.add_argument("--values", type=float, nargs="+", default=None,
+                    metavar="X",
+                    help="x-axis override: offered loads (load) or burst "
+                         "sizes (burst), per CPU")
+    _add_executor_flags(tr)
+
     t = sub.add_parser("trace", help="inspect or convert JSONL event traces")
     tsub = t.add_subparsers(dest="trace_command", required=True)
     tsum = tsub.add_parser("summarize",
@@ -462,6 +484,42 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         print(measure_overheads(tasksets, horizon=3.0,
                                 trim_max_quantile=0.999).render())
         return 0
+    stats = executor.stats
+    print(f"  [executor] cells: {stats.cells_total}, simulated: "
+          f"{stats.cells_simulated}, cache hits: {stats.cache_hits}")
+    _warn_truncated(executor)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, executor)
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.experiments.traffic import (
+        DEFAULT_BURSTS_PER_CPU,
+        DEFAULT_LOADS_PER_CPU,
+        figure_burst_size,
+        figure_offered_load,
+    )
+    from repro.workload.generator import GeneratorParams
+
+    executor = _make_executor(args)
+    obs = _obs_spec(args)
+    refs = [TaskSetSpec.generated(seed, GeneratorParams(m=args.m))
+            for seed in taskset_seeds(args.tasksets, args.seed)]
+    if args.figure == "load":
+        values = tuple(args.values) if args.values else DEFAULT_LOADS_PER_CPU
+        fig = figure_offered_load(
+            refs, m=args.m, loads_per_cpu=values, horizon=args.horizon,
+            seed=args.traffic_seed, executor=executor, obs=obs,
+        )
+        print(fig.render(unit_scale=1e3, unit="ms"))
+    else:
+        values = tuple(args.values) if args.values else DEFAULT_BURSTS_PER_CPU
+        fig = figure_burst_size(
+            refs, m=args.m, bursts_per_cpu=values, horizon=args.horizon,
+            seed=args.traffic_seed, executor=executor, obs=obs,
+        )
+        print(fig.render(unit_scale=1.0, unit="virtual speed"))
     stats = executor.stats
     print(f"  [executor] cells: {stats.cells_total}, simulated: "
           f"{stats.cells_simulated}, cache hits: {stats.cache_hits}")
@@ -761,6 +819,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "simulate": _cmd_simulate,
         "figures": _cmd_figures,
+        "traffic": _cmd_traffic,
         "trace": _cmd_trace,
         "faults": _cmd_faults,
         "sweep": _cmd_sweep,

@@ -35,6 +35,7 @@ from repro.workload.scenarios import OverloadScenario
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> runner)
     from repro.faults.plane import FaultPlane
+    from repro.workload.traffic import TrafficSpec
 
 # MonitorSpec moved to repro.runtime.spec (registry-backed); re-exported
 # here because this was its historical home.
@@ -69,6 +70,7 @@ def run_overload_experiment(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     fault_plane: Optional["FaultPlane"] = None,
+    traffic: Optional["TrafficSpec"] = None,
 ) -> RunResult | ExperimentOutput:
     """Run one overload-recovery experiment.
 
@@ -113,7 +115,16 @@ def run_overload_experiment(
         commands, clock skew, execution spikes, release jitter, CPU
         stalls).  ``None`` (default) leaves the run untouched — no
         wrapper objects, no extra branches on the hot path.
+    traffic:
+        Optional :class:`~repro.workload.traffic.TrafficSpec`: an
+        open-system workload.  The spec's server tasks are appended to
+        *ts* and the execution behaviour is wrapped so server jobs
+        execute their granted request backlog; the dissipation origin
+        becomes the later of the scenario's last window end and the
+        traffic's last burst end.
     """
+    if traffic is not None:
+        ts = traffic.augment(ts)
     for t in ts.level(CriticalityLevel.C):
         if t.tolerance is None:
             raise ValueError(
@@ -125,6 +136,12 @@ def run_overload_experiment(
         behavior = BudgetEnforcedBehavior(
             behavior, enforce_a=False, enforce_b=False, enforce_c=True
         )
+    if traffic is not None:
+        # Outside budget enforcement: grants are already capped at the
+        # server budget (== its level-C PWCET), so clipping is a no-op;
+        # wrapping outside keeps the scenario/budget pair untouched for
+        # the periodic tasks.
+        behavior = traffic.build_behavior(behavior, horizon)
     if fault_plane is not None:
         # Spikes wrap *outside* budget enforcement: an execution spike is
         # extra demand beyond the PWCETs, so budgets must not clip it.
@@ -142,6 +159,8 @@ def run_overload_experiment(
         fault_plane.install(kernel, monitor)
 
     end = scenario.last_overload_end
+    if traffic is not None:
+        end = max(end, traffic.last_burst_end(horizon))
 
     def settled() -> bool:
         if kernel.now <= end:

@@ -33,6 +33,7 @@ from repro.runtime.spec import (
     TaskSetSpec,
 )
 from repro.workload.generator import GeneratorParams
+from repro.workload.traffic import traffic_from_dict, traffic_to_dict
 
 __all__ = [
     "runspec_to_dict",
@@ -88,7 +89,7 @@ def _runspec_core_dict(spec: RunSpec) -> Dict[str, Any]:
     # format, while any other backend gets its own key space.
     if spec.kernel.backend != "reference":
         kernel["backend"] = spec.kernel.backend
-    return {
+    doc: Dict[str, Any] = {
         "format": FORMAT,
         "version": VERSION,
         "taskset": {
@@ -115,6 +116,11 @@ def _runspec_core_dict(spec: RunSpec) -> Dict[str, Any]:
         "confirm_window": spec.confirm_window,
         "level_c_budgets": spec.level_c_budgets,
     }
+    # Emitted only when configured: traffic-free documents (and hence
+    # their cache keys) stay byte-identical to the pre-traffic format.
+    if spec.traffic is not None:
+        doc["traffic"] = traffic_to_dict(spec.traffic)
+    return doc
 
 
 def runspec_from_dict(doc: Dict[str, Any]) -> RunSpec:
@@ -159,6 +165,11 @@ def runspec_from_dict(doc: Dict[str, Any]) -> RunSpec:
         obs=ObsSpec(
             trace_dir=obs.get("trace_dir"),
             trace_name=obs.get("trace_name"),
+        ),
+        traffic=(
+            traffic_from_dict(doc["traffic"])
+            if doc.get("traffic") is not None
+            else None
         ),
     )
 

@@ -23,6 +23,7 @@ the progress line so bursty pacing is legible rather than mysterious.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from collections import deque
@@ -164,6 +165,17 @@ class ProgressReporter:
             return 0.0
         return (self.done - d0) / span
 
+    def _eta(self, now: float) -> str:
+        """Remaining-time estimate, or ``--:--`` when the window is
+        empty / zero-span / stalled (a raw ``inf`` must never render)."""
+        rate = self.rate(now)
+        if rate <= 0.0:
+            return "--:--"
+        eta = (self.total - self.done) / rate
+        if not math.isfinite(eta):
+            return "--:--"
+        return f"{eta:.1f}s"
+
     def _emit(self, now: float, final: bool) -> None:
         elapsed = max(now - self._t0, 0.0)
         pct = 100.0 * self.done / self.total if self.total else 100.0
@@ -175,9 +187,7 @@ class ProgressReporter:
         if self.batch_slices:
             line += f"  slice {self.batch_slices}"
         if not final and self.done:
-            rate = self.rate(now)
-            if rate > 0:
-                line += f"  eta {(self.total - self.done) / rate:.1f}s"
+            line += f"  eta {self._eta(now)}"
         self._stream.write(line + "\n")
         self._last_emit = now
         self.lines_emitted += 1

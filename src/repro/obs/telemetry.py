@@ -221,6 +221,13 @@ class TelemetryWriter:
     ``force=True`` — used at shard boundaries and shutdown — always
     writes).  Each record is a single ``O_APPEND`` write, so concurrent
     readers never see a torn *interior* line.
+
+    Two clocks: ``clock`` (wall) stamps records for cross-host display
+    and liveness, while ``mono`` (monotonic) drives the sampling
+    throttle and the interval *rates* — a wall-clock step (NTP slew,
+    suspend/resume) must never yield negative or absurd
+    ``cells_per_sec``/``events_per_sec``.  Non-positive monotonic
+    intervals (first sample, duplicate timestamps) report zero rates.
     """
 
     def __init__(
@@ -230,6 +237,7 @@ class TelemetryWriter:
         campaign: str = "",
         interval_s: float = 0.5,
         clock: Callable[[], float] = time.time,
+        mono: Callable[[], float] = time.monotonic,
         rss_fn: Callable[[], int] = rss_bytes,
         backend: str = "",
         batch: bool = False,
@@ -239,13 +247,15 @@ class TelemetryWriter:
         self.owner = owner
         self.interval_s = interval_s
         self._clock = clock
+        self._mono = mono
         self._rss_fn = rss_fn
         self.backend = backend
         self.batch = batch
         self._profiler = phase_profiler if phase_profiler is not None else PHASE_PROFILER
         self._seq = 0
-        self._last_wall = float("-inf")
-        self._prev = (0, 0, 0.0)  # (cells_done, events, wall) at last sample
+        self._last_mono = float("-inf")
+        # (cells_done, events, mono) at last sample; mono None until then.
+        self._prev: tuple = (0, 0, None)
         # Cumulative counters.
         self.cells_done = 0
         self.cells_run = 0
@@ -269,6 +279,7 @@ class TelemetryWriter:
                     "pid": os.getpid(),
                     "host": os.uname().nodename,
                     "start": self._clock(),
+                    "mono_start": self._mono(),
                 },
                 **_CANON,
             ),
@@ -301,9 +312,8 @@ class TelemetryWriter:
 
     # -- emission ------------------------------------------------------
     def maybe_sample(self) -> None:
-        now = self._clock()
-        if now - self._last_wall >= self.interval_s:
-            self.sample(now=now)
+        if self._mono() - self._last_mono >= self.interval_s:
+            self.sample()
 
     def sample(
         self, force: bool = False, final: bool = False, now: Optional[float] = None
@@ -311,14 +321,18 @@ class TelemetryWriter:
         if self.closed:
             return
         wall = self._clock() if now is None else now
-        if not force and not final and wall - self._last_wall < self.interval_s:
+        mono = self._mono()
+        if not force and not final and mono - self._last_mono < self.interval_s:
             return
-        prev_cells, prev_events, prev_wall = self._prev
-        dt = wall - prev_wall if prev_wall > 0.0 else 0.0
+        prev_cells, prev_events, prev_mono = self._prev
+        # Interval from the monotonic clock only: a wall step must not
+        # produce negative (or inflated) rates.  dt <= 0 -> rates 0.
+        dt = mono - prev_mono if prev_mono is not None else 0.0
         record: Dict[str, Any] = {
             "rec": "sample",
             "seq": self._seq,
             "wall": wall,
+            "mono": mono,
             "cells_done": self.cells_done,
             "cells_run": self.cells_run,
             "cache_hits": self.cache_hits,
@@ -339,8 +353,8 @@ class TelemetryWriter:
             record["final"] = True
         append_line(self.path, json.dumps(record, **_CANON))
         self._seq += 1
-        self._last_wall = wall
-        self._prev = (self.cells_done, self.events, wall)
+        self._last_mono = mono
+        self._prev = (self.cells_done, self.events, mono)
 
     def close(self) -> None:
         """Emit the final sample and stop accepting writes."""
@@ -458,7 +472,14 @@ class TelemetryAggregator:
             first = ordered[0]
             meta = self._meta.get(owner, {})
             start = float(meta.get("start", first.get("wall", 0.0)))
-            lifetime = float(last.get("wall", 0.0)) - start
+            # Lifetime from the monotonic clock when the stream carries
+            # it (format >= this fix); wall only as a legacy fallback.
+            mono_start = meta.get("mono_start", first.get("mono"))
+            if mono_start is not None and last.get("mono") is not None:
+                lifetime = float(last["mono"]) - float(mono_start)
+            else:
+                lifetime = float(last.get("wall", 0.0)) - start
+            lifetime = max(lifetime, 0.0)
             cells = int(last.get("cells_done", 0))
             events = int(last.get("events", 0))
             workers[owner] = {

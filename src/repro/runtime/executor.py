@@ -99,6 +99,7 @@ def _run_spec_on(spec: RunSpec, ts: TaskSet) -> RunResult:
             config=spec.kernel.to_config(),
             level_c_budgets=spec.level_c_budgets,
             tracer=tracer,
+            traffic=spec.traffic,
         )
     finally:
         if tracer is not None:

@@ -100,15 +100,16 @@ class TaskSetSpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """An overload scenario by value: named windows at an overload level."""
+    """An overload scenario by value: named windows at an overload level.
+
+    An empty ``windows`` tuple is valid (e.g. ``CALM``): no scripted
+    overload — used for open-system runs where overload comes from a
+    :class:`~repro.workload.traffic.TrafficSpec` instead.
+    """
 
     name: str
     windows: Tuple[Tuple[float, float], ...]
     overload_level: str = "B"
-
-    def __post_init__(self) -> None:
-        if not self.windows:
-            raise ValueError("ScenarioSpec needs at least one overload window")
 
     @classmethod
     def from_scenario(cls, sc: OverloadScenario) -> "ScenarioSpec":
@@ -282,6 +283,11 @@ class RunSpec:
     confirm_window: float = 0.5
     level_c_budgets: bool = True
     obs: ObsSpec = field(default_factory=ObsSpec)
+    #: Open-system workload (:class:`~repro.workload.traffic.TrafficSpec`):
+    #: seeded arrival sources served by aperiodic server tasks appended to
+    #: the materialized task set at run time.  Enters the canonical JSON
+    #: only when set, so pre-traffic specs keep their exact cache keys.
+    traffic: Optional["TrafficSpec"] = None  # noqa: F821 - forward ref
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:

@@ -69,6 +69,56 @@ _SCENARIOS: Dict[str, OverloadScenario] = {s.name: s for s in (SHORT, LONG, DOUB
 _LEVEL_D_BASE_ID = 10_000
 
 
+def _traffic_presets() -> Dict[str, "TrafficSpec"]:  # noqa: F821 - late import
+    """Canned open-system workloads for the traffic differential axis.
+
+    Built lazily (and deterministically — everything is seeded by value)
+    so importing diffcheck stays cheap for non-traffic runs.
+    """
+    from repro.workload.traffic import (
+        DiurnalCurveSource,
+        MMPPSource,
+        PoissonSource,
+        ServerSpec,
+        TrafficFlow,
+        TrafficSpec,
+    )
+
+    return {
+        "poisson": TrafficSpec(flows=(
+            TrafficFlow(
+                PoissonSource(rate=300.0, mean_demand=0.002, seed=11),
+                ServerSpec(period=0.02, budget=0.004, count=2),
+            ),
+        )),
+        "mmpp": TrafficSpec(flows=(
+            TrafficFlow(
+                MMPPSource(
+                    rates=(60.0, 1200.0), dwells=(0.25, 0.06),
+                    mean_demand=0.002, seed=23,
+                ),
+                ServerSpec(period=0.02, budget=0.004, count=2),
+            ),
+            TrafficFlow(
+                PoissonSource(rate=150.0, mean_demand=0.001, seed=29),
+                ServerSpec(
+                    period=0.05, budget=0.01, level="D", policy="deferrable"
+                ),
+            ),
+        )),
+        "diurnal": TrafficSpec(flows=(
+            TrafficFlow(
+                DiurnalCurveSource(
+                    base_rate=40.0, peak_rate=700.0, period=0.8,
+                    mean_demand=0.002, seed=37,
+                ),
+                ServerSpec(period=0.025, budget=0.005, count=2,
+                           policy="deferrable"),
+            ),
+        )),
+    }
+
+
 @dataclass(frozen=True)
 class ZeroDemandEvery:
     """Wrap a behaviour, zeroing the demand of every ``k``-th job.
@@ -115,15 +165,24 @@ class DiffScenario:
     zero_every: int = 0
     #: Number of synthesized level-D background tasks.
     level_d_tasks: int = 0
+    #: Open-system traffic preset name ("" = none; see _traffic_presets).
+    traffic: str = ""
 
     def label(self) -> str:
-        """Compact one-line description for failure reports."""
-        return (
+        """Compact one-line description for failure reports.
+
+        The traffic field appends only when set, so every pre-traffic
+        scenario keeps its exact label (the golden-corpus key).
+        """
+        base = (
             f"seed={self.seed} m={self.m} util={self.util_range} "
             f"behavior={self.behavior} monitor={self.monitor}({self.monitor_arg}) "
             f"vt={self.use_virtual_time} lat={self.monitor_latency} "
             f"zero={self.zero_every} d={self.level_d_tasks} h={self.horizon}"
         )
+        if self.traffic:
+            base += f" traffic={self.traffic}"
+        return base
 
 
 @dataclass(frozen=True)
@@ -189,6 +248,11 @@ def build_kernel(
         ts = TaskSet(
             list(ts) + _level_d_tasks(sc.level_d_tasks, sc.seed), m=ts.m
         )
+    behavior = _behavior_for(sc)
+    if sc.traffic:
+        tspec = _traffic_presets()[sc.traffic]
+        ts = tspec.augment(ts)
+        behavior = tspec.build_behavior(behavior, sc.horizon)
     config = KernelConfig(
         use_virtual_time=sc.use_virtual_time,
         record_intervals=sc.record_intervals,
@@ -196,7 +260,7 @@ def build_kernel(
         dispatcher=dispatcher,
         backend=backend,
     )
-    kernel = create_kernel(ts, behavior=_behavior_for(sc), config=config)
+    kernel = create_kernel(ts, behavior=behavior, config=config)
     monitor = _monitor_for(sc, kernel)
     kernel.attach_monitor(monitor)
     return kernel, monitor
@@ -350,10 +414,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="dispatchers",
         help="what to diff: the two dispatchers (default) or the two kernel backends",
     )
+    parser.add_argument(
+        "--traffic",
+        choices=("poisson", "mmpp", "diurnal"),
+        default=None,
+        help="attach this open-system traffic preset to every scenario",
+    )
     args = parser.parse_args(argv)
     scenarios = random_scenarios(args.count, args.base_seed)
     if args.horizon is not None:
         scenarios = [replace(sc, horizon=args.horizon) for sc in scenarios]
+    if args.traffic is not None:
+        scenarios = [replace(sc, traffic=args.traffic) for sc in scenarios]
     check = check_many if args.mode == "dispatchers" else check_many_backends
     checked, failures = check(scenarios)
     for fail in failures:

@@ -25,7 +25,9 @@ from typing import Tuple
 from repro.model.behavior import OverloadWindow, WindowedOverloadBehavior
 from repro.model.task import CriticalityLevel
 
-__all__ = ["OverloadScenario", "SHORT", "LONG", "DOUBLE", "standard_scenarios"]
+__all__ = [
+    "OverloadScenario", "SHORT", "LONG", "DOUBLE", "CALM", "standard_scenarios",
+]
 
 
 @dataclass(frozen=True)
@@ -45,8 +47,12 @@ class OverloadScenario:
 
     @property
     def last_overload_end(self) -> float:
-        """End of the final overload window — dissipation time's origin."""
-        return max(w.end for w in self.windows)
+        """End of the final overload window — dissipation time's origin.
+
+        0.0 for a window-less scenario (e.g. :data:`CALM`), where any
+        overload comes from open-system traffic instead.
+        """
+        return max((w.end for w in self.windows), default=0.0)
 
     @property
     def total_overload_length(self) -> float:
@@ -57,10 +63,13 @@ class OverloadScenario:
         """The same scenario with every window delayed by *offset*.
 
         Useful to let the system warm up before the overload hits; the
-        paper's experiments start the overload at time 0.
+        paper's experiments start the overload at time 0.  The shifted
+        scenario's name carries the offset (``SHORT+0.25s``) so it
+        stays distinguishable in figure labels and scorecard rollups.
         """
+        name = self.name if offset == 0 else f"{self.name}+{offset:g}s"
         return OverloadScenario(
-            name=self.name,
+            name=name,
             windows=tuple(
                 OverloadWindow(w.start + offset, w.end + offset) for w in self.windows
             ),
@@ -76,6 +85,10 @@ LONG = OverloadScenario("LONG", (OverloadWindow(0.0, 1.0),))
 DOUBLE = OverloadScenario(
     "DOUBLE", (OverloadWindow(0.0, 0.5), OverloadWindow(1.5, 2.0))
 )
+#: No scripted overload at all — the baseline for open-system traffic
+#: runs, where overload (if any) comes from a
+#: :class:`~repro.workload.traffic.TrafficSpec` instead.
+CALM = OverloadScenario("CALM", ())
 
 
 def standard_scenarios() -> Tuple[OverloadScenario, ...]:

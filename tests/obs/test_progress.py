@@ -55,6 +55,24 @@ class TestProgressReporter:
         last = buf.getvalue().splitlines()[-1]
         assert "cache 3 (75%)" in last
 
+    def test_eta_dashes_when_rate_is_zero(self):
+        """Cells completing at the same clock instant give a zero-span
+        window; the ETA must render ``--:--``, never a raw ``inf``."""
+        rep, buf, clock = make(min_interval=0.0)
+        rep.begin(4)
+        rep.cell_done()  # clock never advanced -> rate 0
+        last = buf.getvalue().splitlines()[-1]
+        assert "eta --:--" in last
+        assert "inf" not in buf.getvalue()
+
+    def test_eta_recovers_after_zero_rate_start(self):
+        rep, buf, clock = make(min_interval=0.0)
+        rep.begin(4)
+        rep.cell_done()  # zero-span -> --:--
+        clock.t = 2.0
+        rep.cell_done()  # 2 cells in 2 s -> 2 remaining -> eta 2.0s
+        assert "eta 2.0s" in buf.getvalue().splitlines()[-1]
+
     def test_eta_in_intermediate_lines(self):
         rep, buf, clock = make(min_interval=0.0)
         rep.begin(4)

@@ -101,6 +101,48 @@ class TestTelemetryWriter:
         ]
         assert len(finals) == 1
 
+    def test_backwards_wall_clock_never_negative_rates(self, tmp_path):
+        """Regression: an NTP step / suspend moving the wall clock
+        *backwards* must not produce negative (or inflated) interval
+        rates — they come from the monotonic clock now."""
+        wall = FakeClock(1_000_000.0)
+        mono = FakeClock(500.0)
+        writer, _ = make_writer(tmp_path, clock=wall, mono=mono)
+        writer.cell_done(False, events=100)  # first sample (no interval yet)
+        wall.t -= 3600.0  # the wall clock steps back an hour
+        mono.t += 2.0     # ... while real time advances 2 s
+        writer.cell_done(False, events=100)  # sampled: 2 s monotonic interval
+        writer.close()
+        samples = [r for r in read_telemetry(writer.path) if r["rec"] == "sample"]
+        assert len(samples) >= 2
+        for s in samples:
+            assert s["cells_per_sec"] >= 0.0, s
+            assert s["events_per_sec"] >= 0.0, s
+        # The post-step sample measured the 2 s monotonic interval.
+        stepped = samples[1]
+        assert stepped["cells_per_sec"] == pytest.approx(1 / 2.0)
+        assert stepped["events_per_sec"] == pytest.approx(100 / 2.0)
+
+    def test_non_positive_monotonic_interval_reports_zero_rates(self, tmp_path):
+        wall = FakeClock(100.0)
+        mono = FakeClock(50.0)
+        writer, _ = make_writer(tmp_path, clock=wall, mono=mono)
+        writer.cell_done(False, events=10)
+        writer.sample(force=True)
+        writer.cell_done(False, events=10)
+        writer.sample(force=True)  # same monotonic instant: dt == 0
+        samples = [r for r in read_telemetry(writer.path) if r["rec"] == "sample"]
+        assert samples[-1]["cells_per_sec"] == 0.0
+        assert samples[-1]["events_per_sec"] == 0.0
+
+    def test_samples_carry_monotonic_timestamp(self, tmp_path):
+        writer, _ = make_writer(tmp_path, mono=FakeClock(7.0))
+        writer.sample(force=True)
+        records = list(read_telemetry(writer.path))
+        assert records[0]["mono_start"] == 7.0
+        samples = [r for r in records if r["rec"] == "sample"]
+        assert samples[0]["mono"] == 7.0
+
 
 class TestReadTelemetry:
     def test_torn_final_line_skipped(self, tmp_path):

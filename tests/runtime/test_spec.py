@@ -70,9 +70,13 @@ class TestScenarioSpec:
         assert [(w.start, w.end) for w in sc.windows] == [(0.0, 0.5), (1.5, 2.0)]
         assert sc.overload_level.name == "B"
 
-    def test_needs_windows(self):
-        with pytest.raises(ValueError):
-            ScenarioSpec(name="EMPTY", windows=())
+    def test_empty_windows_allowed(self):
+        """Window-less scenarios (CALM) are valid: open-system runs get
+        their overload from traffic, not scripted windows."""
+        spec = ScenarioSpec(name="CALM", windows=())
+        sc = spec.build()
+        assert sc.windows == ()
+        assert sc.last_overload_end == 0.0
 
 
 class TestKernelSpec:

@@ -1,9 +1,10 @@
 """Golden-fingerprint regression corpus for the simulator.
 
-25 fixed :class:`~repro.sim.diffcheck.DiffScenario` cases spanning the
+30 fixed :class:`~repro.sim.diffcheck.DiffScenario` cases spanning the
 interesting axes — the three paper overloads under SIMPLE and ADAPTIVE
 recovery, steady state, sustained overrun, level-D background load,
-monitor latency, zeroed demand, both platform sizes, virtual time on and
+monitor latency, zeroed demand, open-system traffic (Poisson/MMPP/
+diurnal server workloads), both platform sizes, virtual time on and
 off — each pinned to the sha256 of its full behavioural fingerprint
 (jobs, intervals, speed changes, preemptions, migrations, event counts,
 misses, episodes) under the default (incremental) dispatcher.
@@ -87,6 +88,19 @@ CORPUS = [
     # Everything at once: overrun + zero demand + level-D load.
     DiffScenario(seed=125, m=2, behavior="overrun", monitor="adaptive",
                  monitor_arg=0.25, zero_every=3, level_d_tasks=2),
+    # Open-system traffic slice: aperiodic releases through the server
+    # path (repro.workload.traffic), with and without scripted overload.
+    DiffScenario(seed=126, m=2, behavior="constant", monitor="simple",
+                 monitor_arg=0.5, traffic="poisson"),
+    DiffScenario(seed=127, m=2, behavior="constant", monitor="simple",
+                 monitor_arg=0.5, traffic="mmpp"),
+    DiffScenario(seed=128, m=2, behavior="constant", monitor="adaptive",
+                 monitor_arg=0.5, traffic="diurnal"),
+    DiffScenario(seed=129, m=4, behavior="SHORT", monitor="simple",
+                 monitor_arg=0.5, traffic="mmpp"),
+    DiffScenario(seed=130, m=2, behavior="overrun", monitor="adaptive",
+                 monitor_arg=0.5, zero_every=3, level_d_tasks=2,
+                 traffic="poisson"),
 ]
 
 
@@ -98,7 +112,7 @@ def compute_digests(backend: str = "reference") -> dict:
 
 
 def test_corpus_shape():
-    assert len(CORPUS) == 25
+    assert len(CORPUS) == 30
     labels = [sc.label() for sc in CORPUS]
     assert len(set(labels)) == len(labels), "scenario labels must be unique"
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workload.scenarios import DOUBLE, LONG, SHORT, standard_scenarios
+from repro.workload.scenarios import CALM, DOUBLE, LONG, SHORT, standard_scenarios
 from tests.conftest import make_a_task, make_c_task
 
 
@@ -27,6 +27,15 @@ class TestScenarioDefinitions:
 
     def test_standard_order(self):
         assert [s.name for s in standard_scenarios()] == ["SHORT", "LONG", "DOUBLE"]
+
+    def test_calm_has_no_windows(self):
+        assert CALM.windows == ()
+        assert CALM.last_overload_end == 0.0
+        assert CALM.total_overload_length == 0.0
+        # Its behaviour runs every job at the normal (level-C) PWCETs.
+        b = CALM.behavior()
+        a = make_a_task(0, 0.025, 0.001, cpu=0)
+        assert b.exec_time(a, 0, 0.0) == pytest.approx(0.001)
 
 
 class TestScenarioBehavior:
@@ -54,4 +63,14 @@ class TestScenarioBehavior:
         s = SHORT.shifted(1.0)
         assert s.windows[0].start == 1.0
         assert s.last_overload_end == 1.5
-        assert s.name == "SHORT"
+        # The shifted scenario must stay distinguishable from the
+        # original in figure labels and scorecard rollups.
+        assert s.name == "SHORT+1s"
+        assert s.name != SHORT.name
+        assert s != SHORT
+
+    def test_shifted_name_carries_fractional_offset(self):
+        assert SHORT.shifted(0.25).name == "SHORT+0.25s"
+
+    def test_shifted_by_zero_keeps_name(self):
+        assert SHORT.shifted(0.0) == SHORT
