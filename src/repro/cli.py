@@ -19,7 +19,14 @@ Subcommands:
   directory's telemetry streams (:mod:`repro.obs.telemetry`), rendered
   from the files alone — no coordinator process; ``--watch`` refreshes,
   ``--prom-out`` / ``--snapshot-out`` export Prometheus / canonical
-  JSON.
+  JSON.  ``status --service HOST:PORT`` asks a running coordinator
+  instead of reading files;
+* ``serve`` / ``worker`` / ``submit`` / ``jobs`` — the distributed
+  campaign service (:mod:`repro.serve`): ``serve`` runs the
+  coordinator over a campaign root, ``worker`` connects an execution
+  client, ``submit`` registers a campaign document, ``jobs`` lists
+  per-campaign progress.  Sweeps route through the fabric with
+  ``--service HOST:PORT`` on ``simulate``/``figures``/``traffic``.
 
 Examples::
 
@@ -45,6 +52,12 @@ Examples::
     repro-mc2 status ckpt/ --watch
     repro-mc2 top ckpt/
     repro-mc2 status ckpt/ --prom-out metrics.prom --snapshot-out telemetry.json
+    repro-mc2 serve --root serve-root/ --port 7777
+    repro-mc2 worker --connect 127.0.0.1:7777 --cache-dir ~/.cache/repro-mc2
+    repro-mc2 submit serve-root/abc123/campaign.json --connect 127.0.0.1:7777 --wait
+    repro-mc2 jobs --connect 127.0.0.1:7777
+    repro-mc2 figures --figure 7 --service 127.0.0.1:7777
+    repro-mc2 status --service 127.0.0.1:7777 --json
 
 ``simulate`` and ``figures`` build declarative
 :class:`~repro.runtime.spec.RunSpec` grids and submit them through a
@@ -161,6 +174,10 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                              "--checkpoint-dir) per-worker NDJSON telemetry "
                              "streams readable by repro-mc2 status/top "
                              "(observation only; results are identical)")
+    parser.add_argument("--service", metavar="HOST:PORT",
+                        help="route the sweep through a running repro-mc2 "
+                             "serve coordinator instead of executing locally "
+                             "(identical results and artifacts)")
 
 
 def _make_executor(args: argparse.Namespace) -> SweepExecutor:
@@ -169,7 +186,8 @@ def _make_executor(args: argparse.Namespace) -> SweepExecutor:
                          checkpoint_dir=args.checkpoint_dir,
                          shard_size=args.shard_size,
                          batch_cells=args.batch_cells,
-                         telemetry=args.telemetry)
+                         telemetry=args.telemetry,
+                         service_addr=getattr(args, "service", None))
 
 
 def _obs_spec(args: argparse.Namespace) -> ObsSpec:
@@ -377,10 +395,73 @@ def build_parser() -> argparse.ArgumentParser:
     sws.add_argument("--json", action="store_true",
                      help="emit the status as JSON")
 
+    sv = sub.add_parser("serve",
+                        help="run the repro-serve coordinator over a "
+                             "campaign root (submit/lease/heartbeat/merge)")
+    sv.add_argument("--root", required=True, metavar="DIR",
+                    help="campaign root directory (created if missing; "
+                         "same layout as --checkpoint-dir roots)")
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=0, metavar="N",
+                    help="TCP port (default: 0 = ephemeral)")
+    sv.add_argument("--port-file", metavar="FILE",
+                    help="write the bound port to FILE once listening "
+                         "(for scripts using --port 0)")
+    sv.add_argument("--lease-ttl", type=float, default=60.0, metavar="SEC",
+                    help="seconds without a heartbeat before a worker's "
+                         "shard lease is re-granted (default: 60)")
+
+    wk = sub.add_parser("worker",
+                        help="connect a worker to a repro-serve coordinator: "
+                             "lease shards, execute, stream results")
+    wk.add_argument("--connect", required=True, metavar="HOST:PORT",
+                    help="coordinator address (or a bare port on localhost)")
+    wk.add_argument("--owner", metavar="NAME",
+                    help="worker identity (default: host:pid)")
+    wk.add_argument("--once", action="store_true",
+                    help="exit once every registered campaign is drained "
+                         "(default: keep polling for new campaigns)")
+    wk.add_argument("--poll", type=float, default=0.5, metavar="SEC",
+                    help="idle poll interval when no work is grantable "
+                         "(default: 0.5)")
+    wk.add_argument("--cache-dir", metavar="DIR",
+                    help="content-addressed result cache for sweep cells")
+    wk.add_argument("--telemetry", action="store_true",
+                    help="relay repro-telemetry records to the coordinator "
+                         "so status/top on the serve root see this worker")
+
+    sm = sub.add_parser("submit",
+                        help="register a campaign document with a "
+                             "running coordinator")
+    sm.add_argument("campaign", help="campaign JSON file (a campaign.json "
+                                     "document, e.g. from --checkpoint-dir)")
+    sm.add_argument("--connect", required=True, metavar="HOST:PORT",
+                    help="coordinator address")
+    sm.add_argument("--wait", action="store_true",
+                    help="block until every shard of the campaign is done")
+    sm.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                    help="--wait deadline (default: none)")
+    sm.add_argument("--json", action="store_true",
+                    help="emit the submission acknowledgement as JSON")
+
+    jb = sub.add_parser("jobs",
+                        help="list a coordinator's campaigns and progress")
+    jb.add_argument("--connect", required=True, metavar="HOST:PORT",
+                    help="coordinator address")
+    jb.add_argument("--json", action="store_true",
+                    help="emit the campaign list as JSON")
+
     st = sub.add_parser("status",
                         help="live campaign dashboard (shards + telemetry), "
-                             "reconstructed from the campaign files alone")
-    st.add_argument("dir", help="campaign directory or checkpoint root")
+                             "reconstructed from the campaign files alone "
+                             "or fetched from a coordinator (--service)")
+    st.add_argument("dir", nargs="?",
+                    help="campaign directory or checkpoint root "
+                         "(omit when using --service)")
+    st.add_argument("--service", metavar="HOST:PORT",
+                    help="ask a running repro-mc2 serve coordinator instead "
+                         "of reading campaign files")
     st.add_argument("--watch", action="store_true",
                     help="refresh the dashboard until interrupted")
     st.add_argument("--interval", type=float, default=2.0, metavar="SEC",
@@ -499,6 +580,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         DEFAULT_LOADS_PER_CPU,
         figure_burst_size,
         figure_offered_load,
+        render_sojourn_table,
     )
     from repro.workload.generator import GeneratorParams
 
@@ -506,20 +588,29 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     obs = _obs_spec(args)
     refs = [TaskSetSpec.generated(seed, GeneratorParams(m=args.m))
             for seed in taskset_seeds(args.tasksets, args.seed)]
+    raw = {}
     if args.figure == "load":
         values = tuple(args.values) if args.values else DEFAULT_LOADS_PER_CPU
         fig = figure_offered_load(
             refs, m=args.m, loads_per_cpu=values, horizon=args.horizon,
             seed=args.traffic_seed, executor=executor, obs=obs,
+            results_out=raw,
         )
         print(fig.render(unit_scale=1e3, unit="ms"))
+        xlabel = "load/CPU"
     else:
         values = tuple(args.values) if args.values else DEFAULT_BURSTS_PER_CPU
         fig = figure_burst_size(
             refs, m=args.m, bursts_per_cpu=values, horizon=args.horizon,
             seed=args.traffic_seed, executor=executor, obs=obs,
+            results_out=raw,
         )
         print(fig.render(unit_scale=1.0, unit="virtual speed"))
+        xlabel = "burst/CPU"
+    table = render_sojourn_table(raw, xlabel=xlabel)
+    if table.count("\n"):  # header plus at least one data row
+        print()
+        print(table)
     stats = executor.stats
     print(f"  [executor] cells: {stats.cells_total}, simulated: "
           f"{stats.cells_simulated}, cache hits: {stats.cache_hits}")
@@ -745,12 +836,92 @@ def _campaign_aggregate(dirs) -> dict:
     return agg.aggregate()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.coordinator import serve
+
+    return serve(args.root, host=args.host, port=args.port,
+                 lease_ttl=args.lease_ttl, port_file=args.port_file)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.runtime.cache import ResultCache
+    from repro.serve.worker import run_worker
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    return run_worker(args.connect, owner=args.owner, cache=cache,
+                      telemetry=args.telemetry, poll_s=args.poll,
+                      once=args.once)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServiceClient
+
+    with open(args.campaign, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    with ServiceClient(args.connect) as client:
+        ack = client.submit(doc)
+        row = {"key": ack.key, "shards": ack.shards,
+               "shards_done": ack.shards_done, "created": ack.created}
+        if args.wait:
+            done = client.wait(ack.key, timeout_s=args.timeout)
+            row["shards_done"] = done["shards_done"]
+            row["merged"] = done.get("merged", False)
+    if args.json:
+        print(json.dumps(row, indent=2, sort_keys=True))
+    else:
+        verb = "registered" if ack.created else "already known"
+        print(f"campaign {ack.key[:12]} {verb}: "
+              f"{row['shards_done']}/{ack.shards} shard(s) done")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServiceClient
+
+    with ServiceClient(args.connect) as client:
+        rows = client.jobs()
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("no campaigns registered")
+        return 0
+    print(f"{'key':<14}{'kind':<8}{'cells':>7}{'shards':>8}"
+          f"{'done':>6}{'leased':>8}{'merged':>8}")
+    for row in rows:
+        print(f"{row['key'][:12]:<14}{row['kind']:<8}{row['cells']:>7}"
+              f"{row['shards']:>8}{row['shards_done']:>6}{row['leased']:>8}"
+              f"{str(bool(row['merged'])).lower():>8}")
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     import time as _time
 
     from repro.obs.export import write_json_snapshot, write_prometheus_textfile
     from repro.obs.telemetry import render_status
     from repro.runtime.shard import iter_campaign_dirs
+
+    if args.service:
+        from repro.serve.client import ServiceClient
+
+        with ServiceClient(args.service) as client:
+            reply = client.status()
+        if args.json:
+            doc = dict(reply.aggregate)
+            doc["source"] = "service"
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(reply.text)
+        if args.prom_out:
+            write_prometheus_textfile(reply.aggregate, args.prom_out)
+        if args.snapshot_out:
+            write_json_snapshot(reply.aggregate, args.snapshot_out)
+        return 0
+    if not args.dir:
+        print("error: status needs a campaign directory or --service ADDR",
+              file=sys.stderr)
+        return 1
 
     dirs = iter_campaign_dirs(args.dir)
     if not dirs:
@@ -760,7 +931,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
     def emit_once() -> None:
         if args.json:
-            print(json.dumps(_campaign_aggregate(dirs), indent=2, sort_keys=True))
+            doc = dict(_campaign_aggregate(dirs))
+            doc["source"] = "file"
+            print(json.dumps(doc, indent=2, sort_keys=True))
         else:
             for cdir in dirs:
                 print(str(cdir))
@@ -823,6 +996,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "faults": _cmd_faults,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
+        "worker": _cmd_worker,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "status": _cmd_status,
         "top": _cmd_top,
     }

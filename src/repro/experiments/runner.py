@@ -136,12 +136,13 @@ def run_overload_experiment(
         behavior = BudgetEnforcedBehavior(
             behavior, enforce_a=False, enforce_b=False, enforce_c=True
         )
+    traffic_behavior = None
     if traffic is not None:
         # Outside budget enforcement: grants are already capped at the
         # server budget (== its level-C PWCET), so clipping is a no-op;
         # wrapping outside keeps the scenario/budget pair untouched for
         # the periodic tasks.
-        behavior = traffic.build_behavior(behavior, horizon)
+        behavior = traffic_behavior = traffic.build_behavior(behavior, horizon)
     if fault_plane is not None:
         # Spikes wrap *outside* budget enforcement: an execution spike is
         # extra demand beyond the PWCETs, so budgets must not clip it.
@@ -187,6 +188,12 @@ def run_overload_experiment(
     trace = kernel.finish()
 
     diss, truncated = dissipation_time(monitor, end, kernel.now)
+    sojourn = None
+    if traffic_behavior is not None:
+        from repro.experiments.metrics import SojournStats
+
+        samples, requests = traffic_behavior.sojourn_samples(trace)
+        sojourn = SojournStats.from_samples(samples, requests)
     result = RunResult(
         scenario=scenario.name,
         monitor=spec.label,
@@ -198,6 +205,7 @@ def run_overload_experiment(
         max_response_c=trace.max_response_time(CriticalityLevel.C),
         sim_end=kernel.now,
         events=kernel.events_processed,
+        sojourn=sojourn,
     )
     if keep_artifacts:
         return ExperimentOutput(result=result, trace=trace, kernel=kernel, monitor=monitor)

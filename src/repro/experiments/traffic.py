@@ -53,6 +53,7 @@ __all__ = [
     "traffic_sweep",
     "figure_offered_load",
     "figure_burst_size",
+    "render_sojourn_table",
 ]
 
 #: One series per monitor: the paper's headline SIMPLE/ADAPTIVE settings.
@@ -183,6 +184,38 @@ def traffic_sweep(
     return results
 
 
+def render_sojourn_table(
+    results: Dict[Tuple[str, float], List[RunResult]], xlabel: str = "x"
+) -> str:
+    """Per-request queueing metrics of a traffic sweep, one row per cell.
+
+    Sojourn samples are pooled across the cell's task sets by combining
+    counts and (count-weighted) means; percentiles/max are the worst per
+    cell across task sets — conservative, and computable from the
+    per-run :class:`~repro.experiments.metrics.SojournStats` alone.
+    """
+    lines = [f"{'monitor':<18} {xlabel:>10}  per-request sojourn"]
+    for (label, x) in sorted(results, key=lambda k: (k[0], k[1])):
+        stats = [r.sojourn for r in results[(label, x)] if r.sojourn is not None]
+        if not stats:
+            continue
+        requests = sum(s.requests for s in stats)
+        served = sum(s.served for s in stats)
+        mean = (
+            sum(s.mean_s * s.served for s in stats) / served if served else 0.0
+        )
+        p50 = max(s.p50_s for s in stats)
+        p95 = max(s.p95_s for s in stats)
+        peak = max(s.max_s for s in stats)
+        lines.append(
+            f"{label:<18} {x:>10.3f}  "
+            f"requests={requests:6d} served={served:6d}  "
+            f"mean={mean * 1e3:8.2f} ms  p50={p50 * 1e3:8.2f} ms  "
+            f"p95={p95 * 1e3:8.2f} ms  max={peak * 1e3:8.2f} ms"
+        )
+    return "\n".join(lines)
+
+
 def figure_offered_load(
     tasksets: Sequence[TaskSetLike],
     m: int,
@@ -193,8 +226,14 @@ def figure_offered_load(
     config: Optional[KernelConfig] = None,
     executor: Optional[SweepExecutor] = None,
     obs: Optional[ObsSpec] = None,
+    results_out: Optional[Dict[Tuple[str, float], List[RunResult]]] = None,
 ) -> FigureData:
-    """Traffic figure A: dissipation time vs. offered load per CPU."""
+    """Traffic figure A: dissipation time vs. offered load per CPU.
+
+    *results_out*, when given, receives the raw per-cell
+    :class:`RunResult` lists (keyed ``(monitor label, x)``) so callers
+    can report per-request sojourn metrics alongside the figure.
+    """
     traffics = [
         (load, poisson_traffic(load, m, seed=seed)) for load in loads_per_cpu
     ]
@@ -202,6 +241,8 @@ def figure_offered_load(
         tasksets, traffics, monitors=monitors, horizon=horizon,
         config=config, executor=executor, obs=obs,
     )
+    if results_out is not None:
+        results_out.update(results)
     return _aggregate(
         "Fig. T1",
         f"Dissipation time vs offered load (Poisson, m={m})",
@@ -222,8 +263,12 @@ def figure_burst_size(
     config: Optional[KernelConfig] = None,
     executor: Optional[SweepExecutor] = None,
     obs: Optional[ObsSpec] = None,
+    results_out: Optional[Dict[Tuple[str, float], List[RunResult]]] = None,
 ) -> FigureData:
-    """Traffic figure B: minimum s(t) vs. burst size per CPU."""
+    """Traffic figure B: minimum s(t) vs. burst size per CPU.
+
+    *results_out* as in :func:`figure_offered_load`.
+    """
     traffics = [
         (burst, mmpp_traffic(burst, m, seed=seed)) for burst in bursts_per_cpu
     ]
@@ -231,6 +276,8 @@ def figure_burst_size(
         tasksets, traffics, monitors=monitors, horizon=horizon,
         config=config, executor=executor, obs=obs,
     )
+    if results_out is not None:
+        results_out.update(results)
     return _aggregate(
         "Fig. T2",
         f"Minimum s(t) vs burst size (MMPP, m={m})",

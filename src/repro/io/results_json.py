@@ -12,7 +12,7 @@ import json
 from typing import Any, Dict, Iterable
 
 from repro.experiments.figures import FigureData
-from repro.experiments.metrics import RunResult
+from repro.experiments.metrics import RunResult, SojournStats
 
 __all__ = [
     "run_result_to_dict",
@@ -24,22 +24,45 @@ __all__ = [
 
 
 def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
-    """A RunResult as a JSON-ready dict (plain dataclass dump)."""
-    return dataclasses.asdict(result)
+    """A RunResult as a JSON-ready dict (plain dataclass dump).
+
+    ``sojourn`` is omitted when ``None`` (scripted-overload runs), so
+    pre-traffic result documents — and everything hashed from them —
+    keep their exact bytes.
+    """
+    doc = dataclasses.asdict(result)
+    if doc.get("sojourn") is None:
+        doc.pop("sojourn", None)
+    return doc
 
 
 def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
     """Inverse of :func:`run_result_to_dict` (the result-cache read path).
 
-    Unknown keys are ignored (forward compatibility); missing required
-    fields raise :class:`ValueError` so a truncated cache entry reads as
-    corrupt rather than as a zeroed result.
+    Unknown keys are ignored (forward compatibility); missing fields
+    *without defaults* raise :class:`ValueError` so a truncated cache
+    entry reads as corrupt rather than as a zeroed result — while
+    documents written before an optional field existed (e.g. pre-sojourn
+    caches) still load.
     """
-    fields = {f.name for f in dataclasses.fields(RunResult)}
-    missing = fields - set(data)
+    fields = dataclasses.fields(RunResult)
+    names = {f.name for f in fields}
+    required = {
+        f.name
+        for f in fields
+        if f.default is dataclasses.MISSING
+        and f.default_factory is dataclasses.MISSING
+    }
+    missing = required - set(data)
     if missing:
         raise ValueError(f"RunResult document missing fields: {sorted(missing)}")
-    return RunResult(**{k: v for k, v in data.items() if k in fields})
+    kwargs = {k: v for k, v in data.items() if k in names}
+    if isinstance(kwargs.get("sojourn"), dict):
+        kwargs["sojourn"] = SojournStats(**{
+            k: v for k, v in kwargs["sojourn"].items()
+            if k in {f.name for f in dataclasses.fields(SojournStats)}
+        })
+    return RunResult(**kwargs)
 
 
 def results_to_json(results: Iterable[RunResult], indent: int = 2) -> str:

@@ -228,11 +228,18 @@ class TelemetryWriter:
     suspend/resume) must never yield negative or absurd
     ``cells_per_sec``/``events_per_sec``.  Non-positive monotonic
     intervals (first sample, duplicate timestamps) report zero rates.
+
+    ``sink`` replaces the file with a callable taking one canonical
+    record line (no trailing newline): service workers
+    (:mod:`repro.serve.worker`) relay records to the coordinator over
+    the wire instead of the filesystem, and the coordinator appends
+    them to the campaign's ``telemetry/`` stream — same bytes, same
+    readers.  With a sink, ``path`` may be ``None``.
     """
 
     def __init__(
         self,
-        path: Pathish,
+        path: Optional[Pathish],
         owner: str,
         campaign: str = "",
         interval_s: float = 0.5,
@@ -242,8 +249,12 @@ class TelemetryWriter:
         backend: str = "",
         batch: bool = False,
         phase_profiler: Optional[PhaseProfiler] = None,
+        sink: Optional[Callable[[str], None]] = None,
     ) -> None:
-        self.path = pathlib.Path(path)
+        if path is None and sink is None:
+            raise ValueError("TelemetryWriter needs a path or a sink")
+        self.path = pathlib.Path(path) if path is not None else None
+        self._sink = sink
         self.owner = owner
         self.interval_s = interval_s
         self._clock = clock
@@ -267,8 +278,7 @@ class TelemetryWriter:
         self.leases_stolen = 0
         self.batch_slices = 0
         self.closed = False
-        append_line(
-            self.path,
+        self._emit(
             json.dumps(
                 {
                     "rec": "meta",
@@ -282,8 +292,15 @@ class TelemetryWriter:
                     "mono_start": self._mono(),
                 },
                 **_CANON,
-            ),
+            )
         )
+
+    def _emit(self, line: str) -> None:
+        if self._sink is not None:
+            self._sink(line)
+        else:
+            assert self.path is not None
+            append_line(self.path, line)
 
     # -- counter updates ----------------------------------------------
     def lease_acquired(self, stolen: bool = False) -> None:
@@ -351,7 +368,7 @@ class TelemetryWriter:
         }
         if final:
             record["final"] = True
-        append_line(self.path, json.dumps(record, **_CANON))
+        self._emit(json.dumps(record, **_CANON))
         self._seq += 1
         self._last_mono = mono
         self._prev = (self.cells_done, self.events, mono)

@@ -546,6 +546,7 @@ def make_executor(
     shard_size: int = 16,
     batch_cells: bool = False,
     telemetry: bool = False,
+    service_addr: Optional[str] = None,
 ) -> SweepExecutor:
     """CLI-flag-shaped factory: ``--jobs N`` / ``--cache-dir PATH``.
 
@@ -553,6 +554,15 @@ def make_executor(
     :class:`~repro.runtime.shard.ShardedBackend`: the sweep is split
     into durable shards under *checkpoint_dir* and a killed run resumes
     from its completed shards (``repro-mc2 sweep resume``).
+
+    ``--service HOST:PORT`` routes execution through a running
+    ``repro-serve`` coordinator
+    (:class:`~repro.serve.client.ServiceBackend`): the spec list is
+    submitted as a content-addressed campaign and the coordinator's
+    workers drain it.  The file-based backends are the degenerate
+    single-machine case of the same seam — results and artifacts are
+    identical either way.  Mutually exclusive with ``checkpoint_dir``
+    (the coordinator owns its own campaign directories).
 
     ``--batch-cells`` turns on batched cell execution on every backend:
     each process simulates whole slices of the grid, materializing each
@@ -569,6 +579,20 @@ def make_executor(
 
         enable_phase_profiling(True)
     cache = ResultCache(cache_dir, max_entries=max_entries) if cache_dir else None
+    if service_addr:
+        if checkpoint_dir:
+            raise ValueError("--service and --checkpoint-dir are mutually exclusive")
+        # Imported lazily: repro.serve.client subclasses SweepExecutor,
+        # so a top-level import here would be circular.
+        from repro.serve.client import ServiceBackend
+
+        return ServiceBackend(
+            service_addr,
+            shard_size=shard_size,
+            cache=cache,
+            metrics=metrics,
+            progress=progress,
+        )
     if checkpoint_dir:
         # Imported lazily: shard builds on this module (and on
         # repro.faults), so a top-level import would be circular.

@@ -89,6 +89,7 @@ __all__ = [
     "ShardSpec",
     "ShardedCampaign",
     "CampaignStore",
+    "get_kind",
     "WorkStats",
     "work",
     "run_workers",
@@ -211,6 +212,19 @@ _KINDS: Dict[str, _Kind] = {
         cacheable=False,
     ),
 }
+
+
+def get_kind(name: str) -> _Kind:
+    """The kind adapter for *name* (``"sweep"`` / ``"faults"``).
+
+    The public accessor remote executors (:mod:`repro.serve.worker`) use
+    to reconstruct and execute cells from their wire documents with the
+    exact serialization/execution semantics of the file queue.
+    """
+    try:
+        return _KINDS[name]
+    except KeyError:
+        raise ValueError(f"unknown campaign kind {name!r} (have {sorted(_KINDS)})") from None
 
 
 # ----------------------------------------------------------------------
@@ -424,12 +438,16 @@ class CampaignStore:
 
     # -- leases --------------------------------------------------------
     def _lease_doc(self, owner: str, acquired: float, heartbeat: float) -> str:
+        # acquired/heartbeat come from the staleness clock (monotonic by
+        # default — see try_acquire); "wall" is display-only, so humans
+        # inspecting a lease file still see a civil timestamp.
         return json.dumps(
             {
                 "format": LEASE_FORMAT,
                 "owner": owner,
                 "acquired": acquired,
                 "heartbeat": heartbeat,
+                "wall": time.time(),
             }
         )
 
@@ -447,13 +465,20 @@ class CampaignStore:
         shard_id: str,
         owner: str,
         lease_ttl: float,
-        clock: Callable[[], float] = time.time,
+        clock: Callable[[], float] = time.monotonic,
     ) -> bool:
         """Claim *shard_id*: fresh lease, or steal one whose heartbeat expired.
 
         Best-effort mutual exclusion — see the module docstring; a lost
         race costs a redundant (deterministic) shard execution, never a
         wrong result.
+
+        Staleness is judged on ``clock``, **monotonic** by default:
+        lease files coordinate processes on one machine, where
+        ``CLOCK_MONOTONIC`` is shared, and a wall-clock step (NTP slew,
+        suspend/resume) must neither steal a live worker's lease (jump
+        forward) nor keep a dead worker's lease alive (jump back) —
+        the same dual-clock rule the telemetry writer follows.
         """
         path = self.lease_path(shard_id)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -485,7 +510,7 @@ class CampaignStore:
         return True
 
     def heartbeat(
-        self, shard_id: str, owner: str, clock: Callable[[], float] = time.time
+        self, shard_id: str, owner: str, clock: Callable[[], float] = time.monotonic
     ) -> None:
         existing = self.read_lease(shard_id)
         if existing is None or existing.get("owner") != owner:
@@ -703,7 +728,7 @@ def work(
     max_shards: Optional[int] = None,
     progress=None,
     metrics=None,
-    clock: Callable[[], float] = time.time,
+    clock: Callable[[], float] = time.monotonic,
     batch: bool = False,
     telemetry: bool = False,
 ) -> WorkStats:
@@ -748,13 +773,15 @@ def work(
         backend = ""
         if campaign.kind == "sweep" and campaign.cells:
             backend = campaign.cells[0].kernel.backend
+        # Note: the telemetry writer keeps its own (wall, monotonic)
+        # clock pair — the lease clock is monotonic and must not leak
+        # into wall-stamped telemetry records.
         tele = TelemetryWriter(
             telemetry_path(directory, who),
             owner=who,
             campaign=campaign.campaign_key,
             backend=backend,
             batch=batch,
-            clock=clock,
         )
     claimed = 0
     skipped = 0

@@ -1,0 +1,24 @@
+"""Distributed campaign service: coordinator/worker fabric (``repro-serve``).
+
+The file-based shard queue (:mod:`repro.runtime.shard`) coordinates
+workers through a shared directory; this package promotes it into a
+long-running client/server fabric for multi-machine campaigns:
+
+* :mod:`repro.serve.protocol` — the versioned, line-delimited JSON wire
+  protocol (``repro-serve`` v1);
+* :mod:`repro.serve.coordinator` — the asyncio coordinator service: it
+  owns the campaign directories, grants shard leases, journals streamed
+  cell results, and persists every state transition through the same
+  atomic manifest/merge machinery as the file queue — so merged
+  artifacts stay byte-identical to an uninterrupted serial run;
+* :mod:`repro.serve.worker` — the thin synchronous worker client:
+  lease, execute, stream results, heartbeat, retry with backoff;
+* :mod:`repro.serve.client` — the submit/inspect client plus
+  :class:`~repro.serve.client.ServiceBackend`, the
+  :class:`~repro.runtime.executor.SweepExecutor` that routes ``run()``
+  through a coordinator (``make_executor(service_addr=...)``).
+"""
+
+from repro.serve.protocol import PROTOCOL_FORMAT, PROTOCOL_VERSION
+
+__all__ = ["PROTOCOL_FORMAT", "PROTOCOL_VERSION"]

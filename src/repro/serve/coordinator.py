@@ -1,0 +1,535 @@
+"""The ``repro-serve`` coordinator: an asyncio service over campaign dirs.
+
+One coordinator process owns a campaign *root* (the same layout
+``prepare_campaign`` builds for the file queue) and speaks
+:mod:`repro.serve.protocol` to any number of workers and clients:
+
+* ``submit`` registers a content-addressed campaign — literally
+  :func:`repro.runtime.shard.prepare_campaign` under the root, so the
+  on-disk truth is identical to a file-queue campaign and every
+  file-based tool (``sweep status``, ``status``, ``top``, ``resume``)
+  keeps working against the serve root;
+* ``lease`` grants shards in campaign order with an in-memory
+  (monotonic-clock) TTL, mirrored into the directory's lease files so
+  file-based observers see ownership;
+* streamed ``cell_result`` messages are buffered per shard **and
+  journaled** (``<root>/coordinator.journal``, one ``O_APPEND`` NDJSON
+  line per cell) so a coordinator crash mid-stream loses nothing a
+  restart can't reassemble;
+* ``shard_done`` commits the shard through the existing atomic
+  :meth:`~repro.runtime.shard.CampaignStore.write_manifest`, and the
+  last manifest triggers the streaming merge
+  (:func:`~repro.runtime.shard.write_merged_results` /
+  :func:`~repro.runtime.shard.write_merged_scorecard`) — so the merged
+  artifact is byte-identical to an uninterrupted serial run no matter
+  how many workers, reconnects, or restarts happened in between.
+
+Correctness never depends on the lease bookkeeping: cells are
+deterministic, so a lease lost to a network partition or TTL expiry
+costs at most a redundant execution that writes the same bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.runtime.shard import (
+    CampaignStore,
+    ShardedCampaign,
+    ShardSpec,
+    get_kind,
+    iter_campaign_dirs,
+    prepare_campaign,
+    write_merged_results,
+    write_merged_scorecard,
+)
+from repro.serve import protocol as wire
+from repro.util.atomicio import append_line
+
+__all__ = ["JOURNAL_NAME", "Coordinator", "serve"]
+
+JOURNAL_NAME = "coordinator.journal"
+
+_CANON = dict(sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+@dataclass
+class _Lease:
+    owner: str
+    deadline: float  # monotonic
+
+
+@dataclass
+class _CampaignState:
+    """One registered campaign: durable store + volatile lease/buffer state."""
+
+    campaign: ShardedCampaign
+    cdir: pathlib.Path
+    store: CampaignStore
+    done: Set[str] = field(default_factory=set)
+    leases: Dict[str, _Lease] = field(default_factory=dict)
+    #: shard_id -> {campaign cell position -> (doc, cached, wall_ns)}.
+    buffers: Dict[str, Dict[int, Tuple[Dict[str, Any], bool, int]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def complete(self) -> bool:
+        return len(self.done) == len(self.campaign.shards)
+
+    def shard_by_id(self, shard_id: str) -> Optional[ShardSpec]:
+        for shard in self.campaign.shards:
+            if shard.shard_id == shard_id:
+                return shard
+        return None
+
+
+class Coordinator:
+    """Protocol state machine + asyncio server (see the module docstring).
+
+    Message handling is synchronous inside the event loop, so per-message
+    state transitions are atomic without locks; the durable transitions
+    (journal append, manifest write, merge) are the same atomic-IO
+    primitives the file queue uses.
+    """
+
+    def __init__(
+        self,
+        root: "str | pathlib.Path",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_ttl: float = 60.0,
+        mono=time.monotonic,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.host = host
+        self.port = port
+        self.lease_ttl = lease_ttl
+        self._mono = mono
+        self.campaigns: Dict[str, _CampaignState] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.recovered_shards = 0
+
+    # ------------------------------------------------------------------
+    # Durability: journal + recovery
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> pathlib.Path:
+        return self.root / JOURNAL_NAME
+
+    def _journal(self, event: Dict[str, Any]) -> None:
+        append_line(self.journal_path, json.dumps(event, **_CANON))
+
+    def recover(self) -> None:
+        """Rebuild state from the root: manifests first, then the journal.
+
+        Shard manifests are the durable truth; the journal only
+        re-seeds the in-memory cell buffers of shards that were still
+        streaming when the coordinator died.  A shard whose every cell
+        made it into the journal is committed to its manifest right
+        here (owner ``"recovered"`` — owners never enter merged
+        artifacts), so a crash between the last ``cell_result`` and the
+        manifest write costs nothing.
+        """
+        for cdir in iter_campaign_dirs(self.root):
+            store = CampaignStore(cdir)
+            campaign = store.load()
+            state = _CampaignState(campaign=campaign, cdir=cdir, store=store)
+            state.done = {
+                s.shard_id for s in campaign.shards if store.shard_done(s)
+            }
+            self.campaigns[campaign.campaign_key] = state
+        try:
+            fh = open(self.journal_path, "r", encoding="utf-8")
+        except OSError:
+            fh = None
+        if fh is not None:
+            with fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        continue  # torn final line of a killed coordinator
+                    if event.get("ev") != "cell":
+                        continue
+                    state = self.campaigns.get(event.get("c", ""))
+                    if state is None:
+                        continue
+                    shard_id = str(event.get("s", ""))
+                    if shard_id in state.done:
+                        continue
+                    try:
+                        pos = int(event["p"])
+                        doc = event["doc"]
+                    except (KeyError, TypeError, ValueError):
+                        continue
+                    state.buffers.setdefault(shard_id, {})[pos] = (
+                        doc,
+                        bool(event.get("cached", False)),
+                        int(event.get("w", 0)),
+                    )
+        for state in self.campaigns.values():
+            for shard in state.campaign.shards:
+                if shard.shard_id in state.done:
+                    continue
+                buf = state.buffers.get(shard.shard_id, {})
+                if all(p in buf for p in range(shard.start, shard.stop)):
+                    self._commit_shard(state, shard, "recovered", 0)
+                    self.recovered_shards += 1
+            if state.complete:
+                self._merge(state)
+
+    def _commit_shard(
+        self, state: _CampaignState, shard: ShardSpec, owner: str, shard_wall_ns: int
+    ) -> None:
+        buf = state.buffers.get(shard.shard_id, {})
+        rows = [buf[p] for p in range(shard.start, shard.stop)]
+        state.store.write_manifest(
+            state.campaign,
+            shard,
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+            owner,
+            shard_wall_ns,
+        )
+        self._journal({"ev": "shard", "c": state.campaign.campaign_key,
+                       "s": shard.shard_id})
+        state.done.add(shard.shard_id)
+        state.buffers.pop(shard.shard_id, None)
+        lease = state.leases.pop(shard.shard_id, None)
+        if lease is not None:
+            state.store.release(shard.shard_id, lease.owner)
+
+    def _merge(self, state: _CampaignState) -> pathlib.Path:
+        if state.campaign.kind == "faults":
+            return write_merged_scorecard(state.cdir)
+        return write_merged_results(state.cdir)
+
+    # ------------------------------------------------------------------
+    # Message handlers (one per request type)
+    # ------------------------------------------------------------------
+    def handle(self, msg: wire.Message) -> List[wire.Message]:
+        """Map one request to its reply (or reply stream, for fetch)."""
+        if isinstance(msg, wire.Hello):
+            if msg.format != wire.PROTOCOL_FORMAT or msg.version != wire.PROTOCOL_VERSION:
+                return [wire.ErrorReply(
+                    reason=f"protocol mismatch: want {wire.PROTOCOL_FORMAT} "
+                           f"v{wire.PROTOCOL_VERSION}, got {msg.format} v{msg.version}"
+                )]
+            return [wire.HelloOk()]
+        if isinstance(msg, wire.Submit):
+            return [self._on_submit(msg)]
+        if isinstance(msg, wire.LeaseRequest):
+            return [self._on_lease(msg)]
+        if isinstance(msg, wire.CellResult):
+            return [self._on_cell(msg)]
+        if isinstance(msg, wire.ShardDone):
+            return [self._on_shard_done(msg)]
+        if isinstance(msg, wire.Heartbeat):
+            return [self._on_heartbeat(msg)]
+        if isinstance(msg, wire.Telemetry):
+            return [self._on_telemetry(msg)]
+        if isinstance(msg, wire.JobsRequest):
+            return [self._on_jobs()]
+        if isinstance(msg, wire.StatusRequest):
+            return [self._on_status()]
+        if isinstance(msg, wire.FetchRequest):
+            return self._on_fetch(msg)
+        return [wire.ErrorReply(reason=f"unexpected message type {msg.TYPE!r}")]
+
+    def _on_submit(self, msg: wire.Submit) -> wire.Message:
+        try:
+            campaign = ShardedCampaign.from_dict(dict(msg.campaign))
+        except (KeyError, TypeError, ValueError) as exc:
+            return wire.ErrorReply(reason=f"bad campaign document: {exc}")
+        created = campaign.campaign_key not in self.campaigns
+        if created:
+            cdir = prepare_campaign(self.root, campaign)
+            store = CampaignStore(cdir)
+            state = _CampaignState(campaign=campaign, cdir=cdir, store=store)
+            state.done = {
+                s.shard_id for s in campaign.shards if store.shard_done(s)
+            }
+            self.campaigns[campaign.campaign_key] = state
+            self._journal({"ev": "campaign", "key": campaign.campaign_key,
+                           "dir": cdir.name})
+            if state.complete:
+                self._merge(state)
+        state = self.campaigns[campaign.campaign_key]
+        return wire.SubmitOk(
+            key=campaign.campaign_key,
+            shards=len(campaign.shards),
+            shards_done=len(state.done),
+            created=created,
+        )
+
+    def _grantable(self, state: _CampaignState, now: float) -> Optional[ShardSpec]:
+        for shard in state.campaign.shards:
+            if shard.shard_id in state.done:
+                continue
+            lease = state.leases.get(shard.shard_id)
+            if lease is not None and lease.deadline > now:
+                continue
+            return shard
+        return None
+
+    def _on_lease(self, msg: wire.LeaseRequest) -> wire.Message:
+        now = self._mono()
+        active = 0
+        for key in sorted(self.campaigns):
+            state = self.campaigns[key]
+            if state.complete:
+                continue
+            active += 1
+            shard = self._grantable(state, now)
+            if shard is None:
+                continue
+            stolen = state.leases.get(shard.shard_id)
+            if stolen is not None:
+                state.store.release(shard.shard_id, stolen.owner)
+            state.leases[shard.shard_id] = _Lease(
+                owner=msg.owner, deadline=now + self.lease_ttl
+            )
+            # Mirror into the directory's lease file so file-based
+            # status/top show ownership; best-effort only.
+            state.store.try_acquire(shard.shard_id, msg.owner, self.lease_ttl)
+            campaign = state.campaign
+            kind = campaign.kind
+            to_dict = get_kind(kind).cell_to_dict
+            return wire.LeaseGrant(
+                campaign=campaign.campaign_key,
+                shard=shard.shard_id,
+                index=shard.index,
+                start=shard.start,
+                stop=shard.stop,
+                kind=kind,
+                cells=[to_dict(campaign.cells[p])
+                       for p in range(shard.start, shard.stop)],
+                cell_keys=list(campaign.cell_keys[shard.start:shard.stop]),
+                meta=dict(campaign.meta),
+                ttl=self.lease_ttl,
+            )
+        return wire.NoWork(active=active, drained=active == 0)
+
+    def _on_cell(self, msg: wire.CellResult) -> wire.Message:
+        state = self.campaigns.get(msg.campaign)
+        if state is None:
+            return wire.ErrorReply(reason=f"unknown campaign {msg.campaign[:12]}")
+        if msg.shard in state.done:
+            return wire.CellOk()  # duplicate delivery after a re-grant
+        shard = state.shard_by_id(msg.shard)
+        if shard is None:
+            return wire.ErrorReply(reason=f"unknown shard {msg.shard[:12]}")
+        if not shard.start <= msg.pos < shard.stop:
+            return wire.ErrorReply(
+                reason=f"cell {msg.pos} outside shard slice "
+                       f"[{shard.start}, {shard.stop})"
+            )
+        self._journal({
+            "ev": "cell", "c": msg.campaign, "s": msg.shard, "p": msg.pos,
+            "doc": msg.doc, "cached": msg.cached, "w": msg.wall_ns,
+        })
+        state.buffers.setdefault(msg.shard, {})[msg.pos] = (
+            dict(msg.doc), msg.cached, msg.wall_ns,
+        )
+        return wire.CellOk()
+
+    def _on_shard_done(self, msg: wire.ShardDone) -> wire.Message:
+        state = self.campaigns.get(msg.campaign)
+        if state is None:
+            return wire.ErrorReply(reason=f"unknown campaign {msg.campaign[:12]}")
+        if msg.shard in state.done:
+            return wire.ShardOk(accepted=True)
+        shard = state.shard_by_id(msg.shard)
+        if shard is None:
+            return wire.ErrorReply(reason=f"unknown shard {msg.shard[:12]}")
+        buf = state.buffers.get(msg.shard, {})
+        missing = [p for p in range(shard.start, shard.stop) if p not in buf]
+        if missing:
+            # A restarted coordinator may have lost nothing (journal) or
+            # everything before the journal existed; either way the
+            # worker just re-streams the listed cells and retries.
+            return wire.ShardOk(
+                accepted=False,
+                reason=f"missing {len(missing)} cell(s): "
+                       f"{missing[:8]}{'...' if len(missing) > 8 else ''}",
+            )
+        self._commit_shard(state, shard, msg.owner, msg.shard_wall_ns)
+        if state.complete:
+            self._merge(state)
+        return wire.ShardOk(accepted=True)
+
+    def _on_heartbeat(self, msg: wire.Heartbeat) -> wire.Message:
+        state = self.campaigns.get(msg.campaign)
+        if state is None:
+            return wire.HeartbeatOk(valid=False)
+        lease = state.leases.get(msg.shard)
+        now = self._mono()
+        if lease is None or lease.owner != msg.owner or lease.deadline <= now:
+            return wire.HeartbeatOk(valid=False)
+        lease.deadline = now + self.lease_ttl
+        state.store.heartbeat(msg.shard, msg.owner)
+        return wire.HeartbeatOk(valid=True)
+
+    def _on_telemetry(self, msg: wire.Telemetry) -> wire.Message:
+        from repro.obs.telemetry import telemetry_path
+
+        state = self.campaigns.get(msg.campaign)
+        if state is None:
+            return wire.ErrorReply(reason=f"unknown campaign {msg.campaign[:12]}")
+        append_line(
+            telemetry_path(state.cdir, msg.owner),
+            json.dumps(msg.record, **_CANON),
+        )
+        return wire.TelemetryOk()
+
+    def _on_jobs(self) -> wire.Message:
+        now = self._mono()
+        docs = []
+        for key in sorted(self.campaigns):
+            state = self.campaigns[key]
+            docs.append({
+                "key": key,
+                "kind": state.campaign.kind,
+                "cells": len(state.campaign.cells),
+                "shards": len(state.campaign.shards),
+                "shards_done": len(state.done),
+                "leased": sum(
+                    1 for lease in state.leases.values() if lease.deadline > now
+                ),
+                "merged": state.store.merged_path.is_file(),
+                "dir": state.cdir.name,
+            })
+        return wire.JobsReply(campaigns=docs)
+
+    def _on_status(self) -> wire.Message:
+        from repro.obs.telemetry import TelemetryAggregator, render_status
+
+        agg = TelemetryAggregator()
+        blocks = []
+        for key in sorted(self.campaigns):
+            state = self.campaigns[key]
+            agg.add_campaign(state.cdir)
+            blocks.append(str(state.cdir))
+            blocks.append(render_status(state.cdir))
+        return wire.StatusReply(aggregate=agg.aggregate(), text="\n".join(blocks))
+
+    def _on_fetch(self, msg: wire.FetchRequest) -> List[wire.Message]:
+        state = self.campaigns.get(msg.campaign)
+        if state is None:
+            return [wire.ErrorReply(reason=f"unknown campaign {msg.campaign[:12]}")]
+        if not state.complete:
+            return [wire.ErrorReply(
+                reason=f"campaign incomplete: "
+                       f"{len(state.done)}/{len(state.campaign.shards)} shards"
+            )]
+        out: List[wire.Message] = []
+        for shard in state.campaign.shards:
+            manifest = state.store.read_manifest(shard)
+            if manifest is None:
+                return [wire.ErrorReply(
+                    reason=f"shard manifest {shard.shard_id[:12]} vanished"
+                )]
+            cached = manifest.get("cached", [False] * shard.cells)
+            wall = manifest.get("wall_ns", [0] * shard.cells)
+            for off, doc in enumerate(manifest["results"]):
+                out.append(wire.FetchCell(
+                    pos=shard.start + off,
+                    doc=doc,
+                    cached=bool(cached[off]),
+                    wall_ns=int(wall[off]),
+                ))
+        out.append(wire.FetchDone(cells=len(state.campaign.cells)))
+        return out
+
+    # ------------------------------------------------------------------
+    # asyncio server
+    # ------------------------------------------------------------------
+    async def _client_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = wire.LineDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                for msg in decoder.feed(data):
+                    for reply in self.handle(msg):
+                        writer.write(wire.encode_message(reply))
+                await writer.drain()
+        except (ConnectionError, wire.ProtocolError):
+            pass  # a worker died or sent garbage; its lease will expire
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def start(self, port_file: Optional[str] = None) -> int:
+        """Bind and start serving; returns the bound port."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.recover()
+        self._server = await asyncio.start_server(
+            self._client_loop, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if port_file:
+            from repro.util.atomicio import atomic_write_text
+
+            atomic_write_text(port_file, f"{self.port}\n")
+        return self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+async def _serve_async(
+    root: str,
+    host: str,
+    port: int,
+    lease_ttl: float,
+    port_file: Optional[str],
+    log=print,
+) -> None:
+    coordinator = Coordinator(root, host=host, port=port, lease_ttl=lease_ttl)
+    bound = await coordinator.start(port_file=port_file)
+    known = len(coordinator.campaigns)
+    log(f"repro-serve v{wire.PROTOCOL_VERSION} coordinator on "
+        f"{coordinator.host}:{bound}  root={root}  "
+        f"campaigns={known}  recovered_shards={coordinator.recovered_shards}")
+    await coordinator.serve_forever()
+
+
+def serve(
+    root: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    lease_ttl: float = 60.0,
+    port_file: Optional[str] = None,
+    log=print,
+) -> int:
+    """Run a coordinator until interrupted (the ``repro-mc2 serve`` body)."""
+    try:
+        asyncio.run(_serve_async(root, host, port, lease_ttl, port_file, log=log))
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    return 0

@@ -765,3 +765,46 @@ class TrafficBehavior:
         if queue is None:
             return self._inner.exec_time(task, job_index, release)
         return queue.grant(job_index, release)
+
+    def sojourn_samples(self, trace: Any) -> Tuple[List[float], int]:
+        """Per-request sojourn times reconstructed from the run's trace.
+
+        A request is *served* at the completion of the first server job
+        whose cumulative grant covers the request's cumulative demand
+        (requests drain FIFO within a server — grants are backlog in
+        arrival order).  Returns ``(samples, requests)``: one sojourn
+        sample (``completion - arrival``) per fully served request whose
+        serving job completed, plus the total arrival count; the
+        difference is censored (never fully granted, or the serving job
+        was still running at the horizon).
+
+        Deterministic: grants come from the run's own memoized grant
+        sequence and completions from the (backend-invariant) trace, so
+        the same spec always yields the same samples.
+        """
+        samples: List[float] = []
+        requests = 0
+        for tid in sorted(self._queues):
+            queue = self._queues[tid]
+            times, prefix = queue._times, queue._prefix
+            requests += len(times)
+            if not times:
+                continue
+            granted = 0.0
+            i = 0  # first request not yet fully granted
+            for job in trace.jobs_of(tid):
+                g = queue._memo.get(job.index)
+                if g is None:
+                    continue  # released past the horizon; never sampled
+                granted += g
+                while i < len(times):
+                    need = prefix[i]
+                    if granted + 1e-9 * max(1.0, need) < need:
+                        break
+                    if job.completion is not None:
+                        # Clamped: deferrable lookahead can admit an
+                        # arrival into a job that completes before the
+                        # arrival instant (documented approximation).
+                        samples.append(max(0.0, job.completion - times[i]))
+                    i += 1
+        return samples, requests

@@ -1,0 +1,139 @@
+"""Per-request sojourn-time queueing metrics (open-system traffic).
+
+Pins the satellite's contract:
+
+* :class:`SojournStats.from_samples` — nearest-rank percentiles,
+  censored-request accounting, empty-sample degenerate case;
+* traffic runs carry a ``sojourn`` on their :class:`RunResult`;
+  scripted-overload runs keep ``sojourn is None``;
+* result documents omit the field when ``None`` (byte stability of
+  pre-traffic artifacts) and round-trip it when present — including
+  documents written before the field existed;
+* :func:`render_sojourn_table` aggregates per-cell rows and stays
+  header-only when no run has sojourn stats.
+"""
+
+import json
+
+from repro.experiments.metrics import RunResult, SojournStats
+from repro.experiments.traffic import (
+    figure_offered_load,
+    poisson_traffic,
+    render_sojourn_table,
+    traffic_sweep,
+)
+from repro.io.results_json import run_result_from_dict, run_result_to_dict
+from repro.runtime.executor import run_spec
+from repro.runtime.spec import MonitorSpec, RunSpec, ScenarioSpec, TaskSetSpec
+from repro.workload.generator import GeneratorParams
+from repro.workload.scenarios import CALM, SHORT
+
+PARAMS = GeneratorParams(m=2)
+
+
+def make_spec(traffic=None):
+    return RunSpec(
+        taskset=TaskSetSpec.generated(2015, PARAMS),
+        scenario=ScenarioSpec.from_scenario(CALM if traffic else SHORT),
+        monitor=MonitorSpec("simple", 0.6),
+        horizon=3.0,
+        traffic=traffic,
+    )
+
+
+class TestSojournStats:
+    def test_nearest_rank_percentiles(self):
+        samples = [0.5, 0.1, 0.4, 0.2, 0.3]  # unsorted on purpose
+        s = SojournStats.from_samples(samples, requests=5)
+        assert s.requests == 5 and s.served == 5
+        assert s.mean_s == sum(samples) / 5
+        assert s.p50_s == 0.3  # ceil(0.5 * 5) = rank 3
+        assert s.p95_s == 0.5  # ceil(0.95 * 5) = rank 5
+        assert s.max_s == 0.5
+
+    def test_censored_requests_counted_but_not_sampled(self):
+        s = SojournStats.from_samples([1.0], requests=4)
+        assert s.requests == 4 and s.served == 1
+        assert s.mean_s == s.p50_s == s.p95_s == s.max_s == 1.0
+
+    def test_empty_samples(self):
+        s = SojournStats.from_samples([], requests=3)
+        assert s.served == 0
+        assert s.mean_s == 0.0 and s.max_s == 0.0
+        assert "served=" in s.row()
+
+    def test_single_sample_all_ranks_collapse(self):
+        s = SojournStats.from_samples([0.25], requests=1)
+        assert s.p50_s == s.p95_s == s.max_s == 0.25
+
+
+class TestRunResults:
+    def test_traffic_run_has_sojourn(self):
+        r = run_spec(make_spec(traffic=poisson_traffic(0.45, m=2, seed=0)))
+        assert r.sojourn is not None
+        assert r.sojourn.requests > 0
+        assert r.sojourn.served <= r.sojourn.requests
+        assert r.sojourn.mean_s >= 0.0
+        assert r.sojourn.max_s >= r.sojourn.p95_s >= r.sojourn.p50_s >= 0.0
+
+    def test_scripted_run_has_no_sojourn(self):
+        assert run_spec(make_spec()).sojourn is None
+
+    def test_sojourn_is_deterministic(self):
+        spec = make_spec(traffic=poisson_traffic(0.45, m=2, seed=0))
+        assert run_spec(spec).sojourn == run_spec(spec).sojourn
+
+
+class TestResultDocs:
+    def test_doc_omits_sojourn_when_none(self):
+        doc = run_result_to_dict(run_spec(make_spec()))
+        assert "sojourn" not in doc
+        assert run_result_from_dict(doc).sojourn is None
+
+    def test_doc_round_trips_sojourn(self):
+        r = run_spec(make_spec(traffic=poisson_traffic(0.45, m=2, seed=0)))
+        doc = json.loads(json.dumps(run_result_to_dict(r)))
+        assert doc["sojourn"]["requests"] == r.sojourn.requests
+        assert run_result_from_dict(doc) == r
+
+    def test_pre_sojourn_document_still_loads(self):
+        # A cache entry written before the field existed: no "sojourn"
+        # key at all.  It must load as None, not raise.
+        doc = run_result_to_dict(run_spec(make_spec()))
+        doc.pop("sojourn", None)
+        r = run_result_from_dict(doc)
+        assert isinstance(r, RunResult) and r.sojourn is None
+
+
+class TestRendering:
+    def _results(self):
+        refs = [TaskSetSpec.generated(2015, PARAMS)]
+        traffics = [(0.45, poisson_traffic(0.45, m=2, seed=0))]
+        return traffic_sweep(
+            refs, traffics, monitors=(MonitorSpec("simple", 0.6),), horizon=2.0,
+        )
+
+    def test_table_has_one_row_per_cell(self):
+        results = self._results()
+        table = render_sojourn_table(results, xlabel="load/cpu")
+        lines = table.splitlines()
+        assert "load/cpu" in lines[0]
+        assert len(lines) == 1 + len(results)
+        assert "requests=" in lines[1] and "p95=" in lines[1]
+
+    def test_table_header_only_without_sojourn(self):
+        results = {("SIMPLE(s=0.6)", 0.1): [run_spec(make_spec())]}
+        table = render_sojourn_table(results)
+        assert len(table.splitlines()) == 1
+
+    def test_figure_results_out_exposes_raw_runs(self):
+        refs = [TaskSetSpec.generated(2015, PARAMS)]
+        raw = {}
+        figure_offered_load(
+            refs, m=2, loads_per_cpu=(0.45,),
+            monitors=(MonitorSpec("simple", 0.6),), horizon=2.0,
+            results_out=raw,
+        )
+        assert set(raw) == {("SIMPLE(s=0.6)", 0.45)}
+        (runs,) = raw.values()
+        assert runs[0].sojourn is not None

@@ -182,6 +182,36 @@ class TestLeases:
         path.write_text("{not json", encoding="utf-8")
         assert store.try_acquire("s1", "bob", lease_ttl=60.0)
 
+    def test_wall_clock_jump_does_not_steal_live_lease(
+        self, grid, tmp_path, monkeypatch
+    ):
+        # Regression: staleness must be judged on the monotonic clock.
+        # A wall-clock step (NTP, suspend/resume) during a lease's life
+        # used to make a live worker look stale; now a forward jump far
+        # past the TTL changes nothing.
+        store = CampaignStore(tmp_path)
+        store.initialize(ShardedCampaign("sweep", grid, shard_size=2))
+        assert store.try_acquire("s1", "alice", lease_ttl=5.0)
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + 1000.0)
+        assert not store.try_acquire("s1", "bob", lease_ttl=5.0)
+        assert store.read_lease("s1")["owner"] == "alice"
+
+    def test_backwards_wall_clock_does_not_refresh_stale_lease(
+        self, grid, tmp_path, monkeypatch
+    ):
+        # The mirror case: the wall clock stepping backwards must not
+        # make a genuinely expired lease look fresh.
+        store = CampaignStore(tmp_path)
+        store.initialize(ShardedCampaign("sweep", grid, shard_size=2))
+        t = [1000.0]
+        assert store.try_acquire("s1", "alice", lease_ttl=5.0, clock=lambda: t[0])
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() - 1000.0)
+        t[0] += 60.0  # monotonic says stale, whatever the wall clock does
+        assert store.try_acquire("s1", "bob", lease_ttl=5.0, clock=lambda: t[0])
+        assert store.read_lease("s1")["owner"] == "bob"
+
 
 # ----------------------------------------------------------------------
 # work() / resume
