@@ -78,6 +78,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -178,6 +179,10 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="route the sweep through a running repro-mc2 "
                              "serve coordinator instead of executing locally "
                              "(identical results and artifacts)")
+    parser.add_argument("--merged-out", metavar="FILE",
+                        help="also write the canonical merged artifact plus "
+                             "its repro-provenance manifest (verifiable with "
+                             "repro-mc2 verify) to FILE, on every backend")
 
 
 def _make_executor(args: argparse.Namespace) -> SweepExecutor:
@@ -187,7 +192,8 @@ def _make_executor(args: argparse.Namespace) -> SweepExecutor:
                          shard_size=args.shard_size,
                          batch_cells=args.batch_cells,
                          telemetry=args.telemetry,
-                         service_addr=getattr(args, "service", None))
+                         service_addr=getattr(args, "service", None),
+                         merged_out=getattr(args, "merged_out", None))
 
 
 def _obs_spec(args: argparse.Namespace) -> ObsSpec:
@@ -411,6 +417,13 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--lease-ttl", type=float, default=60.0, metavar="SEC",
                     help="seconds without a heartbeat before a worker's "
                          "shard lease is re-granted (default: 60)")
+    sv.add_argument("--verify-fraction", type=float, default=0.0, metavar="F",
+                    help="re-execute this seeded fraction of each worker's "
+                         "committed cells before accepting a shard; a "
+                         "divergent shard is re-queued and its worker "
+                         "quarantined (default: 0 = trust workers)")
+    sv.add_argument("--verify-seed", type=int, default=0, metavar="N",
+                    help="seed for the verification sample (default: 0)")
 
     wk = sub.add_parser("worker",
                         help="connect a worker to a repro-serve coordinator: "
@@ -486,6 +499,35 @@ def build_parser() -> argparse.ArgumentParser:
                     help="--watch refresh interval (default: 2.0)")
     tp.add_argument("--ttl", type=float, default=15.0, metavar="SEC",
                     help="staleness threshold in seconds (default: 15)")
+
+    vf = sub.add_parser("verify",
+                        help="attest a merged artifact against its "
+                             "repro-provenance manifest: hash check, "
+                             "per-cell digests, seeded re-execution")
+    vf.add_argument("manifest",
+                    help="a *.provenance.json manifest (or a campaign "
+                         "directory containing merged.provenance.json)")
+    vf.add_argument("--all", action="store_true",
+                    help="re-execute every cell instead of a seeded sample")
+    vf.add_argument("--sample", type=int, default=4, metavar="N",
+                    help="cells to re-execute when not --all (default: 4)")
+    vf.add_argument("--sample-seed", type=int, default=0, metavar="N",
+                    help="seed for the re-execution sample (default: 0)")
+    vf.add_argument("--campaign", metavar="FILE",
+                    help="campaign document for re-execution (default: "
+                         "campaign.json / <artifact>.campaign.json next "
+                         "to the manifest)")
+    vf.add_argument("--artifact", metavar="FILE",
+                    help="merged artifact to check (default: the manifest's "
+                         "recorded artifact name, next to the manifest)")
+    vf.add_argument("--no-reexec", action="store_true",
+                    help="skip re-execution; only check the artifact hash "
+                         "and the per-cell digests it contains")
+    vf.add_argument("--report", metavar="FILE",
+                    help="also write the machine-readable VerifyReport "
+                         "JSON to FILE")
+    vf.add_argument("--json", action="store_true",
+                    help="print the VerifyReport as JSON instead of text")
 
     return ap
 
@@ -840,7 +882,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.coordinator import serve
 
     return serve(args.root, host=args.host, port=args.port,
-                 lease_ttl=args.lease_ttl, port_file=args.port_file)
+                 lease_ttl=args.lease_ttl, port_file=args.port_file,
+                 verify_fraction=args.verify_fraction,
+                 verify_seed=args.verify_seed)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.provenance import verify_manifest
+    from repro.util.atomicio import atomic_write_text
+
+    manifest = pathlib.Path(args.manifest)
+    if manifest.is_dir():
+        manifest = manifest / "merged.provenance.json"
+    report = verify_manifest(
+        manifest,
+        campaign_path=args.campaign,
+        artifact_path=args.artifact,
+        all_cells=getattr(args, "all"),
+        sample=args.sample,
+        sample_seed=args.sample_seed,
+        reexecute=not args.no_reexec,
+    )
+    if args.report:
+        atomic_write_text(
+            args.report,
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -887,11 +959,12 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         print("no campaigns registered")
         return 0
     print(f"{'key':<14}{'kind':<8}{'cells':>7}{'shards':>8}"
-          f"{'done':>6}{'leased':>8}{'merged':>8}")
+          f"{'done':>6}{'leased':>8}{'merged':>8}{'quar':>6}")
     for row in rows:
         print(f"{row['key'][:12]:<14}{row['kind']:<8}{row['cells']:>7}"
               f"{row['shards']:>8}{row['shards_done']:>6}{row['leased']:>8}"
-              f"{str(bool(row['merged'])).lower():>8}")
+              f"{str(bool(row['merged'])).lower():>8}"
+              f"{row.get('quarantined', 0):>6}")
     return 0
 
 
@@ -1002,6 +1075,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "jobs": _cmd_jobs,
         "status": _cmd_status,
         "top": _cmd_top,
+        "verify": _cmd_verify,
     }
     try:
         return handlers[args.command](args)

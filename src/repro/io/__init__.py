@@ -9,8 +9,11 @@ they produced.
 * :mod:`repro.io.results_json` — RunResult / figure data <-> JSON.
 * :mod:`repro.io.runspec_json` — canonical RunSpec <-> JSON (the hash
   the content-addressed result cache is keyed by).
+* :mod:`repro.io.canonical` — the shared canonical-JSON + sha256
+  content-addressing convention every artifact layer builds on.
 """
 
+from repro.io.canonical import canonical_json, doc_digest, sha256_hex
 from repro.io.results_json import (
     figure_to_dict,
     results_to_json,
@@ -45,4 +48,7 @@ __all__ = [
     "runspec_canonical_json",
     "runspec_from_json",
     "spec_key",
+    "canonical_json",
+    "doc_digest",
+    "sha256_hex",
 ]

@@ -277,6 +277,10 @@ class TelemetryWriter:
         self.leases_acquired = 0
         self.leases_stolen = 0
         self.batch_slices = 0
+        # Provenance spot-check accounting (coordinator-side streams).
+        self.cells_verified = 0
+        self.verify_failures = 0
+        self.quarantines = 0
         self.closed = False
         self._emit(
             json.dumps(
@@ -317,6 +321,17 @@ class TelemetryWriter:
 
     def batch_slice(self) -> None:
         self.batch_slices += 1
+
+    def cell_verified(self, ok: bool) -> None:
+        """One cell re-executed by the verification spot-check."""
+        self.cells_verified += 1
+        if not ok:
+            self.verify_failures += 1
+
+    def shard_quarantined(self) -> None:
+        """One shard failed verification and was re-queued."""
+        self.quarantines += 1
+        self.sample(force=True)
 
     def cell_done(self, cached: bool, events: int = 0, wall_ns: int = 0) -> None:
         self.cells_done += 1
@@ -359,6 +374,9 @@ class TelemetryWriter:
             "leases_acquired": self.leases_acquired,
             "leases_stolen": self.leases_stolen,
             "batch_slices": self.batch_slices,
+            "cells_verified": self.cells_verified,
+            "verify_failures": self.verify_failures,
+            "quarantines": self.quarantines,
             "cells_per_sec": (self.cells_done - prev_cells) / dt if dt > 0 else 0.0,
             "events_per_sec": (self.events - prev_events) / dt if dt > 0 else 0.0,
             "rss_bytes": self._rss_fn(),
@@ -476,6 +494,9 @@ class TelemetryAggregator:
             "leases_acquired": 0,
             "leases_stolen": 0,
             "batch_slices": 0,
+            "cells_verified": 0,
+            "verify_failures": 0,
+            "quarantines": 0,
         }
         phase_totals: Dict[str, Dict[str, int]] = {}
         wall_rate_cells = 0.0
@@ -512,6 +533,9 @@ class TelemetryAggregator:
                 "leases_acquired": int(last.get("leases_acquired", 0)),
                 "leases_stolen": int(last.get("leases_stolen", 0)),
                 "batch_slices": int(last.get("batch_slices", 0)),
+                "cells_verified": int(last.get("cells_verified", 0)),
+                "verify_failures": int(last.get("verify_failures", 0)),
+                "quarantines": int(last.get("quarantines", 0)),
                 "rss_bytes": int(last.get("rss_bytes", 0)),
                 "backend": str(last.get("backend", "")),
                 "batch": bool(last.get("batch", False)),
@@ -703,6 +727,12 @@ def render_status(
             f"cache hits {totals.get('cache_hits', 0)}  "
             f"lease steals {totals.get('leases_stolen', 0)}  "
             f"batch slices {totals.get('batch_slices', 0)}"
+        )
+    if totals.get("cells_verified") or totals.get("quarantines"):
+        lines.append(
+            f"verification: {totals.get('cells_verified', 0)} cells re-executed, "
+            f"{totals.get('verify_failures', 0)} failures, "
+            f"{totals.get('quarantines', 0)} shard(s) quarantined"
         )
     phases = agg.get("phases", {})
     if phases:

@@ -14,6 +14,14 @@ directory can only ever observe complete entries — a writer killed at
 any instant (including ``kill -9`` mid-write) leaves at most a stray
 ``*.tmp`` next to the entry, and a torn/corrupt file is treated as a
 miss, never an error.
+
+Read-back is *content-address checked*: an entry is only trusted if its
+recorded key matches the filename key, its stored spec re-hashes to
+that key, and (for entries written with ``result_sha256``) its result
+document re-digests to the recorded digest.  A mismatch — bit rot, a
+hand-edited file, an entry transplanted between keys — is a miss with a
+stderr warning, so a poisoned cache can degrade performance but never
+results.
 """
 
 from __future__ import annotations
@@ -21,10 +29,15 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import sys
 from typing import Optional, Union
 
 from repro.experiments.metrics import RunResult
 from repro.util.atomicio import atomic_write_text
+
+# NOTE: repro.io.canonical is imported lazily inside methods — importing
+# the repro.io package at module level would close an import cycle
+# (repro.io -> experiments.figures -> runtime -> cache).
 
 __all__ = ["ResultCache", "default_cache_dir"]
 
@@ -66,8 +79,35 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.directory / key[:2] / f"{key}.json"
 
+    @staticmethod
+    def _spec_address(spec_doc: dict) -> str:
+        """The content address a stored spec document hashes to.
+
+        Mirrors :func:`repro.io.runspec_json.spec_key`: the key covers
+        the spec's *core* dict only — the advisory ``"obs"`` block is
+        excluded, so observability settings never split cache entries.
+        """
+        from repro.io.canonical import canonical_json, sha256_hex
+
+        core = {k: v for k, v in spec_doc.items() if k != "obs"}
+        return sha256_hex(canonical_json(core))
+
+    def _corrupt(self, path: pathlib.Path, why: str) -> None:
+        print(
+            f"repro-mc2: warning: cache entry {path} failed its "
+            f"content-address check ({why}); treating as a miss",
+            file=sys.stderr,
+        )
+
     def get(self, key: str) -> Optional[RunResult]:
-        """The cached result for *key*, or ``None`` on a miss."""
+        """The cached result for *key*, or ``None`` on a miss.
+
+        A hit must survive three content-address checks — recorded key
+        vs. filename key, stored spec vs. key, stored result vs. its
+        recorded digest — so a corrupted or transplanted entry warns on
+        stderr and misses instead of silently returning wrong results.
+        """
+        from repro.io.canonical import doc_digest
         from repro.io.results_json import run_result_from_dict
 
         path = self._path(key)
@@ -77,21 +117,41 @@ class ResultCache:
             return None
         if doc.get("format") != _FORMAT:
             return None
+        if doc.get("key") != key:
+            self._corrupt(path, f"recorded key {str(doc.get('key'))[:12]} != {key[:12]}")
+            return None
+        spec_doc = doc.get("spec")
+        if isinstance(spec_doc, dict) and spec_doc:
+            try:
+                address = self._spec_address(spec_doc)
+            except (TypeError, ValueError):
+                address = "<unhashable>"
+            if address != key:
+                self._corrupt(path, f"spec re-hashes to {address[:12]}, not {key[:12]}")
+                return None
+        recorded_digest = doc.get("result_sha256")
         try:
-            return run_result_from_dict(doc["result"])
+            result_doc = doc["result"]
+            if recorded_digest is not None and doc_digest(result_doc) != recorded_digest:
+                self._corrupt(path, "result digest mismatch")
+                return None
+            return run_result_from_dict(result_doc)
         except (KeyError, TypeError, ValueError):
             return None
 
     def put(self, key: str, spec_doc: dict, result: RunResult) -> None:
         """Store *result* under *key*, evicting past ``max_entries``."""
+        from repro.io.canonical import doc_digest
         from repro.io.results_json import run_result_to_dict
 
+        result_doc = run_result_to_dict(result)
         doc = {
             "format": _FORMAT,
             "version": _VERSION,
             "key": key,
             "spec": spec_doc,
-            "result": run_result_to_dict(result),
+            "result": result_doc,
+            "result_sha256": doc_digest(result_doc),
         }
         atomic_write_text(self._path(key), json.dumps(doc, indent=2) + "\n")
         if self.max_entries is not None:

@@ -101,6 +101,7 @@ __all__ = [
     "write_merged_results",
     "merge_scorecard",
     "write_merged_scorecard",
+    "write_results_artifact",
     "run_sharded_campaign",
     "resume_campaign",
     "ShardedBackend",
@@ -1086,6 +1087,78 @@ def merge_results(directory: Pathish) -> List[RunResult]:
     return [run_result_from_dict(doc) for doc in iter_result_docs(directory)]
 
 
+class _HashingWriter:
+    """Text-writer wrapper that sha256s everything written through it.
+
+    Lets the streaming merges compute the merged artifact's content
+    address in the same pass that produces the bytes — provenance
+    emission never re-reads (or changes) the artifact.
+    """
+
+    def __init__(self, fh) -> None:
+        self._fh = fh
+        self._hash = hashlib.sha256()
+
+    def write(self, text: str) -> None:
+        self._fh.write(text)
+        self._hash.update(text.encode("utf-8"))
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+def _iter_docs_collect_owners(
+    store: "CampaignStore",
+    campaign: ShardedCampaign,
+    owners: List[Dict[str, Any]],
+) -> Iterator[Dict[str, Any]]:
+    """Like :func:`iter_result_docs`, also recording per-shard owners.
+
+    Appends ``{"index", "shard", "owner"}`` to *owners* for each shard as
+    its manifest streams by, so the merge can stamp worker attribution
+    into the provenance manifest without a second pass over the (large)
+    shard files.
+    """
+    missing = [s.index for s in campaign.shards if not store.shard_done(s)]
+    if missing:
+        raise IncompleteCampaignError(missing)
+    for shard in campaign.shards:
+        manifest = store.read_manifest(shard)
+        if manifest is None:  # deleted between the check and the read
+            raise IncompleteCampaignError([shard.index])
+        owners.append(
+            {
+                "index": shard.index,
+                "shard": shard.shard_id,
+                "owner": str(manifest.get("owner", "")),
+            }
+        )
+        yield from manifest["results"]
+
+
+def _emit_provenance(
+    campaign: ShardedCampaign,
+    dest: pathlib.Path,
+    artifact_sha256: str,
+    cell_digests: Sequence[str],
+    owners: Sequence[Dict[str, Any]],
+) -> pathlib.Path:
+    """Write the sibling ``repro-provenance`` manifest for one merge."""
+    from repro.provenance import build_manifest, provenance_path, write_manifest
+
+    manifest = build_manifest(
+        kind=campaign.kind,
+        campaign_key=campaign.campaign_key,
+        cell_keys=campaign.cell_keys,
+        cell_digests=cell_digests,
+        artifact=dest,
+        artifact_sha256=artifact_sha256,
+        cells=campaign.cells,
+        owners=owners,
+    )
+    return write_manifest(manifest, provenance_path(dest))
+
+
 def write_merged_results(
     directory: Pathish, out: Optional[Pathish] = None
 ) -> pathlib.Path:
@@ -1096,6 +1169,11 @@ def write_merged_results(
     aggregate summary, written atomically.  Because every cell is
     deterministic, the bytes depend only on the campaign — not on which
     workers ran it, in how many attempts, or how it was interrupted.
+
+    A ``repro-provenance`` manifest (cell keys + per-cell digests +
+    artifact sha256 + per-shard owners) is written as a sibling file via
+    :func:`repro.provenance.provenance_path`; the merged bytes
+    themselves are unchanged by provenance emission.
     """
     store = CampaignStore(directory)
     campaign = store.load()
@@ -1103,15 +1181,20 @@ def write_merged_results(
     cells = 0
     truncated = 0
     events_total = 0
-    with atomic_writer(dest) as fh:
+    digests: List[str] = []
+    owners: List[Dict[str, Any]] = []
+    with atomic_writer(dest) as raw:
+        fh = _HashingWriter(raw)
         fh.write(
             '{"campaign":"%s","format":"%s","results":['
             % (campaign.campaign_key, MERGED_SWEEP_FORMAT)
         )
-        for doc in iter_result_docs(directory):
+        for doc in _iter_docs_collect_owners(store, campaign, owners):
             if cells:
                 fh.write(",")
-            fh.write(json.dumps(doc, **_CANON))
+            text = json.dumps(doc, **_CANON)
+            fh.write(text)
+            digests.append(hashlib.sha256(text.encode("utf-8")).hexdigest())
             cells += 1
             truncated += 1 if doc.get("truncated") else 0
             events_total += int(doc.get("events", 0))
@@ -1120,6 +1203,67 @@ def write_merged_results(
             '],"summary":%s,"version":%d}\n'
             % (json.dumps(summary, **_CANON), MERGED_SWEEP_VERSION)
         )
+    _emit_provenance(campaign, dest, fh.hexdigest(), digests, owners)
+    return dest
+
+
+def write_results_artifact(
+    specs: Sequence[RunSpec],
+    results: Sequence[RunResult],
+    out: Pathish,
+    shard_size: int = 16,
+    owner: str = "local",
+) -> pathlib.Path:
+    """Write a merged sweep artifact + provenance from in-memory results.
+
+    The serial and process-pool backends hold their results in memory
+    rather than in a campaign directory; this produces the *same bytes*
+    :func:`write_merged_results` would for a sharded run of the same
+    cells at the same ``shard_size`` (the campaign key embeds both), so
+    every executor backend emits interchangeable, verifiable artifacts.
+    """
+    from repro.io.results_json import run_result_to_dict
+
+    if len(specs) != len(results):
+        raise ValueError(f"{len(specs)} specs but {len(results)} results")
+    campaign = ShardedCampaign("sweep", list(specs), shard_size=shard_size)
+    dest = pathlib.Path(out)
+    cells = 0
+    truncated = 0
+    events_total = 0
+    digests: List[str] = []
+    with atomic_writer(dest) as raw:
+        fh = _HashingWriter(raw)
+        fh.write(
+            '{"campaign":"%s","format":"%s","results":['
+            % (campaign.campaign_key, MERGED_SWEEP_FORMAT)
+        )
+        for result in results:
+            doc = run_result_to_dict(result)
+            if cells:
+                fh.write(",")
+            text = json.dumps(doc, **_CANON)
+            fh.write(text)
+            digests.append(hashlib.sha256(text.encode("utf-8")).hexdigest())
+            cells += 1
+            truncated += 1 if doc.get("truncated") else 0
+            events_total += int(doc.get("events", 0))
+        summary = {"cells": cells, "truncated": truncated, "events_total": events_total}
+        fh.write(
+            '],"summary":%s,"version":%d}\n'
+            % (json.dumps(summary, **_CANON), MERGED_SWEEP_VERSION)
+        )
+    owners = [
+        {"index": s.index, "shard": s.shard_id, "owner": owner}
+        for s in campaign.shards
+    ]
+    # A sibling campaign document makes the artifact verifiable
+    # standalone: `repro-mc2 verify` re-executes cells from it.
+    atomic_write_text(
+        dest.with_name(dest.stem + ".campaign.json"),
+        json.dumps(campaign.to_dict(), indent=2) + "\n",
+    )
+    _emit_provenance(campaign, dest, fh.hexdigest(), digests, owners)
     return dest
 
 
@@ -1144,26 +1288,33 @@ def write_merged_scorecard(
     whole outcome list is never resident at once.
     """
     store = CampaignStore(directory)
+    campaign = store.load()
     dest = pathlib.Path(out) if out is not None else store.merged_path
     acc = ScorecardSummaryAccumulator()
     degradation = {"breaks": 0, "retried": 0, "serial_fallback": 0}
-    with atomic_writer(dest) as fh:
+    digests: List[str] = []
+    owners: List[Dict[str, Any]] = []
+    with atomic_writer(dest) as raw:
+        fh = _HashingWriter(raw)
         fh.write(
             '{"degradation":%s,"format":"%s","outcomes":['
             % (json.dumps(degradation, **_CANON), SCORECARD_FORMAT)
         )
         first = True
-        for doc in iter_result_docs(directory):
+        for doc in _iter_docs_collect_owners(store, campaign, owners):
             outcome = CellOutcome.from_dict(doc)
             acc.add(outcome)
             if not first:
                 fh.write(",")
             first = False
-            fh.write(json.dumps(outcome.to_dict(), **_CANON))
+            text = json.dumps(outcome.to_dict(), **_CANON)
+            fh.write(text)
+            digests.append(hashlib.sha256(text.encode("utf-8")).hexdigest())
         fh.write(
             '],"summary":%s,"version":%d}\n'
             % (json.dumps(acc.summary(), **_CANON), SCORECARD_VERSION)
         )
+    _emit_provenance(campaign, dest, fh.hexdigest(), digests, owners)
     return dest
 
 
@@ -1359,4 +1510,5 @@ class ShardedBackend(SweepExecutor):
             pool_serial_fallback=self.total.pool_serial_fallback,
             pool_breaks=self.total.pool_breaks + stats.pool_breaks,
         )
+        self._write_merged_out(specs, results)
         return results

@@ -34,10 +34,12 @@ from __future__ import annotations
 import asyncio
 import json
 import pathlib
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.io.canonical import doc_digest
 from repro.runtime.shard import (
     CampaignStore,
     ShardedCampaign,
@@ -64,6 +66,21 @@ class _Lease:
     deadline: float  # monotonic
 
 
+def _provenance_sibling(state: "_CampaignState") -> pathlib.Path:
+    from repro.provenance import provenance_path
+
+    return provenance_path(state.store.merged_path)
+
+
+def _provenance_doc(state: "_CampaignState") -> Dict[str, Any]:
+    """The merged artifact's provenance document, or ``{}`` if absent."""
+    try:
+        doc = json.loads(_provenance_sibling(state).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return doc if isinstance(doc, dict) else {}
+
+
 @dataclass
 class _CampaignState:
     """One registered campaign: durable store + volatile lease/buffer state."""
@@ -77,6 +94,10 @@ class _CampaignState:
     buffers: Dict[str, Dict[int, Tuple[Dict[str, Any], bool, int]]] = field(
         default_factory=dict
     )
+    #: Shard submissions rejected by the verification spot-check.
+    quarantined: int = 0
+    #: Lazily-created coordinator-side TelemetryWriter (verify counters).
+    telemetry: Any = None
 
     @property
     def complete(self) -> bool:
@@ -105,12 +126,25 @@ class Coordinator:
         port: int = 0,
         lease_ttl: float = 60.0,
         mono=time.monotonic,
+        verify_fraction: float = 0.0,
+        verify_seed: int = 0,
     ) -> None:
+        if not 0.0 <= verify_fraction <= 1.0:
+            raise ValueError(
+                f"verify_fraction must be in [0, 1], got {verify_fraction}"
+            )
         self.root = pathlib.Path(root)
         self.host = host
         self.port = port
         self.lease_ttl = lease_ttl
         self._mono = mono
+        #: Fraction of each committed shard's cells the coordinator
+        #: re-executes before accepting it (0 disables the spot-check).
+        self.verify_fraction = verify_fraction
+        self.verify_seed = verify_seed
+        #: Workers that failed a spot-check; they are never granted work
+        #: again and their streamed frames are dropped.
+        self.quarantined_owners: Set[str] = set()
         self.campaigns: Dict[str, _CampaignState] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self.recovered_shards = 0
@@ -158,7 +192,20 @@ class Coordinator:
                         event = json.loads(line)
                     except ValueError:
                         continue  # torn final line of a killed coordinator
-                    if event.get("ev") != "cell":
+                    ev = event.get("ev")
+                    if ev == "quarantine":
+                        owner = str(event.get("owner", ""))
+                        if owner:
+                            self.quarantined_owners.add(owner)
+                        qstate = self.campaigns.get(event.get("c", ""))
+                        if qstate is not None:
+                            qstate.quarantined += 1
+                            # The rejected cells were journaled before
+                            # the verdict; drop them so recovery can't
+                            # commit a shard verification refused.
+                            qstate.buffers.pop(str(event.get("s", "")), None)
+                        continue
+                    if ev != "cell":
                         continue
                     state = self.campaigns.get(event.get("c", ""))
                     if state is None:
@@ -213,6 +260,82 @@ class Coordinator:
         if state.campaign.kind == "faults":
             return write_merged_scorecard(state.cdir)
         return write_merged_results(state.cdir)
+
+    # ------------------------------------------------------------------
+    # Verification spot-check (untrusted workers)
+    # ------------------------------------------------------------------
+    def _writer(self, state: _CampaignState):
+        """The campaign's coordinator-side telemetry stream (lazy)."""
+        if state.telemetry is None:
+            from repro.obs.telemetry import TelemetryWriter, telemetry_path
+
+            state.telemetry = TelemetryWriter(
+                telemetry_path(state.cdir, "coordinator"),
+                owner="coordinator",
+                campaign=state.campaign.campaign_key,
+            )
+        return state.telemetry
+
+    def _spot_check(self, state: _CampaignState, shard: ShardSpec) -> List[int]:
+        """Re-execute a seeded sample of a buffered shard's cells.
+
+        Returns the campaign positions whose streamed result document
+        does not digest to what a fresh execution produces.  The sample
+        is deterministic per (seed, shard), so a re-submitted shard is
+        checked at the same positions — a dishonest worker cannot win by
+        resubmitting until the sample misses its corruption.
+        """
+        buf = state.buffers.get(shard.shard_id, {})
+        n = shard.stop - shard.start
+        if self.verify_fraction >= 1.0:
+            k = n
+        else:
+            k = min(n, max(1, round(self.verify_fraction * n)))
+        rng = random.Random(f"{self.verify_seed}:{shard.shard_id}")
+        positions = sorted(rng.sample(range(shard.start, shard.stop), k))
+        kind = get_kind(state.campaign.kind)
+        writer = self._writer(state)
+        divergent: List[int] = []
+        for pos in positions:
+            expected = doc_digest(kind.execute(state.campaign.cells[pos]))
+            ok = doc_digest(buf[pos][0]) == expected
+            writer.cell_verified(ok)
+            if not ok:
+                divergent.append(pos)
+        # Flush at every verification verdict (shard boundary) so the
+        # stream's tail always reflects the full verified-cell count.
+        writer.sample(force=True)
+        return divergent
+
+    def _quarantine(
+        self, state: _CampaignState, shard: ShardSpec, owner: str, bad: List[int]
+    ) -> wire.Message:
+        """Reject a shard that failed verification and bar its worker.
+
+        The buffered results are dropped and the lease released, so the
+        shard goes back into the grantable pool for honest workers; the
+        quarantine is journaled so a coordinator restart keeps the
+        worker barred.
+        """
+        self._journal({
+            "ev": "quarantine", "c": state.campaign.campaign_key,
+            "s": shard.shard_id, "owner": owner, "p": bad,
+        })
+        state.buffers.pop(shard.shard_id, None)
+        lease = state.leases.pop(shard.shard_id, None)
+        if lease is not None:
+            state.store.release(shard.shard_id, lease.owner)
+        if owner:
+            self.quarantined_owners.add(owner)
+        state.quarantined += 1
+        self._writer(state).shard_quarantined()
+        return wire.ShardOk(
+            accepted=False,
+            quarantined=True,
+            reason=f"verification failed at cell(s) "
+                   f"{bad[:8]}{'...' if len(bad) > 8 else ''}; "
+                   f"shard re-queued, owner {owner!r} quarantined",
+        )
 
     # ------------------------------------------------------------------
     # Message handlers (one per request type)
@@ -283,6 +406,8 @@ class Coordinator:
         return None
 
     def _on_lease(self, msg: wire.LeaseRequest) -> wire.Message:
+        if msg.owner and msg.owner in self.quarantined_owners:
+            return wire.NoWork(active=0, drained=False, quarantined=True)
         now = self._mono()
         active = 0
         for key in sorted(self.campaigns):
@@ -324,6 +449,11 @@ class Coordinator:
         state = self.campaigns.get(msg.campaign)
         if state is None:
             return wire.ErrorReply(reason=f"unknown campaign {msg.campaign[:12]}")
+        if msg.owner and msg.owner in self.quarantined_owners:
+            # Acknowledge but drop: a quarantined worker's frames must
+            # never reach the journal or buffers, and an error reply
+            # would just crash its stream loop mid-shard.
+            return wire.CellOk()
         if msg.shard in state.done:
             return wire.CellOk()  # duplicate delivery after a re-grant
         shard = state.shard_by_id(msg.shard)
@@ -352,6 +482,12 @@ class Coordinator:
         shard = state.shard_by_id(msg.shard)
         if shard is None:
             return wire.ErrorReply(reason=f"unknown shard {msg.shard[:12]}")
+        if msg.owner and msg.owner in self.quarantined_owners:
+            return wire.ShardOk(
+                accepted=False,
+                quarantined=True,
+                reason=f"owner {msg.owner!r} is quarantined",
+            )
         buf = state.buffers.get(msg.shard, {})
         missing = [p for p in range(shard.start, shard.stop) if p not in buf]
         if missing:
@@ -363,6 +499,10 @@ class Coordinator:
                 reason=f"missing {len(missing)} cell(s): "
                        f"{missing[:8]}{'...' if len(missing) > 8 else ''}",
             )
+        if self.verify_fraction > 0.0 and msg.owner not in ("", "recovered"):
+            bad = self._spot_check(state, shard)
+            if bad:
+                return self._quarantine(state, shard, msg.owner, bad)
         self._commit_shard(state, shard, msg.owner, msg.shard_wall_ns)
         if state.complete:
             self._merge(state)
@@ -407,6 +547,8 @@ class Coordinator:
                     1 for lease in state.leases.values() if lease.deadline > now
                 ),
                 "merged": state.store.merged_path.is_file(),
+                "quarantined": state.quarantined,
+                "manifest": _provenance_sibling(state).is_file(),
                 "dir": state.cdir.name,
             })
         return wire.JobsReply(campaigns=docs)
@@ -448,7 +590,10 @@ class Coordinator:
                     cached=bool(cached[off]),
                     wall_ns=int(wall[off]),
                 ))
-        out.append(wire.FetchDone(cells=len(state.campaign.cells)))
+        out.append(wire.FetchDone(
+            cells=len(state.campaign.cells),
+            manifest=_provenance_doc(state),
+        ))
         return out
 
     # ------------------------------------------------------------------
@@ -509,13 +654,24 @@ async def _serve_async(
     lease_ttl: float,
     port_file: Optional[str],
     log=print,
+    verify_fraction: float = 0.0,
+    verify_seed: int = 0,
 ) -> None:
-    coordinator = Coordinator(root, host=host, port=port, lease_ttl=lease_ttl)
+    coordinator = Coordinator(
+        root, host=host, port=port, lease_ttl=lease_ttl,
+        verify_fraction=verify_fraction, verify_seed=verify_seed,
+    )
     bound = await coordinator.start(port_file=port_file)
     known = len(coordinator.campaigns)
+    verify = (
+        f"  verify_fraction={coordinator.verify_fraction:g}"
+        if coordinator.verify_fraction > 0
+        else ""
+    )
     log(f"repro-serve v{wire.PROTOCOL_VERSION} coordinator on "
         f"{coordinator.host}:{bound}  root={root}  "
-        f"campaigns={known}  recovered_shards={coordinator.recovered_shards}")
+        f"campaigns={known}  recovered_shards={coordinator.recovered_shards}"
+        f"{verify}")
     await coordinator.serve_forever()
 
 
@@ -526,10 +682,15 @@ def serve(
     lease_ttl: float = 60.0,
     port_file: Optional[str] = None,
     log=print,
+    verify_fraction: float = 0.0,
+    verify_seed: int = 0,
 ) -> int:
     """Run a coordinator until interrupted (the ``repro-mc2 serve`` body)."""
     try:
-        asyncio.run(_serve_async(root, host, port, lease_ttl, port_file, log=log))
+        asyncio.run(_serve_async(
+            root, host, port, lease_ttl, port_file, log=log,
+            verify_fraction=verify_fraction, verify_seed=verify_seed,
+        ))
     except (KeyboardInterrupt, asyncio.CancelledError):
         pass
     return 0

@@ -179,16 +179,24 @@ class NoWork(Message):
     ``active`` counts registered campaigns with unfinished shards (all
     currently leased to other workers); ``drained`` is true when every
     registered campaign is complete — a ``--once`` worker exits on it.
+    ``quarantined`` is true when *this worker* has been quarantined by
+    the coordinator's verification spot-check: it will never be granted
+    work again and should exit.
     """
 
     TYPE = "no_work"
     active: int = 0
     drained: bool = True
+    quarantined: bool = False
 
 
 @dataclass(frozen=True)
 class CellResult(Message):
-    """One executed (or cache-served) cell, streamed as it finishes."""
+    """One executed (or cache-served) cell, streamed as it finishes.
+
+    ``owner`` names the streaming worker so the coordinator can drop
+    frames from quarantined workers without failing their connection.
+    """
 
     TYPE = "cell_result"
     campaign: str = ""
@@ -198,6 +206,7 @@ class CellResult(Message):
     doc: Dict[str, Any] = field(default_factory=dict)
     cached: bool = False
     wall_ns: int = 0
+    owner: str = ""
 
 
 @dataclass(frozen=True)
@@ -219,11 +228,15 @@ class ShardDone(Message):
 @dataclass(frozen=True)
 class ShardOk(Message):
     """``accepted=False`` + ``reason`` when the coordinator is missing
-    cells (e.g. it restarted mid-stream); the worker re-streams them."""
+    cells (e.g. it restarted mid-stream); the worker re-streams them.
+    ``quarantined=True`` means the shard failed the coordinator's
+    verification spot-check — it was re-queued for another worker and
+    this worker must *not* retry it."""
 
     TYPE = "shard_ok"
     accepted: bool = True
     reason: str = ""
+    quarantined: bool = False
 
 
 @dataclass(frozen=True)
@@ -323,8 +336,14 @@ class FetchCell(Message):
 
 @dataclass(frozen=True)
 class FetchDone(Message):
+    """Closes a fetch stream.  ``manifest`` carries the campaign's
+    ``repro-provenance`` document (empty dict when the merge predates
+    provenance), so a fetching client receives the attestation alongside
+    the results."""
+
     TYPE = "fetch_done"
     cells: int = 0
+    manifest: Dict[str, Any] = field(default_factory=dict)
 
 
 #: type tag -> message class (the v1 vocabulary, frozen by the property

@@ -216,14 +216,19 @@ class WorkerClient:
         grant: wire.LeaseGrant,
         rows: List[Tuple[int, Dict[str, Any], bool, int]],
         shard_wall_ns: int,
-    ) -> None:
-        """Deliver every cell then commit; retries handle rejection."""
+    ) -> bool:
+        """Deliver every cell then commit; retries handle rejection.
+
+        Returns ``True`` when the shard was committed, ``False`` when
+        the coordinator quarantined it (terminal for this owner).
+        """
         for attempt in range(self.max_done_retries):
             conn = self._ensure_conn()
             for pos, doc, cached, wall_ns in rows:
                 reply = conn.rpc(wire.CellResult(
                     campaign=grant.campaign, shard=grant.shard, pos=pos,
                     doc=doc, cached=cached, wall_ns=wall_ns,
+                    owner=self.owner,
                 ))
                 if isinstance(reply, wire.ErrorReply):
                     raise wire.ProtocolError(reply.reason)
@@ -232,7 +237,14 @@ class WorkerClient:
                 owner=self.owner, shard_wall_ns=shard_wall_ns,
             ))
             if isinstance(reply, wire.ShardOk) and reply.accepted:
-                return
+                return True
+            if isinstance(reply, wire.ShardOk) and reply.quarantined:
+                # Terminal: the coordinator's spot-check rejected the
+                # shard and barred this owner.  Retrying can never
+                # succeed; the next lease request learns the verdict.
+                self.log(f"[{self.owner}] shard {grant.shard[:12]} "
+                         f"quarantined: {reply.reason}")
+                return False
             if isinstance(reply, wire.ErrorReply):
                 raise wire.ProtocolError(reply.reason)
             reason = getattr(reply, "reason", "")
@@ -280,12 +292,13 @@ class WorkerClient:
         # streaming never races the beat thread for the fresh socket.
         while True:
             try:
-                self._stream_shard(grant, rows, shard_wall_ns)
+                committed = self._stream_shard(grant, rows, shard_wall_ns)
                 break
             except _ConnectionLost as exc:
                 self._drop_conn()
                 self._reconnect_with_backoff(f"delivery interrupted: {exc}")
-        self.shards_done += 1
+        if committed:
+            self.shards_done += 1
 
     def _reconnect_with_backoff(self, why: str) -> None:
         attempt = 0
@@ -318,6 +331,10 @@ class WorkerClient:
                 self._work_one_grant(reply)
                 continue
             if isinstance(reply, wire.NoWork):
+                if reply.quarantined:
+                    self.log(f"[{self.owner}] quarantined by the coordinator "
+                             "(verification spot-check failed); exiting")
+                    return 3
                 if self.once and reply.drained:
                     self.log(f"[{self.owner}] drained: shards={self.shards_done} "
                              f"cells={self.cells_run} hits={self.cache_hits}")

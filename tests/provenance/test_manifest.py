@@ -1,0 +1,223 @@
+"""Provenance manifest emission + identity across every merge path.
+
+Pins the tentpole's core contract:
+
+* every merge path — file-queue sweep merge, file-queue faults merge,
+  the serial/pool in-memory ``write_results_artifact`` — writes a
+  ``repro-provenance`` v1 manifest as a *sibling* file;
+* emission is result-neutral: the merged artifact's bytes are exactly
+  the pre-provenance layout (no embedded provenance key), and the
+  serial ``--merged-out`` artifact is byte-identical to the sharded
+  merge of the same cells;
+* the manifest attests truthfully: ``artifact_sha256`` matches the
+  file on disk and every per-cell digest matches the cell document
+  actually stored in the artifact;
+* manifest identity (``key()``) is owner- and code-invariant: the same
+  cells produce the same key no matter which workers ran them or how
+  shards were interleaved.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, build_campaign
+from repro.io.canonical import doc_digest, sha256_hex
+from repro.provenance import (
+    ProvenanceError,
+    ProvenanceManifest,
+    load_manifest,
+    provenance_path,
+)
+from repro.runtime.executor import make_executor
+from repro.runtime.shard import (
+    ShardedCampaign,
+    prepare_campaign,
+    work,
+    write_merged_results,
+    write_merged_scorecard,
+    write_results_artifact,
+)
+from repro.runtime.spec import MonitorSpec, RunSpec, ScenarioSpec, TaskSetSpec
+from repro.workload.generator import GeneratorParams, taskset_seeds
+from repro.workload.scenarios import SHORT
+
+PARAMS = GeneratorParams(m=2)
+
+
+def small_grid(n=4, horizon=2.0):
+    specs = []
+    for seed in taskset_seeds(n, base_seed=31):
+        specs.append(
+            RunSpec(
+                taskset=TaskSetSpec.generated(seed, PARAMS),
+                scenario=ScenarioSpec.from_scenario(SHORT),
+                monitor=MonitorSpec("simple", 0.6),
+                horizon=horizon,
+            )
+        )
+    return specs
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return small_grid()
+
+
+@pytest.fixture(scope="module")
+def merged_campaign(grid, tmp_path_factory):
+    """A completed file-queue sweep campaign with its merged artifact."""
+    root = tmp_path_factory.mktemp("prov")
+    cdir = prepare_campaign(root, ShardedCampaign("sweep", grid, shard_size=2))
+    work(cdir, owner="w-alpha")
+    dest = write_merged_results(cdir)
+    return cdir, dest
+
+
+class TestEmission:
+    def test_file_queue_sweep_merge_emits_manifest(self, merged_campaign):
+        cdir, dest = merged_campaign
+        mpath = provenance_path(dest)
+        assert mpath == dest.with_name("merged.provenance.json")
+        assert mpath.is_file()
+        manifest = load_manifest(mpath)
+        campaign = ShardedCampaign.from_dict(
+            json.loads((cdir / "campaign.json").read_text())
+        )
+        assert manifest.kind == "sweep"
+        assert manifest.campaign == campaign.campaign_key
+        assert [k for k, _ in manifest.cells] == list(campaign.cell_keys)
+        assert manifest.kernel["backends"] == ["reference"]
+        assert manifest.code["source_sha256"]
+
+    def test_manifest_attests_the_artifact_truthfully(self, merged_campaign):
+        _, dest = merged_campaign
+        manifest = load_manifest(provenance_path(dest))
+        blob = dest.read_bytes()
+        assert manifest.artifact_sha256 == sha256_hex(blob)
+        docs = json.loads(blob)["results"]
+        assert len(docs) == len(manifest.cells)
+        for doc, (_, digest) in zip(docs, manifest.cells):
+            assert doc_digest(doc) == digest
+
+    def test_owners_record_which_worker_committed_each_shard(
+        self, merged_campaign
+    ):
+        _, dest = merged_campaign
+        manifest = load_manifest(provenance_path(dest))
+        assert len(manifest.owners) == 2  # 4 cells / shard_size 2
+        assert {o["owner"] for o in manifest.owners} == {"w-alpha"}
+
+    def test_faults_merge_emits_manifest(self, tmp_path):
+        cells = build_campaign(
+            CampaignConfig(seed=9, cells=4, tasksets=1, horizon=3.0)
+        )
+        cdir = prepare_campaign(
+            tmp_path, ShardedCampaign("faults", cells, shard_size=2)
+        )
+        work(cdir)
+        dest = write_merged_scorecard(cdir)
+        manifest = load_manifest(provenance_path(dest))
+        assert manifest.kind == "faults"
+        outcomes = json.loads(dest.read_text())["outcomes"]
+        for doc, (_, digest) in zip(outcomes, manifest.cells):
+            assert doc_digest(doc) == digest
+        assert manifest.artifact_sha256 == sha256_hex(dest.read_bytes())
+
+    def test_serial_merged_out_emits_manifest(self, grid, tmp_path):
+        out = tmp_path / "serial.json"
+        executor = make_executor(jobs=1, merged_out=str(out), shard_size=2)
+        executor.run(grid)
+        manifest = load_manifest(provenance_path(out))
+        assert manifest.artifact == "serial.json"
+        assert manifest.artifact_sha256 == sha256_hex(out.read_bytes())
+        # The sibling campaign document makes the artifact verifiable
+        # standalone.
+        assert (tmp_path / "serial.campaign.json").is_file()
+
+    def test_pool_merged_out_matches_serial(self, grid, tmp_path):
+        serial_out = tmp_path / "serial.json"
+        make_executor(jobs=1, merged_out=str(serial_out), shard_size=2).run(grid)
+        pool_out = tmp_path / "pool.json"
+        make_executor(jobs=2, merged_out=str(pool_out), shard_size=2).run(grid)
+        assert pool_out.read_bytes() == serial_out.read_bytes()
+        a = load_manifest(provenance_path(serial_out))
+        b = load_manifest(provenance_path(pool_out))
+        assert a.key() == b.key()
+
+    def test_write_results_artifact_matches_sharded_bytes(
+        self, grid, merged_campaign, tmp_path
+    ):
+        """Serial in-memory merge == file-queue merge: bytes and key."""
+        from repro.runtime.executor import SerialBackend
+
+        _, sharded_dest = merged_campaign
+        results = SerialBackend().run(grid)
+        out = write_results_artifact(grid, results, tmp_path / "mem.json",
+                                     shard_size=2)
+        assert out.read_bytes() == sharded_dest.read_bytes()
+        a = load_manifest(provenance_path(out))
+        b = load_manifest(provenance_path(sharded_dest))
+        assert a.key() == b.key()
+
+
+class TestResultNeutrality:
+    def test_artifact_has_no_embedded_provenance(self, merged_campaign):
+        _, dest = merged_campaign
+        doc = json.loads(dest.read_text())
+        assert set(doc) == {"campaign", "format", "results", "summary",
+                            "version"}
+
+    def test_remerge_is_byte_stable_and_rewrites_manifest(
+        self, merged_campaign
+    ):
+        cdir, dest = merged_campaign
+        before = dest.read_bytes()
+        key_before = load_manifest(provenance_path(dest)).key()
+        write_merged_results(cdir)
+        assert dest.read_bytes() == before
+        assert load_manifest(provenance_path(dest)).key() == key_before
+
+
+class TestIdentity:
+    def test_key_is_owner_invariant(self, grid, merged_campaign, tmp_path):
+        """Different workers / interleavings ⇒ the same manifest key."""
+        _, dest = merged_campaign
+        reference = load_manifest(provenance_path(dest))
+
+        cdir = prepare_campaign(
+            tmp_path, ShardedCampaign("sweep", grid, shard_size=2)
+        )
+        # Two workers, one shard each (max_shards=1 alternates owners).
+        work(cdir, max_shards=1, owner="w-bravo")
+        work(cdir, max_shards=1, owner="w-charlie")
+        other = load_manifest(provenance_path(write_merged_results(cdir)))
+        assert {o["owner"] for o in other.owners} == {"w-bravo", "w-charlie"}
+        assert other.owners != reference.owners
+        assert other.key() == reference.key()
+
+    def test_key_excludes_code_and_artifact_name(self, merged_campaign):
+        _, dest = merged_campaign
+        manifest = load_manifest(provenance_path(dest))
+        doc = manifest.to_dict()
+        doc["artifact"] = "renamed.json"
+        doc["code"] = {"package": "999", "source_sha256": "f" * 64}
+        doc["owners"] = []
+        del doc["key"]
+        assert ProvenanceManifest.from_dict(doc).key() == manifest.key()
+
+    def test_key_covers_cell_digests(self, merged_campaign):
+        _, dest = merged_campaign
+        manifest = load_manifest(provenance_path(dest))
+        doc = manifest.to_dict()
+        doc["cells"][0]["digest"] = "0" * 64
+        del doc["key"]
+        assert ProvenanceManifest.from_dict(doc).key() != manifest.key()
+
+    def test_recorded_key_is_checked_on_load(self, merged_campaign):
+        _, dest = merged_campaign
+        doc = json.loads(provenance_path(dest).read_text())
+        doc["cells"][0]["digest"] = "0" * 64  # forged, key left stale
+        with pytest.raises(ProvenanceError, match="tampered"):
+            ProvenanceManifest.from_dict(doc)

@@ -1,0 +1,243 @@
+"""Coordinator ``--verify-fraction`` spot-checks against dishonest workers.
+
+A coordinator started with ``verify_fraction=1.0`` re-executes every
+streamed cell of each untrusted worker's shard before committing it.
+A worker that corrupts its ``cell_result`` frames is convicted:
+
+* its shard is **quarantined** — re-queued, never committed;
+* the owner is barred: its next lease request returns
+  ``NoWork(quarantined=True)`` and the worker loop exits with code 3;
+* an honest worker then re-runs the refused shards and the final
+  merged artifact is **byte-identical to serial** — corruption costs
+  latency, never correctness;
+* the verdict is observable: the jobs table counts the quarantine, the
+  coordinator telemetry stream records re-executed cells and failures,
+  and the fetched provenance manifest matches the honest bytes.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.io.results_json import run_result_to_dict
+from repro.provenance import load_manifest, provenance_path
+from repro.runtime.executor import SerialBackend
+from repro.runtime.shard import (
+    ShardedCampaign,
+    prepare_campaign,
+    work,
+    write_merged_results,
+)
+from repro.runtime.spec import MonitorSpec, RunSpec, ScenarioSpec, TaskSetSpec
+from repro.serve import protocol as wire
+from repro.serve.client import ServiceClient
+from repro.serve.coordinator import Coordinator
+from repro.serve.worker import WorkerClient
+from repro.workload.generator import GeneratorParams, taskset_seeds
+from repro.workload.scenarios import SHORT
+
+PARAMS = GeneratorParams(m=2)
+
+
+def small_grid(n=4, horizon=2.0):
+    return [
+        RunSpec(
+            taskset=TaskSetSpec.generated(seed, PARAMS),
+            scenario=ScenarioSpec.from_scenario(SHORT),
+            monitor=MonitorSpec("simple", 0.6),
+            horizon=horizon,
+        )
+        for seed in taskset_seeds(n, base_seed=61)
+    ]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return small_grid()
+
+
+class _Service:
+    """A verifying coordinator on an ephemeral port, in its own loop."""
+
+    def __init__(self, root, **coord_kwargs):
+        self.coord = Coordinator(root, **coord_kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.coord.start())
+        self._ready.set()
+        try:
+            self._loop.run_until_complete(self.coord.serve_forever())
+        except asyncio.CancelledError:
+            pass
+
+    def start(self):
+        self._thread.start()
+        assert self._ready.wait(10.0), "coordinator did not start"
+        return self
+
+    @property
+    def addr(self):
+        return f"127.0.0.1:{self.coord.port}"
+
+    def stop(self):
+        def cancel_all():
+            for task in asyncio.all_tasks(self._loop):
+                task.cancel()
+
+        self._loop.call_soon_threadsafe(cancel_all)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+
+@pytest.fixture
+def make_service(tmp_path):
+    services = []
+
+    def factory(name="serve", **coord_kwargs):
+        svc = _Service(tmp_path / name, **coord_kwargs).start()
+        services.append(svc)
+        return svc
+
+    yield factory
+    for svc in services:
+        svc.stop()
+
+
+class _DishonestWorker(WorkerClient):
+    """Executes cells correctly, then lies about what they produced."""
+
+    def _execute_grant(self, grant):
+        rows = super()._execute_grant(grant)
+        return [
+            (pos, dict(doc, miss_count=int(doc.get("miss_count", 0)) + 5),
+             cached, wall_ns)
+            for pos, doc, cached, wall_ns in rows
+        ]
+
+
+def quiet(*_):
+    pass
+
+
+class TestSpotCheck:
+    def test_dishonest_worker_quarantined_honest_rerun_converges(
+        self, grid, tmp_path, make_service
+    ):
+        ref_dir = prepare_campaign(
+            tmp_path / "ref", ShardedCampaign("sweep", grid, shard_size=2)
+        )
+        work(ref_dir)
+        reference = write_merged_results(ref_dir).read_bytes()
+
+        svc = make_service(verify_fraction=1.0, verify_seed=3)
+        campaign = ShardedCampaign("sweep", grid, shard_size=2)
+        with ServiceClient(svc.addr) as client:
+            client.submit(campaign.to_dict())
+
+            # The dishonest worker corrupts every shard it touches; the
+            # spot-check refuses each one and then bars the owner, so
+            # its loop exits with the quarantine code.
+            mallory = _DishonestWorker(svc.addr, owner="mallory",
+                                       poll_s=0.02, once=True, log=quiet)
+            assert mallory.run() == 3
+            assert mallory.shards_done == 0  # nothing it sent was kept
+
+            row = next(r for r in client.jobs()
+                       if r["key"] == campaign.campaign_key)
+            assert row["shards_done"] == 0
+            assert row["quarantined"] >= 1
+
+            # An honest worker re-runs the refused shards to completion.
+            honest = WorkerClient(svc.addr, owner="honest", poll_s=0.02,
+                                  once=True, log=quiet)
+            assert honest.run() == 0
+            row = client.wait(campaign.campaign_key, poll_s=0.02,
+                              timeout_s=60)
+            assert row["merged"] and row["manifest"]
+
+            # The fetched provenance manifest travels over the wire.
+            replies = client._rpc(
+                wire.FetchRequest(campaign=campaign.campaign_key),
+                stream_until=wire.FetchDone,
+            )
+            done = replies[-1]
+            assert isinstance(done, wire.FetchDone)
+
+        merged = (svc.coord.root / row["dir"] / "merged.json").read_bytes()
+        assert merged == reference
+
+        manifest = load_manifest(
+            provenance_path(svc.coord.root / row["dir"] / "merged.json")
+        )
+        assert done.manifest["key"] == manifest.key()
+        # Quarantined results never reach the artifact: every committed
+        # shard is owned by the honest worker.
+        assert {o["owner"] for o in manifest.owners} == {"honest"}
+
+        # The verdict is visible in coordinator telemetry.
+        telem = (svc.coord.root / row["dir"]
+                 / "telemetry" / "coordinator.ndjson")
+        records = [json.loads(line)
+                   for line in telem.read_text().splitlines() if line]
+        last = records[-1]
+        assert last["quarantines"] >= 1
+        assert last["verify_failures"] >= 1
+        assert last["cells_verified"] >= len(grid)
+
+    def test_honest_workers_unaffected_by_spot_checks(
+        self, grid, tmp_path, make_service
+    ):
+        ref = [run_result_to_dict(r) for r in SerialBackend().run(grid)]
+        svc = make_service(verify_fraction=1.0)
+        campaign = ShardedCampaign("sweep", grid, shard_size=2)
+        with ServiceClient(svc.addr) as client:
+            client.submit(campaign.to_dict())
+            honest = WorkerClient(svc.addr, owner="w1", poll_s=0.02,
+                                  once=True, log=quiet)
+            assert honest.run() == 0
+            row = client.wait(campaign.campaign_key, poll_s=0.02,
+                              timeout_s=60)
+            assert row["quarantined"] == 0
+            cells = client.fetch(campaign.campaign_key)
+        assert [doc for doc, _, _ in cells] == ref
+
+    def test_verify_fraction_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            Coordinator(tmp_path, verify_fraction=1.5)
+        with pytest.raises(ValueError):
+            Coordinator(tmp_path, verify_fraction=-0.1)
+
+    def test_partial_fraction_samples_deterministically(
+        self, grid, tmp_path
+    ):
+        """fraction=0.5 re-executes half of each shard, same cells each
+        time (seeded by shard id), so resubmission cannot dodge it."""
+        coord = Coordinator(tmp_path / "c", verify_fraction=0.5,
+                            verify_seed=11)
+        (tmp_path / "c").mkdir(parents=True, exist_ok=True)
+        coord.recover()
+        campaign = ShardedCampaign("sweep", grid, shard_size=4)
+        (ack,) = coord.handle(wire.Submit(campaign=campaign.to_dict()))
+        assert ack.created
+        (grant,) = coord.handle(wire.LeaseRequest(owner="w1"))
+        docs = [run_result_to_dict(r) for r in SerialBackend().run(grid)]
+        for pos in range(grant.start, grant.stop):
+            coord.handle(wire.CellResult(
+                campaign=grant.campaign, shard=grant.shard, pos=pos,
+                doc=docs[pos], owner="w1",
+            ))
+        state = coord.campaigns[grant.campaign]
+        shard = next(s for s in state.campaign.shards
+                     if s.shard_id == grant.shard)
+        sample = coord._spot_check(state, shard)
+        assert sample == []  # honest docs pass
+        (ok,) = coord.handle(wire.ShardDone(
+            campaign=grant.campaign, shard=grant.shard, owner="w1",
+        ))
+        assert isinstance(ok, wire.ShardOk) and ok.accepted

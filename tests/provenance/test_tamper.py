@@ -1,0 +1,180 @@
+"""Adversarial tampering suite for ``repro-mc2 verify``.
+
+Every test starts from one honestly-produced campaign (merged artifact
++ manifest + campaign document), applies one attack, and asserts the
+CLI convicts it — exit 1 with a :class:`~repro.provenance.VerifyReport`
+naming the first divergent cell — while the untampered original passes
+with exit 0.
+
+Attacks, one per layer of the verifier:
+
+* **byte-flip** a digit inside one cell of the merged artifact — caught
+  by the artifact sha256 *and* attributed to that cell by the stored
+  per-cell digests (``source: "artifact"``);
+* **swap two cells'** result documents — artifact layer names position
+  0 as first divergent;
+* **consistent forgery**: doctor a result *and* recompute the artifact
+  hash, per-cell digests, and manifest key so layers 1–2 are clean —
+  only seeded **re-execution** convicts it (``source:
+  "re-execution"``);
+* **forge a manifest digest** without recomputing the manifest key —
+  rejected at load (tampered manifest, never partial trust);
+* **truncate the manifest** — rejected as invalid JSON.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.io.canonical import canonical_json, doc_digest
+from repro.provenance import ProvenanceManifest, provenance_path
+from repro.runtime.shard import (
+    ShardedCampaign,
+    prepare_campaign,
+    work,
+    write_merged_results,
+)
+from repro.runtime.spec import MonitorSpec, RunSpec, ScenarioSpec, TaskSetSpec
+from repro.workload.generator import GeneratorParams, taskset_seeds
+from repro.workload.scenarios import SHORT
+
+PARAMS = GeneratorParams(m=2)
+
+
+@pytest.fixture(scope="module")
+def honest_campaign(tmp_path_factory):
+    """One honestly-merged sweep campaign, copied fresh per test."""
+    root = tmp_path_factory.mktemp("honest")
+    specs = [
+        RunSpec(
+            taskset=TaskSetSpec.generated(seed, PARAMS),
+            scenario=ScenarioSpec.from_scenario(SHORT),
+            monitor=MonitorSpec("simple", 0.6),
+            horizon=2.0,
+        )
+        for seed in taskset_seeds(4, base_seed=47)
+    ]
+    cdir = prepare_campaign(root, ShardedCampaign("sweep", specs, shard_size=2))
+    work(cdir)
+    write_merged_results(cdir)
+    return cdir
+
+
+@pytest.fixture
+def cdir(honest_campaign, tmp_path):
+    """A private copy of the honest campaign this test may deface."""
+    dest = tmp_path / honest_campaign.name
+    shutil.copytree(honest_campaign, dest)
+    return dest
+
+
+def verify(cdir, *extra):
+    """Run ``repro-mc2 verify`` and return (exit code, report dict)."""
+    report = cdir / "report.json"
+    code = main(["verify", str(cdir), "--all", "--report", str(report),
+                 *extra])
+    return code, json.loads(report.read_text())
+
+
+class TestVerdicts:
+    def test_untampered_campaign_passes(self, cdir):
+        code, report = verify(cdir)
+        assert code == 0
+        assert report["ok"] and report["artifact"]["ok"]
+        assert report["divergent"] == [] and report["error"] == ""
+        assert len(report["reexecuted"]) == report["cells_total"] == 4
+
+    def test_byte_flip_names_the_flipped_cell(self, cdir):
+        merged = cdir / "merged.json"
+        blob = merged.read_bytes()
+        # Flip one digit of cell 0's event count: valid JSON, wrong bytes.
+        at = blob.index(b'"events":') + len(b'"events":')
+        flipped = b"5" if blob[at:at + 1] != b"5" else b"6"
+        merged.write_bytes(blob[:at] + flipped + blob[at + 1:])
+
+        code, report = verify(cdir, "--no-reexec")
+        assert code == 1
+        assert not report["ok"] and not report["artifact"]["ok"]
+        first = report["first_divergent"]
+        assert first["pos"] == 0 and first["source"] == "artifact"
+
+    def test_swapped_cells_convicted_at_first_position(self, cdir):
+        merged = cdir / "merged.json"
+        doc = json.loads(merged.read_text())
+        doc["results"][0], doc["results"][1] = (
+            doc["results"][1], doc["results"][0],
+        )
+        merged.write_text(canonical_json(doc) + "\n")
+
+        code, report = verify(cdir, "--no-reexec")
+        assert code == 1
+        first = report["first_divergent"]
+        assert first["pos"] == 0 and first["source"] == "artifact"
+        assert [c["pos"] for c in report["divergent"]] == [0, 1]
+
+    def test_consistent_forgery_caught_only_by_reexecution(self, cdir):
+        """Doctor cell 2 and re-attest everything downstream of it."""
+        merged = cdir / "merged.json"
+        doc = json.loads(merged.read_text())
+        doc["results"][2]["miss_count"] = doc["results"][2]["miss_count"] + 7
+        blob = (canonical_json(doc) + "\n").encode("utf-8")
+        merged.write_bytes(blob)
+
+        mpath = provenance_path(merged)
+        mdoc = json.loads(mpath.read_text())
+        mdoc["cells"][2]["digest"] = doc_digest(doc["results"][2])
+        from repro.io.canonical import sha256_hex
+
+        mdoc["artifact_sha256"] = sha256_hex(blob)
+        del mdoc["key"]  # from_dict recomputes a consistent key
+        forged = ProvenanceManifest.from_dict(mdoc)
+        mpath.write_text(forged.canonical() + "\n")
+
+        # Layers 1-2 are clean by construction...
+        code, report = verify(cdir, "--no-reexec")
+        assert code == 0 and report["artifact"]["ok"]
+        # ...only re-execution convicts, naming the doctored cell.
+        code, report = verify(cdir)
+        assert code == 1
+        first = report["first_divergent"]
+        assert first["pos"] == 2 and first["source"] == "re-execution"
+
+    def test_forged_manifest_digest_rejected_at_load(self, cdir):
+        mpath = provenance_path(cdir / "merged.json")
+        mdoc = json.loads(mpath.read_text())
+        mdoc["cells"][1]["digest"] = "0" * 64  # key left stale
+        mpath.write_text(json.dumps(mdoc) + "\n")
+
+        code, report = verify(cdir)
+        assert code == 1
+        assert "tampered" in report["error"]
+        assert report["checked"] == []  # no partial trust
+
+    def test_truncated_manifest_rejected(self, cdir):
+        mpath = provenance_path(cdir / "merged.json")
+        text = mpath.read_text()
+        mpath.write_text(text[: len(text) // 2])
+
+        code, report = verify(cdir)
+        assert code == 1
+        assert "not valid JSON" in report["error"]
+
+    def test_missing_artifact_fails(self, cdir):
+        (cdir / "merged.json").unlink()
+        code, report = verify(cdir, "--no-reexec")
+        assert code == 1
+        assert "cannot read artifact" in report["error"]
+
+    def test_sampled_verify_is_seed_deterministic(self, cdir):
+        report = cdir / "report.json"
+        code = main(["verify", str(cdir), "--sample", "2", "--sample-seed",
+                     "7", "--report", str(report)])
+        assert code == 0
+        first = json.loads(report.read_text())["reexecuted"]
+        assert len(first) == 2
+        code = main(["verify", str(cdir), "--sample", "2", "--sample-seed",
+                     "7", "--report", str(report)])
+        assert code == 0
+        assert json.loads(report.read_text())["reexecuted"] == first

@@ -36,10 +36,12 @@ class TestResultCache:
 
     def test_put_get_round_trip(self, tmp_path):
         cache = ResultCache(tmp_path)
-        cache.put(KEY, {"spec": "doc"}, result())
-        assert KEY in cache
+        spec_doc = {"spec": "doc"}
+        key = ResultCache._spec_address(spec_doc)
+        cache.put(key, spec_doc, result())
+        assert key in cache
         assert len(cache) == 1
-        assert cache.get(KEY) == result()
+        assert cache.get(key) == result()
 
     def test_entries_sharded_by_key_prefix(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -89,6 +91,67 @@ class TestResultCache:
         cache = ResultCache()
         assert cache.directory == tmp_path / "repro-mc2"
         assert default_cache_dir() == tmp_path / "repro-mc2"
+
+
+class TestContentAddressChecks:
+    """Read-back re-verifies the content address; a mismatch is a warned miss."""
+
+    def test_tampered_result_reads_as_miss_with_warning(self, tmp_path, capsys):
+        """A bit-flip in the stored result is caught by the result digest."""
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, result(dissipation=0.5))
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        doc = json.loads(path.read_text())
+        doc["result"]["dissipation"] = 0.9  # silent corruption, still valid JSON
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert cache.get(KEY) is None
+        err = capsys.readouterr().err
+        assert "content-address check" in err
+        assert "result digest mismatch" in err
+
+    def test_transplanted_entry_reads_as_miss(self, tmp_path, capsys):
+        """An entry copied under another key fails the recorded-key check."""
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, result())
+        other = "cd" + "0" * 62
+        src = tmp_path / KEY[:2] / f"{KEY}.json"
+        dst = tmp_path / other[:2] / f"{other}.json"
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_text(src.read_text(), encoding="utf-8")
+        assert cache.get(other) is None
+        assert "recorded key" in capsys.readouterr().err
+        # The original entry is untouched and still hits.
+        assert cache.get(KEY) == result()
+
+    def test_tampered_spec_reads_as_miss(self, tmp_path, capsys):
+        """A stored spec that no longer hashes to the key is rejected."""
+        cache = ResultCache(tmp_path)
+        spec_doc = {"seed": 7, "scenario": "SHORT"}
+        key = ResultCache._spec_address(spec_doc)
+        cache.put(key, spec_doc, result())
+        path = tmp_path / key[:2] / f"{key}.json"
+        doc = json.loads(path.read_text())
+        doc["spec"]["seed"] = 8
+        # Keep the result digest honest so only the spec check can fire.
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert cache.get(key) is None
+        assert "spec re-hashes to" in capsys.readouterr().err
+
+    def test_spec_address_ignores_obs_block(self):
+        """Observability settings never split cache entries."""
+        base = {"seed": 7, "scenario": "SHORT"}
+        with_obs = dict(base, obs={"telemetry": True})
+        assert ResultCache._spec_address(base) == ResultCache._spec_address(with_obs)
+
+    def test_legacy_entry_without_result_digest_still_hits(self, tmp_path):
+        """Entries written before result_sha256 existed stay readable."""
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, result())
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        doc = json.loads(path.read_text())
+        del doc["result_sha256"]
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert cache.get(KEY) == result()
 
 
 class TestCrashSafety:

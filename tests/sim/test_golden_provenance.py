@@ -1,0 +1,130 @@
+"""Golden ``repro-provenance`` manifest corpus.
+
+Five fixed sweep campaigns spanning the paper's overload scenarios and
+both recovery monitors, each executed under **both kernel backends**
+(``reference`` and ``soa``) and pinned to the manifest ``key()`` its
+merged artifact attests to.  The manifest key covers the campaign key,
+the ordered per-cell result digests, the artifact sha256, and the
+kernel identity — so *any* change to simulator behaviour, result
+serialization, the merged byte layout, or campaign identity moves a
+pinned key and names the scenario that moved.
+
+The key deliberately excludes worker attribution and the code version
+(:meth:`~repro.provenance.ProvenanceManifest.key`), so code-only
+changes that leave result bytes intact keep this corpus green.
+
+Intentional behaviour changes re-pin with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/sim/test_golden_provenance.py
+
+and the diff of ``tests/sim/golden/provenance.json`` documents the
+blast radius in review.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.provenance import load_manifest, provenance_path
+from repro.runtime.executor import SerialBackend
+from repro.runtime.shard import write_results_artifact
+from repro.runtime.spec import (
+    KernelSpec,
+    MonitorSpec,
+    RunSpec,
+    ScenarioSpec,
+    TaskSetSpec,
+)
+from repro.workload.generator import GeneratorParams, taskset_seeds
+from repro.workload.scenarios import CALM, DOUBLE, LONG, SHORT
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "provenance.json"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+BACKENDS = ("reference", "soa")
+
+# label -> (scenario, monitor, monitor_arg, base_seed)
+CORPUS = {
+    "short-simple": (SHORT, "simple", 0.5, 201),
+    "long-adaptive": (LONG, "adaptive", 0.5, 202),
+    "double-simple": (DOUBLE, "simple", 0.25, 203),
+    "calm-none": (CALM, "none", None, 204),
+    "short-adaptive-m4": (SHORT, "adaptive", 1.0, 205),
+}
+
+
+def corpus_specs(label, backend):
+    scenario, monitor, arg, base_seed = CORPUS[label]
+    params = GeneratorParams(m=4 if label.endswith("-m4") else 2)
+    return [
+        RunSpec(
+            taskset=TaskSetSpec.generated(seed, params),
+            scenario=ScenarioSpec.from_scenario(scenario),
+            monitor=MonitorSpec(monitor, arg),
+            horizon=2.0,
+            kernel=KernelSpec(backend=backend),
+        )
+        for seed in taskset_seeds(2, base_seed=base_seed)
+    ]
+
+
+def compute_keys(tmp_path) -> dict:
+    keys = {}
+    for label in CORPUS:
+        for backend in BACKENDS:
+            specs = corpus_specs(label, backend)
+            results = SerialBackend().run(specs)
+            out = write_results_artifact(
+                specs, results, tmp_path / f"{label}-{backend}.json",
+                shard_size=2,
+            )
+            keys[f"{label}/{backend}"] = load_manifest(
+                provenance_path(out)
+            ).key()
+    return keys
+
+
+def test_corpus_shape():
+    assert len(CORPUS) == 5
+    assert len({cfg[3] for cfg in CORPUS.values()}) == 5, (
+        "base seeds must be distinct"
+    )
+
+
+def test_golden_manifest_keys_match(tmp_path):
+    keys = compute_keys(tmp_path)
+    if REGEN:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(keys, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip(f"regenerated {GOLDEN_PATH} ({len(keys)} manifest keys)")
+    assert GOLDEN_PATH.is_file(), (
+        f"{GOLDEN_PATH} is missing; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert set(golden) == set(keys), (
+        "corpus and golden file disagree about which scenarios exist; "
+        "regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    mismatched = [label for label in keys if keys[label] != golden[label]]
+    assert not mismatched, (
+        "provenance identity changed for "
+        f"{len(mismatched)}/{len(keys)} golden campaigns:\n  "
+        + "\n  ".join(mismatched)
+        + "\nIf intentional, re-pin with REPRO_REGEN_GOLDEN=1 and review "
+        "the diff."
+    )
+
+
+def test_backend_is_part_of_manifest_identity(tmp_path):
+    """The two backends are distinct campaigns (the kernel is in the
+    spec key), so their manifest keys must differ even though their
+    result *documents* are behaviourally identical."""
+    if not GOLDEN_PATH.is_file():
+        pytest.skip("golden file not pinned yet")
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    for label in CORPUS:
+        assert golden[f"{label}/reference"] != golden[f"{label}/soa"]
